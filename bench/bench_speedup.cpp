@@ -1,0 +1,117 @@
+// E3 — trial browser & speedup analyzer (paper §5.2, EVH1).
+//
+// Reproduced analysis: "Given performance data from experiments with
+// varying numbers of processors, the tool automatically calculates the
+// minimum, mean and maximum values for the speedup [of] every profiled
+// routine" through the PerfDMF API (including the SQL aggregate path).
+//
+// Shape to reproduce: routines with low serial fraction track ideal
+// speedup; the most serial routines saturate; the application lands in
+// between. Crossover: efficiency of serial routines collapses early.
+#include <cstdio>
+
+#include "analysis/scalability.h"
+#include "analysis/speedup.h"
+#include "api/database_session.h"
+#include "io/synth.h"
+#include "util/timer.h"
+
+using namespace perfdmf;
+
+int main() {
+  api::DatabaseSession session;
+  io::synth::ScalingSpec spec;
+
+  std::printf("E3: EVH1-style speedup study (12 routines, Amdahl structure)\n");
+  util::WallTimer timer;
+  for (std::int32_t p = 1; p <= 64; p *= 2) {
+    session.save_trial(io::synth::generate_scaling_trial(spec, p), "evh1",
+                       "strong scaling");
+  }
+  std::printf("archived 7 trials (1..64 procs) in %.2f s\n\n", timer.seconds());
+
+  timer.reset();
+  auto experiments = session.api().list_experiments(1);
+  auto report = analysis::compute_speedup_for_experiment(session.api(),
+                                                         experiments[0].id);
+  const double analysis_seconds = timer.seconds();
+
+  std::printf("%s\n", analysis::format_speedup_table(report).c_str());
+  std::printf("analysis time: %.3f s\n", analysis_seconds);
+
+  // Also exercise the SQL aggregate path the paper calls out ("requesting
+  // standard SQL aggregate operations such as minimum, maximum, mean,
+  // standard deviation").
+  session.clear_experiment();
+  session.clear_application();
+  auto trials = session.get_trial_list();
+  const auto& largest = trials.back();
+  session.set_trial(largest.id);
+  auto events = session.get_interval_events();
+  std::printf("\nSQL aggregates over the %lld-proc trial (exclusive TIME):\n",
+              static_cast<long long>(largest.node_count));
+  std::printf("%-28s %10s %12s %12s %12s %12s\n", "routine", "n", "min", "mean",
+              "max", "stddev");
+  for (const auto& event : events) {
+    auto s = session.api().aggregate_interval_column(largest.id, event.id,
+                                                     "exclusive");
+    std::printf("%-28s %10zu %12.1f %12.1f %12.1f %12.2f\n", event.name.c_str(),
+                s.count, s.minimum, s.mean, s.maximum, s.std_dev);
+  }
+
+  // ---- E3b: weak-scaling companion study --------------------------------
+  // Same analyzer, grown problem: per-processor work constant, so the
+  // shape to reproduce is efficiency ~1 for compute routines and decaying
+  // with log2(p) for the collective.
+  std::printf("\nE3b: weak-scaling efficiency (work per processor constant)\n");
+  std::vector<profile::TrialData> weak_family;
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> weak_trials;
+  for (std::int32_t p = 1; p <= 64; p *= 4) {
+    weak_family.push_back(io::synth::generate_weak_scaling_trial(spec, p));
+  }
+  {
+    std::int32_t p = 1;
+    for (const auto& trial : weak_family) {
+      weak_trials.emplace_back(p, &trial);
+      p *= 4;
+    }
+  }
+  auto weak = analysis::compute_weak_scaling(weak_trials);
+  std::printf("%-28s", "routine");
+  for (const auto& [p, eff] : weak.routines.front().efficiency) {
+    std::printf(" %6lldp", static_cast<long long>(p));
+  }
+  std::printf("\n");
+  for (const auto& row : weak.routines) {
+    if (row.efficiency.empty()) continue;
+    std::printf("%-28s", row.event_name.c_str());
+    for (const auto& [p, eff] : row.efficiency) std::printf(" %7.3f", eff);
+    std::printf("\n");
+  }
+
+  // Communication-model fit on the strong-scaling application times
+  // (T = serial + work/p + comm * log2 p).
+  std::vector<analysis::ScalingObservation> observations;
+  for (const auto& trial : trials) {
+    const std::int64_t p = trial.node_count;
+    session.set_trial(trial.id);
+    auto loaded = session.load_selected_trial();
+    const std::size_t metric = *loaded.find_metric("TIME");
+    const std::size_t main_event = *loaded.find_event("main");
+    double sum = 0.0;
+    for (std::size_t t = 0; t < loaded.threads().size(); ++t) {
+      sum += loaded.interval_data(main_event, t, metric)->inclusive;
+    }
+    observations.push_back(
+        {p, sum / static_cast<double>(loaded.threads().size())});
+  }
+  auto fit = analysis::fit_comm_model(observations);
+  std::printf("\ncomm-model fit of application time: T(p) = %.3g + %.3g/p"
+              " + %.3g*log2(p)   (R^2 = %.4f)\n",
+              fit.serial, fit.work, fit.comm, fit.r_squared);
+  if (fit.optimal_processors() > 0.0) {
+    std::printf("model optimum: ~%.0f processors (beyond this, communication"
+                " dominates)\n", fit.optimal_processors());
+  }
+  return 0;
+}

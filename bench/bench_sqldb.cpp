@@ -1,0 +1,149 @@
+// E7 — database engine micro-benchmarks (substrate validation).
+//
+// The paper outsources storage to PostgreSQL/MySQL/Oracle/DB2; this repo
+// implements the engine. These google-benchmark cases size the primitives
+// PerfDMF leans on: bulk prepared inserts, PK point lookups, indexed range
+// scans, grouped aggregates, and the event/profile join.
+#include <benchmark/benchmark.h>
+
+#include "sqldb/connection.h"
+
+using namespace perfdmf::sqldb;
+
+namespace {
+
+/// Build a table shaped like interval_location_profile with `rows` rows.
+std::unique_ptr<Connection> make_profile_table(std::int64_t rows) {
+  auto conn = std::make_unique<Connection>();
+  conn->execute_update(
+      "CREATE TABLE profile (id INTEGER PRIMARY KEY, event INTEGER,"
+      " node INTEGER, metric INTEGER, inclusive REAL, exclusive REAL)");
+  conn->execute_update("CREATE INDEX idx_event ON profile (event)");
+  conn->execute_update("CREATE INDEX idx_node ON profile (node)");
+  auto stmt = conn->prepare(
+      "INSERT INTO profile (event, node, metric, inclusive, exclusive)"
+      " VALUES (?, ?, ?, ?, ?)");
+  conn->begin();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    stmt.set_int(1, i % 101);
+    stmt.set_int(2, i / 101);
+    stmt.set_int(3, 0);
+    stmt.set_double(4, 100.0 + static_cast<double>(i % 997));
+    stmt.set_double(5, 90.0 + static_cast<double>(i % 991));
+    stmt.execute_update();
+  }
+  conn->commit();
+  return conn;
+}
+
+void BM_PreparedInsert(benchmark::State& state) {
+  Connection conn;
+  conn.execute_update(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b REAL, c TEXT)");
+  auto stmt = conn.prepare("INSERT INTO t (a, b, c) VALUES (?, ?, ?)");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    stmt.set_int(1, i);
+    stmt.set_double(2, static_cast<double>(i) * 0.5);
+    stmt.set_string(3, "event name " + std::to_string(i % 64));
+    stmt.execute_update();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PreparedInsert);
+
+void BM_PointLookupByPk(benchmark::State& state) {
+  auto conn = make_profile_table(state.range(0));
+  auto stmt = conn->prepare("SELECT exclusive FROM profile WHERE id = ?");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    stmt.set_int(1, 1 + (i++ % state.range(0)));
+    auto rs = stmt.execute_query();
+    benchmark::DoNotOptimize(rs.row_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointLookupByPk)->Arg(10000)->Arg(100000);
+
+void BM_IndexedEventScan(benchmark::State& state) {
+  auto conn = make_profile_table(state.range(0));
+  auto stmt = conn->prepare("SELECT exclusive FROM profile WHERE event = ?");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    stmt.set_int(1, i++ % 101);
+    auto rs = stmt.execute_query();
+    benchmark::DoNotOptimize(rs.row_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedEventScan)->Arg(10000)->Arg(100000);
+
+void BM_RangeScan(benchmark::State& state) {
+  auto conn = make_profile_table(state.range(0));
+  auto stmt = conn->prepare(
+      "SELECT COUNT(*) FROM profile WHERE node BETWEEN ? AND ?");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    stmt.set_int(1, i % 50);
+    stmt.set_int(2, i % 50 + 10);
+    auto rs = stmt.execute_query();
+    benchmark::DoNotOptimize(rs.row_count());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeScan)->Arg(100000);
+
+void BM_GroupedAggregate(benchmark::State& state) {
+  auto conn = make_profile_table(state.range(0));
+  for (auto _ : state) {
+    auto rs = conn->execute(
+        "SELECT event, COUNT(*), AVG(exclusive), STDDEV(exclusive)"
+        " FROM profile GROUP BY event");
+    benchmark::DoNotOptimize(rs.row_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupedAggregate)->Arg(10000)->Arg(100000);
+
+void BM_JoinEventProfile(benchmark::State& state) {
+  auto conn = make_profile_table(state.range(0));
+  conn->execute_update(
+      "CREATE TABLE event (id INTEGER PRIMARY KEY, name TEXT)");
+  auto stmt = conn->prepare("INSERT INTO event (id, name) VALUES (?, ?)");
+  for (int e = 0; e < 101; ++e) {
+    stmt.set_int(1, e);
+    stmt.set_string(2, "routine_" + std::to_string(e));
+    stmt.execute_update();
+  }
+  for (auto _ : state) {
+    auto rs = conn->execute(
+        "SELECT e.name, AVG(p.exclusive) FROM event e JOIN profile p"
+        " ON p.event = e.id GROUP BY e.name");
+    benchmark::DoNotOptimize(rs.row_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinEventProfile)->Arg(10000)->Arg(100000);
+
+void BM_TransactionCommit(benchmark::State& state) {
+  Connection conn;
+  conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+  auto stmt = conn.prepare("INSERT INTO t (x) VALUES (?)");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    conn.begin();
+    for (int j = 0; j < 100; ++j) {
+      stmt.set_int(1, i++);
+      stmt.execute_update();
+    }
+    conn.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_TransactionCommit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

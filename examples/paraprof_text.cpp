@@ -1,0 +1,156 @@
+// paraprof_text: a text-mode ParaProf (paper §5.1 / Fig. 2).
+//
+// Builds a shared database archive holding trials from three different
+// profiling tools (HPMToolkit, mpiP, TAU), then renders the archive tree
+// and per-trial profile views the way ParaProf's browser does:
+//
+//   APPLICATION
+//     EXPERIMENT
+//       TRIAL        (tool, size)
+//         bar chart of mean exclusive time per event
+//
+// Run:  ./paraprof_text
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "api/database_session.h"
+#include "io/detect.h"
+#include "io/hpm_format.h"
+#include "io/synth.h"
+#include "util/file.h"
+
+using namespace perfdmf;
+
+namespace {
+
+void render_trial_view(api::DatabaseSession& session, const profile::Trial& trial) {
+  session.set_trial(trial.id);
+  auto metrics = session.get_metrics();
+  if (metrics.empty()) return;
+  // Mean exclusive per event for the first metric.
+  std::map<std::string, std::pair<double, int>> by_event;
+  session.set_metric(metrics[0].id);
+  for (const auto& row : session.get_interval_data()) {
+    auto& [sum, count] = by_event[row.event_name];
+    sum += row.data.exclusive;
+    ++count;
+  }
+  session.clear_metric();
+
+  std::vector<std::pair<std::string, double>> means;
+  for (const auto& [name, entry] : by_event) {
+    means.emplace_back(name, entry.first / entry.second);
+  }
+  std::sort(means.begin(), means.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  const double top = means.empty() ? 1.0 : means.front().second;
+  for (const auto& [name, mean] : means) {
+    const int width = static_cast<int>(40.0 * mean / top);
+    std::printf("        %-32.32s %12.1f |", name.c_str(), mean);
+    for (int i = 0; i < width; ++i) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+/// ParaProf's event-comparison window: "the ability to compare the
+/// behavior of one instrumented event across all threads of execution"
+/// (paper §5.1) — one bar per thread for the hottest event.
+void render_event_across_threads(api::DatabaseSession& session,
+                                 const profile::Trial& trial) {
+  session.set_trial(trial.id);
+  auto metrics = session.get_metrics();
+  if (metrics.empty()) return;
+  session.set_metric(metrics[0].id);
+  auto rows = session.get_interval_data();
+  session.clear_metric();
+  if (rows.empty()) return;
+
+  // Hottest event by summed exclusive time.
+  std::map<std::string, double> totals;
+  for (const auto& row : rows) totals[row.event_name] += row.data.exclusive;
+  std::string hottest;
+  double best = -1.0;
+  for (const auto& [name, value] : totals) {
+    if (value > best) {
+      best = value;
+      hottest = name;
+    }
+  }
+  std::printf("      event '%s' across threads:\n", hottest.c_str());
+  double top = 0.0;
+  for (const auto& row : rows) {
+    if (row.event_name == hottest) top = std::max(top, row.data.exclusive);
+  }
+  for (const auto& row : rows) {
+    if (row.event_name != hottest) continue;
+    const int width =
+        top > 0.0 ? static_cast<int>(40.0 * row.data.exclusive / top) : 0;
+    std::printf("        n%d:c%d:t%d %12.1f |", row.thread.node,
+                row.thread.context, row.thread.thread, row.data.exclusive);
+    for (int i = 0; i < width; ++i) std::printf("=");
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  util::ScopedTempDir scratch("perfdmf-paraprof");
+
+  // Synthesize the three tool outputs (stand-ins for real runs; see
+  // DESIGN.md "Substitutions").
+  io::synth::TrialSpec spec;
+  spec.nodes = 4;
+  spec.event_count = 7;
+  spec.seed = 11;
+  auto tau = io::synth::generate_trial(spec);
+  tau.trial().name = "tau 4p";
+  io::synth::write_as_tau(tau, scratch.path() / "tau");
+
+  spec.seed = 12;
+  auto mpip = io::synth::generate_mpip_style_trial(spec);
+  io::synth::write_as_mpip(mpip, scratch.path() / "run.mpiP");
+
+  spec.seed = 13;
+  spec.extra_metrics = {"PM_FPU0_CMPL", "PM_INST_CMPL"};
+  auto hpm = io::synth::generate_trial(spec);
+  io::synth::write_as_hpm(hpm, scratch.path() / "hpm");
+
+  // Import everything into one archive (the shared repository of Fig. 2).
+  api::DatabaseSession session;
+  session.save_trial(io::load_profile(scratch.path() / "tau"), "sppm",
+                     "mixed tools");
+  auto mpip_trial = io::load_profile(scratch.path() / "run.mpiP");
+  mpip_trial.trial().name = "mpiP 4p";
+  session.save_trial(mpip_trial, "sppm", "mixed tools");
+  profile::TrialData merged;
+  for (const auto& file : util::list_files(scratch.path() / "hpm")) {
+    io::HpmDataSource::parse_into(util::read_file(file), merged);
+  }
+  merged.infer_dimensions();
+  merged.recompute_derived_fields();
+  merged.trial().name = "hpmtoolkit 4p";
+  session.save_trial(merged, "sppm", "mixed tools");
+
+  // Render the archive tree.
+  session.clear_application();
+  session.clear_experiment();
+  session.clear_trial();
+  for (const auto& app : session.get_application_list()) {
+    std::printf("%s\n", app.name.c_str());
+    session.set_application(app.id);
+    for (const auto& experiment : session.get_experiment_list()) {
+      std::printf("  %s\n", experiment.name.c_str());
+      session.set_experiment(experiment.id);
+      for (const auto& trial : session.get_trial_list()) {
+        std::printf("    %-20s (%lld nodes)\n", trial.name.c_str(),
+                    static_cast<long long>(trial.node_count));
+        render_trial_view(session, trial);
+        render_event_across_threads(session, trial);
+      }
+    }
+  }
+  return 0;
+}

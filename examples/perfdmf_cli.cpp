@@ -1,0 +1,229 @@
+// perfdmf_cli: command-line front end for PerfDMF archives — the
+// scriptable loader/query companion the TAU distribution ships alongside
+// the framework (paper §1: PerfDMF "is included as part of TAU's
+// distribution"; §7: "reusable and scriptable profile analysis").
+//
+// Usage:
+//   perfdmf_cli <archive-dir> load <path> <app> <experiment>
+//   perfdmf_cli <archive-dir> ls
+//   perfdmf_cli <archive-dir> events <trial-id>
+//   perfdmf_cli <archive-dir> summary <trial-id>
+//   perfdmf_cli <archive-dir> export <trial-id> <out.xml>
+//   perfdmf_cli <archive-dir> diff <trial-a> <trial-b>
+//   perfdmf_cli <archive-dir> csv <trial-id> <out.csv>
+//   perfdmf_cli <archive-dir> derive <trial-id> <metric-name> "<formula>"
+//   perfdmf_cli <archive-dir> imbalance <trial-id>
+//   perfdmf_cli <archive-dir> flatten <trial-id>
+//   perfdmf_cli <archive-dir> rm <trial-id>
+//   perfdmf_cli <archive-dir> sql "<select statement>"
+//
+// The archive directory is created on first use and persists (WAL +
+// snapshot). `load` auto-detects the profile format.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/algebra.h"
+#include "analysis/derived_expr.h"
+#include "analysis/imbalance.h"
+#include "api/database_session.h"
+#include "io/csv_export.h"
+#include "io/detect.h"
+#include "io/xml_io.h"
+#include "profile/callpath.h"
+#include "profile/summary.h"
+#include "util/error.h"
+#include "util/file.h"
+
+using namespace perfdmf;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perfdmf_cli <archive> "
+               "{load <path> <app> <exp> | ls | events <id> | summary <id> |"
+               " export <id> <file.xml> | diff <id-a> <id-b> |"
+               " csv <id> <file.csv> | derive <id> <name> <formula> |"
+               " imbalance <id> | flatten <id> | rm <id> | sql <stmt>}\n");
+  return 2;
+}
+
+void cmd_ls(api::DatabaseSession& session) {
+  for (const auto& app : session.get_application_list()) {
+    std::printf("application %lld: %s\n", static_cast<long long>(app.id),
+                app.name.c_str());
+    session.set_application(app.id);
+    for (const auto& experiment : session.get_experiment_list()) {
+      std::printf("  experiment %lld: %s\n",
+                  static_cast<long long>(experiment.id), experiment.name.c_str());
+      session.set_experiment(experiment.id);
+      for (const auto& trial : session.get_trial_list()) {
+        std::printf("    trial %lld: %-24s %lld nodes x %lld x %lld\n",
+                    static_cast<long long>(trial.id), trial.name.c_str(),
+                    static_cast<long long>(trial.node_count),
+                    static_cast<long long>(trial.contexts_per_node),
+                    static_cast<long long>(trial.threads_per_context));
+      }
+    }
+  }
+}
+
+void cmd_events(api::DatabaseSession& session, std::int64_t trial_id) {
+  session.set_trial(trial_id);
+  std::printf("metrics:\n");
+  for (const auto& metric : session.get_metrics()) {
+    std::printf("  %lld: %s%s\n", static_cast<long long>(metric.id),
+                metric.name.c_str(), metric.derived ? " (derived)" : "");
+  }
+  std::printf("interval events:\n");
+  for (const auto& event : session.get_interval_events()) {
+    std::printf("  %lld: %-40s [%s]\n", static_cast<long long>(event.id),
+                event.name.c_str(), event.group.c_str());
+  }
+  auto atomics = session.get_atomic_events();
+  if (!atomics.empty()) {
+    std::printf("atomic events:\n");
+    for (const auto& event : atomics) {
+      std::printf("  %lld: %s\n", static_cast<long long>(event.id),
+                  event.name.c_str());
+    }
+  }
+}
+
+void cmd_summary(api::DatabaseSession& session, std::int64_t trial_id) {
+  session.set_trial(trial_id);
+  auto trial = session.load_selected_trial();
+  auto summaries = profile::compute_interval_summaries(trial);
+  std::printf("%-36s %-14s %12s %12s %10s\n", "event", "metric",
+              "mean excl", "mean incl", "calls");
+  for (const auto& s : summaries) {
+    std::printf("%-36.36s %-14.14s %12.2f %12.2f %10.1f\n",
+                trial.events()[s.event_index].name.c_str(),
+                trial.metrics()[s.metric_index].name.c_str(), s.mean.exclusive,
+                s.mean.inclusive, s.mean.num_calls);
+  }
+}
+
+void cmd_diff(api::DatabaseSession& session, std::int64_t a, std::int64_t b) {
+  session.set_trial(a);
+  auto trial_a = session.load_selected_trial();
+  session.set_trial(b);
+  auto trial_b = session.load_selected_trial();
+
+  auto structure = analysis::structural_diff(trial_a, trial_b);
+  if (structure.identical_structure()) {
+    std::printf("structure: identical\n");
+  } else {
+    for (const auto& name : structure.events_only_in_a) {
+      std::printf("event only in %lld: %s\n", static_cast<long long>(a),
+                  name.c_str());
+    }
+    for (const auto& name : structure.events_only_in_b) {
+      std::printf("event only in %lld: %s\n", static_cast<long long>(b),
+                  name.c_str());
+    }
+  }
+  auto diff = analysis::trial_difference(trial_a, trial_b);
+  auto summaries = profile::compute_interval_summaries(diff);
+  std::printf("%-36s %-14s %14s\n", "event", "metric", "mean excl delta");
+  for (const auto& s : summaries) {
+    std::printf("%-36.36s %-14.14s %+14.2f\n",
+                diff.events()[s.event_index].name.c_str(),
+                diff.metrics()[s.metric_index].name.c_str(), s.mean.exclusive);
+  }
+}
+
+void cmd_sql(api::DatabaseSession& session, const std::string& statement) {
+  auto rs = session.api().connection().execute(statement);
+  for (std::size_t c = 0; c < rs.column_count(); ++c) {
+    std::printf("%s%s", c ? "\t" : "", rs.column_names()[c].c_str());
+  }
+  std::printf("\n");
+  while (rs.next()) {
+    for (std::size_t c = 1; c <= rs.column_count(); ++c) {
+      std::printf("%s%s", c > 1 ? "\t" : "", rs.get_string(c).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows)\n", rs.row_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    api::DatabaseSession session{std::filesystem::path(argv[1])};
+    const std::string command = argv[2];
+    if (command == "load" && argc == 6) {
+      auto trial = io::load_profile(argv[3]);
+      if (trial.trial().name.empty()) trial.trial().name = argv[3];
+      const std::int64_t id = session.save_trial(trial, argv[4], argv[5]);
+      std::printf("loaded %s as trial %lld (%zu data points)\n", argv[3],
+                  static_cast<long long>(id), trial.interval_point_count());
+    } else if (command == "ls" && argc == 3) {
+      cmd_ls(session);
+    } else if (command == "events" && argc == 4) {
+      cmd_events(session, std::atoll(argv[3]));
+    } else if (command == "summary" && argc == 4) {
+      cmd_summary(session, std::atoll(argv[3]));
+    } else if (command == "export" && argc == 5) {
+      session.set_trial(std::atoll(argv[3]));
+      util::write_file(argv[4], io::export_xml(session.load_selected_trial()));
+      std::printf("exported trial %s to %s\n", argv[3], argv[4]);
+    } else if (command == "diff" && argc == 5) {
+      cmd_diff(session, std::atoll(argv[3]), std::atoll(argv[4]));
+    } else if (command == "csv" && argc == 5) {
+      session.set_trial(std::atoll(argv[3]));
+      util::write_file(argv[4],
+                       io::export_interval_csv(session.load_selected_trial()));
+      std::printf("exported trial %s to %s\n", argv[3], argv[4]);
+    } else if (command == "derive" && argc == 6) {
+      const std::int64_t id = std::atoll(argv[3]);
+      session.set_trial(id);
+      auto working = session.load_selected_trial();
+      analysis::derive_expression(working, argv[4], argv[5]);
+      session.api().save_derived_metric(id, working, argv[4]);
+      std::printf("derived metric %s = %s saved to trial %lld\n", argv[4],
+                  argv[5], static_cast<long long>(id));
+    } else if (command == "imbalance" && argc == 4) {
+      session.set_trial(std::atoll(argv[3]));
+      auto trial = session.load_selected_trial();
+      std::printf("%s", analysis::format_imbalance_table(
+                            analysis::compute_imbalance(trial))
+                            .c_str());
+      auto outliers = analysis::find_outlier_threads(trial);
+      for (const auto& outlier : outliers) {
+        std::printf("outlier thread %s: z=%+.2f total=%.4g\n",
+                    profile::to_string(outlier.thread).c_str(),
+                    outlier.z_score, outlier.total);
+      }
+      if (outliers.empty()) std::printf("no outlier threads (|z| >= 2)\n");
+    } else if (command == "flatten" && argc == 4) {
+      // Aggregate a callpath trial into a new flat trial alongside it.
+      const std::int64_t id = std::atoll(argv[3]);
+      session.set_trial(id);
+      auto trial = session.load_selected_trial();
+      auto flat = profile::flatten_callpaths(trial);
+      flat.trial().name = trial.trial().name + " (flat)";
+      auto stored = session.api().get_trial(id);
+      if (!stored) throw InvalidArgument("no trial " + std::string(argv[3]));
+      const std::int64_t flat_id =
+          session.api().upload_trial(flat, stored->experiment_id);
+      std::printf("flattened trial %lld into new trial %lld\n",
+                  static_cast<long long>(id), static_cast<long long>(flat_id));
+    } else if (command == "rm" && argc == 4) {
+      session.api().delete_trial(std::atoll(argv[3]));
+      std::printf("deleted trial %s\n", argv[3]);
+    } else if (command == "sql" && argc == 4) {
+      cmd_sql(session, argv[3]);
+    } else {
+      return usage();
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "perfdmf_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// perfexplorer_mining: the PerfExplorer data-mining workflow of paper
+// §5.3 and Fig. 3, with the statistics engine implemented natively (the
+// paper hands data to R).
+//
+// The client/server split mirrors the figure: this main() is the client;
+// AnalysisServer is the back end integrated with the PerfDMF database.
+// 1. Generate an sPPM-style trial: many threads, 7 PAPI-like metrics,
+//    planted behavioural clusters (boundary vs interior ranks).
+// 2. Archive it.
+// 3. Submit k-means + correlation requests to the analysis server
+//    (async, like the detached back end of the paper).
+// 4. Locally inspect cluster summaries and PCA for display.
+// 5. Browse the results the server saved back into the archive.
+//
+// Run:  ./perfexplorer_mining [threads]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/correlation.h"
+#include "analysis/kmeans.h"
+#include "analysis/pca.h"
+#include "api/database_session.h"
+#include "explorer/analysis_server.h"
+#include "io/synth.h"
+
+using namespace perfdmf;
+
+int main(int argc, char** argv) {
+  io::synth::ClusterSpec spec;
+  spec.threads = argc > 1 ? std::atoi(argv[1]) : 256;
+  spec.cluster_count = 3;
+  std::printf("generating sPPM-like trial: %d threads x %zu metrics x %zu events\n",
+              spec.threads, spec.metric_count, spec.event_count);
+  auto planted = io::synth::generate_clustered_trial(spec);
+
+  auto connection = std::make_shared<sqldb::Connection>();
+  api::DatabaseSession session(connection);
+  const std::int64_t trial_id =
+      session.save_trial(planted.trial, "sPPM", "frost runs");
+  std::printf("archived as trial %lld (%zu data points)\n\n",
+              static_cast<long long>(trial_id),
+              planted.trial.interval_point_count());
+
+  // Client -> server: submit the mining requests asynchronously (Fig. 3:
+  // "The client makes requests to an analysis server back end").
+  explorer::AnalysisServer server(connection, /*workers=*/2);
+  explorer::AnalysisRequest kmeans_request;
+  kmeans_request.trial_id = trial_id;
+  kmeans_request.kind = explorer::AnalysisKind::kKMeans;
+  kmeans_request.k = spec.cluster_count;
+  auto kmeans_future = server.submit_async(kmeans_request);
+  explorer::AnalysisRequest correlation_request;
+  correlation_request.trial_id = trial_id;
+  correlation_request.kind = explorer::AnalysisKind::kCorrelation;
+  auto correlation_future = server.submit_async(correlation_request);
+
+  // Meanwhile the client prepares its local display data.
+  auto loaded = session.load_selected_trial();
+  auto features = analysis::thread_features(loaded);
+  std::printf("feature matrix: %zu threads x %zu (event, metric) columns\n",
+              features.rows, features.cols);
+
+  // Server results arrive; the k-means assignment comes back through the
+  // archived analysis result.
+  auto kmeans_response = kmeans_future.get();
+  std::printf("server kmeans: %s\n", kmeans_response.summary.c_str());
+
+  // The client re-runs the same clustering locally for its interactive
+  // views (summaries below); determinism makes the two agree.
+  analysis::KMeansOptions options;
+  options.k = spec.cluster_count;
+  options.restarts = 5;
+  auto clusters =
+      analysis::kmeans(features.values, features.rows, features.cols, options);
+  for (std::size_t c = 0; c < clusters.cluster_sizes.size(); ++c) {
+    std::printf("  cluster %zu: %zu threads\n", c, clusters.cluster_sizes[c]);
+  }
+  const double ari =
+      analysis::adjusted_rand_index(clusters.assignment, planted.ground_truth);
+  std::printf("agreement with planted structure (ARI): %.3f\n\n", ari);
+
+  // Cluster summaries: strongest-signature columns per cluster.
+  auto summaries = analysis::summarize_clusters(features, clusters);
+  for (std::size_t c = 0; c < summaries.size(); ++c) {
+    double best = 0.0;
+    std::size_t best_column = 0;
+    for (std::size_t d = 0; d < features.cols; ++d) {
+      if (std::fabs(summaries[c][d]) > std::fabs(best)) {
+        best = summaries[c][d];
+        best_column = d;
+      }
+    }
+    std::printf("cluster %zu signature: %s (%+.2f sd)\n", c,
+                features.column_names[best_column].c_str(), best);
+  }
+  std::printf("\n");
+
+  // PCA: how many components explain 95% of variance?
+  auto reduced = analysis::pca(features.values, features.rows, features.cols, 2);
+  double cumulative = 0.0;
+  std::size_t needed = 0;
+  for (double ratio : reduced.explained_variance_ratio) {
+    cumulative += ratio;
+    ++needed;
+    if (cumulative >= 0.95) break;
+  }
+  std::printf("PCA: %zu of %zu components explain %.1f%% of variance\n", needed,
+              features.cols, 100.0 * cumulative);
+
+  // Metric correlation from the server (Ahn & Vetter reproduction).
+  auto correlation_response = correlation_future.get();
+  std::printf("server correlation: %s\n", correlation_response.summary.c_str());
+  auto matrix = analysis::correlate_metrics(loaded);
+  for (const auto& pair : analysis::strong_correlations(matrix, 0.8)) {
+    std::printf("  %-14s ~ %-14s  r=%+.3f\n", pair.metric_a.c_str(),
+                pair.metric_b.c_str(), pair.r);
+  }
+
+  // Browse what the server saved back (Fig. 3: "the results are saved to
+  // the database ... the user can browse the results").
+  std::printf("\nresults stored in the archive:\n");
+  for (const auto& result : server.browse(trial_id)) {
+    std::printf("  [%lld] %-12s %s\n", static_cast<long long>(result.id),
+                result.kind.c_str(), result.name.c_str());
+  }
+  return 0;
+}

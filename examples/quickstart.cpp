@@ -1,0 +1,77 @@
+// Quickstart: the 60-second tour of PerfDMF-C++.
+//
+// 1. Generate a synthetic TAU trial on disk (stands in for real profiles).
+// 2. Import it through the format-detecting loader.
+// 3. Store it in a database archive.
+// 4. Query it back selectively through the DataSession API.
+// 5. Compute and save a derived metric.
+//
+// Run:  ./quickstart [archive-dir]
+//       (no argument -> in-memory archive)
+#include <cstdio>
+#include <memory>
+
+#include "api/database_session.h"
+#include "io/detect.h"
+#include "io/synth.h"
+#include "profile/derived.h"
+#include "util/file.h"
+
+using namespace perfdmf;
+
+int main(int argc, char** argv) {
+  // --- 1. synthesize a trial the way TAU would have written it ---------
+  util::ScopedTempDir scratch("perfdmf-quickstart");
+  io::synth::TrialSpec spec;
+  spec.name = "quickstart";
+  spec.nodes = 4;
+  spec.event_count = 8;
+  spec.extra_metrics = {"PAPI_FP_OPS"};
+  auto generated = io::synth::generate_trial(spec);
+  const auto tau_dir = scratch.path() / "tau_trial";
+  io::synth::write_as_tau(generated, tau_dir);
+  std::printf("wrote TAU profiles under %s\n", tau_dir.c_str());
+
+  // --- 2. import (format auto-detected) --------------------------------
+  profile::TrialData trial = io::load_profile(tau_dir);
+  std::printf("imported: %zu events, %zu threads, %zu metrics, %zu points\n",
+              trial.events().size(), trial.threads().size(),
+              trial.metrics().size(), trial.interval_point_count());
+
+  // --- 3. store in an archive ------------------------------------------
+  std::unique_ptr<api::DatabaseSession> session;
+  if (argc > 1) {
+    session = std::make_unique<api::DatabaseSession>(
+        std::filesystem::path(argv[1]));
+    std::printf("using persistent archive at %s\n", argv[1]);
+  } else {
+    session = std::make_unique<api::DatabaseSession>();
+    std::printf("using in-memory archive\n");
+  }
+  const std::int64_t trial_id =
+      session->save_trial(trial, "demo_app", "quickstart runs");
+  std::printf("stored as trial %lld\n", static_cast<long long>(trial_id));
+
+  // --- 4. selective queries --------------------------------------------
+  session->set_node(0);  // only node 0's data
+  auto rows = session->get_interval_data();
+  std::printf("node 0 has %zu data points; top events by exclusive TIME:\n",
+              rows.size());
+  auto metrics = session->get_metrics();
+  for (const auto& row : rows) {
+    if (row.metric_id != metrics[0].id) continue;
+    if (row.data.exclusive_pct >= 10.0) {
+      std::printf("  %-24s %10.1f us (%5.1f%%)\n", row.event_name.c_str(),
+                  row.data.exclusive, row.data.exclusive_pct);
+    }
+  }
+  session->clear_node();
+
+  // --- 5. derived metric ------------------------------------------------
+  auto working = session->load_selected_trial();
+  profile::derive_ratio(working, "FLOPS_PER_US", "PAPI_FP_OPS", "TIME");
+  session->api().save_derived_metric(trial_id, working, "FLOPS_PER_US");
+  std::printf("saved derived metric FLOPS_PER_US; trial now has %zu metrics\n",
+              session->get_metrics().size());
+  return 0;
+}

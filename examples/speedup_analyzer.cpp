@@ -1,0 +1,83 @@
+// speedup_analyzer: the trial browser + speedup analyzer of paper §5.2.
+//
+// Generates an EVH1-style strong-scaling family (1..64 processors), stores
+// every trial in a PerfDMF archive, then computes the minimum / mean /
+// maximum speedup of every profiled routine through the API — plus an
+// Amdahl fit per routine to diagnose which routines limit scaling.
+//
+// Run:  ./speedup_analyzer [max_procs]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "analysis/scalability.h"
+#include "analysis/speedup.h"
+#include "api/database_session.h"
+#include "io/synth.h"
+
+using namespace perfdmf;
+
+int main(int argc, char** argv) {
+  std::int32_t max_procs = 64;
+  if (argc > 1) max_procs = std::atoi(argv[1]);
+  if (max_procs < 2) max_procs = 2;
+
+  // Archive the scaling family.
+  api::DatabaseSession session;
+  io::synth::ScalingSpec spec;
+  std::printf("generating + archiving EVH1-style trials:");
+  for (std::int32_t p = 1; p <= max_procs; p *= 2) {
+    session.save_trial(io::synth::generate_scaling_trial(spec, p), "evh1",
+                       "strong scaling");
+    std::printf(" %dp", p);
+  }
+  std::printf("\n\n");
+
+  // Browse: list what the archive holds (trial browser part).
+  session.clear_application();
+  session.clear_experiment();
+  auto apps = session.get_application_list();
+  for (const auto& app : apps) {
+    session.set_application(app.id);
+    for (const auto& experiment : session.get_experiment_list()) {
+      session.set_experiment(experiment.id);
+      std::printf("%s / %s: %zu trials\n", app.name.c_str(),
+                  experiment.name.c_str(), session.get_trial_list().size());
+    }
+  }
+  std::printf("\n");
+
+  // Analyze: per-routine min/mean/max speedup (paper's headline analysis).
+  auto experiments = session.api().list_experiments(apps[0].id);
+  auto report = analysis::compute_speedup_for_experiment(session.api(),
+                                                         experiments[0].id);
+  std::printf("%s\n", analysis::format_speedup_table(report).c_str());
+
+  // Fit Amdahl per routine from mean times at each processor count.
+  std::printf("%-28s %10s %10s %10s  %s\n", "routine", "T1(fit)", "serial",
+              "max-spd", "class");
+  for (const auto& routine : report.routines) {
+    if (routine.points.size() < 2) continue;
+    std::vector<analysis::ScalingObservation> observations;
+    for (const auto& point : routine.points) {
+      // Invert speedup back to time (relative): T(p) = T(base)/speedup.
+      observations.push_back(
+          {point.processors, point.mean_speedup > 0.0
+                                 ? 1.0 / point.mean_speedup
+                                 : 1.0});
+    }
+    auto fit = analysis::fit_amdahl(observations);
+    const double bound = fit.max_speedup();
+    char bound_text[32];
+    if (std::isinf(bound)) {
+      std::snprintf(bound_text, sizeof bound_text, "      inf");
+    } else {
+      std::snprintf(bound_text, sizeof bound_text, "%9.1f", bound);
+    }
+    std::printf("%-28s %10.4f %10.3f %10s  %s\n", routine.event_name.c_str(),
+                fit.t1, fit.serial_fraction, bound_text,
+                analysis::classify_scaling(observations).c_str());
+  }
+  return 0;
+}

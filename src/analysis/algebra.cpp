@@ -1,0 +1,181 @@
+#include "analysis/algebra.h"
+
+#include <map>
+#include <tuple>
+
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+namespace {
+
+/// Copy a source point into `out` at the aligned indexes.
+void put_point(profile::TrialData& out, const profile::TrialData& source,
+               std::size_t e, std::size_t t, std::size_t m,
+               const profile::IntervalDataPoint& p) {
+  const std::size_t event =
+      out.intern_event(source.events()[e].name, source.events()[e].group);
+  const std::size_t thread = out.intern_thread(source.threads()[t]);
+  const std::size_t metric = out.intern_metric(source.metrics()[m].name);
+  out.set_interval_data(event, thread, metric, p);
+}
+
+}  // namespace
+
+profile::TrialData trial_combine(const profile::TrialData& a,
+                                 const profile::TrialData& b,
+                                 const BinaryPointOp& op, bool keep_only_a,
+                                 bool keep_only_b) {
+  profile::TrialData out;
+  out.trial().name = a.trial().name + " (+) " + b.trial().name;
+
+  // Visit a's points; combine where b has the aligned point.
+  a.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                          const profile::IntervalDataPoint& pa) {
+    const auto be = b.find_event(a.events()[e].name);
+    const auto bt = b.find_thread(a.threads()[t]);
+    const auto bm = b.find_metric(a.metrics()[m].name);
+    const profile::IntervalDataPoint* pb =
+        (be && bt && bm) ? b.interval_data(*be, *bt, *bm) : nullptr;
+    if (pb != nullptr) {
+      put_point(out, a, e, t, m, op(pa, *pb));
+    } else if (keep_only_a) {
+      static const profile::IntervalDataPoint kZero{};
+      put_point(out, a, e, t, m, op(pa, kZero));
+    }
+  });
+  // Visit b's points not aligned with a.
+  if (keep_only_b) {
+    b.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                            const profile::IntervalDataPoint& pb) {
+      const auto ae = a.find_event(b.events()[e].name);
+      const auto at = a.find_thread(b.threads()[t]);
+      const auto am = a.find_metric(b.metrics()[m].name);
+      if (ae && at && am && a.interval_data(*ae, *at, *am) != nullptr) {
+        return;  // already combined
+      }
+      static const profile::IntervalDataPoint kZero{};
+      put_point(out, b, e, t, m, op(kZero, pb));
+    });
+  }
+  out.infer_dimensions();
+  out.recompute_derived_fields();
+  return out;
+}
+
+profile::TrialData trial_difference(const profile::TrialData& a,
+                                    const profile::TrialData& b) {
+  profile::TrialData out = trial_combine(
+      a, b,
+      [](const profile::IntervalDataPoint& pa,
+         const profile::IntervalDataPoint& pb) {
+        profile::IntervalDataPoint diff;
+        diff.inclusive = pa.inclusive - pb.inclusive;
+        diff.exclusive = pa.exclusive - pb.exclusive;
+        diff.num_calls = pa.num_calls - pb.num_calls;
+        diff.num_subrs = pa.num_subrs - pb.num_subrs;
+        return diff;
+      },
+      /*keep_only_a=*/true, /*keep_only_b=*/true);
+  out.trial().name = a.trial().name + " - " + b.trial().name;
+  // Percentages of a difference are not meaningful as computed by the
+  // generic pass; zero them out rather than publish nonsense.
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t,
+                         profile::IntervalDataPoint>> fixed;
+  out.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                            const profile::IntervalDataPoint& p) {
+    profile::IntervalDataPoint q = p;
+    q.inclusive_pct = 0.0;
+    q.exclusive_pct = 0.0;
+    q.inclusive_per_call = 0.0;
+    fixed.emplace_back(e, t, m, q);
+  });
+  for (const auto& [e, t, m, q] : fixed) out.set_interval_data(e, t, m, q);
+  return out;
+}
+
+profile::TrialData trial_merge(const profile::TrialData& a,
+                               const profile::TrialData& b) {
+  profile::TrialData out = trial_combine(
+      a, b,
+      [](const profile::IntervalDataPoint& pa,
+         const profile::IntervalDataPoint& pb) {
+        profile::IntervalDataPoint sum;
+        sum.inclusive = pa.inclusive + pb.inclusive;
+        sum.exclusive = pa.exclusive + pb.exclusive;
+        sum.num_calls = pa.num_calls + pb.num_calls;
+        sum.num_subrs = pa.num_subrs + pb.num_subrs;
+        return sum;
+      },
+      /*keep_only_a=*/true, /*keep_only_b=*/true);
+  out.trial().name = a.trial().name + " + " + b.trial().name;
+  return out;
+}
+
+profile::TrialData trial_mean(
+    const std::vector<const profile::TrialData*>& trials) {
+  if (trials.empty()) throw InvalidArgument("trial_mean: no trials given");
+  profile::TrialData out;
+  out.trial().name = "mean of " + std::to_string(trials.size()) + " trials";
+
+  // Accumulate sums and counts per aligned point.
+  struct Accumulated {
+    profile::IntervalDataPoint sum;
+    std::size_t count = 0;
+  };
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, Accumulated> acc;
+  for (const profile::TrialData* trial : trials) {
+    trial->for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                                 const profile::IntervalDataPoint& p) {
+      const std::size_t event = out.intern_event(trial->events()[e].name,
+                                                 trial->events()[e].group);
+      const std::size_t thread = out.intern_thread(trial->threads()[t]);
+      const std::size_t metric = out.intern_metric(trial->metrics()[m].name);
+      Accumulated& entry = acc[{event, thread, metric}];
+      entry.sum.inclusive += p.inclusive;
+      entry.sum.exclusive += p.exclusive;
+      entry.sum.num_calls += p.num_calls;
+      entry.sum.num_subrs += p.num_subrs;
+      ++entry.count;
+    });
+  }
+  for (const auto& [key, entry] : acc) {
+    const auto& [event, thread, metric] = key;
+    profile::IntervalDataPoint mean;
+    const double n = static_cast<double>(entry.count);
+    mean.inclusive = entry.sum.inclusive / n;
+    mean.exclusive = entry.sum.exclusive / n;
+    mean.num_calls = entry.sum.num_calls / n;
+    mean.num_subrs = entry.sum.num_subrs / n;
+    out.set_interval_data(event, thread, metric, mean);
+  }
+  out.infer_dimensions();
+  out.recompute_derived_fields();
+  return out;
+}
+
+StructuralDiff structural_diff(const profile::TrialData& a,
+                               const profile::TrialData& b) {
+  StructuralDiff out;
+  for (const auto& event : a.events()) {
+    if (!b.find_event(event.name)) out.events_only_in_a.push_back(event.name);
+  }
+  for (const auto& event : b.events()) {
+    if (!a.find_event(event.name)) out.events_only_in_b.push_back(event.name);
+  }
+  for (const auto& metric : a.metrics()) {
+    if (!b.find_metric(metric.name)) out.metrics_only_in_a.push_back(metric.name);
+  }
+  for (const auto& metric : b.metrics()) {
+    if (!a.find_metric(metric.name)) out.metrics_only_in_b.push_back(metric.name);
+  }
+  for (const auto& thread : a.threads()) {
+    if (!b.find_thread(thread)) ++out.threads_only_in_a;
+  }
+  for (const auto& thread : b.threads()) {
+    if (!a.find_thread(thread)) ++out.threads_only_in_b;
+  }
+  return out;
+}
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,65 @@
+// Trial algebra — the CUBE-style comparative operators the paper lists
+// as planned work (§7: "integrate the CUBE algebra with PerfDMF to
+// implement high-level comparative queries and analysis operations";
+// CUBE is Song/Wolf/Bhatia/Dongarra/Moore, ICPP'04).
+//
+// Operators work on the common profile representation and align operands
+// by (event name, thread id, metric name). The result is a new TrialData
+// whose derived fields are recomputed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::analysis {
+
+/// difference(a, b): a - b pointwise. Events/threads/metrics present in
+/// only one operand keep that operand's value (sign-flipped for b), so
+/// structural differences remain visible — matching CUBE's semantics of
+/// exposing both performance and structural change.
+profile::TrialData trial_difference(const profile::TrialData& a,
+                                    const profile::TrialData& b);
+
+/// merge(a, b): union of data points; where both operands define a point
+/// the values are summed (CUBE's merge over independent measurements).
+profile::TrialData trial_merge(const profile::TrialData& a,
+                               const profile::TrialData& b);
+
+/// mean(trials): pointwise arithmetic mean over n >= 1 trials; a point
+/// contributes wherever it exists, divided by the number of trials that
+/// define it.
+profile::TrialData trial_mean(const std::vector<const profile::TrialData*>& trials);
+
+/// Generic binary combine with a caller-supplied function applied to
+/// aligned points; `miss_a` / `miss_b` say what to do when only one side
+/// has a point (return false to drop it).
+using BinaryPointOp = std::function<profile::IntervalDataPoint(
+    const profile::IntervalDataPoint&, const profile::IntervalDataPoint&)>;
+profile::TrialData trial_combine(const profile::TrialData& a,
+                                 const profile::TrialData& b,
+                                 const BinaryPointOp& op, bool keep_only_a,
+                                 bool keep_only_b);
+
+/// Structural diff summary: which events/metrics/threads appear in only
+/// one of the two trials (the "structural differences" of Karavanic &
+/// Miller's program-space comparisons, paper §6).
+struct StructuralDiff {
+  std::vector<std::string> events_only_in_a;
+  std::vector<std::string> events_only_in_b;
+  std::vector<std::string> metrics_only_in_a;
+  std::vector<std::string> metrics_only_in_b;
+  std::size_t threads_only_in_a = 0;
+  std::size_t threads_only_in_b = 0;
+  bool identical_structure() const {
+    return events_only_in_a.empty() && events_only_in_b.empty() &&
+           metrics_only_in_a.empty() && metrics_only_in_b.empty() &&
+           threads_only_in_a == 0 && threads_only_in_b == 0;
+  }
+};
+StructuralDiff structural_diff(const profile::TrialData& a,
+                               const profile::TrialData& b);
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,78 @@
+#include "analysis/comparison.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+ComparisonReport compare_trials(const std::vector<const profile::TrialData*>& trials,
+                                const std::string& metric_name) {
+  if (trials.empty()) throw InvalidArgument("compare_trials: no trials given");
+
+  ComparisonReport report;
+  std::map<std::string, std::vector<double>> by_event;
+
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const profile::TrialData& trial = *trials[i];
+    report.trial_names.push_back(trial.trial().name);
+    auto metric = trial.find_metric(metric_name);
+    if (!metric) {
+      throw InvalidArgument("trial '" + trial.trial().name + "' has no metric '" +
+                            metric_name + "'");
+    }
+    std::map<std::string, double> sums;
+    std::map<std::string, std::size_t> counts;
+    trial.for_each_interval([&](std::size_t e, std::size_t, std::size_t m,
+                                const profile::IntervalDataPoint& p) {
+      if (m != *metric) return;
+      sums[trial.events()[e].name] += p.exclusive;
+      ++counts[trial.events()[e].name];
+    });
+    for (const auto& [name, total] : sums) {
+      auto& row = by_event[name];
+      row.resize(trials.size(), -1.0);
+      row[i] = total / static_cast<double>(counts[name]);
+    }
+  }
+
+  for (auto& [name, values] : by_event) {
+    values.resize(trials.size(), -1.0);
+    ComparisonRow row;
+    row.event_name = name;
+    row.mean_exclusive = values;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const bool valid = values[0] > 0.0 && values[i] >= 0.0;
+      row.ratio_to_first.push_back(valid ? values[i] / values[0] : -1.0);
+    }
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const ComparisonRow& a, const ComparisonRow& b) {
+              return a.mean_exclusive[0] > b.mean_exclusive[0];
+            });
+  return report;
+}
+
+std::string format_comparison_table(const ComparisonReport& report) {
+  std::string out = "event";
+  for (const auto& name : report.trial_names) {
+    out += "\t" + name + "\tratio";
+  }
+  out += "\n";
+  char buffer[64];
+  for (const auto& row : report.rows) {
+    out += row.event_name;
+    for (std::size_t i = 0; i < row.mean_exclusive.size(); ++i) {
+      std::snprintf(buffer, sizeof buffer, "\t%.4g\t%.3f", row.mean_exclusive[i],
+                    row.ratio_to_first[i]);
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,33 @@
+// Multi-trial comparison (paper §4: "rudimentary multi-trial analysis,
+// including performance comparisons"): align two or more trials on event
+// name and report per-event mean values side by side, with ratios against
+// the first trial.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::analysis {
+
+struct ComparisonRow {
+  std::string event_name;
+  /// Mean-over-threads value per trial (NaN-free: absent events get -1).
+  std::vector<double> mean_exclusive;
+  /// mean_exclusive[i] / mean_exclusive[0]; -1 when either side is absent.
+  std::vector<double> ratio_to_first;
+};
+
+struct ComparisonReport {
+  std::vector<std::string> trial_names;
+  std::vector<ComparisonRow> rows;  // sorted by first trial's value, desc
+};
+
+/// `metric_name` must exist in every trial.
+ComparisonReport compare_trials(const std::vector<const profile::TrialData*>& trials,
+                                const std::string& metric_name = "TIME");
+
+std::string format_comparison_table(const ComparisonReport& report);
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,92 @@
+#include "analysis/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/stats.h"
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+CorrelationMatrix correlate_metrics(const profile::TrialData& trial,
+                                    const std::string& event_name) {
+  const std::size_t n_metrics = trial.metrics().size();
+  const std::size_t n_threads = trial.threads().size();
+  if (n_metrics == 0 || n_threads == 0) {
+    throw InvalidArgument("correlate_metrics: empty trial");
+  }
+  std::optional<std::size_t> only_event;
+  if (!event_name.empty()) {
+    only_event = trial.find_event(event_name);
+    if (!only_event) {
+      throw InvalidArgument("no event '" + event_name + "' in trial");
+    }
+  }
+
+  // Per (thread, metric) totals.
+  std::vector<double> totals(n_threads * n_metrics, 0.0);
+  trial.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                              const profile::IntervalDataPoint& p) {
+    if (only_event && e != *only_event) return;
+    totals[t * n_metrics + m] += p.exclusive;
+  });
+
+  CorrelationMatrix out;
+  for (const auto& metric : trial.metrics()) out.metric_names.push_back(metric.name);
+  out.values.assign(n_metrics * n_metrics, 0.0);
+
+  std::vector<double> series_i(n_threads);
+  std::vector<double> series_j(n_threads);
+  for (std::size_t i = 0; i < n_metrics; ++i) {
+    out.values[i * n_metrics + i] = 1.0;
+    for (std::size_t j = i + 1; j < n_metrics; ++j) {
+      for (std::size_t t = 0; t < n_threads; ++t) {
+        series_i[t] = totals[t * n_metrics + i];
+        series_j[t] = totals[t * n_metrics + j];
+      }
+      const double r = pearson(series_i, series_j);
+      out.values[i * n_metrics + j] = r;
+      out.values[j * n_metrics + i] = r;
+    }
+  }
+  return out;
+}
+
+std::vector<CorrelatedPair> strong_correlations(const CorrelationMatrix& matrix,
+                                                double threshold) {
+  std::vector<CorrelatedPair> out;
+  const std::size_t n = matrix.metric_names.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double r = matrix.at(i, j);
+      if (std::fabs(r) >= threshold) {
+        out.push_back({matrix.metric_names[i], matrix.metric_names[j], r});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CorrelatedPair& a,
+                                       const CorrelatedPair& b) {
+    return std::fabs(a.r) > std::fabs(b.r);
+  });
+  return out;
+}
+
+std::string format_correlation_matrix(const CorrelationMatrix& matrix) {
+  std::string out = "metric";
+  for (const auto& name : matrix.metric_names) out += "\t" + name;
+  out += "\n";
+  char buffer[32];
+  const std::size_t n = matrix.metric_names.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out += matrix.metric_names[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      std::snprintf(buffer, sizeof buffer, "\t%+.3f", matrix.at(i, j));
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace perfdmf::analysis

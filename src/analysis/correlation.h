@@ -1,0 +1,41 @@
+// Metric correlation analysis — the Ahn & Vetter style study the paper
+// reproduces with PerfExplorer (§5.3): relate hardware counter metrics to
+// each other across threads to expose, e.g., interesting floating point
+// operation behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::analysis {
+
+struct CorrelationMatrix {
+  std::vector<std::string> metric_names;
+  /// Row-major (metrics x metrics) Pearson coefficients across threads of
+  /// the per-thread total exclusive value of each metric.
+  std::vector<double> values;
+
+  double at(std::size_t i, std::size_t j) const {
+    return values[i * metric_names.size() + j];
+  }
+};
+
+/// Correlate per-thread totals of every metric (optionally restricted to
+/// one event by name; empty = all events summed).
+CorrelationMatrix correlate_metrics(const profile::TrialData& trial,
+                                    const std::string& event_name = "");
+
+/// Pairs with |r| >= threshold, strongest first (excluding the diagonal).
+struct CorrelatedPair {
+  std::string metric_a;
+  std::string metric_b;
+  double r;
+};
+std::vector<CorrelatedPair> strong_correlations(const CorrelationMatrix& matrix,
+                                                double threshold = 0.8);
+
+std::string format_correlation_matrix(const CorrelationMatrix& matrix);
+
+}  // namespace perfdmf::analysis

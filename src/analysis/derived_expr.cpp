@@ -1,0 +1,92 @@
+#include "analysis/derived_expr.h"
+
+#include <vector>
+
+#include "sqldb/expr_eval.h"
+#include "sqldb/parser.h"
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+namespace {
+
+/// Collect metric references (column refs) in the parsed expression.
+void collect_refs(const sqldb::Expr& e, std::vector<const sqldb::Expr*>& out) {
+  if (e.kind == sqldb::ExprKind::kColumnRef) out.push_back(&e);
+  for (const auto& child : e.children) collect_refs(*child, out);
+}
+
+}  // namespace
+
+std::size_t derive_expression(profile::TrialData& trial, const std::string& name,
+                              const std::string& formula) {
+  if (trial.find_metric(name)) {
+    throw InvalidArgument("metric '" + name + "' already exists in trial");
+  }
+  // Parse via the SQL grammar: "SELECT <formula>".
+  sqldb::Statement stmt = sqldb::parse_statement("SELECT " + formula);
+  if (stmt.kind != sqldb::StatementKind::kSelect || stmt.select.items.size() != 1 ||
+      stmt.select.items[0].expr == nullptr) {
+    throw ParseError("derived-metric formula must be a single expression: " +
+                     formula);
+  }
+  if (stmt.placeholder_count > 0) {
+    throw ParseError("derived-metric formula cannot contain placeholders");
+  }
+  sqldb::Expr& expr = *stmt.select.items[0].expr;
+
+  // Bind metric names: the "row" is one value per existing metric.
+  std::vector<sqldb::BoundColumn> layout;
+  for (const auto& metric : trial.metrics()) {
+    layout.push_back({"", metric.name});
+  }
+  sqldb::bind_expr(expr, layout);  // throws DbError for unknown names
+  std::vector<const sqldb::Expr*> refs;
+  collect_refs(expr, refs);
+  if (refs.empty()) {
+    throw InvalidArgument("formula references no metrics: " + formula);
+  }
+
+  const std::size_t n_metrics = trial.metrics().size();
+  const std::size_t new_index = trial.intern_metric(name);
+  trial.metric(new_index).derived = true;
+
+  // Gather per (event, thread) the metric vectors, then evaluate.
+  struct Pending {
+    std::size_t event;
+    std::size_t thread;
+    profile::IntervalDataPoint point;
+  };
+  std::vector<Pending> pending;
+  // Iterate distinct (event, thread) pairs via the first referenced metric.
+  const std::size_t anchor = refs.front()->resolved_index;
+  static const sqldb::Params kNoParams;
+  trial.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                              const profile::IntervalDataPoint& anchor_point) {
+    if (m != anchor) return;
+    // Build rows of exclusive and inclusive values across metrics.
+    sqldb::Row exclusive_row(n_metrics);
+    sqldb::Row inclusive_row(n_metrics);
+    for (const sqldb::Expr* ref : refs) {
+      const std::size_t metric = ref->resolved_index;
+      const profile::IntervalDataPoint* p = trial.interval_data(e, t, metric);
+      if (p == nullptr) return;  // missing operand: skip this point
+      exclusive_row[metric] = sqldb::Value(p->exclusive);
+      inclusive_row[metric] = sqldb::Value(p->inclusive);
+    }
+    const sqldb::Value exclusive = sqldb::eval_expr(expr, exclusive_row, kNoParams);
+    const sqldb::Value inclusive = sqldb::eval_expr(expr, inclusive_row, kNoParams);
+    profile::IntervalDataPoint point;
+    point.exclusive = exclusive.is_null() ? 0.0 : exclusive.as_real();
+    point.inclusive = inclusive.is_null() ? 0.0 : inclusive.as_real();
+    point.num_calls = anchor_point.num_calls;
+    point.num_subrs = anchor_point.num_subrs;
+    pending.push_back({e, t, point});
+  });
+  for (const auto& p : pending) {
+    trial.set_interval_data(p.event, p.thread, new_index, p.point);
+  }
+  return new_index;
+}
+
+}  // namespace perfdmf::analysis

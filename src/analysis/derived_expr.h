@@ -1,0 +1,27 @@
+// Expression-based derived metrics: compute a new metric from a formula
+// over existing metric names, e.g.
+//
+//   derive_expression(trial, "MFLOPS", "PAPI_FP_OPS / TIME")
+//   derive_expression(trial, "IPC", "PAPI_TOT_INS / PAPI_TOT_CYC")
+//
+// This is the programmable version of the paper's derived-metric support
+// (§3.2: "derived metrics such as floating point operations per second"),
+// reusing the SQL expression grammar: identifiers name metrics, the usual
+// arithmetic / parentheses / numeric literals apply, and evaluation is
+// pointwise over exclusive and inclusive values per (event, thread).
+// Points where any referenced metric is missing are skipped; division by
+// zero yields 0 for that point.
+#pragma once
+
+#include <string>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::analysis {
+
+/// Returns the new metric's dense index. Throws ParseError on a bad
+/// formula and InvalidArgument for unknown metric names or duplicates.
+std::size_t derive_expression(profile::TrialData& trial, const std::string& name,
+                              const std::string& formula);
+
+}  // namespace perfdmf::analysis

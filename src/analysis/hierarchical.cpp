@@ -1,0 +1,132 @@
+#include "analysis/hierarchical.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "analysis/stats.h"
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+Dendrogram hierarchical_cluster(const std::vector<double>& data, std::size_t rows,
+                                std::size_t dims) {
+  if (rows == 0 || dims == 0 || data.size() != rows * dims) {
+    throw InvalidArgument("hierarchical_cluster: bad matrix shape");
+  }
+  Dendrogram out;
+  out.leaf_count = rows;
+  if (rows == 1) return out;
+
+  // Active cluster bookkeeping. Distance matrix updated with the
+  // Lance-Williams average-linkage formula.
+  const std::size_t total = 2 * rows - 1;
+  std::vector<bool> active(total, false);
+  std::vector<std::size_t> size(total, 0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    active[i] = true;
+    size[i] = 1;
+  }
+  // dist[i][j] stored in a flat triangular-ish full matrix over `total`
+  // nodes; only active pairs are meaningful.
+  std::vector<double> dist(total * total, 0.0);
+  auto d = [&](std::size_t i, std::size_t j) -> double& {
+    return dist[i * total + j];
+  };
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = i + 1; j < rows; ++j) {
+      const double value = std::sqrt(squared_distance(
+          {data.data() + i * dims, dims}, {data.data() + j * dims, dims}));
+      d(i, j) = value;
+      d(j, i) = value;
+    }
+  }
+
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < rows; ++i) alive.push_back(i);
+
+  std::size_t next_node = rows;
+  while (alive.size() > 1) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    for (std::size_t x = 0; x < alive.size(); ++x) {
+      for (std::size_t y = x + 1; y < alive.size(); ++y) {
+        const double value = d(alive[x], alive[y]);
+        if (value < best) {
+          best = value;
+          best_a = alive[x];
+          best_b = alive[y];
+        }
+      }
+    }
+    // Merge into next_node.
+    const std::size_t merged = next_node++;
+    active[best_a] = false;
+    active[best_b] = false;
+    active[merged] = true;
+    size[merged] = size[best_a] + size[best_b];
+    out.merges.push_back({best_a, best_b, best});
+
+    // Average linkage distances to every remaining cluster.
+    for (std::size_t other : alive) {
+      if (other == best_a || other == best_b) continue;
+      const double wa = static_cast<double>(size[best_a]);
+      const double wb = static_cast<double>(size[best_b]);
+      const double value = (wa * d(best_a, other) + wb * d(best_b, other)) /
+                           (wa + wb);
+      d(merged, other) = value;
+      d(other, merged) = value;
+    }
+    // Refresh the alive list.
+    std::vector<std::size_t> fresh;
+    for (std::size_t node : alive) {
+      if (node != best_a && node != best_b) fresh.push_back(node);
+    }
+    fresh.push_back(merged);
+    alive = std::move(fresh);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dendrogram::cut(std::size_t k) const {
+  if (k == 0) throw InvalidArgument("cut: k must be positive");
+  if (k > leaf_count) k = leaf_count;
+  // Apply merges until only k clusters remain; union-find over nodes.
+  const std::size_t total = 2 * leaf_count - 1;
+  std::vector<std::size_t> parent(total);
+  for (std::size_t i = 0; i < total; ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const std::size_t merges_to_apply =
+      leaf_count - k;  // each merge reduces cluster count by one
+  for (std::size_t s = 0; s < merges_to_apply && s < merges.size(); ++s) {
+    const std::size_t node = leaf_count + s;
+    parent[find(merges[s].a)] = find(node);
+    parent[find(merges[s].b)] = find(node);
+  }
+  // Compact roots to 0..k-1 in first-seen order.
+  std::vector<std::size_t> out(leaf_count);
+  std::vector<std::size_t> roots;
+  for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
+    const std::size_t root = find(leaf);
+    std::size_t id = roots.size();
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+      if (roots[r] == root) {
+        id = r;
+        break;
+      }
+    }
+    if (id == roots.size()) roots.push_back(root);
+    out[leaf] = id;
+  }
+  return out;
+}
+
+}  // namespace perfdmf::analysis

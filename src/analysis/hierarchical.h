@@ -1,0 +1,36 @@
+// Agglomerative hierarchical clustering (average linkage).
+//
+// PerfExplorer's follow-on releases complement k-means with hierarchical
+// clustering for dendrogram views ("Additional functionality is currently
+// being added to PerfExplorer to perform additional data mining
+// operations", paper §5.3). This implementation supports the thread
+// counts the paper works with (up to ~1K rows; O(n^2) memory).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace perfdmf::analysis {
+
+/// One merge step: nodes `a` and `b` join at `height` forming node
+/// `n + step` (leaves are 0..n-1, like R's hclust / scipy's linkage).
+struct MergeStep {
+  std::size_t a;
+  std::size_t b;
+  double height;  // average inter-cluster distance at the merge
+};
+
+struct Dendrogram {
+  std::size_t leaf_count = 0;
+  std::vector<MergeStep> merges;  // exactly leaf_count - 1 steps
+
+  /// Cut into k clusters: returns leaf -> cluster id (0..k-1).
+  std::vector<std::size_t> cut(std::size_t k) const;
+};
+
+/// `data` row-major (rows x dims), Euclidean distance, average linkage.
+/// Throws InvalidArgument on an empty matrix.
+Dendrogram hierarchical_cluster(const std::vector<double>& data, std::size_t rows,
+                                std::size_t dims);
+
+}  // namespace perfdmf::analysis

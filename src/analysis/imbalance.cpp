@@ -1,0 +1,97 @@
+#include "analysis/imbalance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "analysis/stats.h"
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+std::vector<EventImbalance> compute_imbalance(const profile::TrialData& trial,
+                                              const std::string& metric_name) {
+  auto metric = trial.find_metric(metric_name);
+  if (!metric) {
+    throw InvalidArgument("no metric '" + metric_name + "' in trial");
+  }
+  // Per event: exclusive values across threads.
+  std::map<std::size_t, std::vector<double>> values;
+  trial.for_each_interval([&](std::size_t e, std::size_t, std::size_t m,
+                              const profile::IntervalDataPoint& p) {
+    if (m != *metric) return;
+    values[e].push_back(p.exclusive);
+  });
+
+  std::vector<EventImbalance> out;
+  for (const auto& [event, series] : values) {
+    if (series.size() < 2) continue;
+    const Descriptive d = describe(series);
+    if (d.mean <= 0.0) continue;
+    EventImbalance row;
+    row.event_index = event;
+    row.event_name = trial.events()[event].name;
+    row.thread_count = d.count;
+    row.mean = d.mean;
+    row.maximum = d.maximum;
+    row.imbalance_pct = (d.maximum / d.mean - 1.0) * 100.0;
+    row.imbalance_time = d.maximum - d.mean;
+    row.cov = d.std_dev / d.mean;
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventImbalance& a, const EventImbalance& b) {
+              return a.imbalance_time > b.imbalance_time;
+            });
+  return out;
+}
+
+std::vector<OutlierThread> find_outlier_threads(const profile::TrialData& trial,
+                                                const std::string& metric_name,
+                                                double z_threshold) {
+  auto metric = trial.find_metric(metric_name);
+  if (!metric) {
+    throw InvalidArgument("no metric '" + metric_name + "' in trial");
+  }
+  if (trial.threads().size() < 3) return {};
+
+  std::vector<double> totals(trial.threads().size(), 0.0);
+  trial.for_each_interval([&](std::size_t, std::size_t t, std::size_t m,
+                              const profile::IntervalDataPoint& p) {
+    if (m != *metric) return;
+    totals[t] += p.exclusive;
+  });
+  const Descriptive d = describe(totals);
+  if (d.std_dev <= 0.0) return {};
+
+  std::vector<OutlierThread> out;
+  for (std::size_t t = 0; t < totals.size(); ++t) {
+    const double z = (totals[t] - d.mean) / d.std_dev;
+    if (std::fabs(z) >= z_threshold) {
+      out.push_back({trial.threads()[t], totals[t], z});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const OutlierThread& a,
+                                       const OutlierThread& b) {
+    return std::fabs(a.z_score) > std::fabs(b.z_score);
+  });
+  return out;
+}
+
+std::string format_imbalance_table(const std::vector<EventImbalance>& rows) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-32s %8s %12s %12s %10s %8s\n", "event",
+                "threads", "mean", "max", "imb%", "cov");
+  out += line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof line, "%-32.32s %8zu %12.2f %12.2f %9.1f%% %8.3f\n",
+                  row.event_name.c_str(), row.thread_count, row.mean, row.maximum,
+                  row.imbalance_pct, row.cov);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace perfdmf::analysis

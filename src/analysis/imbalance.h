@@ -1,0 +1,53 @@
+// Load-imbalance and outlier analysis.
+//
+// The first diagnosis analysts run on a parallel profile (and a staple of
+// the TAU/PerfExplorer lineage the paper seeds): per event, how unevenly
+// is time distributed across threads, and which threads are outliers?
+//
+// Imbalance metrics per (event, metric):
+//   imbalance_pct  = (max/mean - 1) * 100      — the classic definition;
+//   imbalance_time = (max - mean)              — time recoverable by
+//                                                 perfect balancing;
+//   cov            = stddev / mean             — coefficient of variation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::analysis {
+
+struct EventImbalance {
+  std::size_t event_index = 0;
+  std::string event_name;
+  std::size_t thread_count = 0;
+  double mean = 0.0;
+  double maximum = 0.0;
+  double imbalance_pct = 0.0;
+  double imbalance_time = 0.0;
+  double cov = 0.0;
+};
+
+/// Per-event imbalance of exclusive time for one metric (by name),
+/// sorted by imbalance_time descending (biggest balancing win first).
+/// Events with data on fewer than 2 threads are skipped.
+std::vector<EventImbalance> compute_imbalance(const profile::TrialData& trial,
+                                              const std::string& metric_name = "TIME");
+
+struct OutlierThread {
+  profile::ThreadId thread;
+  double total = 0.0;    // summed exclusive over all events
+  double z_score = 0.0;  // against the across-thread distribution
+};
+
+/// Threads whose total exclusive value for `metric_name` deviates from
+/// the mean by at least `z_threshold` standard deviations, strongest
+/// first. Empty when the trial has < 3 threads (no meaningful stddev).
+std::vector<OutlierThread> find_outlier_threads(const profile::TrialData& trial,
+                                                const std::string& metric_name = "TIME",
+                                                double z_threshold = 2.0);
+
+std::string format_imbalance_table(const std::vector<EventImbalance>& rows);
+
+}  // namespace perfdmf::analysis

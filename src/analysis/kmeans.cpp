@@ -1,0 +1,243 @@
+#include "analysis/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "analysis/stats.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace perfdmf::analysis {
+
+namespace {
+
+std::span<const double> row_of(const std::vector<double>& data, std::size_t row,
+                               std::size_t dims) {
+  return {data.data() + row * dims, dims};
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to D^2.
+std::vector<std::vector<double>> seed_centroids(const std::vector<double>& data,
+                                                std::size_t rows, std::size_t dims,
+                                                std::size_t k, util::Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  const std::size_t first = rng.next_below(rows);
+  auto first_row = row_of(data, first, dims);
+  centroids.emplace_back(first_row.begin(), first_row.end());
+
+  std::vector<double> best_distance(rows, std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double d =
+          squared_distance(row_of(data, r, dims), centroids.back());
+      best_distance[r] = std::min(best_distance[r], d);
+      total += best_distance[r];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.next_double() * total;
+      for (std::size_t r = 0; r < rows; ++r) {
+        target -= best_distance[r];
+        if (target <= 0.0) {
+          chosen = r;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.next_below(rows);  // all points identical
+    }
+    auto chosen_row = row_of(data, chosen, dims);
+    centroids.emplace_back(chosen_row.begin(), chosen_row.end());
+  }
+  return centroids;
+}
+
+KMeansResult run_once(const std::vector<double>& data, std::size_t rows,
+                      std::size_t dims, std::size_t k, const KMeansOptions& options,
+                      util::Rng& rng) {
+  KMeansResult result;
+  result.centroids = seed_centroids(data, rows, dims, k, rng);
+  result.assignment.assign(rows, 0);
+
+  auto assign_point = [&](std::size_t r) {
+    auto row = row_of(data, r, dims);
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_cluster = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = squared_distance(row, result.centroids[c]);
+      if (d < best) {
+        best = d;
+        best_cluster = c;
+      }
+    }
+    result.assignment[r] = best_cluster;
+  };
+
+  for (std::size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    // Assignment step (parallel: rows are independent).
+    if (options.parallel && rows >= 1024) {
+      util::default_pool().parallel_for(0, rows, assign_point);
+    } else {
+      for (std::size_t r = 0; r < rows; ++r) assign_point(r);
+    }
+
+    // Update step.
+    std::vector<std::vector<double>> fresh(k, std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> sizes(k, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t c = result.assignment[r];
+      ++sizes[c];
+      auto row = row_of(data, r, dims);
+      for (std::size_t d = 0; d < dims; ++d) fresh[c][d] += row[d];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        double farthest = -1.0;
+        std::size_t victim = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double d = squared_distance(
+              row_of(data, r, dims), result.centroids[result.assignment[r]]);
+          if (d > farthest) {
+            farthest = d;
+            victim = r;
+          }
+        }
+        auto row = row_of(data, victim, dims);
+        fresh[c].assign(row.begin(), row.end());
+        sizes[c] = 1;
+      } else {
+        for (std::size_t d = 0; d < dims; ++d) {
+          fresh[c][d] /= static_cast<double>(sizes[c]);
+        }
+      }
+      movement += squared_distance(fresh[c], result.centroids[c]);
+      result.centroids[c] = std::move(fresh[c]);
+    }
+    result.cluster_sizes = std::move(sizes);
+    if (movement <= options.tolerance) break;
+  }
+
+  // Final assignment + inertia with the settled centroids.
+  result.inertia = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    assign_point(r);
+    result.inertia += squared_distance(row_of(data, r, dims),
+                                       result.centroids[result.assignment[r]]);
+  }
+  result.cluster_sizes.assign(k, 0);
+  for (std::size_t c : result.assignment) ++result.cluster_sizes[c];
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<double>& data, std::size_t rows,
+                    std::size_t dims, const KMeansOptions& options) {
+  if (rows == 0 || dims == 0 || data.size() != rows * dims) {
+    throw InvalidArgument("kmeans: bad matrix shape");
+  }
+  if (options.k == 0) throw InvalidArgument("kmeans: k must be positive");
+  const std::size_t k = std::min(options.k, rows);
+
+  util::Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t restart = 0; restart < restarts; ++restart) {
+    KMeansResult candidate = run_once(data, rows, dims, k, options, rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+ThreadFeatureMatrix thread_features(const profile::TrialData& trial,
+                                    bool normalize) {
+  ThreadFeatureMatrix m;
+  m.rows = trial.threads().size();
+  const std::size_t n_events = trial.events().size();
+  const std::size_t n_metrics = trial.metrics().size();
+
+  // Determine which (event, metric) columns actually have data anywhere.
+  std::vector<bool> present(n_events * n_metrics, false);
+  trial.for_each_interval([&](std::size_t e, std::size_t, std::size_t mt,
+                              const profile::IntervalDataPoint&) {
+    present[e * n_metrics + mt] = true;
+  });
+  std::vector<std::size_t> column_of(n_events * n_metrics,
+                                     static_cast<std::size_t>(-1));
+  for (std::size_t em = 0; em < present.size(); ++em) {
+    if (!present[em]) continue;
+    column_of[em] = m.cols++;
+    m.column_names.push_back(trial.events()[em / n_metrics].name + " / " +
+                             trial.metrics()[em % n_metrics].name);
+  }
+
+  m.values.assign(m.rows * m.cols, 0.0);
+  trial.for_each_interval([&](std::size_t e, std::size_t t, std::size_t mt,
+                              const profile::IntervalDataPoint& p) {
+    const std::size_t column = column_of[e * n_metrics + mt];
+    m.values[t * m.cols + column] = p.exclusive;
+  });
+
+  if (normalize && m.rows > 0 && m.cols > 0) {
+    zscore_columns(m.values, m.rows, m.cols);
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> summarize_clusters(const ThreadFeatureMatrix& m,
+                                                    const KMeansResult& result) {
+  const std::size_t k = result.centroids.size();
+  std::vector<std::vector<double>> means(k, std::vector<double>(m.cols, 0.0));
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    const std::size_t c = result.assignment[r];
+    ++sizes[c];
+    for (std::size_t d = 0; d < m.cols; ++d) {
+      means[c][d] += m.values[r * m.cols + d];
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (sizes[c] == 0) continue;
+    for (double& v : means[c]) v /= static_cast<double>(sizes[c]);
+  }
+  return means;
+}
+
+double adjusted_rand_index(const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw InvalidArgument("adjusted_rand_index: size mismatch");
+  }
+  // Contingency table.
+  std::map<std::pair<std::size_t, std::size_t>, double> table;
+  std::map<std::size_t, double> row_sums;
+  std::map<std::size_t, double> col_sums;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    table[{a[i], b[i]}] += 1.0;
+    row_sums[a[i]] += 1.0;
+    col_sums[b[i]] += 1.0;
+  }
+  auto choose2 = [](double n) { return n * (n - 1.0) / 2.0; };
+  double sum_table = 0.0;
+  for (const auto& [key, n] : table) sum_table += choose2(n);
+  double sum_rows = 0.0;
+  for (const auto& [key, n] : row_sums) sum_rows += choose2(n);
+  double sum_cols = 0.0;
+  for (const auto& [key, n] : col_sums) sum_cols += choose2(n);
+  const double total = choose2(static_cast<double>(a.size()));
+  const double expected = sum_rows * sum_cols / total;
+  const double maximum = 0.5 * (sum_rows + sum_cols);
+  if (maximum == expected) return 1.0;  // degenerate: single cluster each
+  return (sum_table - expected) / (maximum - expected);
+}
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,61 @@
+// k-means clustering with k-means++ seeding — the statistical engine of
+// the PerfExplorer workflow (paper §5.3): large parallel profiles are
+// clustered by thread behaviour and summarized per cluster, standing in
+// for the R back end the paper hands data to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::analysis {
+
+struct KMeansOptions {
+  std::size_t k = 3;
+  std::size_t max_iterations = 100;
+  /// Relative centroid-movement threshold that ends iteration.
+  double tolerance = 1e-7;
+  std::uint64_t seed = 99;
+  /// Restarts; the assignment with the lowest inertia wins.
+  std::size_t restarts = 3;
+  /// Run distance computations on the default thread pool.
+  bool parallel = true;
+};
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;        // row -> cluster
+  std::vector<std::vector<double>> centroids;  // k x dims
+  std::vector<std::size_t> cluster_sizes;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+  std::size_t iterations = 0;
+};
+
+/// `data` is row-major (rows x dims). Throws InvalidArgument on empty
+/// input or k == 0; k is clamped to the number of rows.
+KMeansResult kmeans(const std::vector<double>& data, std::size_t rows,
+                    std::size_t dims, const KMeansOptions& options);
+
+/// Feature extraction for PerfExplorer-style clustering: one row per
+/// thread, one column per (event, metric) exclusive value, z-scored.
+struct ThreadFeatureMatrix {
+  std::vector<double> values;  // row-major
+  std::size_t rows = 0;        // threads
+  std::size_t cols = 0;        // events x metrics actually present
+  std::vector<std::string> column_names;
+};
+ThreadFeatureMatrix thread_features(const profile::TrialData& trial,
+                                    bool normalize = true);
+
+/// Per-cluster summary: mean value of each feature column (PerfExplorer's
+/// "summarization of the clusters").
+std::vector<std::vector<double>> summarize_clusters(const ThreadFeatureMatrix& m,
+                                                    const KMeansResult& result);
+
+/// Adjusted Rand index between two assignments (ground-truth recovery
+/// metric used by the clustering benchmark).
+double adjusted_rand_index(const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b);
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,137 @@
+#include "analysis/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+void jacobi_eigen(std::vector<double> matrix, std::size_t n,
+                  std::vector<double>& eigenvalues,
+                  std::vector<std::vector<double>>& eigenvectors) {
+  if (matrix.size() != n * n) throw InvalidArgument("jacobi: bad matrix size");
+  auto at = [&](std::size_t r, std::size_t c) -> double& { return matrix[r * n + c]; };
+
+  // V starts as identity; accumulates rotations.
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const std::size_t max_sweeps = 64;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off_diagonal = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off_diagonal += at(p, q) * at(p, q);
+      }
+    }
+    if (off_diagonal < 1e-22) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = at(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (at(q, q) - at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = at(i, p);
+          const double aiq = at(i, q);
+          at(i, p) = c * aip - s * aiq;
+          at(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = at(p, i);
+          const double aqi = at(q, i);
+          at(p, i) = c * api - s * aqi;
+          at(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v[i * n + p];
+          const double viq = v[i * n + q];
+          v[i * n + p] = c * vip - s * viq;
+          v[i * n + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return at(a, a) > at(b, b); });
+
+  eigenvalues.resize(n);
+  eigenvectors.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const std::size_t index = order[rank];
+    eigenvalues[rank] = at(index, index);
+    for (std::size_t i = 0; i < n; ++i) {
+      eigenvectors[rank][i] = v[i * n + index];  // columns of V are vectors
+    }
+  }
+}
+
+PcaResult pca(const std::vector<double>& data, std::size_t rows, std::size_t dims,
+              std::size_t keep) {
+  if (rows == 0 || dims == 0 || data.size() != rows * dims) {
+    throw InvalidArgument("pca: bad matrix shape");
+  }
+  // Mean-center a working copy.
+  std::vector<double> centered = data;
+  for (std::size_t c = 0; c < dims; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) mean += centered[r * dims + c];
+    mean /= static_cast<double>(rows);
+    for (std::size_t r = 0; r < rows; ++r) centered[r * dims + c] -= mean;
+  }
+
+  // Covariance matrix (dims x dims).
+  std::vector<double> covariance(dims * dims, 0.0);
+  const double denom = rows > 1 ? static_cast<double>(rows - 1) : 1.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < dims; ++i) {
+      const double xi = centered[r * dims + i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < dims; ++j) {
+        covariance[i * dims + j] += xi * centered[r * dims + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dims; ++i) {
+    for (std::size_t j = i; j < dims; ++j) {
+      covariance[i * dims + j] /= denom;
+      covariance[j * dims + i] = covariance[i * dims + j];
+    }
+  }
+
+  PcaResult out;
+  jacobi_eigen(std::move(covariance), dims, out.eigenvalues, out.components);
+
+  double total = 0.0;
+  for (double lambda : out.eigenvalues) total += std::max(0.0, lambda);
+  for (double lambda : out.eigenvalues) {
+    out.explained_variance_ratio.push_back(
+        total > 0.0 ? std::max(0.0, lambda) / total : 0.0);
+  }
+
+  out.projected_dims = keep == 0 ? dims : std::min(keep, dims);
+  out.projected.assign(rows * out.projected_dims, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = 0; k < out.projected_dims; ++k) {
+      double dot = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        dot += centered[r * dims + d] * out.components[k][d];
+      }
+      out.projected[r * out.projected_dims + k] = dot;
+    }
+  }
+  return out;
+}
+
+}  // namespace perfdmf::analysis

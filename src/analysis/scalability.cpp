@@ -1,0 +1,176 @@
+#include "analysis/scalability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+double AmdahlFit::predict(std::int64_t p) const {
+  if (p <= 0) throw InvalidArgument("predict: processors must be positive");
+  return t1 * (serial_fraction + (1.0 - serial_fraction) / static_cast<double>(p));
+}
+
+double AmdahlFit::max_speedup() const {
+  if (serial_fraction <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / serial_fraction;
+}
+
+AmdahlFit fit_amdahl(const std::vector<ScalingObservation>& observations) {
+  if (observations.size() < 2) {
+    throw InvalidArgument("fit_amdahl needs at least two observations");
+  }
+  // T(p) = T1*s + T1*(1-s)/p is linear in (a, b) with a = T1*s, b = T1*(1-s):
+  // T(p) = a + b * (1/p). Ordinary least squares on x = 1/p.
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  const double n = static_cast<double>(observations.size());
+  for (const auto& o : observations) {
+    if (o.processors <= 0 || o.time < 0.0) {
+      throw InvalidArgument("fit_amdahl: bad observation");
+    }
+    const double x = 1.0 / static_cast<double>(o.processors);
+    sum_x += x;
+    sum_y += o.time;
+    sum_xx += x * x;
+    sum_xy += x * o.time;
+  }
+  const double denominator = n * sum_xx - sum_x * sum_x;
+  if (std::fabs(denominator) < 1e-30) {
+    throw InvalidArgument("fit_amdahl: observations need distinct processor counts");
+  }
+  double b = (n * sum_xy - sum_x * sum_y) / denominator;  // T1*(1-s)
+  double a = (sum_y - b * sum_x) / n;                      // T1*s
+  // Clamp to the physical region.
+  if (a < 0.0) a = 0.0;
+  if (b < 0.0) b = 0.0;
+
+  AmdahlFit fit;
+  fit.t1 = a + b;
+  fit.serial_fraction = fit.t1 > 0.0 ? a / fit.t1 : 0.0;
+
+  // R^2 against the mean.
+  const double mean_y = sum_y / n;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (const auto& o : observations) {
+    const double predicted = fit.predict(o.processors);
+    ss_res += (o.time - predicted) * (o.time - predicted);
+    ss_tot += (o.time - mean_y) * (o.time - mean_y);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double CommModelFit::predict(std::int64_t p) const {
+  if (p <= 0) throw InvalidArgument("predict: processors must be positive");
+  const double dp = static_cast<double>(p);
+  return serial + work / dp + comm * std::log2(dp);
+}
+
+double CommModelFit::optimal_processors() const {
+  // dT/dp = -work/p^2 + comm/(p ln 2) = 0  ->  p = work * ln2 / comm.
+  if (comm <= 0.0 || work <= 0.0) return 0.0;
+  return work * std::log(2.0) / comm;
+}
+
+CommModelFit fit_comm_model(const std::vector<ScalingObservation>& observations) {
+  // Distinct processor counts.
+  {
+    std::vector<std::int64_t> counts;
+    for (const auto& o : observations) {
+      if (o.processors <= 0 || o.time < 0.0) {
+        throw InvalidArgument("fit_comm_model: bad observation");
+      }
+      counts.push_back(o.processors);
+    }
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    if (counts.size() < 3) {
+      throw InvalidArgument(
+          "fit_comm_model needs at least three distinct processor counts");
+    }
+  }
+  // Linear least squares in (a, b, c) with basis {1, 1/p, log2 p}:
+  // solve the 3x3 normal equations by Gaussian elimination.
+  double ata[3][3] = {};
+  double atb[3] = {};
+  for (const auto& o : observations) {
+    const double dp = static_cast<double>(o.processors);
+    const double basis[3] = {1.0, 1.0 / dp, std::log2(dp)};
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) ata[r][c] += basis[r] * basis[c];
+      atb[r] += basis[r] * o.time;
+    }
+  }
+  // Gaussian elimination with partial pivoting on the 3x3 system.
+  double m[3][4];
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) m[r][c] = ata[r][c];
+    m[r][3] = atb[r];
+  }
+  for (int pivot = 0; pivot < 3; ++pivot) {
+    int best = pivot;
+    for (int r = pivot + 1; r < 3; ++r) {
+      if (std::fabs(m[r][pivot]) > std::fabs(m[best][pivot])) best = r;
+    }
+    std::swap(m[pivot], m[best]);
+    if (std::fabs(m[pivot][pivot]) < 1e-30) {
+      throw InvalidArgument("fit_comm_model: singular normal equations");
+    }
+    for (int r = 0; r < 3; ++r) {
+      if (r == pivot) continue;
+      const double factor = m[r][pivot] / m[pivot][pivot];
+      for (int c = pivot; c < 4; ++c) m[r][c] -= factor * m[pivot][c];
+    }
+  }
+  CommModelFit fit;
+  fit.serial = std::max(0.0, m[0][3] / m[0][0]);
+  fit.work = std::max(0.0, m[1][3] / m[1][1]);
+  fit.comm = std::max(0.0, m[2][3] / m[2][2]);
+  // Snap numerically-zero communication to zero so downstream questions
+  // ("does adding processors ever hurt?") don't see fp residue.
+  if (fit.comm < 1e-9 * (fit.serial + fit.work + 1.0)) fit.comm = 0.0;
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double mean = 0.0;
+  for (const auto& o : observations) mean += o.time;
+  mean /= static_cast<double>(observations.size());
+  for (const auto& o : observations) {
+    const double predicted = fit.predict(o.processors);
+    ss_res += (o.time - predicted) * (o.time - predicted);
+    ss_tot += (o.time - mean) * (o.time - mean);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+std::string classify_scaling(const std::vector<ScalingObservation>& observations) {
+  if (observations.size() < 2) return "unknown";
+  auto sorted = observations;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScalingObservation& a, const ScalingObservation& b) {
+              return a.processors < b.processors;
+            });
+  const ScalingObservation& base = sorted.front();
+  const ScalingObservation& last = sorted.back();
+  if (base.time <= 0.0 || last.time <= 0.0) return "unknown";
+  const double ratio = static_cast<double>(last.processors) /
+                       static_cast<double>(base.processors);
+  const double speedup = base.time / last.time;
+
+  // Degrading: more processors made it slower somewhere along the series.
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].time > sorted[i - 1].time * 1.05) return "degrading";
+  }
+  if (speedup >= 0.9 * ratio) return "linear";
+  if (speedup >= 0.5 * ratio) return "sublinear";
+  return "saturating";
+}
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,51 @@
+// Scalability model fitting: given (processors, time) observations for a
+// routine, fit an Amdahl model T(p) = T1 * (s + (1-s)/p) by least squares
+// over the serial fraction s. Supports the speedup analyzer's diagnosis
+// of which routines limit scaling (paper §5.2 methodology).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfdmf::analysis {
+
+struct ScalingObservation {
+  std::int64_t processors;
+  double time;
+};
+
+struct AmdahlFit {
+  double t1 = 0.0;              // fitted single-processor time
+  double serial_fraction = 0.0;  // s in [0, 1]
+  double r_squared = 0.0;        // goodness of fit on 1/T? plain residuals
+  /// Predicted time at p.
+  double predict(std::int64_t p) const;
+  /// Asymptotic speedup bound 1/s (infinity -> returns a large sentinel).
+  double max_speedup() const;
+};
+
+/// Least-squares fit; needs >= 2 distinct processor counts.
+AmdahlFit fit_amdahl(const std::vector<ScalingObservation>& observations);
+
+/// Communication-aware model T(p) = serial + work/p + comm * log2(p):
+/// Amdahl plus a logarithmic collective-communication term (the standard
+/// model for tree-based reductions/broadcasts). Needs >= 3 distinct
+/// processor counts; coefficients are clamped to be non-negative.
+struct CommModelFit {
+  double serial = 0.0;  // replicated time
+  double work = 0.0;    // perfectly-divided time (at p = 1)
+  double comm = 0.0;    // cost per processor doubling
+  double r_squared = 0.0;
+  double predict(std::int64_t p) const;
+  /// Processor count beyond which adding processors slows the run
+  /// (dT/dp = 0); returns 0 when the model keeps improving forever.
+  double optimal_processors() const;
+};
+CommModelFit fit_comm_model(const std::vector<ScalingObservation>& observations);
+
+/// Label an observation series: "linear", "sublinear", "saturating", or
+/// "degrading", from the shape of measured speedups.
+std::string classify_scaling(const std::vector<ScalingObservation>& observations);
+
+}  // namespace perfdmf::analysis

@@ -1,0 +1,220 @@
+#include "analysis/speedup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "analysis/stats.h"
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+namespace {
+
+/// Mean exclusive time per (event) across all threads of one trial.
+std::map<std::string, double> mean_exclusive_by_event(
+    const profile::TrialData& trial, std::size_t metric) {
+  std::map<std::string, double> sums;
+  std::map<std::string, std::size_t> counts;
+  trial.for_each_interval([&](std::size_t e, std::size_t, std::size_t m,
+                              const profile::IntervalDataPoint& p) {
+    if (m != metric) return;
+    const std::string& name = trial.events()[e].name;
+    sums[name] += p.exclusive;
+    ++counts[name];
+  });
+  for (auto& [name, total] : sums) total /= static_cast<double>(counts[name]);
+  return sums;
+}
+
+std::map<std::string, double> mean_inclusive_by_event(
+    const profile::TrialData& trial, std::size_t metric) {
+  std::map<std::string, double> sums;
+  std::map<std::string, std::size_t> counts;
+  trial.for_each_interval([&](std::size_t e, std::size_t, std::size_t m,
+                              const profile::IntervalDataPoint& p) {
+    if (m != metric) return;
+    const std::string& name = trial.events()[e].name;
+    sums[name] += p.inclusive;
+    ++counts[name];
+  });
+  for (auto& [name, total] : sums) total /= static_cast<double>(counts[name]);
+  return sums;
+}
+
+}  // namespace
+
+SpeedupReport compute_speedup(
+    const std::vector<std::pair<std::int64_t, const profile::TrialData*>>& trials,
+    const std::string& metric_name) {
+  if (trials.size() < 2) {
+    throw InvalidArgument("speedup analysis needs at least two trials");
+  }
+  auto sorted = trials;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const profile::TrialData& base = *sorted.front().second;
+  auto base_metric = base.find_metric(metric_name);
+  if (!base_metric) {
+    throw InvalidArgument("base trial has no metric '" + metric_name + "'");
+  }
+
+  SpeedupReport report;
+  report.base_processors = sorted.front().first;
+  const auto base_mean = mean_exclusive_by_event(base, *base_metric);
+
+  // Application-level: the largest base inclusive time is the whole run.
+  const auto base_inclusive = mean_inclusive_by_event(base, *base_metric);
+  std::string app_event;
+  double app_base_time = -1.0;
+  for (const auto& [name, value] : base_inclusive) {
+    if (value > app_base_time) {
+      app_base_time = value;
+      app_event = name;
+    }
+  }
+  report.application.event_name = app_event;
+
+  for (const auto& [name, base_time] : base_mean) {
+    RoutineSpeedup routine;
+    routine.event_name = name;
+    report.routines.push_back(std::move(routine));
+  }
+
+  for (const auto& [processors, trial_ptr] : sorted) {
+    const profile::TrialData& trial = *trial_ptr;
+    auto metric = trial.find_metric(metric_name);
+    if (!metric) {
+      throw InvalidArgument("trial at p=" + std::to_string(processors) +
+                            " has no metric '" + metric_name + "'");
+    }
+    // Per-event speedup statistics across threads.
+    std::map<std::string, std::vector<double>> speedups;
+    trial.for_each_interval([&](std::size_t e, std::size_t, std::size_t m,
+                                const profile::IntervalDataPoint& p) {
+      if (m != *metric) return;
+      const std::string& name = trial.events()[e].name;
+      auto base_it = base_mean.find(name);
+      if (base_it == base_mean.end() || base_it->second <= 0.0) return;
+      if (p.exclusive <= 0.0) return;
+      speedups[name].push_back(base_it->second / p.exclusive);
+    });
+
+    const double ratio = static_cast<double>(processors) /
+                         static_cast<double>(report.base_processors);
+    for (auto& routine : report.routines) {
+      auto it = speedups.find(routine.event_name);
+      if (it == speedups.end()) continue;
+      const Descriptive d = describe(it->second);
+      RoutineSpeedup::Point point;
+      point.processors = processors;
+      point.min_speedup = d.minimum;
+      point.mean_speedup = d.mean;
+      point.max_speedup = d.maximum;
+      point.efficiency = d.mean / ratio;
+      routine.points.push_back(point);
+    }
+
+    // Application speedup from inclusive time of the app event.
+    const auto inclusive = mean_inclusive_by_event(trial, *metric);
+    auto app_it = inclusive.find(app_event);
+    if (app_it != inclusive.end() && app_it->second > 0.0 && app_base_time > 0.0) {
+      RoutineSpeedup::Point point;
+      point.processors = processors;
+      point.mean_speedup = app_base_time / app_it->second;
+      point.min_speedup = point.mean_speedup;
+      point.max_speedup = point.mean_speedup;
+      point.efficiency = point.mean_speedup / ratio;
+      report.application.points.push_back(point);
+    }
+  }
+  return report;
+}
+
+SpeedupReport compute_speedup_for_experiment(api::DatabaseAPI& api,
+                                             std::int64_t experiment_id,
+                                             const std::string& metric_name) {
+  std::vector<profile::TrialData> storage;
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials;
+  for (const auto& trial : api.list_trials(experiment_id)) {
+    storage.push_back(api.load_trial(trial.id));
+  }
+  for (const auto& data : storage) {
+    const std::int64_t processors =
+        data.trial().node_count * std::max<std::int64_t>(1, data.trial().contexts_per_node) *
+        std::max<std::int64_t>(1, data.trial().threads_per_context);
+    trials.emplace_back(processors, &data);
+  }
+  return compute_speedup(trials, metric_name);
+}
+
+WeakScalingReport compute_weak_scaling(
+    const std::vector<std::pair<std::int64_t, const profile::TrialData*>>& trials,
+    const std::string& metric_name) {
+  if (trials.size() < 2) {
+    throw InvalidArgument("weak-scaling analysis needs at least two trials");
+  }
+  auto sorted = trials;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const profile::TrialData& base = *sorted.front().second;
+  auto base_metric = base.find_metric(metric_name);
+  if (!base_metric) {
+    throw InvalidArgument("base trial has no metric '" + metric_name + "'");
+  }
+  const auto base_mean = mean_exclusive_by_event(base, *base_metric);
+
+  WeakScalingReport report;
+  report.base_processors = sorted.front().first;
+  for (const auto& [name, value] : base_mean) {
+    WeakScalingReport::Row row;
+    row.event_name = name;
+    report.routines.push_back(std::move(row));
+  }
+  for (const auto& [processors, trial_ptr] : sorted) {
+    auto metric = trial_ptr->find_metric(metric_name);
+    if (!metric) {
+      throw InvalidArgument("trial at p=" + std::to_string(processors) +
+                            " has no metric '" + metric_name + "'");
+    }
+    const auto mean = mean_exclusive_by_event(*trial_ptr, *metric);
+    for (auto& row : report.routines) {
+      auto it = mean.find(row.event_name);
+      auto base_it = base_mean.find(row.event_name);
+      if (it == mean.end() || it->second <= 0.0 || base_it->second <= 0.0) {
+        continue;
+      }
+      row.efficiency.emplace_back(processors, base_it->second / it->second);
+    }
+  }
+  return report;
+}
+
+std::string format_speedup_table(const SpeedupReport& report) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-28s %8s %10s %10s %10s %8s\n", "routine",
+                "procs", "min", "mean", "max", "eff");
+  out += line;
+  auto emit = [&](const RoutineSpeedup& routine) {
+    for (const auto& p : routine.points) {
+      std::snprintf(line, sizeof line,
+                    "%-28s %8lld %10.3f %10.3f %10.3f %8.3f\n",
+                    routine.event_name.c_str(),
+                    static_cast<long long>(p.processors), p.min_speedup,
+                    p.mean_speedup, p.max_speedup, p.efficiency);
+      out += line;
+    }
+  };
+  emit(report.application);
+  for (const auto& routine : report.routines) {
+    if (routine.event_name == report.application.event_name) continue;
+    emit(routine);
+  }
+  return out;
+}
+
+}  // namespace perfdmf::analysis

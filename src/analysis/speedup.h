@@ -1,0 +1,69 @@
+// Speedup / scalability analysis (paper §5.2): given trials of the same
+// application at varying processor counts, compute per-routine minimum,
+// mean, and maximum speedup relative to the smallest run — the analysis
+// the trial browser / speedup analyzer performed on EVH1.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/database_api.h"
+#include "profile/trial_data.h"
+
+namespace perfdmf::analysis {
+
+struct RoutineSpeedup {
+  std::string event_name;
+  /// processor count -> statistics of per-thread speedup at that count.
+  struct Point {
+    std::int64_t processors = 0;
+    double min_speedup = 0.0;
+    double mean_speedup = 0.0;
+    double max_speedup = 0.0;
+    double efficiency = 0.0;  // mean speedup / (p / p_base)
+  };
+  std::vector<Point> points;
+};
+
+struct SpeedupReport {
+  std::int64_t base_processors = 0;
+  std::vector<RoutineSpeedup> routines;
+  /// Whole-application speedup derived from the event with the largest
+  /// base inclusive time (typically "main").
+  RoutineSpeedup application;
+};
+
+/// `trials` are (processor count, profile) pairs for the same code; the
+/// metric defaults to TIME. Speedup of routine r at count p is
+/// mean_thread_time(r, base) / time(r, p) evaluated per thread, using
+/// exclusive time. Trials are compared on events present in the base.
+SpeedupReport compute_speedup(
+    const std::vector<std::pair<std::int64_t, const profile::TrialData*>>& trials,
+    const std::string& metric_name = "TIME");
+
+/// Convenience over the database: loads every trial of an experiment,
+/// reading the processor count from trial node counts.
+SpeedupReport compute_speedup_for_experiment(api::DatabaseAPI& api,
+                                             std::int64_t experiment_id,
+                                             const std::string& metric_name = "TIME");
+
+/// Render the report as a fixed-width table (one row per routine/count).
+std::string format_speedup_table(const SpeedupReport& report);
+
+/// Weak-scaling efficiency: for trials whose per-processor work is
+/// constant, efficiency(r, p) = mean_time(r, base) / mean_time(r, p) —
+/// 1.0 is ideal; communication-bound routines decay with log p.
+struct WeakScalingReport {
+  std::int64_t base_processors = 0;
+  struct Row {
+    std::string event_name;
+    std::vector<std::pair<std::int64_t, double>> efficiency;  // (p, eff)
+  };
+  std::vector<Row> routines;
+};
+WeakScalingReport compute_weak_scaling(
+    const std::vector<std::pair<std::int64_t, const profile::TrialData*>>& trials,
+    const std::string& metric_name = "TIME");
+
+}  // namespace perfdmf::analysis

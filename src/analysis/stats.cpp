@@ -1,0 +1,105 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace perfdmf::analysis {
+
+Descriptive describe(std::span<const double> values) {
+  Descriptive out;
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (double v : values) {
+    if (out.count == 0) {
+      out.minimum = v;
+      out.maximum = v;
+    } else {
+      out.minimum = std::min(out.minimum, v);
+      out.maximum = std::max(out.maximum, v);
+    }
+    ++out.count;
+    out.sum += v;
+    const double delta = v - mean;
+    mean += delta / static_cast<double>(out.count);
+    m2 += delta * (v - mean);
+  }
+  out.mean = mean;
+  if (out.count >= 2) {
+    out.variance = m2 / static_cast<double>(out.count - 1);
+    out.std_dev = std::sqrt(out.variance);
+  }
+  return out;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw InvalidArgument("percentile of empty data");
+  if (p < 0.0 || p > 1.0) throw InvalidArgument("percentile p must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double fraction = position - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - fraction) + sorted[hi] * fraction;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const std::size_t n = x.size();
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double covariance = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    covariance += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return covariance / std::sqrt(var_x * var_y);
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void zscore_columns(std::vector<double>& matrix, std::size_t rows,
+                    std::size_t cols) {
+  if (matrix.size() != rows * cols) {
+    throw InvalidArgument("zscore_columns: matrix size mismatch");
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) mean += matrix[r * cols + c];
+    mean /= static_cast<double>(rows);
+    double variance = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double d = matrix[r * cols + c] - mean;
+      variance += d * d;
+    }
+    variance /= rows > 1 ? static_cast<double>(rows - 1) : 1.0;
+    const double std_dev = std::sqrt(variance);
+    for (std::size_t r = 0; r < rows; ++r) {
+      double& cell = matrix[r * cols + c];
+      cell = std_dev > 0.0 ? (cell - mean) / std_dev : 0.0;
+    }
+  }
+}
+
+}  // namespace perfdmf::analysis

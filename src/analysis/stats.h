@@ -1,0 +1,38 @@
+// Descriptive statistics shared by the analysis toolkit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace perfdmf::analysis {
+
+struct Descriptive {
+  std::size_t count = 0;
+  double minimum = 0.0;
+  double maximum = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance (n-1); 0 when count < 2
+  double std_dev = 0.0;
+  double sum = 0.0;
+};
+
+/// One pass (Welford) over the values.
+Descriptive describe(std::span<const double> values);
+
+/// p in [0,1]; linear interpolation between order statistics. The input
+/// is copied and sorted. Throws InvalidArgument on empty input.
+double percentile(std::span<const double> values, double p);
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Squared Euclidean distance between equal-length vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Z-score normalization per column of a row-major matrix (rows x cols),
+/// in place. Columns with zero variance become all-zero.
+void zscore_columns(std::vector<double>& matrix, std::size_t rows,
+                    std::size_t cols);
+
+}  // namespace perfdmf::analysis

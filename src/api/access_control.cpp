@@ -1,0 +1,98 @@
+#include "api/access_control.h"
+
+namespace perfdmf::api {
+
+void AccessPolicy::grant(const std::string& user, const std::string& application,
+                         Permission permission) {
+  rules_[user][application] = permission;
+}
+
+Permission AccessPolicy::permission_for(const std::string& user,
+                                        const std::string& application) const {
+  auto user_rules = rules_.find(user);
+  if (user_rules == rules_.end()) return default_;
+  auto exact = user_rules->second.find(application);
+  if (exact != user_rules->second.end()) return exact->second;
+  auto wildcard = user_rules->second.find("*");
+  if (wildcard != user_rules->second.end()) return wildcard->second;
+  return default_;
+}
+
+AuthorizedSession::AuthorizedSession(std::shared_ptr<sqldb::Connection> connection,
+                                     AccessPolicy policy, std::string user)
+    : session_(std::move(connection)),
+      policy_(std::move(policy)),
+      user_(std::move(user)) {}
+
+Permission AuthorizedSession::require(const std::string& application_name,
+                                      Permission needed, const char* operation) {
+  const Permission held = policy_.permission_for(user_, application_name);
+  if (static_cast<int>(held) < static_cast<int>(needed)) {
+    throw AccessDenied("user '" + user_ + "' may not " + operation +
+                       " application '" + application_name + "'");
+  }
+  return held;
+}
+
+std::string AuthorizedSession::application_of_trial(std::int64_t trial_id) {
+  auto trial = session_.api().get_trial(trial_id);
+  if (!trial) throw InvalidArgument("no trial " + std::to_string(trial_id));
+  auto experiment = session_.api().get_experiment(trial->experiment_id);
+  if (!experiment) throw DbError("trial has dangling experiment");
+  auto application = session_.api().get_application(experiment->application_id);
+  if (!application) throw DbError("experiment has dangling application");
+  return application->name;
+}
+
+std::vector<profile::Application> AuthorizedSession::get_application_list() {
+  std::vector<profile::Application> visible;
+  for (auto& app : session_.api().list_applications()) {
+    if (static_cast<int>(policy_.permission_for(user_, app.name)) >=
+        static_cast<int>(Permission::kRead)) {
+      visible.push_back(std::move(app));
+    }
+  }
+  return visible;
+}
+
+std::vector<profile::Experiment> AuthorizedSession::get_experiment_list(
+    const std::string& application_name) {
+  require(application_name, Permission::kRead, "read");
+  auto app = session_.api().find_application(application_name);
+  if (!app) return {};
+  return session_.api().list_experiments(app->id);
+}
+
+std::vector<profile::Trial> AuthorizedSession::get_trial_list(
+    const std::string& application_name, std::int64_t experiment_id) {
+  require(application_name, Permission::kRead, "read");
+  // The experiment must actually belong to the named application, or a
+  // caller could read foreign trials by lying about the application.
+  auto experiment = session_.api().get_experiment(experiment_id);
+  auto app = session_.api().find_application(application_name);
+  if (!experiment || !app || experiment->application_id != app->id) {
+    throw AccessDenied("experiment " + std::to_string(experiment_id) +
+                       " does not belong to application '" + application_name +
+                       "'");
+  }
+  return session_.api().list_trials(experiment_id);
+}
+
+profile::TrialData AuthorizedSession::load_trial(std::int64_t trial_id) {
+  require(application_of_trial(trial_id), Permission::kRead, "read");
+  return session_.api().load_trial(trial_id);
+}
+
+std::int64_t AuthorizedSession::save_trial(const profile::TrialData& data,
+                                           const std::string& application_name,
+                                           const std::string& experiment_name) {
+  require(application_name, Permission::kWrite, "write to");
+  return session_.save_trial(data, application_name, experiment_name);
+}
+
+void AuthorizedSession::delete_trial(std::int64_t trial_id) {
+  require(application_of_trial(trial_id), Permission::kWrite, "write to");
+  session_.api().delete_trial(trial_id);
+}
+
+}  // namespace perfdmf::api

@@ -1,0 +1,93 @@
+// Access authorization for shared performance repositories.
+//
+// Paper §5.1: a PerfDMF archive "could be made available in one physical
+// location for all analysts within an organization. Given PerfDMF's
+// design, it would be a simple matter to implement access authorization
+// to enforce different policies for performance data security and
+// sharing." This module is that simple matter: a policy maps users to
+// per-application permissions, and AuthorizedSession enforces it in
+// front of a DatabaseSession.
+//
+// Semantics:
+//  - Permissions: kNone < kRead < kWrite.
+//  - Rules name an application by exact name or the wildcard "*".
+//    The most specific matching rule wins (exact beats wildcard); with
+//    no matching rule the default permission applies.
+//  - Reads of the application list are filtered, not rejected: a user
+//    sees only the applications they may read — the natural behaviour
+//    for a shared repository browser.
+//  - Unauthorized operations throw AccessDenied.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "api/database_session.h"
+#include "util/error.h"
+
+namespace perfdmf::api {
+
+class AccessDenied : public Error {
+ public:
+  explicit AccessDenied(const std::string& what) : Error("access denied: " + what) {}
+};
+
+enum class Permission { kNone = 0, kRead = 1, kWrite = 2 };
+
+class AccessPolicy {
+ public:
+  /// Grant `user` the permission on applications named `application`
+  /// ("*" = every application).
+  void grant(const std::string& user, const std::string& application,
+             Permission permission);
+
+  void set_default(Permission permission) { default_ = permission; }
+
+  Permission permission_for(const std::string& user,
+                            const std::string& application) const;
+
+ private:
+  // user -> application (or "*") -> permission
+  std::map<std::string, std::map<std::string, Permission>> rules_;
+  Permission default_ = Permission::kNone;
+};
+
+/// A per-user view of a shared archive. Wraps (and shares) the underlying
+/// session; all checks are by application name.
+class AuthorizedSession {
+ public:
+  AuthorizedSession(std::shared_ptr<sqldb::Connection> connection,
+                    AccessPolicy policy, std::string user);
+
+  /// Applications this user may read.
+  std::vector<profile::Application> get_application_list();
+  /// Experiments / trials under an application (read permission required).
+  std::vector<profile::Experiment> get_experiment_list(
+      const std::string& application_name);
+  std::vector<profile::Trial> get_trial_list(const std::string& application_name,
+                                             std::int64_t experiment_id);
+
+  /// Load a full trial (read permission on its owning application).
+  profile::TrialData load_trial(std::int64_t trial_id);
+
+  /// Store a trial (write permission on the application).
+  std::int64_t save_trial(const profile::TrialData& data,
+                          const std::string& application_name,
+                          const std::string& experiment_name);
+
+  /// Delete a trial (write permission on its owning application).
+  void delete_trial(std::int64_t trial_id);
+
+  const std::string& user() const { return user_; }
+
+ private:
+  Permission require(const std::string& application_name, Permission needed,
+                     const char* operation);
+  std::string application_of_trial(std::int64_t trial_id);
+
+  DatabaseSession session_;
+  AccessPolicy policy_;
+  std::string user_;
+};
+
+}  // namespace perfdmf::api

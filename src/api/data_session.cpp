@@ -1,0 +1,6 @@
+#include "api/data_session.h"
+
+// DataSession's virtual destructor and inline filter methods live in the
+// header; this translation unit anchors the vtable.
+
+namespace perfdmf::api {}  // namespace perfdmf::api

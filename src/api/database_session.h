@@ -1,0 +1,55 @@
+// DatabaseSession: the PerfDMFSession extension of DataSession (paper §4)
+// — database-backed, querying selectively so large trials need not be
+// loaded wholesale. Also carries the Save() entry points for pushing
+// parsed profiles into the archive.
+#pragma once
+
+#include <memory>
+
+#include "api/data_session.h"
+
+namespace perfdmf::api {
+
+class DatabaseSession : public DataSession {
+ public:
+  /// Open over an existing connection (shared with other components).
+  explicit DatabaseSession(std::shared_ptr<sqldb::Connection> connection);
+  /// Convenience: open an in-memory archive.
+  DatabaseSession();
+  /// Convenience: open (or create) a file-backed archive.
+  explicit DatabaseSession(const std::filesystem::path& directory);
+
+  DatabaseAPI& api() { return api_; }
+
+  // ----- browsing ---------------------------------------------------------
+  std::vector<profile::Application> get_application_list() override;
+  std::vector<profile::Experiment> get_experiment_list() override;
+  std::vector<profile::Trial> get_trial_list() override;
+
+  // ----- scoped queries ----------------------------------------------------
+  std::vector<profile::Metric> get_metrics() override;
+  std::vector<profile::IntervalEvent> get_interval_events() override;
+  std::vector<profile::AtomicEvent> get_atomic_events() override;
+  std::vector<IntervalProfileRow> get_interval_data() override;
+  std::vector<AtomicProfileRow> get_atomic_data() override;
+
+  // ----- storing ------------------------------------------------------------
+  /// Find-or-create an application/experiment by name, then upload the
+  /// trial under it. Returns the new trial id (also set as the session's
+  /// selected trial).
+  std::int64_t save_trial(const profile::TrialData& data,
+                          const std::string& application_name,
+                          const std::string& experiment_name,
+                          bool extend_schema = false);
+
+  /// Load the full profile of the selected trial.
+  profile::TrialData load_selected_trial();
+
+ private:
+  std::int64_t require_trial() const;
+  DatabaseAPI::DataFilter current_filter() const;
+
+  DatabaseAPI api_;
+};
+
+}  // namespace perfdmf::api

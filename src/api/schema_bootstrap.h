@@ -1,0 +1,25 @@
+// DDL bootstrap for the PerfDMF relational schema (paper §3.2).
+//
+// Tables: APPLICATION -> EXPERIMENT -> TRIAL -> { METRIC, INTERVAL_EVENT,
+// ATOMIC_EVENT }, with INTERVAL_LOCATION_PROFILE / INTERVAL_TOTAL_SUMMARY /
+// INTERVAL_MEAN_SUMMARY under INTERVAL_EVENT and ATOMIC_LOCATION_PROFILE
+// under ATOMIC_EVENT.
+//
+// APPLICATION, EXPERIMENT and TRIAL are created with a set of default
+// metadata columns, but only `id`, `name` and the foreign key are
+// required by the framework — analysts may ALTER the rest freely and the
+// API discovers the actual columns via DatabaseMetaData (flexible schema).
+#pragma once
+
+#include "sqldb/connection.h"
+
+namespace perfdmf::api {
+
+/// Create every PerfDMF table and index (IF NOT EXISTS semantics:
+/// idempotent on an existing archive).
+void bootstrap_schema(sqldb::Connection& connection);
+
+/// True once bootstrap_schema() (or a compatible archive) is in place.
+bool schema_present(sqldb::Connection& connection);
+
+}  // namespace perfdmf::api

@@ -1,0 +1,84 @@
+// PerfExplorer analysis server (paper §5.3, Fig. 3).
+//
+// "PerfExplorer is designed as a client-server system. The client makes
+// requests to an analysis server back end, which is integrated with a
+// performance database, using PerfDMF. … the analysis server selects the
+// data of interest, gets the relevant profile data and hands it off to an
+// analysis application, R. When R is done with the analysis, the results
+// are saved to the database, using the PerfDMF API. … The browse requests
+// are also processed by the PerfExplorer server."
+//
+// This module is that server: clients submit AnalysisRequests (by trial
+// id), the server pulls the profile through DatabaseAPI, runs the native
+// statistics engine (replacing the R process boundary), stores the result
+// in the ANALYSIS_RESULT extension table, and serves browse requests.
+// submit_async() runs requests on a worker pool, mirroring the detached
+// back-end of the paper.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/database_api.h"
+#include "util/thread_pool.h"
+
+namespace perfdmf::explorer {
+
+enum class AnalysisKind {
+  kKMeans,        // cluster threads; params: k
+  kHierarchical,  // dendrogram + cut; params: k
+  kCorrelation,   // metric correlation matrix
+  kPca,           // dimension reduction summary
+  kDescriptive,   // per-event descriptive statistics for one metric
+  kImbalance,     // per-event load imbalance + outlier threads
+};
+
+const char* analysis_kind_name(AnalysisKind kind);
+
+struct AnalysisRequest {
+  std::int64_t trial_id = -1;
+  AnalysisKind kind = AnalysisKind::kDescriptive;
+  std::size_t k = 3;          // clusters, for the clustering kinds
+  std::string metric_name;    // kDescriptive: which metric (default: first)
+  std::uint64_t seed = 99;    // determinism for k-means
+};
+
+struct AnalysisResponse {
+  std::int64_t result_id = -1;  // row in ANALYSIS_RESULT
+  std::string kind;
+  std::string summary;   // one-line human synopsis
+  std::string content;   // full rendered result (also stored in the DB)
+};
+
+class AnalysisServer {
+ public:
+  /// `workers` sizes the async pool (0 = synchronous submits only).
+  explicit AnalysisServer(std::shared_ptr<sqldb::Connection> connection,
+                          std::size_t workers = 2);
+  ~AnalysisServer();
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  /// Run the request now on the calling thread. Throws on bad requests.
+  AnalysisResponse submit(const AnalysisRequest& request);
+
+  /// Queue the request on the worker pool.
+  std::future<AnalysisResponse> submit_async(const AnalysisRequest& request);
+
+  /// Browse stored results for a trial (the client's result view).
+  std::vector<api::DatabaseAPI::AnalysisResult> browse(std::int64_t trial_id);
+
+  api::DatabaseAPI& api() { return api_; }
+
+ private:
+  AnalysisResponse run(const AnalysisRequest& request);
+
+  api::DatabaseAPI api_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace perfdmf::explorer

@@ -1,0 +1,135 @@
+#include "io/csv_export.h"
+
+#include <cstdio>
+
+namespace perfdmf::io {
+
+std::string csv_escape(const std::string& field, char separator) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == separator || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+std::string fmt(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+}  // namespace
+
+std::string export_interval_csv(const profile::TrialData& trial,
+                                const CsvOptions& options) {
+  const char sep = options.separator;
+  std::string out = "event";
+  out += sep;
+  out += "group";
+  out += sep;
+  out += "node";
+  out += sep;
+  out += "context";
+  out += sep;
+  out += "thread";
+  out += sep;
+  out += "metric";
+  out += sep;
+  out += "inclusive";
+  out += sep;
+  out += "exclusive";
+  if (options.include_derived_fields) {
+    out += sep;
+    out += "inclusive_pct";
+    out += sep;
+    out += "exclusive_pct";
+    out += sep;
+    out += "inclusive_per_call";
+  }
+  out += sep;
+  out += "num_calls";
+  out += sep;
+  out += "num_subrs";
+  out += '\n';
+
+  trial.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                              const profile::IntervalDataPoint& p) {
+    const profile::ThreadId& id = trial.threads()[t];
+    out += csv_escape(trial.events()[e].name, sep);
+    out += sep;
+    out += csv_escape(trial.events()[e].group, sep);
+    out += sep;
+    out += std::to_string(id.node);
+    out += sep;
+    out += std::to_string(id.context);
+    out += sep;
+    out += std::to_string(id.thread);
+    out += sep;
+    out += csv_escape(trial.metrics()[m].name, sep);
+    out += sep;
+    out += fmt(p.inclusive);
+    out += sep;
+    out += fmt(p.exclusive);
+    if (options.include_derived_fields) {
+      out += sep;
+      out += fmt(p.inclusive_pct);
+      out += sep;
+      out += fmt(p.exclusive_pct);
+      out += sep;
+      out += fmt(p.inclusive_per_call);
+    }
+    out += sep;
+    out += fmt(p.num_calls);
+    out += sep;
+    out += fmt(p.num_subrs);
+    out += '\n';
+  });
+  return out;
+}
+
+std::string export_atomic_csv(const profile::TrialData& trial,
+                              const CsvOptions& options) {
+  const char sep = options.separator;
+  std::string out = "event";
+  for (const char* column : {"node", "context", "thread", "samples", "min",
+                             "max", "mean", "stddev"}) {
+    out += sep;
+    out += column;
+  }
+  out += '\n';
+  trial.for_each_atomic([&](std::size_t a, std::size_t t,
+                            const profile::AtomicDataPoint& p) {
+    const profile::ThreadId& id = trial.threads()[t];
+    out += csv_escape(trial.atomic_events()[a].name, sep);
+    out += sep;
+    out += std::to_string(id.node);
+    out += sep;
+    out += std::to_string(id.context);
+    out += sep;
+    out += std::to_string(id.thread);
+    out += sep;
+    out += fmt(p.sample_count);
+    out += sep;
+    out += fmt(p.minimum);
+    out += sep;
+    out += fmt(p.maximum);
+    out += sep;
+    out += fmt(p.mean);
+    out += sep;
+    out += fmt(p.std_dev);
+    out += '\n';
+  });
+  return out;
+}
+
+}  // namespace perfdmf::io

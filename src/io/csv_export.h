@@ -1,0 +1,32 @@
+// CSV/TSV text export — the toolkit's plain-text output path for feeding
+// spreadsheets and external statistics packages (the paper's PerfExplorer
+// hands profile data to R; a delimited dump is the standard bridge).
+#pragma once
+
+#include <string>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::io {
+
+struct CsvOptions {
+  char separator = ',';
+  /// Include the derived percentage / per-call columns.
+  bool include_derived_fields = true;
+};
+
+/// One row per (event, thread, metric) data point:
+/// event,group,node,context,thread,metric,inclusive,exclusive,[...],calls,subrs
+std::string export_interval_csv(const profile::TrialData& trial,
+                                const CsvOptions& options = {});
+
+/// One row per (atomic event, thread):
+/// event,node,context,thread,samples,min,max,mean,stddev
+std::string export_atomic_csv(const profile::TrialData& trial,
+                              const CsvOptions& options = {});
+
+/// RFC-4180 quoting: wraps in quotes when the field contains the
+/// separator, a quote, or a newline; embedded quotes are doubled.
+std::string csv_escape(const std::string& field, char separator);
+
+}  // namespace perfdmf::io

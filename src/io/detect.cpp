@@ -1,0 +1,102 @@
+#include "io/detect.h"
+
+#include "io/dynaprof_format.h"
+#include "io/gprof_format.h"
+#include "io/hpm_format.h"
+#include "io/mpip_format.h"
+#include "io/psrun_format.h"
+#include "io/tau_format.h"
+#include "io/xml_io.h"
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+namespace perfdmf::io {
+
+const char* format_name(ProfileFormat format) {
+  switch (format) {
+    case ProfileFormat::kTau: return "tau";
+    case ProfileFormat::kGprof: return "gprof";
+    case ProfileFormat::kMpiP: return "mpip";
+    case ProfileFormat::kDynaprof: return "dynaprof";
+    case ProfileFormat::kHpm: return "hpmtoolkit";
+    case ProfileFormat::kPsrun: return "psrun";
+    case ProfileFormat::kPerfDmfXml: return "perfdmf-xml";
+  }
+  return "?";
+}
+
+std::optional<ProfileFormat> detect_format(const std::filesystem::path& path) {
+  namespace fs = std::filesystem;
+  if (fs::is_directory(path)) {
+    // TAU trials are directories of profile.N.C.T files (possibly under
+    // MULTI__<metric> subdirectories).
+    for (const auto& entry : fs::directory_iterator(path)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && util::starts_with(name, "profile.")) {
+        return ProfileFormat::kTau;
+      }
+      if (entry.is_directory() && util::starts_with(name, "MULTI__")) {
+        return ProfileFormat::kTau;
+      }
+    }
+    return std::nullopt;
+  }
+  if (!fs::is_regular_file(path)) return std::nullopt;
+
+  // Sniff the head of the file.
+  std::string content = util::read_file(path);
+  const std::string_view head =
+      std::string_view(content).substr(0, std::min<std::size_t>(content.size(), 4096));
+  if (util::starts_with(head, "@ mpiP")) return ProfileFormat::kMpiP;
+  if (util::starts_with(head, "DynaProf")) return ProfileFormat::kDynaprof;
+  if (util::contains(head, "Flat profile:")) return ProfileFormat::kGprof;
+  if (util::contains(head, "Instrumented section:")) return ProfileFormat::kHpm;
+  if (util::contains(head, "<hwpcreport")) return ProfileFormat::kPsrun;
+  if (util::contains(head, "<perfdmf_profile")) return ProfileFormat::kPerfDmfXml;
+  // A bare profile.N.C.T file outside a directory is still TAU.
+  if (util::starts_with(path.filename().string(), "profile.")) {
+    return ProfileFormat::kTau;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<DataSource> open_source(const std::filesystem::path& path,
+                                        std::optional<ProfileFormat> format) {
+  if (!format) format = detect_format(path);
+  if (!format) {
+    throw perfdmf::ParseError("could not detect profile format of " + path.string());
+  }
+  switch (*format) {
+    case ProfileFormat::kTau: {
+      // A single profile.N.C.T file: treat its directory as the trial,
+      // filtered down to just that file.
+      if (std::filesystem::is_regular_file(path)) {
+        ScanFilter filter;
+        filter.prefix = path.filename().string();
+        return std::make_unique<TauDataSource>(path.parent_path(), filter);
+      }
+      return std::make_unique<TauDataSource>(path);
+    }
+    case ProfileFormat::kGprof:
+      return std::make_unique<GprofDataSource>(path);
+    case ProfileFormat::kMpiP:
+      return std::make_unique<MpiPDataSource>(path);
+    case ProfileFormat::kDynaprof:
+      return std::make_unique<DynaprofDataSource>(path);
+    case ProfileFormat::kHpm:
+      return std::make_unique<HpmDataSource>(path);
+    case ProfileFormat::kPsrun:
+      return std::make_unique<PsrunDataSource>(path);
+    case ProfileFormat::kPerfDmfXml:
+      return std::make_unique<XmlDataSource>(path);
+  }
+  throw perfdmf::ParseError("unreachable format");
+}
+
+profile::TrialData load_profile(const std::filesystem::path& path,
+                                std::optional<ProfileFormat> format) {
+  return open_source(path, format)->load();
+}
+
+}  // namespace perfdmf::io

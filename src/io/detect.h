@@ -1,0 +1,29 @@
+// Profile format auto-detection and the generic loader entry point.
+//
+// ParaProf-style tools hand PerfDMF a path and expect it to figure out
+// which translator applies (paper §3.1 "embedded translators").
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+
+#include "io/data_source.h"
+
+namespace perfdmf::io {
+
+/// Sniff the format of a file or directory. Returns nullopt when nothing
+/// matches.
+std::optional<ProfileFormat> detect_format(const std::filesystem::path& path);
+
+/// Construct the right DataSource for a path, sniffing when `format` is
+/// not given. Throws ParseError when detection fails.
+std::unique_ptr<DataSource> open_source(
+    const std::filesystem::path& path,
+    std::optional<ProfileFormat> format = std::nullopt);
+
+/// Convenience: open + load.
+profile::TrialData load_profile(const std::filesystem::path& path,
+                                std::optional<ProfileFormat> format = std::nullopt);
+
+}  // namespace perfdmf::io

@@ -1,0 +1,20 @@
+#include "io/dir_scan.h"
+
+#include "util/file.h"
+#include "util/strings.h"
+
+namespace perfdmf::io {
+
+std::vector<std::filesystem::path> scan_directory(const std::filesystem::path& dir,
+                                                  const ScanFilter& filter) {
+  std::vector<std::filesystem::path> out;
+  for (const auto& path : util::list_files(dir)) {
+    const std::string name = path.filename().string();
+    if (!filter.prefix.empty() && !util::starts_with(name, filter.prefix)) continue;
+    if (!filter.suffix.empty() && !util::ends_with(name, filter.suffix)) continue;
+    out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace perfdmf::io

@@ -1,0 +1,22 @@
+// Directory scanning with prefix/suffix filtering (paper §4): profiling
+// tools that write one file per process or thread are imported by parsing
+// a directory of files, or the subset starting with a prefix or ending
+// with a suffix.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace perfdmf::io {
+
+struct ScanFilter {
+  std::string prefix;  // empty = no constraint
+  std::string suffix;  // empty = no constraint
+};
+
+/// Regular files in `dir` whose basename satisfies `filter`, sorted by name.
+std::vector<std::filesystem::path> scan_directory(const std::filesystem::path& dir,
+                                                  const ScanFilter& filter = {});
+
+}  // namespace perfdmf::io

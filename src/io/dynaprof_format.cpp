@@ -1,0 +1,117 @@
+#include "io/dynaprof_format.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+namespace perfdmf::io {
+
+void DynaprofDataSource::parse_into(const std::string& content,
+                                    profile::TrialData& trial) {
+  const auto lines = util::split_lines(content);
+  if (lines.empty() || !util::starts_with(lines[0], "DynaProf")) {
+    throw perfdmf::ParseError("dynaprof: missing 'DynaProf' banner");
+  }
+  std::string metric_name = "WALLCLOCK";
+  std::int32_t process = 0;
+  std::int32_t thread_number = 0;
+
+  std::size_t i = 1;
+  for (; i < lines.size(); ++i) {
+    const std::string line = std::string(util::trim(lines[i]));
+    if (util::starts_with(line, "Metric:")) {
+      metric_name = std::string(util::trim(line.substr(7)));
+    } else if (util::starts_with(line, "Process:")) {
+      auto fields = util::split_ws(line.substr(8));
+      if (!fields.empty()) {
+        process = static_cast<std::int32_t>(
+            util::parse_int_or_throw(fields[0], "dynaprof process"));
+      }
+      if (fields.size() >= 3 && fields[1] == "Thread:") {
+        thread_number = static_cast<std::int32_t>(
+            util::parse_int_or_throw(fields[2], "dynaprof thread"));
+      }
+    } else if (util::starts_with(line, "Function Summary")) {
+      ++i;
+      break;
+    }
+  }
+  if (i >= lines.size()) {
+    throw perfdmf::ParseError("dynaprof: no 'Function Summary' section");
+  }
+  const std::size_t metric = trial.intern_metric(metric_name);
+  const std::size_t thread = trial.intern_thread({process, 0, thread_number});
+
+  // Skip the column header line.
+  if (i < lines.size() && util::starts_with(util::trim(lines[i]), "Name")) ++i;
+  for (; i < lines.size(); ++i) {
+    const std::string line = std::string(util::trim(lines[i]));
+    if (line.empty()) continue;
+    // Columns from the right: the function name may contain spaces, so the
+    // last three whitespace fields are calls/excl/incl.
+    auto fields = util::split_ws(line);
+    if (fields.size() < 4) {
+      throw perfdmf::ParseError("dynaprof: short summary line: " + line);
+    }
+    profile::IntervalDataPoint point;
+    point.inclusive =
+        util::parse_double_or_throw(fields[fields.size() - 1], "dynaprof incl");
+    point.exclusive =
+        util::parse_double_or_throw(fields[fields.size() - 2], "dynaprof excl");
+    point.num_calls =
+        util::parse_double_or_throw(fields[fields.size() - 3], "dynaprof calls");
+    std::vector<std::string> name_parts(fields.begin(), fields.end() - 3);
+    const std::size_t event = trial.intern_event(util::join(name_parts, " "));
+    trial.set_interval_data(event, thread, metric, point);
+  }
+}
+
+profile::TrialData DynaprofDataSource::parse(const std::string& content) {
+  profile::TrialData trial;
+  parse_into(content, trial);
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData DynaprofDataSource::load() {
+  profile::TrialData trial = parse(util::read_file(file_));
+  trial.trial().name = file_.filename().string();
+  return trial;
+}
+
+std::string render_dynaprof_report(const profile::TrialData& trial,
+                                   std::size_t thread_index,
+                                   const std::string& metric_name) {
+  auto metric = trial.find_metric(metric_name);
+  if (!metric) {
+    throw perfdmf::InvalidArgument("dynaprof writer: no metric " + metric_name);
+  }
+  if (thread_index >= trial.threads().size()) {
+    throw perfdmf::InvalidArgument("dynaprof writer: bad thread index");
+  }
+  const profile::ThreadId& id = trial.threads()[thread_index];
+
+  std::string out = "DynaProf 1.0 Output\n";
+  out += "Probe: wallclockprobe\n";
+  out += "Metric: " + metric_name + "\n";
+  out += "Process: " + std::to_string(id.node) +
+         "  Thread: " + std::to_string(id.thread) + "\n\n";
+  out += "Function Summary\n";
+  out += "Name                          Calls         Excl.         Incl.\n";
+  for (std::size_t e = 0; e < trial.events().size(); ++e) {
+    const profile::IntervalDataPoint* p =
+        trial.interval_data(e, thread_index, *metric);
+    if (p == nullptr) continue;
+    char line[384];
+    std::snprintf(line, sizeof line, "%-28s %7.0f %13.8g %13.8g\n",
+                  trial.events()[e].name.c_str(), p->num_calls, p->exclusive,
+                  p->inclusive);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace perfdmf::io

@@ -1,0 +1,182 @@
+#include "io/gprof_format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+namespace perfdmf::io {
+
+namespace {
+constexpr double kSecondsToMicros = 1e6;
+}
+
+profile::TrialData GprofDataSource::parse(const std::string& content) {
+  profile::TrialData trial;
+  const std::size_t metric = trial.intern_metric("TIME");
+  const std::size_t thread = trial.intern_thread({0, 0, 0});
+
+  const auto lines = util::split_lines(content);
+
+  // ---- flat profile ----------------------------------------------------
+  // "  %   cumulative   self              self     total"
+  // " time   seconds   seconds    calls  ms/call  ms/call  name"
+  std::size_t i = 0;
+  while (i < lines.size() && !util::starts_with(lines[i], "Flat profile:")) ++i;
+  if (i == lines.size()) {
+    throw perfdmf::ParseError("gprof: no 'Flat profile:' section");
+  }
+  while (i < lines.size() && !util::contains(lines[i], "name")) ++i;
+  ++i;  // past the header line
+  for (; i < lines.size(); ++i) {
+    const std::string line = std::string(util::trim(lines[i]));
+    if (line.empty()) break;  // blank line ends the flat profile
+    // Columns: %time cumulative self [calls [self-ms/call total-ms/call]] name
+    auto fields = util::split_ws(line);
+    if (fields.size() < 4) continue;
+    profile::IntervalDataPoint point;
+    point.exclusive =
+        util::parse_double_or_throw(fields[2], "gprof self seconds") *
+        kSecondsToMicros;
+    std::size_t name_start = 3;
+    if (auto calls = util::parse_double(fields[3])) {
+      point.num_calls = *calls;
+      name_start = 4;
+      // Optional ms/call columns.
+      if (fields.size() > 5 && util::parse_double(fields[4]) &&
+          util::parse_double(fields[5])) {
+        name_start = 6;
+      }
+    } else {
+      point.num_calls = 0.0;  // functions sampled but never counted
+    }
+    if (name_start >= fields.size()) {
+      throw perfdmf::ParseError("gprof: flat profile line without name: " + line);
+    }
+    std::vector<std::string> name_parts(fields.begin() + name_start, fields.end());
+    const std::string name = util::join(name_parts, " ");
+    // Without the call graph, inclusive defaults to exclusive.
+    point.inclusive = point.exclusive;
+    const std::size_t event = trial.intern_event(name);
+    trial.set_interval_data(event, thread, metric, point);
+  }
+
+  // ---- call graph (optional) -------------------------------------------
+  // Primary lines: "[3]   57.1    0.01    0.03    2016   qsort [3]"
+  // inclusive = self + children.
+  while (i < lines.size() && !util::contains(lines[i], "Call graph")) ++i;
+  for (; i < lines.size(); ++i) {
+    const std::string line = std::string(util::trim(lines[i]));
+    if (line.empty() || line[0] != '[') continue;
+    auto fields = util::split_ws(line);
+    // [index] %time self children called name [index]
+    if (fields.size() < 6) continue;
+    auto self = util::parse_double(fields[2]);
+    auto children = util::parse_double(fields[3]);
+    if (!self || !children) continue;
+    // The name runs from field 5 (after `called`) up to the trailing [n].
+    std::size_t name_start = 5;
+    std::size_t name_end = fields.size();
+    if (name_end > name_start && fields.back().front() == '[') --name_end;
+    if (name_start >= name_end) continue;
+    std::vector<std::string> name_parts(fields.begin() + name_start,
+                                        fields.begin() + name_end);
+    const std::string name = util::join(name_parts, " ");
+    auto event = trial.find_event(name);
+    if (!event) continue;  // cycle members etc.
+    const profile::IntervalDataPoint* existing =
+        trial.interval_data(*event, thread, metric);
+    if (existing == nullptr) continue;
+    profile::IntervalDataPoint point = *existing;
+    point.inclusive = (*self + *children) * kSecondsToMicros;
+    trial.set_interval_data(*event, thread, metric, point);
+  }
+
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData GprofDataSource::load() {
+  profile::TrialData trial = parse(util::read_file(file_));
+  trial.trial().name = file_.filename().string();
+  return trial;
+}
+
+std::string render_gprof_report(const profile::TrialData& trial) {
+  auto metric = trial.find_metric("TIME");
+  if (!metric) throw perfdmf::InvalidArgument("gprof writer needs a TIME metric");
+  auto thread = trial.find_thread({0, 0, 0});
+  if (!thread) throw perfdmf::InvalidArgument("gprof writer needs thread 0:0:0");
+
+  // Gather events with data and compute the total for %time.
+  struct Entry {
+    std::string name;
+    profile::IntervalDataPoint point;
+  };
+  std::vector<Entry> entries;
+  double total_self = 0.0;
+  for (std::size_t e = 0; e < trial.events().size(); ++e) {
+    const profile::IntervalDataPoint* p = trial.interval_data(e, *thread, *metric);
+    if (p == nullptr) continue;
+    entries.push_back({trial.events()[e].name, *p});
+    total_self += p->exclusive;
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.point.exclusive > b.point.exclusive;
+  });
+
+  std::string out = "Flat profile:\n\n";
+  out += "Each sample counts as 0.01 seconds.\n";
+  out += "  %   cumulative   self              self     total\n";
+  out += " time   seconds   seconds    calls  ms/call  ms/call  name\n";
+  double cumulative = 0.0;
+  for (const auto& entry : entries) {
+    const double self_seconds = entry.point.exclusive / kSecondsToMicros;
+    cumulative += self_seconds;
+    const double pct = total_self > 0.0
+                           ? 100.0 * entry.point.exclusive / total_self
+                           : 0.0;
+    const double per_call_ms = entry.point.num_calls > 0.0
+                                   ? self_seconds * 1e3 / entry.point.num_calls
+                                   : 0.0;
+    const double total_ms = entry.point.num_calls > 0.0
+                                ? entry.point.inclusive / 1e3 / entry.point.num_calls
+                                : 0.0;
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "%6.2f %10.2f %9.2f %8.0f %8.2f %8.2f  %s\n", pct, cumulative,
+                  self_seconds, entry.point.num_calls, per_call_ms, total_ms,
+                  entry.name.c_str());
+    out += line;
+  }
+  out += "\n";
+
+  // Call graph with primary lines only (enough to recover inclusive time).
+  out += "\t\t     Call graph (explanation follows)\n\n";
+  out += "granularity: each sample hit covers 2 byte(s) for 0.01% of total\n\n";
+  out += "index % time    self  children    called     name\n";
+  const double total_inclusive =
+      total_self > 0.0 ? total_self / kSecondsToMicros : 1.0;
+  int index = 1;
+  for (const auto& entry : entries) {
+    const double self_seconds = entry.point.exclusive / kSecondsToMicros;
+    const double children_seconds =
+        (entry.point.inclusive - entry.point.exclusive) / kSecondsToMicros;
+    const double pct =
+        100.0 * (entry.point.inclusive / kSecondsToMicros) / total_inclusive;
+    char line[512];
+    std::snprintf(line, sizeof line, "[%d] %7.1f %7.2f %9.2f %9.0f   %s [%d]\n",
+                  index, pct, self_seconds,
+                  children_seconds < 0.0 ? 0.0 : children_seconds,
+                  entry.point.num_calls, entry.name.c_str(), index);
+    out += line;
+    out += "-----------------------------------------------\n";
+    ++index;
+  }
+  return out;
+}
+
+}  // namespace perfdmf::io

@@ -1,0 +1,190 @@
+#include "io/hpm_format.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+namespace perfdmf::io {
+
+namespace {
+constexpr double kSecondsToMicros = 1e6;
+}
+
+void HpmDataSource::parse_into(const std::string& content,
+                               profile::TrialData& trial) {
+  const auto lines = util::split_lines(content);
+
+  std::optional<std::size_t> current_event;
+  std::optional<std::size_t> current_thread;
+  bool any_section = false;
+  double pending_count = 1.0;  // "Count:" applies to later lines in a section
+
+  for (const std::string& raw : lines) {
+    const std::string line = std::string(util::trim(raw));
+    if (line.empty()) continue;
+
+    if (util::starts_with(line, "Instrumented section:")) {
+      any_section = true;
+      // "Instrumented section: <n> - Label: <label> - process: <p>"
+      std::string label = "unknown";
+      std::int32_t process = 0;
+      const std::size_t label_at = line.find("Label:");
+      if (label_at != std::string::npos) {
+        std::size_t end = line.find(" - ", label_at);
+        if (end == std::string::npos) end = line.size();
+        label = std::string(util::trim(line.substr(label_at + 6, end - label_at - 6)));
+      }
+      const std::size_t process_at = line.find("process:");
+      if (process_at != std::string::npos) {
+        process = static_cast<std::int32_t>(util::parse_int_or_throw(
+            util::trim(line.substr(process_at + 8)), "hpm process"));
+      }
+      current_event = trial.intern_event(label);
+      current_thread = trial.intern_thread({process, 0, 0});
+      pending_count = 1.0;
+      continue;
+    }
+    if (!current_event) continue;
+
+    auto set_metric = [&](const std::string& metric_name, double value,
+                          double calls) {
+      const std::size_t metric = trial.intern_metric(metric_name);
+      profile::IntervalDataPoint point;
+      if (const profile::IntervalDataPoint* existing =
+              trial.interval_data(*current_event, *current_thread, metric)) {
+        point = *existing;
+      }
+      point.inclusive = value;
+      point.exclusive = value;  // HPM sections report totals, not a call tree
+      if (calls > 0.0) point.num_calls = calls;
+      trial.set_interval_data(*current_event, *current_thread, metric, point);
+    };
+
+    if (util::starts_with(line, "Count:")) {
+      const double count =
+          util::parse_double_or_throw(util::trim(line.substr(6)), "hpm count");
+      // The count applies to metric lines that follow; also retrofit it
+      // onto any metric lines that preceded it in this section.
+      for (std::size_t m = 0; m < trial.metrics().size(); ++m) {
+        if (const profile::IntervalDataPoint* existing =
+                trial.interval_data(*current_event, *current_thread, m)) {
+          profile::IntervalDataPoint point = *existing;
+          point.num_calls = count;
+          trial.set_interval_data(*current_event, *current_thread, m, point);
+        }
+      }
+      pending_count = count;
+      continue;
+    }
+    if (util::starts_with(line, "Wall Clock Time:")) {
+      auto fields = util::split_ws(line.substr(16));
+      if (fields.empty()) {
+        throw perfdmf::ParseError("hpm: bad Wall Clock Time line: " + line);
+      }
+      set_metric("TIME",
+                 util::parse_double_or_throw(fields[0], "hpm wall clock") *
+                     kSecondsToMicros,
+                 pending_count);
+      continue;
+    }
+    if (util::starts_with(line, "Total time in user mode:")) {
+      auto fields = util::split_ws(line.substr(25));
+      if (!fields.empty()) {
+        set_metric("USER_TIME",
+                   util::parse_double_or_throw(fields[0], "hpm user time") *
+                       kSecondsToMicros,
+                   pending_count);
+      }
+      continue;
+    }
+    // Counter lines: "PM_XXX (description) : value" or "PAPI_XXX ... : value".
+    if (util::starts_with(line, "PM_") || util::starts_with(line, "PAPI_")) {
+      const std::size_t colon = line.rfind(':');
+      if (colon == std::string::npos) continue;
+      auto name_fields = util::split_ws(line.substr(0, colon));
+      if (name_fields.empty()) continue;
+      const double value = util::parse_double_or_throw(
+          util::trim(line.substr(colon + 1)), "hpm counter value");
+      set_metric(name_fields[0], value, pending_count);
+      continue;
+    }
+    // "file: ..." and other annotation lines are skipped.
+  }
+  if (!any_section) {
+    throw perfdmf::ParseError("hpm: no 'Instrumented section' blocks found");
+  }
+}
+
+profile::TrialData HpmDataSource::parse(const std::string& content) {
+  profile::TrialData trial;
+  parse_into(content, trial);
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData HpmDataSource::load() {
+  profile::TrialData trial = parse(util::read_file(file_));
+  trial.trial().name = file_.filename().string();
+  return trial;
+}
+
+std::string render_hpm_report(const profile::TrialData& trial,
+                              std::size_t thread_index) {
+  if (thread_index >= trial.threads().size()) {
+    throw perfdmf::InvalidArgument("hpm writer: bad thread index");
+  }
+  const profile::ThreadId& id = trial.threads()[thread_index];
+  auto time_metric = trial.find_metric("TIME");
+
+  std::string out;
+  out += "libhpm (Version 2.4.2) summary - perfdmf synthetic generator\n\n";
+  int section = 1;
+  for (std::size_t e = 0; e < trial.events().size(); ++e) {
+    // A section exists if any metric has data for this (event, thread).
+    bool has_data = false;
+    for (std::size_t m = 0; m < trial.metrics().size(); ++m) {
+      if (trial.interval_data(e, thread_index, m) != nullptr) has_data = true;
+    }
+    if (!has_data) continue;
+    char header[256];
+    std::snprintf(header, sizeof header,
+                  "Instrumented section: %d - Label: %s - process: %d\n", section,
+                  trial.events()[e].name.c_str(), id.node);
+    out += header;
+    out += "  file: synthetic.f, lines: 1 <--> 100\n";
+    const profile::IntervalDataPoint* timing =
+        time_metric ? trial.interval_data(e, thread_index, *time_metric) : nullptr;
+    char count_line[64];
+    std::snprintf(count_line, sizeof count_line, "  Count: %.0f\n",
+                  timing != nullptr && timing->num_calls > 0.0 ? timing->num_calls
+                                                               : 1.0);
+    out += count_line;
+    if (timing != nullptr) {
+      char wall[128];
+      std::snprintf(wall, sizeof wall, "  Wall Clock Time: %.6f seconds\n",
+                    timing->inclusive / kSecondsToMicros);
+      out += wall;
+    }
+    for (std::size_t m = 0; m < trial.metrics().size(); ++m) {
+      const std::string& name = trial.metrics()[m].name;
+      if (name == "TIME" || name == "USER_TIME") continue;
+      const profile::IntervalDataPoint* p = trial.interval_data(e, thread_index, m);
+      if (p == nullptr) continue;
+      char line[256];
+      std::snprintf(line, sizeof line, "  %s (%s) : %.0f\n", name.c_str(),
+                    name.c_str(), p->inclusive);
+      out += line;
+    }
+    out += "\n";
+    ++section;
+  }
+  if (section == 1) {
+    throw perfdmf::InvalidArgument("hpm writer: thread has no data");
+  }
+  return out;
+}
+
+}  // namespace perfdmf::io

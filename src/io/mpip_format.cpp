@@ -1,0 +1,249 @@
+#include "io/mpip_format.h"
+
+#include <cstdio>
+#include <map>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+namespace perfdmf::io {
+
+namespace {
+constexpr double kSecondsToMicros = 1e6;
+constexpr double kMillisToMicros = 1e3;
+}
+
+profile::TrialData MpiPDataSource::parse(const std::string& content) {
+  profile::TrialData trial;
+  const std::size_t metric = trial.intern_metric("TIME");
+  const auto lines = util::split_lines(content);
+
+  if (lines.empty() || !util::starts_with(lines[0], "@ mpiP")) {
+    throw perfdmf::ParseError("mpiP: missing '@ mpiP' header");
+  }
+
+  const std::size_t app_event = trial.intern_event("Application", "application");
+
+  std::size_t i = 0;
+  // ---- MPI Time section --------------------------------------------------
+  while (i < lines.size() && !util::contains(lines[i], "@--- MPI Time")) ++i;
+  if (i == lines.size()) {
+    throw perfdmf::ParseError("mpiP: no '@--- MPI Time' section");
+  }
+  // Skip the section rule and the "Task AppTime MPITime MPI%" header.
+  for (++i; i < lines.size(); ++i) {
+    const std::string line = std::string(util::trim(lines[i]));
+    if (line.empty() || line[0] == '-') continue;
+    if (util::starts_with(line, "Task")) continue;
+    if (line[0] == '@') break;  // next section
+    auto fields = util::split_ws(line);
+    if (fields.size() < 3) continue;
+    if (fields[0] == "*") continue;  // aggregate row
+    const std::int64_t task = util::parse_int_or_throw(fields[0], "mpiP task");
+    const double app_time =
+        util::parse_double_or_throw(fields[1], "mpiP AppTime") * kSecondsToMicros;
+    const std::size_t thread = trial.intern_thread(
+        {static_cast<std::int32_t>(task), 0, 0});
+    profile::IntervalDataPoint point;
+    point.inclusive = app_time;
+    point.exclusive = app_time;  // reduced below as callsites are parsed
+    point.num_calls = 1.0;
+    trial.set_interval_data(app_event, thread, metric, point);
+  }
+
+  // ---- Callsite Time statistics ------------------------------------------
+  while (i < lines.size() &&
+         !util::contains(lines[i], "@--- Callsite Time statistics")) {
+    ++i;
+  }
+  if (i < lines.size()) {
+    for (++i; i < lines.size(); ++i) {
+      const std::string line = std::string(util::trim(lines[i]));
+      if (line.empty() || line[0] == '-') continue;
+      if (util::starts_with(line, "Name")) continue;  // column header
+      if (line[0] == '@') break;
+      // Name Site Rank Count Max Mean Min App% MPI%
+      auto fields = util::split_ws(line);
+      if (fields.size() < 7) continue;
+      if (fields[2] == "*") continue;  // per-callsite aggregate row
+      const std::string& op = fields[0];
+      const std::int64_t site = util::parse_int_or_throw(fields[1], "mpiP site");
+      const std::int64_t rank = util::parse_int_or_throw(fields[2], "mpiP rank");
+      const double count = util::parse_double_or_throw(fields[3], "mpiP count");
+      const double mean_ms = util::parse_double_or_throw(fields[5], "mpiP mean");
+
+      const std::size_t thread = trial.intern_thread(
+          {static_cast<std::int32_t>(rank), 0, 0});
+      const std::string event_name = "MPI_" + op + "() [site " +
+                                     std::to_string(site) + "]";
+      const std::size_t event = trial.intern_event(event_name, "MPI");
+      profile::IntervalDataPoint point;
+      point.exclusive = count * mean_ms * kMillisToMicros;
+      point.inclusive = point.exclusive;  // MPI leaves: inclusive == exclusive
+      point.num_calls = count;
+      trial.set_interval_data(event, thread, metric, point);
+
+      // Subtract MPI time from the Application's exclusive time.
+      if (const profile::IntervalDataPoint* app =
+              trial.interval_data(app_event, thread, metric)) {
+        profile::IntervalDataPoint updated = *app;
+        updated.exclusive -= point.exclusive;
+        if (updated.exclusive < 0.0) updated.exclusive = 0.0;
+        updated.num_subrs += 1.0;
+        trial.set_interval_data(app_event, thread, metric, updated);
+      }
+    }
+  }
+
+  // ---- Callsite Message Sent statistics (optional) -----------------------
+  // Name Site Rank Count Max Mean Min Sum  -> atomic events (bytes).
+  while (i < lines.size() &&
+         !util::contains(lines[i], "@--- Callsite Message Sent statistics")) {
+    ++i;
+  }
+  if (i < lines.size()) {
+    for (++i; i < lines.size(); ++i) {
+      const std::string line = std::string(util::trim(lines[i]));
+      if (line.empty() || line[0] == '-') continue;
+      if (util::starts_with(line, "Name")) continue;
+      if (line[0] == '@') break;
+      auto fields = util::split_ws(line);
+      if (fields.size() < 8) continue;
+      if (fields[2] == "*") continue;
+      const std::string& op = fields[0];
+      const std::int64_t site = util::parse_int_or_throw(fields[1], "mpiP site");
+      const std::int64_t rank = util::parse_int_or_throw(fields[2], "mpiP rank");
+      profile::AtomicDataPoint point;
+      point.sample_count = util::parse_double_or_throw(fields[3], "mpiP count");
+      point.maximum = util::parse_double_or_throw(fields[4], "mpiP max");
+      point.mean = util::parse_double_or_throw(fields[5], "mpiP mean");
+      point.minimum = util::parse_double_or_throw(fields[6], "mpiP min");
+      // Report carries no variance; leave std_dev at 0.
+      const std::size_t thread =
+          trial.intern_thread({static_cast<std::int32_t>(rank), 0, 0});
+      const std::size_t atomic = trial.intern_atomic_event(
+          "Message size: " + op + " [site " + std::to_string(site) + "]",
+          "MPI_BYTES");
+      trial.set_atomic_data(atomic, thread, point);
+    }
+  }
+
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData MpiPDataSource::load() {
+  profile::TrialData trial = parse(util::read_file(file_));
+  trial.trial().name = file_.filename().string();
+  return trial;
+}
+
+std::string render_mpip_report(const profile::TrialData& trial) {
+  auto metric = trial.find_metric("TIME");
+  if (!metric) throw perfdmf::InvalidArgument("mpiP writer needs a TIME metric");
+  auto app_event = trial.find_event("Application");
+  if (!app_event) {
+    throw perfdmf::InvalidArgument("mpiP writer needs an 'Application' event");
+  }
+
+  std::string out = "@ mpiP\n";
+  out += "@ Command : synthetic (perfdmf workload generator)\n";
+  out += "@ Version : 2.8\n";
+  out += "@ MPIP Build date : " "Jan  1 2005" "\n\n";
+
+  out += "---------------------------------------------------------------\n";
+  out += "@--- MPI Time (seconds) ---------------------------------------\n";
+  out += "---------------------------------------------------------------\n";
+  out += "Task    AppTime    MPITime     MPI%\n";
+  double total_app = 0.0;
+  double total_mpi = 0.0;
+  for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+    const profile::IntervalDataPoint* app =
+        trial.interval_data(*app_event, t, *metric);
+    if (app == nullptr) continue;
+    const double app_seconds = app->inclusive / kSecondsToMicros;
+    const double mpi_seconds =
+        (app->inclusive - app->exclusive) / kSecondsToMicros;
+    total_app += app_seconds;
+    total_mpi += mpi_seconds;
+    char line[160];
+    std::snprintf(line, sizeof line, "%4d %10.4g %10.4g %8.2f\n",
+                  trial.threads()[t].node, app_seconds, mpi_seconds,
+                  app_seconds > 0.0 ? 100.0 * mpi_seconds / app_seconds : 0.0);
+    out += line;
+  }
+  char star[160];
+  std::snprintf(star, sizeof star, "   * %10.4g %10.4g %8.2f\n", total_app,
+                total_mpi, total_app > 0.0 ? 100.0 * total_mpi / total_app : 0.0);
+  out += star;
+  out += "\n";
+
+  out += "---------------------------------------------------------------\n";
+  out += "@--- Callsite Time statistics (all, milliseconds) -------------\n";
+  out += "---------------------------------------------------------------\n";
+  out += "Name              Site Rank   Count        Max       Mean        Min"
+         "   App%   MPI%\n";
+  for (std::size_t e = 0; e < trial.events().size(); ++e) {
+    const std::string& name = trial.events()[e].name;
+    // Expect "MPI_<op>() [site <id>]".
+    if (!util::starts_with(name, "MPI_")) continue;
+    const std::size_t paren = name.find("()");
+    const std::size_t site_at = name.find("[site ");
+    if (paren == std::string::npos || site_at == std::string::npos) continue;
+    const std::string op = name.substr(4, paren - 4);
+    const std::string site =
+        name.substr(site_at + 6, name.size() - site_at - 7);
+    for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+      const profile::IntervalDataPoint* p = trial.interval_data(e, t, *metric);
+      if (p == nullptr) continue;
+      const double mean_ms =
+          p->num_calls > 0.0 ? p->exclusive / kMillisToMicros / p->num_calls : 0.0;
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "%-16s %5s %4d %7.0f %10.4g %10.4g %10.4g %6.2f %6.2f\n",
+                    op.c_str(), site.c_str(), trial.threads()[t].node,
+                    p->num_calls, mean_ms, mean_ms, mean_ms, 0.0, 0.0);
+      out += line;
+    }
+  }
+  // Message-size statistics from atomic events named by the importer's
+  // convention ("Message size: <op> [site <id>]").
+  bool any_bytes = false;
+  for (const auto& atomic : trial.atomic_events()) {
+    if (util::starts_with(atomic.name, "Message size: ")) any_bytes = true;
+  }
+  if (any_bytes) {
+    out += "\n";
+    out += "---------------------------------------------------------------\n";
+    out += "@--- Callsite Message Sent statistics (all, sent bytes) -------\n";
+    out += "---------------------------------------------------------------\n";
+    out += "Name              Site Rank   Count        Max       Mean        Min"
+           "        Sum\n";
+    for (std::size_t a = 0; a < trial.atomic_events().size(); ++a) {
+      const std::string& name = trial.atomic_events()[a].name;
+      if (!util::starts_with(name, "Message size: ")) continue;
+      const std::size_t site_at = name.find("[site ");
+      if (site_at == std::string::npos) continue;
+      const std::string op = name.substr(14, site_at - 15);
+      const std::string site =
+          name.substr(site_at + 6, name.size() - site_at - 7);
+      for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+        const profile::AtomicDataPoint* p = trial.atomic_data(a, t);
+        if (p == nullptr) continue;
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "%-16s %5s %4d %7.0f %10.4g %10.4g %10.4g %10.4g\n",
+                      op.c_str(), site.c_str(), trial.threads()[t].node,
+                      p->sample_count, p->maximum, p->mean, p->minimum,
+                      p->sample_count * p->mean);
+        out += line;
+      }
+    }
+  }
+  out += "\n@--- End of Report --------------------------------------------\n";
+  return out;
+}
+
+}  // namespace perfdmf::io

@@ -1,0 +1,157 @@
+#include "io/psrun_format.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace perfdmf::io {
+
+namespace {
+constexpr double kSecondsToMicros = 1e6;
+constexpr const char* kWholeProgramEvent = "Entire application";
+}
+
+void PsrunDataSource::parse_into(const std::string& content,
+                                 profile::TrialData& trial) {
+  xml::XmlParser parser(content);
+  xml::XmlEvent root = parser.expect_start("hwpcreport");
+
+  std::int32_t rank = 0;
+  double wallclock_seconds = -1.0;
+  std::vector<std::pair<std::string, double>> counters;
+
+  // Walk the subtree; only the elements we model are interpreted.
+  int depth = 1;
+  while (depth > 0) {
+    xml::XmlEvent event = parser.next();
+    switch (event.type) {
+      case xml::XmlEventType::kStartElement:
+        if (event.name == "rank") {
+          rank = static_cast<std::int32_t>(util::parse_int_or_throw(
+              util::trim(parser.read_text_until_end("rank")), "psrun rank"));
+        } else if (event.name == "wallclock") {
+          wallclock_seconds = util::parse_double_or_throw(
+              util::trim(parser.read_text_until_end("wallclock")),
+              "psrun wallclock");
+        } else if (event.name == "hwpcevent") {
+          auto name_it = event.attrs.find("name");
+          if (name_it == event.attrs.end()) {
+            throw perfdmf::ParseError("psrun: hwpcevent without name attribute");
+          }
+          const double value = util::parse_double_or_throw(
+              util::trim(parser.read_text_until_end("hwpcevent")),
+              "psrun hwpcevent value");
+          counters.emplace_back(name_it->second, value);
+        } else {
+          ++depth;
+        }
+        break;
+      case xml::XmlEventType::kEndElement:
+        --depth;
+        break;
+      case xml::XmlEventType::kText:
+        break;
+      case xml::XmlEventType::kEndDocument:
+        throw perfdmf::ParseError("psrun: document ended inside <hwpcreport>");
+    }
+  }
+
+  const std::size_t event = trial.intern_event(kWholeProgramEvent);
+  const std::size_t thread = trial.intern_thread({rank, 0, 0});
+  if (wallclock_seconds >= 0.0) {
+    const std::size_t metric = trial.intern_metric("TIME");
+    profile::IntervalDataPoint point;
+    point.inclusive = wallclock_seconds * kSecondsToMicros;
+    point.exclusive = point.inclusive;
+    point.num_calls = 1.0;
+    trial.set_interval_data(event, thread, metric, point);
+  }
+  for (const auto& [name, value] : counters) {
+    const std::size_t metric = trial.intern_metric(name);
+    profile::IntervalDataPoint point;
+    point.inclusive = value;
+    point.exclusive = value;
+    point.num_calls = 1.0;
+    trial.set_interval_data(event, thread, metric, point);
+  }
+}
+
+profile::TrialData PsrunDataSource::parse(const std::string& content) {
+  profile::TrialData trial;
+  parse_into(content, trial);
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData PsrunDataSource::load() {
+  profile::TrialData trial = parse(util::read_file(file_));
+  trial.trial().name = file_.filename().string();
+  return trial;
+}
+
+std::string render_psrun_report(const profile::TrialData& trial,
+                                std::size_t thread_index) {
+  if (thread_index >= trial.threads().size()) {
+    throw perfdmf::InvalidArgument("psrun writer: bad thread index");
+  }
+  auto event = trial.find_event(kWholeProgramEvent);
+  if (!event) {
+    throw perfdmf::InvalidArgument(
+        "psrun writer: trial has no 'Entire application' event");
+  }
+  xml::XmlWriter writer;
+  writer.declaration();
+  writer.start_element("hwpcreport");
+  writer.attribute("class", "PAPI");
+  writer.attribute("mode", "count");
+  writer.start_element("executableinfo");
+  writer.element_with_text("name", trial.trial().name.empty()
+                                       ? "synthetic"
+                                       : trial.trial().name);
+  writer.end_element();
+  writer.start_element("machineinfo");
+  writer.element_with_text("processes",
+                           std::to_string(trial.threads().size()));
+  writer.end_element();
+  writer.start_element("processinfo");
+  writer.element_with_text("rank",
+                           std::to_string(trial.threads()[thread_index].node));
+  writer.end_element();
+
+  auto time_metric = trial.find_metric("TIME");
+  if (time_metric) {
+    if (const profile::IntervalDataPoint* p =
+            trial.interval_data(*event, thread_index, *time_metric)) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.9g", p->inclusive / kSecondsToMicros);
+      writer.start_element("wallclock");
+      writer.attribute("units", "seconds");
+      writer.text(buffer);
+      writer.end_element();
+    }
+  }
+  writer.start_element("hwpceventlist");
+  for (std::size_t m = 0; m < trial.metrics().size(); ++m) {
+    if (time_metric && m == *time_metric) continue;
+    const profile::IntervalDataPoint* p =
+        trial.interval_data(*event, thread_index, m);
+    if (p == nullptr) continue;
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", p->inclusive);
+    writer.start_element("hwpcevent");
+    writer.attribute("name", trial.metrics()[m].name);
+    writer.attribute("derived", "no");
+    writer.text(buffer);
+    writer.end_element();
+  }
+  writer.end_element();  // hwpceventlist
+  writer.end_element();  // hwpcreport
+  return writer.str();
+}
+
+}  // namespace perfdmf::io

@@ -1,0 +1,506 @@
+#include "io/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "io/dynaprof_format.h"
+#include "io/gprof_format.h"
+#include "io/hpm_format.h"
+#include "io/mpip_format.h"
+#include "io/psrun_format.h"
+#include "io/tau_format.h"
+#include "util/error.h"
+#include "util/file.h"
+#include "util/rng.h"
+
+namespace perfdmf::io::synth {
+
+namespace {
+
+const char* kComputeNames[] = {
+    "hydro_sweep", "riemann_solver", "eos_update",     "flux_limiter",
+    "advect_x",    "advect_y",       "advect_z",       "boundary_fill",
+    "gradient",    "viscosity",      "energy_balance", "remap",
+};
+
+const char* kMpiNames[] = {
+    "MPI_Allreduce()", "MPI_Isend()", "MPI_Irecv()",
+    "MPI_Waitall()",   "MPI_Bcast()", "MPI_Barrier()",
+};
+
+std::string compute_name(std::size_t i) {
+  const std::size_t n = std::size(kComputeNames);
+  std::string base = kComputeNames[i % n];
+  if (i >= n) base += "_" + std::to_string(i / n);
+  return base;
+}
+
+std::string mpi_name(std::size_t i) {
+  const std::size_t n = std::size(kMpiNames);
+  std::string base = kMpiNames[i % n];
+  if (i >= n) base += " <variant " + std::to_string(i / n) + ">";
+  return base;
+}
+
+}  // namespace
+
+profile::TrialData generate_trial(const TrialSpec& spec) {
+  if (spec.event_count == 0) {
+    throw perfdmf::InvalidArgument("TrialSpec.event_count must be > 0");
+  }
+  util::Rng rng(spec.seed);
+  profile::TrialData trial;
+  trial.trial().name = spec.name;
+
+  std::vector<std::size_t> metrics;
+  metrics.push_back(trial.intern_metric("TIME"));
+  for (const auto& name : spec.extra_metrics) {
+    if (name != "TIME") metrics.push_back(trial.intern_metric(name));
+  }
+
+  const std::size_t main_event = trial.intern_event("main", "application");
+  const std::size_t children = spec.event_count - 1;  // events besides main
+  const std::size_t n_mpi = std::min(children / 3, std::size(kMpiNames));
+  const std::size_t n_compute = children - n_mpi;
+
+  std::vector<std::size_t> events;        // child events
+  std::vector<double> event_weight;       // share of total work
+  for (std::size_t i = 0; i < n_compute; ++i) {
+    events.push_back(trial.intern_event(compute_name(i), "computation"));
+    // Zipf-ish weights: a few hot routines dominate, like real profiles.
+    event_weight.push_back(1.0 / static_cast<double>(i + 1));
+  }
+  for (std::size_t i = 0; i < n_mpi; ++i) {
+    events.push_back(trial.intern_event(mpi_name(i), "MPI"));
+    event_weight.push_back(0.3 / static_cast<double>(i + 1));
+  }
+  const double weight_sum =
+      std::accumulate(event_weight.begin(), event_weight.end(), 0.0);
+
+  // Optional TAU callpath twins: "main => <child>" mirrors each child.
+  std::vector<std::size_t> callpath_events;
+  if (spec.with_callpaths) {
+    for (std::size_t e : events) {
+      callpath_events.push_back(trial.intern_event(
+          "main => " + trial.events()[e].name, "TAU_CALLPATH"));
+    }
+  }
+
+  std::vector<std::size_t> atomics;
+  for (std::size_t a = 0; a < spec.atomic_event_count; ++a) {
+    atomics.push_back(trial.intern_atomic_event(
+        "message size <bucket " + std::to_string(a) + ">", "TAU_EVENT"));
+  }
+
+  // Per-metric unit scale: TIME in us, counters in raw counts.
+  auto metric_scale = [&](std::size_t metric_order) {
+    return metric_order == 0 ? 1.0 : 2.0e3 * static_cast<double>(metric_order);
+  };
+
+  for (std::int32_t node = 0; node < spec.nodes; ++node) {
+    for (std::int32_t context = 0; context < spec.contexts_per_node; ++context) {
+      for (std::int32_t thr = 0; thr < spec.threads_per_context; ++thr) {
+        const std::size_t thread =
+            trial.intern_thread({node, context, thr});
+        const double skew = std::max(0.1, 1.0 + spec.imbalance * rng.next_gaussian());
+        for (std::size_t mi = 0; mi < metrics.size(); ++mi) {
+          const double scale = metric_scale(mi) * skew;
+          double children_total = 0.0;
+          for (std::size_t e = 0; e < events.size(); ++e) {
+            profile::IntervalDataPoint p;
+            const double share = event_weight[e] / weight_sum;
+            const double jitter = 1.0 + 0.02 * rng.next_gaussian();
+            p.exclusive = spec.base_time_us *
+                          static_cast<double>(spec.event_count) * share * scale *
+                          std::max(0.01, jitter);
+            p.inclusive = p.exclusive;  // leaves
+            p.num_calls = static_cast<double>(10 + rng.next_below(90));
+            p.num_subrs = 0.0;
+            trial.set_interval_data(events[e], thread, metrics[mi], p);
+            if (spec.with_callpaths) {
+              trial.set_interval_data(callpath_events[e], thread, metrics[mi], p);
+            }
+            children_total += p.inclusive;
+          }
+          profile::IntervalDataPoint main_point;
+          main_point.exclusive = spec.base_time_us * 0.05 * scale;
+          main_point.inclusive = children_total + main_point.exclusive;
+          main_point.num_calls = 1.0;
+          main_point.num_subrs = static_cast<double>(events.size());
+          trial.set_interval_data(main_event, thread, metrics[mi], main_point);
+        }
+        for (std::size_t a = 0; a < atomics.size(); ++a) {
+          profile::AtomicDataPoint p;
+          p.sample_count = static_cast<double>(50 + rng.next_below(200));
+          p.mean = 1024.0 * static_cast<double>(a + 1) *
+                   (1.0 + 0.1 * rng.next_gaussian());
+          p.std_dev = p.mean * 0.25;
+          p.minimum = std::max(0.0, p.mean - 3.0 * p.std_dev);
+          p.maximum = p.mean + 3.0 * p.std_dev;
+          trial.set_atomic_data(atomics[a], thread, p);
+        }
+      }
+    }
+  }
+
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData generate_scaling_trial(const ScalingSpec& spec,
+                                          std::int32_t processors) {
+  if (processors <= 0) {
+    throw perfdmf::InvalidArgument("processors must be positive");
+  }
+  util::Rng rng(spec.seed);  // same seed for every p: routines keep identity
+  profile::TrialData trial;
+  trial.trial().name = spec.name + "." + std::to_string(processors) + "p";
+  trial.trial().fields["processors"] = std::to_string(processors);
+
+  const std::size_t metric = trial.intern_metric("TIME");
+  const std::size_t main_event = trial.intern_event("main", "application");
+  const std::size_t mpi_event =
+      trial.intern_event("MPI_Allreduce()", "MPI");
+
+  const double p = static_cast<double>(processors);
+  const double doublings = std::log2(std::max(1.0, p));
+
+  struct RoutineModel {
+    std::size_t event;
+    double work_share;
+    double serial_fraction;
+  };
+  std::vector<RoutineModel> routines;
+  double share_sum = 0.0;
+  for (std::size_t r = 0; r < spec.routine_count; ++r) {
+    RoutineModel model;
+    model.event = trial.intern_event(compute_name(r), "computation");
+    model.work_share = 1.0 / static_cast<double>(r + 1);
+    const double ramp = spec.routine_count > 1
+                            ? static_cast<double>(r) /
+                                  static_cast<double>(spec.routine_count - 1)
+                            : 0.0;
+    model.serial_fraction = spec.min_serial_fraction +
+                            ramp * (spec.max_serial_fraction -
+                                    spec.min_serial_fraction);
+    share_sum += model.work_share;
+    routines.push_back(model);
+  }
+
+  for (std::int32_t rank = 0; rank < processors; ++rank) {
+    const std::size_t thread = trial.intern_thread({rank, 0, 0});
+    double children_total = 0.0;
+    for (const auto& model : routines) {
+      const double routine_work =
+          spec.total_work_us * model.work_share / share_sum;
+      // Amdahl per routine: serial part replicated on every rank, parallel
+      // part split p ways. Small per-rank noise keeps min/mean/max distinct.
+      const double time = routine_work * (model.serial_fraction +
+                                          (1.0 - model.serial_fraction) / p);
+      const double noisy = time * (1.0 + 0.01 * rng.next_gaussian());
+      profile::IntervalDataPoint point;
+      point.exclusive = std::max(1.0, noisy);
+      point.inclusive = point.exclusive;
+      point.num_calls = 100.0;
+      trial.set_interval_data(model.event, thread, metric, point);
+      children_total += point.inclusive;
+    }
+    // Communication grows with log2(p).
+    profile::IntervalDataPoint comm;
+    comm.exclusive = spec.total_work_us * spec.comm_fraction * doublings /
+                     std::max(1.0, p) * (1.0 + 0.05 * rng.next_gaussian() + p * 0.001);
+    comm.exclusive = std::max(0.0, comm.exclusive);
+    comm.inclusive = comm.exclusive;
+    comm.num_calls = 10.0 * doublings + 1.0;
+    trial.set_interval_data(mpi_event, thread, metric, comm);
+    children_total += comm.inclusive;
+
+    profile::IntervalDataPoint main_point;
+    main_point.exclusive = 1000.0;
+    main_point.inclusive = children_total + main_point.exclusive;
+    main_point.num_calls = 1.0;
+    main_point.num_subrs = static_cast<double>(routines.size() + 1);
+    trial.set_interval_data(main_event, thread, metric, main_point);
+  }
+
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData generate_weak_scaling_trial(const ScalingSpec& spec,
+                                               std::int32_t processors) {
+  if (processors <= 0) {
+    throw perfdmf::InvalidArgument("processors must be positive");
+  }
+  util::Rng rng(spec.seed);
+  profile::TrialData trial;
+  trial.trial().name =
+      spec.name + ".weak." + std::to_string(processors) + "p";
+  trial.trial().fields["processors"] = std::to_string(processors);
+  trial.trial().fields["scaling"] = "weak";
+
+  const std::size_t metric = trial.intern_metric("TIME");
+  const std::size_t main_event = trial.intern_event("main", "application");
+  const std::size_t mpi_event = trial.intern_event("MPI_Allreduce()", "MPI");
+  const double p = static_cast<double>(processors);
+  const double doublings = std::log2(std::max(1.0, p));
+
+  std::vector<std::pair<std::size_t, double>> routines;  // event, share
+  double share_sum = 0.0;
+  for (std::size_t r = 0; r < spec.routine_count; ++r) {
+    const double share = 1.0 / static_cast<double>(r + 1);
+    routines.emplace_back(trial.intern_event(compute_name(r), "computation"),
+                          share);
+    share_sum += share;
+  }
+
+  // Per-processor work is spec.total_work_us regardless of p.
+  for (std::int32_t rank = 0; rank < processors; ++rank) {
+    const std::size_t thread = trial.intern_thread({rank, 0, 0});
+    double children_total = 0.0;
+    for (const auto& [event, share] : routines) {
+      profile::IntervalDataPoint point;
+      point.exclusive = spec.total_work_us * share / share_sum *
+                        (1.0 + 0.01 * rng.next_gaussian());
+      point.exclusive = std::max(1.0, point.exclusive);
+      point.inclusive = point.exclusive;
+      point.num_calls = 100.0;
+      trial.set_interval_data(event, thread, metric, point);
+      children_total += point.inclusive;
+    }
+    profile::IntervalDataPoint comm;
+    // (1 + doublings): nonzero latency floor even on one processor, so
+    // weak-scaling efficiency of the communication routine is defined at
+    // the base count and decays as log2(p) grows.
+    comm.exclusive = spec.total_work_us * spec.comm_fraction *
+                     (1.0 + doublings) * (1.0 + 0.05 * rng.next_gaussian());
+    comm.exclusive = std::max(0.0, comm.exclusive);
+    comm.inclusive = comm.exclusive;
+    comm.num_calls = 10.0 * doublings + 1.0;
+    trial.set_interval_data(mpi_event, thread, metric, comm);
+    children_total += comm.inclusive;
+
+    profile::IntervalDataPoint main_point;
+    main_point.exclusive = 1000.0;
+    main_point.inclusive = children_total + main_point.exclusive;
+    main_point.num_calls = 1.0;
+    trial.set_interval_data(main_event, thread, metric, main_point);
+  }
+
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+ClusteredTrial generate_clustered_trial(const ClusterSpec& spec) {
+  if (spec.cluster_count == 0 || spec.threads <= 0) {
+    throw perfdmf::InvalidArgument("bad ClusterSpec");
+  }
+  util::Rng rng(spec.seed);
+  ClusteredTrial out;
+  profile::TrialData& trial = out.trial;
+  trial.trial().name = spec.name;
+
+  static const char* kPapiNames[] = {
+      "TIME",          "PAPI_FP_OPS",  "PAPI_L1_DCM", "PAPI_L2_DCM",
+      "PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_BR_MSP", "PAPI_TLB_DM",
+  };
+  std::vector<std::size_t> metrics;
+  for (std::size_t m = 0; m < spec.metric_count; ++m) {
+    metrics.push_back(trial.intern_metric(
+        m < std::size(kPapiNames) ? kPapiNames[m]
+                                  : "PAPI_CTR_" + std::to_string(m)));
+  }
+
+  std::vector<std::size_t> events;
+  for (std::size_t e = 0; e < spec.event_count; ++e) {
+    events.push_back(trial.intern_event(compute_name(e), "computation"));
+  }
+
+  // Cluster signatures: per (cluster, event, metric) mean multipliers.
+  // Drawn once; separation controls how distinct clusters are.
+  const std::size_t k = spec.cluster_count;
+  std::vector<double> signature(k * events.size() * metrics.size());
+  for (double& s : signature) {
+    s = 1.0 + spec.cluster_separation * 0.1 * rng.next_gaussian();
+    s = std::max(0.05, s);
+  }
+
+  for (std::int32_t t = 0; t < spec.threads; ++t) {
+    // Contiguous block assignment mirrors sPPM's spatial decomposition
+    // (boundary ranks behave differently from interior ranks).
+    const std::size_t cluster =
+        static_cast<std::size_t>(t) * k / static_cast<std::size_t>(spec.threads);
+    out.ground_truth.push_back(cluster);
+    const std::size_t thread = trial.intern_thread({t, 0, 0});
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      const double unit = m == 0 ? 1.0e5 : 1.0e6 * static_cast<double>(m);
+      for (std::size_t e = 0; e < events.size(); ++e) {
+        const double mean =
+            unit * signature[(cluster * events.size() + e) * metrics.size() + m];
+        profile::IntervalDataPoint p;
+        p.exclusive = std::max(1.0, mean * (1.0 + 0.01 * rng.next_gaussian()));
+        p.inclusive = p.exclusive;
+        p.num_calls = 50.0;
+        trial.set_interval_data(events[e], thread, metrics[m], p);
+      }
+    }
+  }
+
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return out;
+}
+
+// ----------------------------------------------------------- emission
+
+void write_as_tau(const profile::TrialData& trial,
+                  const std::filesystem::path& directory) {
+  write_tau_profiles(trial, directory);
+}
+
+void write_as_gprof(const profile::TrialData& trial,
+                    const std::filesystem::path& file) {
+  util::write_file(file, render_gprof_report(trial));
+}
+
+void write_as_mpip(const profile::TrialData& trial,
+                   const std::filesystem::path& file) {
+  util::write_file(file, render_mpip_report(trial));
+}
+
+void write_as_dynaprof(const profile::TrialData& trial,
+                       const std::filesystem::path& directory,
+                       const std::string& metric_name) {
+  std::filesystem::create_directories(directory);
+  for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+    const profile::ThreadId& id = trial.threads()[t];
+    const std::string name = "dynaprof." + std::to_string(id.node) + "." +
+                             std::to_string(id.thread) + ".txt";
+    util::write_file(directory / name,
+                     render_dynaprof_report(trial, t, metric_name));
+  }
+}
+
+void write_as_hpm(const profile::TrialData& trial,
+                  const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+  for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+    const std::string name =
+        "hpm_" + std::to_string(trial.threads()[t].node) + ".txt";
+    util::write_file(directory / name, render_hpm_report(trial, t));
+  }
+}
+
+void write_as_psrun(const profile::TrialData& trial,
+                    const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+  for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+    const std::string name =
+        "psrun." + std::to_string(trial.threads()[t].node) + ".xml";
+    util::write_file(directory / name, render_psrun_report(trial, t));
+  }
+}
+
+profile::TrialData generate_mpip_style_trial(const TrialSpec& spec) {
+  util::Rng rng(spec.seed);
+  profile::TrialData trial;
+  trial.trial().name = spec.name;
+  const std::size_t metric = trial.intern_metric("TIME");
+  const std::size_t app = trial.intern_event("Application", "application");
+
+  const std::size_t n_sites = std::max<std::size_t>(1, spec.event_count);
+  std::vector<std::size_t> sites;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    const std::string op = kMpiNames[s % std::size(kMpiNames)];
+    // render/parse convention: "MPI_<op>() [site <id>]"
+    const std::string bare = op.substr(4, op.size() - 6);  // strip MPI_ and ()
+    sites.push_back(trial.intern_event(
+        "MPI_" + bare + "() [site " + std::to_string(s + 1) + "]", "MPI"));
+  }
+
+  // Message-size atomic events per site (mpiP's "Message Sent" section).
+  std::vector<std::size_t> byte_events;
+  if (spec.atomic_event_count > 0) {
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      const std::string& site_name = trial.events()[sites[s]].name;
+      // sites[s] name: "MPI_<op>() [site N]" -> "Message size: <op> [site N]"
+      const std::size_t paren = site_name.find("()");
+      const std::string op = site_name.substr(4, paren - 4);
+      const std::size_t bracket = site_name.find("[site ");
+      byte_events.push_back(trial.intern_atomic_event(
+          "Message size: " + op + " " + site_name.substr(bracket), "MPI_BYTES"));
+    }
+  }
+
+  for (std::int32_t rank = 0; rank < spec.nodes; ++rank) {
+    const std::size_t thread = trial.intern_thread({rank, 0, 0});
+    double mpi_total = 0.0;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      profile::IntervalDataPoint p;
+      p.num_calls = static_cast<double>(8 + rng.next_below(240));
+      const double mean_us =
+          spec.base_time_us / 100.0 * (1.0 + 0.3 * rng.next_double());
+      p.exclusive = p.num_calls * mean_us;
+      p.inclusive = p.exclusive;
+      trial.set_interval_data(sites[s], thread, metric, p);
+      mpi_total += p.exclusive;
+      if (!byte_events.empty()) {
+        profile::AtomicDataPoint bytes;
+        bytes.sample_count = p.num_calls;
+        bytes.mean = 512.0 * static_cast<double>(1 + rng.next_below(64));
+        bytes.minimum = bytes.mean * 0.5;
+        bytes.maximum = bytes.mean * 2.0;
+        trial.set_atomic_data(byte_events[s], thread, bytes);
+      }
+    }
+    profile::IntervalDataPoint app_point;
+    app_point.inclusive =
+        mpi_total + spec.base_time_us * static_cast<double>(spec.event_count) *
+                        (1.0 + spec.imbalance * rng.next_gaussian());
+    app_point.exclusive = app_point.inclusive - mpi_total;
+    app_point.num_calls = 1.0;
+    app_point.num_subrs = static_cast<double>(sites.size());
+    trial.set_interval_data(app, thread, metric, app_point);
+  }
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData generate_psrun_style_trial(const TrialSpec& spec) {
+  util::Rng rng(spec.seed);
+  profile::TrialData trial;
+  trial.trial().name = spec.name;
+  const std::size_t metric = trial.intern_metric("TIME");
+  std::vector<std::size_t> counters;
+  for (const auto& name : spec.extra_metrics) {
+    counters.push_back(trial.intern_metric(name));
+  }
+  const std::size_t event = trial.intern_event("Entire application");
+  for (std::int32_t rank = 0; rank < spec.nodes; ++rank) {
+    const std::size_t thread = trial.intern_thread({rank, 0, 0});
+    profile::IntervalDataPoint p;
+    p.inclusive = spec.base_time_us * static_cast<double>(spec.event_count) *
+                  (1.0 + spec.imbalance * rng.next_gaussian());
+    p.exclusive = p.inclusive;
+    p.num_calls = 1.0;
+    trial.set_interval_data(event, thread, metric, p);
+    for (std::size_t c = 0; c < counters.size(); ++c) {
+      profile::IntervalDataPoint counter_point;
+      counter_point.inclusive = 1.0e7 * static_cast<double>(c + 1) *
+                                (1.0 + 0.2 * rng.next_double());
+      counter_point.exclusive = counter_point.inclusive;
+      counter_point.num_calls = 1.0;
+      trial.set_interval_data(event, thread, counters[c], counter_point);
+    }
+  }
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+}  // namespace perfdmf::io::synth

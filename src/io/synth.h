@@ -1,0 +1,122 @@
+// Synthetic workload generation.
+//
+// The paper evaluates PerfDMF on datasets we cannot obtain (Miranda on
+// BlueGene/L at 8K/16K processors, EVH1 scaling runs, ASCI Purple sPPM /
+// SMG2000 / SPhot with PAPI counters, plus gprof / mpiP / HPMToolkit /
+// dynaprof / psrun outputs). These generators synthesize statistically
+// realistic stand-ins with controlled structure — load imbalance,
+// Amdahl-style scaling, planted behavioural clusters — and can write them
+// in every supported on-disk format, so the import -> store -> query ->
+// analyze pipeline runs the same code paths at the same scales
+// (documented in DESIGN.md, "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::io::synth {
+
+/// Shape of a generated trial.
+struct TrialSpec {
+  std::string name = "synthetic";
+  std::int32_t nodes = 4;
+  std::int32_t contexts_per_node = 1;
+  std::int32_t threads_per_context = 1;
+  /// Interval events, split ~70% computation / 30% MPI by name & group.
+  std::size_t event_count = 16;
+  /// Metric names; "TIME" is always added first when absent.
+  std::vector<std::string> extra_metrics;
+  /// Atomic (user-defined) events; 0 disables.
+  std::size_t atomic_event_count = 0;
+  /// Relative per-thread load imbalance (std dev of a ~N(1, imbalance)
+  /// multiplier applied to computation events).
+  double imbalance = 0.05;
+  /// Also emit TAU-style callpath events ("main => <child>", group
+  /// TAU_CALLPATH) alongside every flat child event.
+  bool with_callpaths = false;
+  /// Base per-event exclusive time, microseconds.
+  double base_time_us = 1.0e5;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a trial with a two-level call tree:
+/// main -> { compute_<i> (computation), MPI_* (communication) }.
+/// Totals are internally consistent: main.inclusive == sum of children +
+/// main.exclusive; percentages/per-call are recomputed at the end.
+profile::TrialData generate_trial(const TrialSpec& spec);
+
+/// Strong-scaling family (EVH1-style, paper §5.2): one trial per
+/// processor count. Each computation event has its own serial fraction
+/// (Amdahl), so per-routine speedups differ; MPI overhead grows mildly
+/// with the processor count.
+struct ScalingSpec {
+  std::string name = "evh1";
+  std::size_t routine_count = 12;
+  double total_work_us = 6.4e7;  // one-processor total
+  /// Serial fraction of routine i ramps linearly from min to max.
+  double min_serial_fraction = 0.0;
+  double max_serial_fraction = 0.30;
+  /// Communication cost per processor doubling, as a fraction of work.
+  double comm_fraction = 0.01;
+  std::uint64_t seed = 7;
+};
+profile::TrialData generate_scaling_trial(const ScalingSpec& spec,
+                                          std::int32_t processors);
+
+/// Weak-scaling family: the per-processor work stays constant as the
+/// processor count grows (the problem grows with the machine), so ideal
+/// behaviour is constant time per routine; communication still grows
+/// with log2(p), which is what the efficiency analysis should expose.
+profile::TrialData generate_weak_scaling_trial(const ScalingSpec& spec,
+                                               std::int32_t processors);
+
+/// Clustered multi-metric trial (sPPM-style, paper §5.3): threads belong
+/// to `cluster_count` behavioural clusters; each cluster has a distinct
+/// signature across the PAPI-like metrics so that k-means can recover the
+/// planted structure. Returns the trial plus the ground-truth assignment.
+struct ClusterSpec {
+  std::string name = "sppm";
+  std::int32_t threads = 256;
+  std::size_t event_count = 24;
+  std::size_t metric_count = 7;  // "up to 7 PAPI hardware counters"
+  std::size_t cluster_count = 3;
+  double cluster_separation = 6.0;  // signature distance in noise std-devs
+  std::uint64_t seed = 1234;
+};
+struct ClusteredTrial {
+  profile::TrialData trial;
+  std::vector<std::size_t> ground_truth;  // thread index -> cluster id
+};
+ClusteredTrial generate_clustered_trial(const ClusterSpec& spec);
+
+// ---- on-disk emission ----------------------------------------------------
+// Each writer produces files the corresponding importer parses. For
+// single-process formats (gprof) only thread 0:0:0 is written.
+
+void write_as_tau(const profile::TrialData& trial,
+                  const std::filesystem::path& directory);
+void write_as_gprof(const profile::TrialData& trial,
+                    const std::filesystem::path& file);
+void write_as_mpip(const profile::TrialData& trial,
+                   const std::filesystem::path& file);
+/// One file per thread: <dir>/dynaprof.<rank>.<thread>.txt
+void write_as_dynaprof(const profile::TrialData& trial,
+                       const std::filesystem::path& directory,
+                       const std::string& metric_name = "TIME");
+/// One file per process: <dir>/hpm_<rank>.txt
+void write_as_hpm(const profile::TrialData& trial,
+                  const std::filesystem::path& directory);
+/// One file per process: <dir>/psrun.<rank>.xml
+void write_as_psrun(const profile::TrialData& trial,
+                    const std::filesystem::path& directory);
+
+/// A trial shaped for mpiP emission (Application + MPI callsites only).
+profile::TrialData generate_mpip_style_trial(const TrialSpec& spec);
+/// A trial shaped for psrun emission (one whole-program event, counters).
+profile::TrialData generate_psrun_style_trial(const TrialSpec& spec);
+
+}  // namespace perfdmf::io::synth

@@ -1,0 +1,330 @@
+#include "io/tau_format.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace perfdmf::io {
+
+namespace {
+
+/// Parse `profile.N.C.T` -> ThreadId. Returns false for other names.
+bool parse_profile_filename(const std::string& name, profile::ThreadId& out) {
+  if (!util::starts_with(name, "profile.")) return false;
+  auto parts = util::split(name.substr(8), '.');
+  if (parts.size() != 3) return false;
+  auto n = util::parse_int(parts[0]);
+  auto c = util::parse_int(parts[1]);
+  auto t = util::parse_int(parts[2]);
+  if (!n || !c || !t) return false;
+  out.node = static_cast<std::int32_t>(*n);
+  out.context = static_cast<std::int32_t>(*c);
+  out.thread = static_cast<std::int32_t>(*t);
+  return true;
+}
+
+/// Read a leading quoted name; returns the rest of the line after it.
+std::string parse_quoted(const std::string& line, std::string& name,
+                         std::string_view what) {
+  if (line.empty() || line[0] != '"') {
+    throw perfdmf::ParseError("TAU: expected quoted " + std::string(what) +
+                              " in line: " + line);
+  }
+  const std::size_t close = line.find('"', 1);
+  if (close == std::string::npos) {
+    throw perfdmf::ParseError("TAU: unterminated quoted name: " + line);
+  }
+  name = line.substr(1, close - 1);
+  return line.substr(close + 1);
+}
+
+/// Parse TAU's metadata XML block into the trial's flexible fields.
+/// Grammar: <metadata><attribute><name>..</name><value>..</value>
+/// </attribute>*</metadata>. Malformed blocks are ignored (metadata is
+/// advisory; a bad block must not fail the profile import).
+void parse_metadata_block(const std::string& xml_text,
+                          perfdmf::profile::TrialData& trial) {
+  try {
+    perfdmf::xml::XmlParser parser(xml_text);
+    parser.expect_start("metadata");
+    for (;;) {
+      const auto& peeked = parser.peek();
+      if (peeked.type != perfdmf::xml::XmlEventType::kStartElement ||
+          peeked.name != "attribute") {
+        break;
+      }
+      parser.expect_start("attribute");
+      parser.expect_start("name");
+      const std::string name = parser.read_text_until_end("name");
+      parser.expect_start("value");
+      const std::string value = parser.read_text_until_end("value");
+      parser.expect_end("attribute");
+      if (!name.empty()) trial.trial().fields[name] = value;
+    }
+  } catch (const perfdmf::ParseError&) {
+    // best effort only
+  }
+}
+
+/// Extract GROUP="..." from a line tail; empty when absent.
+std::string parse_group(const std::string& tail) {
+  const std::size_t at = tail.find("GROUP=\"");
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + 7;
+  const std::size_t close = tail.find('"', start);
+  if (close == std::string::npos) return "";
+  return tail.substr(start, close - start);
+}
+
+}  // namespace
+
+void TauDataSource::parse_file(const std::string& content,
+                               const profile::ThreadId& thread,
+                               profile::TrialData& trial) {
+  const auto lines = util::split_lines(content);
+  if (lines.empty()) throw perfdmf::ParseError("TAU: empty profile file");
+
+  // Header: "<n> templated_functions[_MULTI_<METRIC>]"
+  auto header = util::split_ws_limit(lines[0], 2);
+  if (header.size() != 2) {
+    throw perfdmf::ParseError("TAU: bad header line: " + lines[0]);
+  }
+  const std::int64_t n_functions =
+      util::parse_int_or_throw(header[0], "TAU function count");
+  std::string metric_name = "TIME";
+  static constexpr std::string_view kMultiTag = "templated_functions_MULTI_";
+  if (util::starts_with(header[1], kMultiTag)) {
+    metric_name = header[1].substr(kMultiTag.size());
+  } else if (!util::starts_with(header[1], "templated_functions")) {
+    throw perfdmf::ParseError("TAU: unrecognized header: " + lines[0]);
+  }
+  const std::size_t metric = trial.intern_metric(metric_name);
+  const std::size_t thread_index = trial.intern_thread(thread);
+
+  std::size_t line_no = 1;
+  // Optional column comment line; may carry TAU's metadata XML block
+  // ("# Name Calls ... # <metadata><attribute>...</attribute></metadata>"),
+  // which lands in the trial's flexible metadata fields.
+  if (line_no < lines.size() && util::starts_with(lines[line_no], "#")) {
+    const std::string& header_line = lines[line_no];
+    const std::size_t meta_at = header_line.find("<metadata>");
+    if (meta_at != std::string::npos) {
+      parse_metadata_block(header_line.substr(meta_at), trial);
+    }
+    ++line_no;
+  }
+
+  for (std::int64_t f = 0; f < n_functions; ++f, ++line_no) {
+    if (line_no >= lines.size()) {
+      throw perfdmf::ParseError("TAU: file ends before all functions read");
+    }
+    const std::string& line = lines[line_no];
+    std::string name;
+    std::string tail = parse_quoted(line, name, "function name");
+    auto fields = util::split_ws_limit(tail, 6);
+    if (fields.size() < 5) {
+      throw perfdmf::ParseError("TAU: short function line: " + line);
+    }
+    profile::IntervalDataPoint point;
+    point.num_calls = util::parse_double_or_throw(fields[0], "calls");
+    point.num_subrs = util::parse_double_or_throw(fields[1], "subrs");
+    point.exclusive = util::parse_double_or_throw(fields[2], "exclusive");
+    point.inclusive = util::parse_double_or_throw(fields[3], "inclusive");
+    const std::string group = fields.size() >= 6 ? parse_group(fields[5]) : "";
+    const std::size_t event = trial.intern_event(name, group);
+    trial.set_interval_data(event, thread_index, metric, point);
+  }
+
+  // "<m> aggregates" (ignored) then optionally "<k> userevents".
+  while (line_no < lines.size()) {
+    const std::string line = std::string(util::trim(lines[line_no]));
+    if (line.empty() || line[0] == '#') {
+      ++line_no;
+      continue;
+    }
+    auto parts = util::split_ws_limit(line, 2);
+    if (parts.size() == 2 && parts[1] == "aggregates") {
+      const std::int64_t n_aggregates =
+          util::parse_int_or_throw(parts[0], "aggregate count");
+      ++line_no;
+      line_no += static_cast<std::size_t>(n_aggregates);  // not modeled
+      continue;
+    }
+    if (parts.size() == 2 && parts[1] == "userevents") {
+      const std::int64_t n_userevents =
+          util::parse_int_or_throw(parts[0], "userevent count");
+      ++line_no;
+      if (line_no < lines.size() && util::starts_with(lines[line_no], "#")) {
+        ++line_no;
+      }
+      for (std::int64_t u = 0; u < n_userevents; ++u, ++line_no) {
+        if (line_no >= lines.size()) {
+          throw perfdmf::ParseError("TAU: file ends before all userevents read");
+        }
+        std::string name;
+        std::string tail = parse_quoted(lines[line_no], name, "userevent name");
+        auto fields = util::split_ws(tail);
+        if (fields.size() < 5) {
+          throw perfdmf::ParseError("TAU: short userevent line: " + lines[line_no]);
+        }
+        profile::AtomicDataPoint point;
+        point.sample_count = util::parse_double_or_throw(fields[0], "numevents");
+        point.maximum = util::parse_double_or_throw(fields[1], "max");
+        point.minimum = util::parse_double_or_throw(fields[2], "min");
+        point.mean = util::parse_double_or_throw(fields[3], "mean");
+        const double sum_squares =
+            util::parse_double_or_throw(fields[4], "sumsqr");
+        // TAU stores the sum of squares; convert to population std dev.
+        if (point.sample_count > 0.0) {
+          const double variance =
+              sum_squares / point.sample_count - point.mean * point.mean;
+          point.std_dev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+        }
+        const std::size_t atomic = trial.intern_atomic_event(name);
+        trial.set_atomic_data(atomic, thread_index, point);
+      }
+      continue;
+    }
+    throw perfdmf::ParseError("TAU: unexpected trailer line: " + line);
+  }
+}
+
+TauDataSource::TauDataSource(std::filesystem::path directory, ScanFilter filter)
+    : directory_(std::move(directory)), filter_(std::move(filter)) {}
+
+profile::TrialData TauDataSource::load() {
+  namespace fs = std::filesystem;
+  profile::TrialData trial;
+  trial.trial().name = directory_.filename().string();
+
+  // Collect (path, thread) work items across flat and MULTI__ layouts.
+  struct Item {
+    fs::path path;
+    profile::ThreadId thread;
+  };
+  std::vector<Item> items;
+  auto collect_from = [&](const fs::path& dir) {
+    for (const auto& path : scan_directory(dir, filter_)) {
+      profile::ThreadId thread;
+      if (parse_profile_filename(path.filename().string(), thread)) {
+        items.push_back({path, thread});
+      }
+    }
+  };
+  bool found_multi = false;
+  if (fs::is_directory(directory_)) {
+    for (const auto& entry : fs::directory_iterator(directory_)) {
+      if (entry.is_directory() &&
+          util::starts_with(entry.path().filename().string(), "MULTI__")) {
+        found_multi = true;
+        collect_from(entry.path());
+      }
+    }
+    if (!found_multi) collect_from(directory_);
+  } else {
+    throw perfdmf::IoError("TAU: not a directory: " + directory_.string());
+  }
+  if (items.empty()) {
+    throw perfdmf::ParseError("TAU: no profile.N.C.T files under " +
+                              directory_.string());
+  }
+
+  // Read file contents in parallel (I/O bound), parse serially
+  // (TrialData interning is single-writer by design).
+  std::vector<std::string> contents(items.size());
+  util::default_pool().parallel_for(0, items.size(), [&](std::size_t i) {
+    contents[i] = util::read_file(items[i].path);
+  });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    parse_file(contents[i], items[i].thread, trial);
+  }
+
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+void write_tau_profiles(const profile::TrialData& trial,
+                        const std::filesystem::path& directory) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const auto& metrics = trial.metrics();
+  const bool multi = metrics.size() > 1;
+
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    fs::path dir = directory;
+    if (multi) {
+      dir /= "MULTI__" + metrics[m].name;
+      fs::create_directories(dir);
+    }
+    for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+      const profile::ThreadId& thread = trial.threads()[t];
+      // Gather this thread+metric's events.
+      std::string body;
+      std::size_t n_functions = 0;
+      for (std::size_t e = 0; e < trial.events().size(); ++e) {
+        const profile::IntervalDataPoint* p = trial.interval_data(e, t, m);
+        if (p == nullptr) continue;
+        char line[512];
+        std::snprintf(line, sizeof line, "%.17g %.17g %.17g %.17g 0 GROUP=\"%s\"\n",
+                      p->num_calls, p->num_subrs, p->exclusive, p->inclusive,
+                      trial.events()[e].group.c_str());
+        body += "\"" + trial.events()[e].name + "\" " + line;
+        ++n_functions;
+      }
+      std::string out = std::to_string(n_functions) +
+                        " templated_functions_MULTI_" + metrics[m].name + "\n";
+      out += "# Name Calls Subrs Excl Incl ProfileCalls #";
+      if (!trial.trial().fields.empty()) {
+        // TAU metadata block: trial attributes ride along in the header.
+        xml::XmlWriter metadata(0);
+        metadata.start_element("metadata");
+        for (const auto& [name, value] : trial.trial().fields) {
+          metadata.start_element("attribute");
+          metadata.element_with_text("name", name);
+          metadata.element_with_text("value", value);
+          metadata.end_element();
+        }
+        metadata.end_element();
+        out += " " + metadata.str();
+      }
+      out += "\n";
+      out += body;
+      out += "0 aggregates\n";
+      // User events only in the first metric file (they are metric-free).
+      std::string user_body;
+      std::size_t n_userevents = 0;
+      if (m == 0) {
+        for (std::size_t a = 0; a < trial.atomic_events().size(); ++a) {
+          const profile::AtomicDataPoint* p = trial.atomic_data(a, t);
+          if (p == nullptr) continue;
+          const double sum_squares =
+              p->sample_count * (p->std_dev * p->std_dev + p->mean * p->mean);
+          char line[256];
+          std::snprintf(line, sizeof line, "%.17g %.17g %.17g %.17g %.17g\n",
+                        p->sample_count, p->maximum, p->minimum, p->mean,
+                        sum_squares);
+          user_body += "\"" + trial.atomic_events()[a].name + "\" " + line;
+          ++n_userevents;
+        }
+      }
+      out += std::to_string(n_userevents) + " userevents\n";
+      if (n_userevents > 0) {
+        out += "# eventname numevents max min mean sumsqr\n";
+        out += user_body;
+      }
+      char filename[64];
+      std::snprintf(filename, sizeof filename, "profile.%d.%d.%d", thread.node,
+                    thread.context, thread.thread);
+      util::write_file(dir / filename, out);
+    }
+  }
+}
+
+}  // namespace perfdmf::io

@@ -1,0 +1,251 @@
+#include "io/xml_io.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace perfdmf::io {
+
+namespace {
+
+std::string fmt(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+double attr_double(const xml::XmlEvent& event, const char* name) {
+  auto it = event.attrs.find(name);
+  if (it == event.attrs.end()) {
+    throw perfdmf::ParseError(std::string("perfdmf xml: <") + event.name +
+                              "> missing attribute '" + name + "'");
+  }
+  return util::parse_double_or_throw(it->second, name);
+}
+
+std::int64_t attr_int(const xml::XmlEvent& event, const char* name) {
+  auto it = event.attrs.find(name);
+  if (it == event.attrs.end()) {
+    throw perfdmf::ParseError(std::string("perfdmf xml: <") + event.name +
+                              "> missing attribute '" + name + "'");
+  }
+  return util::parse_int_or_throw(it->second, name);
+}
+
+std::string attr_string(const xml::XmlEvent& event, const char* name,
+                        const std::string& fallback = "") {
+  auto it = event.attrs.find(name);
+  return it == event.attrs.end() ? fallback : it->second;
+}
+
+std::string attr_required(const xml::XmlEvent& event, const char* name) {
+  auto it = event.attrs.find(name);
+  if (it == event.attrs.end()) {
+    throw perfdmf::ParseError(std::string("perfdmf xml: <") + event.name +
+                              "> missing attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::string export_xml(const profile::TrialData& trial) {
+  xml::XmlWriter w;
+  w.declaration();
+  w.start_element("perfdmf_profile");
+  w.attribute("version", "1");
+
+  w.start_element("trial");
+  w.attribute("name", trial.trial().name);
+  w.attribute("nodes", static_cast<long long>(trial.trial().node_count));
+  w.attribute("contexts", static_cast<long long>(trial.trial().contexts_per_node));
+  w.attribute("threads", static_cast<long long>(trial.trial().threads_per_context));
+  for (const auto& [name, value] : trial.trial().fields) {
+    w.start_element("field");
+    w.attribute("name", name);
+    w.attribute("value", value);
+    w.end_element();
+  }
+  w.end_element();
+
+  w.start_element("metrics");
+  for (std::size_t m = 0; m < trial.metrics().size(); ++m) {
+    w.start_element("metric");
+    w.attribute("id", static_cast<long long>(m));
+    w.attribute("name", trial.metrics()[m].name);
+    w.attribute("derived", trial.metrics()[m].derived ? "yes" : "no");
+    w.end_element();
+  }
+  w.end_element();
+
+  w.start_element("events");
+  for (std::size_t e = 0; e < trial.events().size(); ++e) {
+    w.start_element("event");
+    w.attribute("id", static_cast<long long>(e));
+    w.attribute("name", trial.events()[e].name);
+    w.attribute("group", trial.events()[e].group);
+    w.end_element();
+  }
+  w.end_element();
+
+  w.start_element("atomicevents");
+  for (std::size_t a = 0; a < trial.atomic_events().size(); ++a) {
+    w.start_element("atomicevent");
+    w.attribute("id", static_cast<long long>(a));
+    w.attribute("name", trial.atomic_events()[a].name);
+    w.attribute("group", trial.atomic_events()[a].group);
+    w.end_element();
+  }
+  w.end_element();
+
+  w.start_element("threads");
+  for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+    w.start_element("thread");
+    w.attribute("id", static_cast<long long>(t));
+    w.attribute("node", static_cast<long long>(trial.threads()[t].node));
+    w.attribute("context", static_cast<long long>(trial.threads()[t].context));
+    w.attribute("thread", static_cast<long long>(trial.threads()[t].thread));
+    w.end_element();
+  }
+  w.end_element();
+
+  w.start_element("intervaldata");
+  trial.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                              const profile::IntervalDataPoint& p) {
+    w.start_element("p");
+    w.attribute("e", static_cast<long long>(e));
+    w.attribute("t", static_cast<long long>(t));
+    w.attribute("m", static_cast<long long>(m));
+    w.attribute("incl", fmt(p.inclusive));
+    w.attribute("excl", fmt(p.exclusive));
+    w.attribute("calls", fmt(p.num_calls));
+    w.attribute("subrs", fmt(p.num_subrs));
+    w.end_element();
+  });
+  w.end_element();
+
+  w.start_element("atomicdata");
+  trial.for_each_atomic([&](std::size_t a, std::size_t t,
+                            const profile::AtomicDataPoint& p) {
+    w.start_element("a");
+    w.attribute("e", static_cast<long long>(a));
+    w.attribute("t", static_cast<long long>(t));
+    w.attribute("n", fmt(p.sample_count));
+    w.attribute("max", fmt(p.maximum));
+    w.attribute("min", fmt(p.minimum));
+    w.attribute("mean", fmt(p.mean));
+    w.attribute("sd", fmt(p.std_dev));
+    w.end_element();
+  });
+  w.end_element();
+
+  w.end_element();  // perfdmf_profile
+  return w.str();
+}
+
+profile::TrialData import_xml(const std::string& content) {
+  profile::TrialData trial;
+  xml::XmlParser parser(content);
+  parser.expect_start("perfdmf_profile");
+
+  // Index remapping: the document's dense ids -> this TrialData's ids
+  // (identical when the file is well-formed, but tolerate permutations).
+  std::vector<std::size_t> metric_map;
+  std::vector<std::size_t> event_map;
+  std::vector<std::size_t> atomic_map;
+  std::vector<std::size_t> thread_map;
+
+  int depth = 1;
+  while (depth > 0) {
+    xml::XmlEvent event = parser.next();
+    switch (event.type) {
+      case xml::XmlEventType::kStartElement: {
+        if (event.name == "trial") {
+          trial.trial().name = attr_string(event, "name");
+          trial.trial().node_count = attr_int(event, "nodes");
+          trial.trial().contexts_per_node = attr_int(event, "contexts");
+          trial.trial().threads_per_context = attr_int(event, "threads");
+          ++depth;
+        } else if (event.name == "field") {
+          trial.trial().fields[attr_string(event, "name")] =
+              attr_string(event, "value");
+          ++depth;
+        } else if (event.name == "metric") {
+          const std::size_t index = trial.intern_metric(attr_required(event, "name"));
+          trial.metric(index).derived = attr_string(event, "derived") == "yes";
+          metric_map.push_back(index);
+          ++depth;
+        } else if (event.name == "event") {
+          event_map.push_back(trial.intern_event(attr_required(event, "name"),
+                                                 attr_string(event, "group")));
+          ++depth;
+        } else if (event.name == "atomicevent") {
+          atomic_map.push_back(trial.intern_atomic_event(
+              attr_required(event, "name"), attr_string(event, "group")));
+          ++depth;
+        } else if (event.name == "thread") {
+          profile::ThreadId id;
+          id.node = static_cast<std::int32_t>(attr_int(event, "node"));
+          id.context = static_cast<std::int32_t>(attr_int(event, "context"));
+          id.thread = static_cast<std::int32_t>(attr_int(event, "thread"));
+          thread_map.push_back(trial.intern_thread(id));
+          ++depth;
+        } else if (event.name == "p") {
+          const std::size_t e = static_cast<std::size_t>(attr_int(event, "e"));
+          const std::size_t t = static_cast<std::size_t>(attr_int(event, "t"));
+          const std::size_t m = static_cast<std::size_t>(attr_int(event, "m"));
+          if (e >= event_map.size() || t >= thread_map.size() ||
+              m >= metric_map.size()) {
+            throw perfdmf::ParseError("perfdmf xml: <p> index out of range");
+          }
+          profile::IntervalDataPoint point;
+          point.inclusive = attr_double(event, "incl");
+          point.exclusive = attr_double(event, "excl");
+          point.num_calls = attr_double(event, "calls");
+          point.num_subrs = attr_double(event, "subrs");
+          trial.set_interval_data(event_map[e], thread_map[t], metric_map[m], point);
+          ++depth;
+        } else if (event.name == "a") {
+          const std::size_t a = static_cast<std::size_t>(attr_int(event, "e"));
+          const std::size_t t = static_cast<std::size_t>(attr_int(event, "t"));
+          if (a >= atomic_map.size() || t >= thread_map.size()) {
+            throw perfdmf::ParseError("perfdmf xml: <a> index out of range");
+          }
+          profile::AtomicDataPoint point;
+          point.sample_count = attr_double(event, "n");
+          point.maximum = attr_double(event, "max");
+          point.minimum = attr_double(event, "min");
+          point.mean = attr_double(event, "mean");
+          point.std_dev = attr_double(event, "sd");
+          trial.set_atomic_data(atomic_map[a], thread_map[t], point);
+          ++depth;
+        } else {
+          ++depth;  // container elements: metrics, events, ...
+        }
+        break;
+      }
+      case xml::XmlEventType::kEndElement:
+        --depth;
+        break;
+      case xml::XmlEventType::kText:
+        break;
+      case xml::XmlEventType::kEndDocument:
+        throw perfdmf::ParseError("perfdmf xml: truncated document");
+    }
+  }
+
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+profile::TrialData XmlDataSource::load() {
+  profile::TrialData trial = import_xml(util::read_file(file_));
+  if (trial.trial().name.empty()) trial.trial().name = file_.filename().string();
+  return trial;
+}
+
+}  // namespace perfdmf::io

@@ -1,0 +1,135 @@
+#include "profile/callpath.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace perfdmf::profile {
+
+namespace {
+constexpr std::string_view kArrow = " => ";
+}
+
+bool is_callpath(const std::string& event_name) {
+  return event_name.find(kArrow) != std::string::npos;
+}
+
+std::vector<std::string> split_callpath(const std::string& event_name) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t at = event_name.find(kArrow, start);
+    if (at == std::string::npos) {
+      out.emplace_back(util::trim(event_name.substr(start)));
+      return out;
+    }
+    out.emplace_back(util::trim(event_name.substr(start, at - start)));
+    start = at + kArrow.size();
+  }
+}
+
+std::string callpath_leaf(const std::string& event_name) {
+  const std::size_t at = event_name.rfind(kArrow);
+  if (at == std::string::npos) return event_name;
+  return std::string(util::trim(event_name.substr(at + kArrow.size())));
+}
+
+std::string callpath_parent(const std::string& event_name) {
+  const std::size_t at = event_name.rfind(kArrow);
+  if (at == std::string::npos) return "";
+  return std::string(util::trim(event_name.substr(0, at)));
+}
+
+std::size_t callpath_depth(const std::string& event_name) {
+  std::size_t depth = 1;
+  std::size_t start = 0;
+  while ((start = event_name.find(kArrow, start)) != std::string::npos) {
+    ++depth;
+    start += kArrow.size();
+  }
+  return depth;
+}
+
+TrialData flatten_callpaths(const TrialData& trial) {
+  TrialData out;
+  out.trial() = trial.trial();
+
+  // Copy metric and thread interning in order so dense ids line up.
+  for (const auto& metric : trial.metrics()) out.intern_metric(metric.name);
+  for (const auto& thread : trial.threads()) out.intern_thread(thread);
+
+  // Aggregation state per (leaf event out-index, thread, metric).
+  struct Aggregate {
+    double exclusive = 0.0;
+    double num_calls = 0.0;
+    double num_subrs = 0.0;
+    double inclusive_flat = -1.0;  // from the flat (depth-1) event
+    double inclusive_max = 0.0;    // fallback: max over chains
+  };
+  std::map<std::uint64_t, Aggregate> aggregates;
+  auto key_of = [](std::size_t e, std::size_t t, std::size_t m) {
+    return (static_cast<std::uint64_t>(e) << 40) |
+           (static_cast<std::uint64_t>(t) << 12) | static_cast<std::uint64_t>(m);
+  };
+
+  // Pass 1: flat (depth-1) events are authoritative — TAU emits them
+  // alongside the chains, and summing both would double count.
+  trial.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                              const IntervalDataPoint& p) {
+    const std::string& name = trial.events()[e].name;
+    if (is_callpath(name)) return;
+    const std::size_t event = out.intern_event(name, trial.events()[e].group);
+    Aggregate& aggregate = aggregates[key_of(event, t, m)];
+    aggregate.exclusive = p.exclusive;
+    aggregate.num_calls = p.num_calls;
+    aggregate.num_subrs = p.num_subrs;
+    aggregate.inclusive_flat = p.inclusive;
+    aggregate.inclusive_max = std::max(aggregate.inclusive_max, p.inclusive);
+  });
+  // Pass 2: chains contribute to a leaf only where no flat event covered
+  // that (leaf, thread, metric) — pure-callpath profiles reconstruct the
+  // flat view; mixed profiles keep the measured one.
+  trial.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                              const IntervalDataPoint& p) {
+    const std::string& name = trial.events()[e].name;
+    if (!is_callpath(name)) return;
+    std::string group = trial.events()[e].group;
+    if (group == "TAU_CALLPATH") group.clear();
+    const std::size_t event = out.intern_event(callpath_leaf(name), group);
+    Aggregate& aggregate = aggregates[key_of(event, t, m)];
+    if (aggregate.inclusive_flat >= 0.0) return;  // flat data wins
+    aggregate.exclusive += p.exclusive;
+    aggregate.num_calls += p.num_calls;
+    aggregate.num_subrs = std::max(aggregate.num_subrs, p.num_subrs);
+    aggregate.inclusive_max = std::max(aggregate.inclusive_max, p.inclusive);
+  });
+
+  for (const auto& [key, aggregate] : aggregates) {
+    const std::size_t e = key >> 40;
+    const std::size_t t = (key >> 12) & ((1u << 28) - 1);
+    const std::size_t m = key & ((1u << 12) - 1);
+    IntervalDataPoint p;
+    p.exclusive = aggregate.exclusive;
+    p.num_calls = aggregate.num_calls;
+    p.num_subrs = aggregate.num_subrs;
+    p.inclusive = aggregate.inclusive_flat >= 0.0 ? aggregate.inclusive_flat
+                                                  : aggregate.inclusive_max;
+    out.set_interval_data(e, t, m, p);
+  }
+
+  // Atomic events pass through untouched.
+  for (const auto& atomic : trial.atomic_events()) {
+    out.intern_atomic_event(atomic.name, atomic.group);
+  }
+  trial.for_each_atomic([&](std::size_t a, std::size_t t,
+                            const AtomicDataPoint& p) {
+    out.set_atomic_data(a, t, p);
+  });
+
+  out.infer_dimensions();
+  out.recompute_derived_fields();
+  return out;
+}
+
+}  // namespace perfdmf::profile

@@ -1,0 +1,41 @@
+// TAU callpath profile support.
+//
+// TAU's callpath profiling mode names events by their call chain,
+// "main => solve => MPI_Allreduce()", grouped under TAU_CALLPATH, while
+// keeping the flat events too. PerfDMF stores callpath events like any
+// interval event; these helpers let analysis code split paths, find
+// parents, and aggregate a callpath profile down to its flat (leaf)
+// equivalent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::profile {
+
+/// True when the event name encodes a call chain ("a => b => c").
+bool is_callpath(const std::string& event_name);
+
+/// Split "a => b => c" into {"a", "b", "c"}; a non-callpath name yields
+/// a single-element vector. Components are trimmed.
+std::vector<std::string> split_callpath(const std::string& event_name);
+
+/// Leaf component ("c" for "a => b => c").
+std::string callpath_leaf(const std::string& event_name);
+
+/// Parent chain ("a => b" for "a => b => c"); empty for non-callpaths.
+std::string callpath_parent(const std::string& event_name);
+
+/// Depth of the chain (1 for flat events).
+std::size_t callpath_depth(const std::string& event_name);
+
+/// Aggregate a callpath profile into a flat profile: for every leaf,
+/// exclusive time and call counts are summed over all chains ending in
+/// that leaf; inclusive time is taken from the depth-1 event when present
+/// (TAU emits it) or the max over chains otherwise. Flat (non-callpath)
+/// events pass through. Derived fields are recomputed.
+TrialData flatten_callpaths(const TrialData& trial);
+
+}  // namespace perfdmf::profile

@@ -1,0 +1,5 @@
+#include "profile/data_model.h"
+
+// to_string(ThreadId) lives in trial_data.cpp next to the packing helpers;
+// this translation unit exists so the data model stays a linkable module
+// even when nothing else from the profile library is referenced.

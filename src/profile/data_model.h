@@ -1,0 +1,107 @@
+// The common parallel profile representation (paper §3.1/§3.2).
+//
+// Profile data is organized by node, context, thread, metric, and event;
+// for each combination an aggregate measurement is recorded. The model
+// objects mirror the relational schema: APPLICATION -> EXPERIMENT ->
+// TRIAL -> { METRIC, INTERVAL_EVENT -> INTERVAL_LOCATION_PROFILE,
+// ATOMIC_EVENT -> ATOMIC_LOCATION_PROFILE }.
+//
+// APPLICATION / EXPERIMENT / TRIAL carry a free-form `fields` map: the
+// flexible-schema metadata columns (compiler, system, configuration...)
+// that analysts may add or remove without code changes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace perfdmf::profile {
+
+/// Flexible metadata: column name -> value (stored as text).
+using Metadata = std::map<std::string, std::string>;
+
+constexpr std::int64_t kNoId = -1;
+
+struct Application {
+  std::int64_t id = kNoId;
+  std::string name;
+  Metadata fields;  // e.g. version, description, language
+};
+
+struct Experiment {
+  std::int64_t id = kNoId;
+  std::int64_t application_id = kNoId;
+  std::string name;
+  Metadata fields;  // e.g. system info, compiler info, configuration
+};
+
+struct Trial {
+  std::int64_t id = kNoId;
+  std::int64_t experiment_id = kNoId;
+  std::string name;
+  std::int64_t node_count = 0;
+  std::int64_t contexts_per_node = 0;
+  std::int64_t threads_per_context = 0;
+  Metadata fields;  // e.g. date/time, problem definition
+};
+
+/// A measurement source: wall clock time, PAPI counters, derived rates...
+struct Metric {
+  std::int64_t id = kNoId;
+  std::string name;
+  bool derived = false;  // computed by an analysis tool, not measured
+};
+
+/// An instrumented interval: function, loop, basic block, code region.
+struct IntervalEvent {
+  std::int64_t id = kNoId;
+  std::string name;
+  std::string group;  // e.g. "computation", "communication", "MPI"
+};
+
+/// A user-defined atomic counter (TAU user events): memory size, message
+/// bytes, etc., sampled at instrumentation points.
+struct AtomicEvent {
+  std::int64_t id = kNoId;
+  std::string name;
+  std::string group;
+};
+
+/// Location of one thread of execution in the node/context/thread tree.
+struct ThreadId {
+  std::int32_t node = 0;
+  std::int32_t context = 0;
+  std::int32_t thread = 0;
+
+  auto operator<=>(const ThreadId&) const = default;
+};
+
+/// Cumulative interval measurements for one (event, location, metric),
+/// i.e. one INTERVAL_LOCATION_PROFILE row. Fields a source format does
+/// not provide are left NaN-free at 0; the summary pass recomputes the
+/// derived ones (percentages, per-call).
+struct IntervalDataPoint {
+  double inclusive = 0.0;
+  double exclusive = 0.0;
+  double inclusive_pct = 0.0;
+  double exclusive_pct = 0.0;
+  double inclusive_per_call = 0.0;
+  double num_calls = 0.0;
+  double num_subrs = 0.0;
+};
+
+/// Statistics for one (atomic event, location), i.e. one
+/// ATOMIC_LOCATION_PROFILE row.
+struct AtomicDataPoint {
+  double sample_count = 0.0;
+  double maximum = 0.0;
+  double minimum = 0.0;
+  double mean = 0.0;
+  double std_dev = 0.0;
+};
+
+/// Render "n:c:t" for messages and text views.
+std::string to_string(const ThreadId& id);
+
+}  // namespace perfdmf::profile

@@ -1,0 +1,71 @@
+#include "profile/derived.h"
+
+#include "util/error.h"
+
+namespace perfdmf::profile {
+
+std::size_t derive_metric(TrialData& trial, const std::string& name,
+                          const std::string& metric_a, const std::string& metric_b,
+                          const PointCombiner& combine) {
+  if (trial.find_metric(name)) {
+    throw InvalidArgument("metric '" + name + "' already exists in trial");
+  }
+  auto index_a = trial.find_metric(metric_a);
+  auto index_b = trial.find_metric(metric_b);
+  if (!index_a) throw InvalidArgument("no metric '" + metric_a + "' in trial");
+  if (!index_b) throw InvalidArgument("no metric '" + metric_b + "' in trial");
+
+  const std::size_t new_index = trial.intern_metric(name);
+  trial.metric(new_index).derived = true;
+
+  // Collect matching (event, thread) pairs first: mutating while iterating
+  // for_each_interval would observe the points we are adding.
+  struct Pending {
+    std::size_t event;
+    std::size_t thread;
+    IntervalDataPoint point;
+  };
+  std::vector<Pending> pending;
+  trial.for_each_interval([&](std::size_t event, std::size_t thread,
+                              std::size_t metric, const IntervalDataPoint& pa) {
+    if (metric != *index_a) return;
+    const IntervalDataPoint* pb = trial.interval_data(event, thread, *index_b);
+    if (pb == nullptr) return;
+    pending.push_back({event, thread, combine(pa, *pb)});
+  });
+  for (const auto& p : pending) {
+    trial.set_interval_data(p.event, p.thread, new_index, p.point);
+  }
+  return new_index;
+}
+
+std::size_t derive_ratio(TrialData& trial, const std::string& name,
+                         const std::string& numerator,
+                         const std::string& denominator) {
+  return derive_metric(
+      trial, name, numerator, denominator,
+      [](const IntervalDataPoint& a, const IntervalDataPoint& b) {
+        IntervalDataPoint out;
+        out.inclusive = b.inclusive != 0.0 ? a.inclusive / b.inclusive : 0.0;
+        out.exclusive = b.exclusive != 0.0 ? a.exclusive / b.exclusive : 0.0;
+        out.num_calls = a.num_calls;
+        out.num_subrs = a.num_subrs;
+        out.inclusive_per_call =
+            out.num_calls > 0.0 ? out.inclusive / out.num_calls : 0.0;
+        return out;
+      });
+}
+
+std::size_t derive_scaled(TrialData& trial, const std::string& name,
+                          const std::string& metric, double factor) {
+  return derive_metric(trial, name, metric, metric,
+                       [factor](const IntervalDataPoint& a, const IntervalDataPoint&) {
+                         IntervalDataPoint out = a;
+                         out.inclusive *= factor;
+                         out.exclusive *= factor;
+                         out.inclusive_per_call *= factor;
+                         return out;
+                       });
+}
+
+}  // namespace perfdmf::profile

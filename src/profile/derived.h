@@ -1,0 +1,36 @@
+// Derived metrics (paper §3.2/§4): analysis tools compute new metrics
+// from measured ones — e.g. FLOPs/sec = PAPI_FP_OPS / WALLCLOCK — and
+// save them with the profile. The combiner runs per (event, thread) over
+// the two operand points; events/threads missing either operand get no
+// derived point.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::profile {
+
+/// Pointwise combination of two metrics into a new derived metric.
+/// Returns the new metric's dense index. Throws InvalidArgument when an
+/// operand metric does not exist or `name` already exists.
+using PointCombiner =
+    std::function<IntervalDataPoint(const IntervalDataPoint& a,
+                                    const IntervalDataPoint& b)>;
+
+std::size_t derive_metric(TrialData& trial, const std::string& name,
+                          const std::string& metric_a, const std::string& metric_b,
+                          const PointCombiner& combine);
+
+/// Convenience: a / b on inclusive and exclusive (0 when denominator is 0);
+/// calls/subrs are copied from operand a.
+std::size_t derive_ratio(TrialData& trial, const std::string& name,
+                         const std::string& numerator,
+                         const std::string& denominator);
+
+/// Convenience: a scaled by a constant factor (unit conversions).
+std::size_t derive_scaled(TrialData& trial, const std::string& name,
+                          const std::string& metric, double factor);
+
+}  // namespace perfdmf::profile

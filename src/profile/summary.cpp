@@ -1,0 +1,76 @@
+#include "profile/summary.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace perfdmf::profile {
+
+std::vector<IntervalSummary> compute_interval_summaries(const TrialData& trial) {
+  // Key: event * n_metrics + metric (both dense indexes).
+  const std::size_t n_metrics = std::max<std::size_t>(1, trial.metrics().size());
+  std::map<std::size_t, IntervalSummary> summaries;
+  trial.for_each_interval([&](std::size_t event, std::size_t thread,
+                              std::size_t metric, const IntervalDataPoint& p) {
+    (void)thread;
+    auto [it, inserted] = summaries.try_emplace(event * n_metrics + metric);
+    IntervalSummary& s = it->second;
+    if (inserted) {
+      s.event_index = event;
+      s.metric_index = metric;
+    }
+    ++s.thread_count;
+    s.total.inclusive += p.inclusive;
+    s.total.exclusive += p.exclusive;
+    s.total.inclusive_pct += p.inclusive_pct;
+    s.total.exclusive_pct += p.exclusive_pct;
+    s.total.num_calls += p.num_calls;
+    s.total.num_subrs += p.num_subrs;
+  });
+
+  std::vector<IntervalSummary> out;
+  out.reserve(summaries.size());
+  for (auto& [key, s] : summaries) {
+    const double n = static_cast<double>(s.thread_count);
+    s.total.inclusive_per_call =
+        s.total.num_calls > 0.0 ? s.total.inclusive / s.total.num_calls : 0.0;
+    s.mean.inclusive = s.total.inclusive / n;
+    s.mean.exclusive = s.total.exclusive / n;
+    s.mean.inclusive_pct = s.total.inclusive_pct / n;
+    s.mean.exclusive_pct = s.total.exclusive_pct / n;
+    s.mean.num_calls = s.total.num_calls / n;
+    s.mean.num_subrs = s.total.num_subrs / n;
+    s.mean.inclusive_per_call =
+        s.mean.num_calls > 0.0 ? s.mean.inclusive / s.mean.num_calls : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<AtomicSummary> compute_atomic_summaries(const TrialData& trial) {
+  std::map<std::size_t, AtomicSummary> summaries;
+  trial.for_each_atomic([&](std::size_t atomic, std::size_t thread,
+                            const AtomicDataPoint& p) {
+    (void)thread;
+    auto [it, inserted] = summaries.try_emplace(atomic);
+    AtomicSummary& s = it->second;
+    if (inserted) {
+      s.atomic_index = atomic;
+      s.minimum = std::numeric_limits<double>::infinity();
+      s.maximum = -std::numeric_limits<double>::infinity();
+    }
+    ++s.thread_count;
+    s.total_samples += p.sample_count;
+    s.minimum = std::min(s.minimum, p.minimum);
+    s.maximum = std::max(s.maximum, p.maximum);
+    s.mean_of_means += p.mean;
+  });
+  std::vector<AtomicSummary> out;
+  out.reserve(summaries.size());
+  for (auto& [key, s] : summaries) {
+    s.mean_of_means /= static_cast<double>(s.thread_count);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace perfdmf::profile

@@ -1,0 +1,38 @@
+// Total and mean summaries across all threads of execution — the
+// INTERVAL_TOTAL_SUMMARY / INTERVAL_MEAN_SUMMARY tables of the schema
+// (paper §3.2), computed from a TrialData in one pass.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "profile/trial_data.h"
+
+namespace perfdmf::profile {
+
+/// Summary of one (event, metric) across every node/context/thread.
+struct IntervalSummary {
+  std::size_t event_index = 0;
+  std::size_t metric_index = 0;
+  std::size_t thread_count = 0;  // threads contributing data points
+  IntervalDataPoint total;       // sums
+  IntervalDataPoint mean;        // total / thread_count
+};
+
+/// Compute both summaries for every (event, metric) that has data.
+/// Results are ordered by (event_index, metric_index).
+std::vector<IntervalSummary> compute_interval_summaries(const TrialData& trial);
+
+/// Summary of one atomic event across all threads.
+struct AtomicSummary {
+  std::size_t atomic_index = 0;
+  std::size_t thread_count = 0;
+  double total_samples = 0.0;
+  double minimum = 0.0;   // min of per-thread minima
+  double maximum = 0.0;   // max of per-thread maxima
+  double mean_of_means = 0.0;
+};
+
+std::vector<AtomicSummary> compute_atomic_summaries(const TrialData& trial);
+
+}  // namespace perfdmf::profile

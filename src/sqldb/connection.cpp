@@ -1,0 +1,179 @@
+#include "sqldb/connection.h"
+
+#include "sqldb/parser.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perfdmf::sqldb {
+
+// ------------------------------------------------------------- ResultSet
+
+ResultSet::ResultSet(ResultSetData data) : data_(std::move(data)) {}
+
+bool ResultSet::next() {
+  if (cursor_ + 1 >= static_cast<std::ptrdiff_t>(data_.rows.size())) {
+    cursor_ = static_cast<std::ptrdiff_t>(data_.rows.size());
+    return false;
+  }
+  ++cursor_;
+  return true;
+}
+
+const Row& ResultSet::current() const {
+  if (cursor_ < 0 || cursor_ >= static_cast<std::ptrdiff_t>(data_.rows.size())) {
+    throw DbError("ResultSet cursor is not on a row (call next())");
+  }
+  return data_.rows[static_cast<std::size_t>(cursor_)];
+}
+
+Value ResultSet::get(std::size_t index) const {
+  const Row& row = current();
+  if (index < 1 || index > row.size()) {
+    throw DbError("ResultSet column index " + std::to_string(index) +
+                  " out of range 1.." + std::to_string(row.size()));
+  }
+  return row[index - 1];
+}
+
+Value ResultSet::get(const std::string& column_name) const {
+  for (std::size_t i = 0; i < data_.column_names.size(); ++i) {
+    if (util::iequals(data_.column_names[i], column_name)) return get(i + 1);
+  }
+  throw DbError("ResultSet has no column named '" + column_name + "'");
+}
+
+std::string ResultSet::get_string(std::size_t index) const {
+  Value v = get(index);
+  return v.is_null() ? std::string() : v.to_string();
+}
+
+std::string ResultSet::get_string(const std::string& name) const {
+  Value v = get(name);
+  return v.is_null() ? std::string() : v.to_string();
+}
+
+// ---------------------------------------------------- PreparedStatement
+
+PreparedStatement::PreparedStatement(Connection& connection, std::string sql)
+    : connection_(connection),
+      sql_(std::move(sql)),
+      statement_(parse_statement(sql_)) {
+  params_.resize(statement_.placeholder_count);
+}
+
+void PreparedStatement::set_value(std::size_t index, Value value) {
+  if (index < 1 || index > params_.size()) {
+    throw DbError("bind index " + std::to_string(index) + " out of range 1.." +
+                  std::to_string(params_.size()));
+  }
+  params_[index - 1] = std::move(value);
+}
+
+void PreparedStatement::set_int(std::size_t index, std::int64_t value) {
+  set_value(index, Value(value));
+}
+void PreparedStatement::set_double(std::size_t index, double value) {
+  set_value(index, Value(value));
+}
+void PreparedStatement::set_string(std::size_t index, std::string value) {
+  set_value(index, Value(std::move(value)));
+}
+void PreparedStatement::set_null(std::size_t index) { set_value(index, Value()); }
+
+void PreparedStatement::clear_parameters() {
+  params_.assign(params_.size(), Value());
+}
+
+ResultSet PreparedStatement::execute_query() {
+  std::lock_guard lock(connection_.mutex());
+  return ResultSet(connection_.database().execute(statement_, params_, sql_));
+}
+
+std::size_t PreparedStatement::execute_update() {
+  std::lock_guard lock(connection_.mutex());
+  ResultSetData result = connection_.database().execute(statement_, params_, sql_);
+  if (result.rows.size() == 1 && result.rows[0].size() == 1 &&
+      result.rows[0][0].type() == ValueType::kInt) {
+    return static_cast<std::size_t>(result.rows[0][0].as_int());
+  }
+  return result.rows.size();
+}
+
+// ------------------------------------------------------ DatabaseMetaData
+
+std::vector<std::string> DatabaseMetaData::get_tables() {
+  std::lock_guard lock(connection_.mutex());
+  return connection_.database().table_names();
+}
+
+std::vector<std::string> DatabaseMetaData::get_views() {
+  std::lock_guard lock(connection_.mutex());
+  return connection_.database().view_names();
+}
+
+std::vector<DatabaseMetaData::ColumnInfo> DatabaseMetaData::get_columns(
+    const std::string& table) {
+  std::lock_guard lock(connection_.mutex());
+  const Table& t = connection_.database().table(table);
+  std::vector<ColumnInfo> out;
+  out.reserve(t.schema().columns().size());
+  for (const auto& column : t.schema().columns()) {
+    out.push_back({column.name, column.type, column.not_null, column.primary_key});
+  }
+  return out;
+}
+
+std::vector<DatabaseMetaData::ForeignKeyInfo> DatabaseMetaData::get_foreign_keys(
+    const std::string& table) {
+  std::lock_guard lock(connection_.mutex());
+  const Table& t = connection_.database().table(table);
+  std::vector<ForeignKeyInfo> out;
+  for (const auto& fk : t.schema().foreign_keys()) {
+    out.push_back({fk.column, fk.parent_table, fk.parent_column});
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ Connection
+
+Connection::Connection() : database_(std::make_unique<Database>()) {}
+
+Connection::Connection(const std::filesystem::path& directory)
+    : database_(std::make_unique<Database>(directory)) {}
+
+ResultSet Connection::execute(std::string_view sql, const Params& params) {
+  std::lock_guard lock(mutex_);
+  return ResultSet(database_->execute(sql, params));
+}
+
+std::size_t Connection::execute_update(std::string_view sql, const Params& params) {
+  std::lock_guard lock(mutex_);
+  ResultSetData result = database_->execute(sql, params);
+  if (result.rows.size() == 1 && result.rows[0].size() == 1 &&
+      result.rows[0][0].type() == ValueType::kInt) {
+    return static_cast<std::size_t>(result.rows[0][0].as_int());
+  }
+  return result.rows.size();
+}
+
+void Connection::begin() {
+  std::lock_guard lock(mutex_);
+  database_->begin();
+}
+
+void Connection::commit() {
+  std::lock_guard lock(mutex_);
+  database_->commit();
+}
+
+void Connection::rollback() {
+  std::lock_guard lock(mutex_);
+  database_->rollback();
+}
+
+void Connection::checkpoint() {
+  std::lock_guard lock(mutex_);
+  database_->checkpoint();
+}
+
+}  // namespace perfdmf::sqldb

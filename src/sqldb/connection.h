@@ -1,0 +1,144 @@
+// JDBC-shaped connectivity layer.
+//
+// The paper's implementation reaches every supported DBMS through JDBC so
+// analysis code never sees vendor SQL. This layer reproduces the shapes
+// PerfDMF depends on: Connection, Statement, PreparedStatement with '?'
+// binding, ResultSet cursors, and DatabaseMetaData column reflection
+// (the getMetaData() mechanism behind the flexible schema, paper §3.2).
+//
+// A Connection serializes all access to its Database with a mutex, so one
+// database may be shared by several threads of an analysis tool.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/database.h"
+
+namespace perfdmf::sqldb {
+
+/// Cursor over a materialized query result. Navigation follows JDBC:
+/// the cursor starts before the first row; next() advances and reports
+/// whether a row is available. Columns are addressed 1-based by position
+/// or by (case-insensitive) name.
+class ResultSet {
+ public:
+  explicit ResultSet(ResultSetData data);
+
+  bool next();
+  std::size_t row_count() const { return data_.rows.size(); }
+  std::size_t column_count() const { return data_.column_names.size(); }
+  const std::vector<std::string>& column_names() const { return data_.column_names; }
+
+  /// 1-based positional access (JDBC convention).
+  Value get(std::size_t index) const;
+  Value get(const std::string& column_name) const;
+
+  std::int64_t get_int(std::size_t index) const { return get(index).as_int(); }
+  double get_double(std::size_t index) const { return get(index).as_real(); }
+  std::string get_string(std::size_t index) const;
+  bool is_null(std::size_t index) const { return get(index).is_null(); }
+
+  std::int64_t get_int(const std::string& name) const { return get(name).as_int(); }
+  double get_double(const std::string& name) const { return get(name).as_real(); }
+  std::string get_string(const std::string& name) const;
+  bool is_null(const std::string& name) const { return get(name).is_null(); }
+
+ private:
+  const Row& current() const;
+
+  ResultSetData data_;
+  std::ptrdiff_t cursor_ = -1;
+};
+
+class Connection;
+
+/// A pre-parsed statement with '?' parameter binding (1-based setters).
+class PreparedStatement {
+ public:
+  PreparedStatement(Connection& connection, std::string sql);
+
+  void set_int(std::size_t index, std::int64_t value);
+  void set_double(std::size_t index, double value);
+  void set_string(std::size_t index, std::string value);
+  void set_null(std::size_t index);
+  void set_value(std::size_t index, Value value);
+  void clear_parameters();
+
+  ResultSet execute_query();
+  /// Returns the affected-row count.
+  std::size_t execute_update();
+
+  std::size_t parameter_count() const { return statement_.placeholder_count; }
+
+ private:
+  Connection& connection_;
+  std::string sql_;
+  Statement statement_;
+  Params params_;
+};
+
+/// Reflection over the catalog, mirroring java.sql.DatabaseMetaData.
+class DatabaseMetaData {
+ public:
+  explicit DatabaseMetaData(Connection& connection) : connection_(connection) {}
+
+  std::vector<std::string> get_tables();
+  std::vector<std::string> get_views();
+
+  struct ColumnInfo {
+    std::string name;
+    ValueType type;
+    bool not_null;
+    bool primary_key;
+  };
+  std::vector<ColumnInfo> get_columns(const std::string& table);
+
+  struct ForeignKeyInfo {
+    std::string column;
+    std::string parent_table;
+    std::string parent_column;
+  };
+  std::vector<ForeignKeyInfo> get_foreign_keys(const std::string& table);
+
+ private:
+  Connection& connection_;
+};
+
+class Connection {
+ public:
+  /// In-memory database.
+  Connection();
+  /// File-backed database at `directory` (created / recovered).
+  explicit Connection(const std::filesystem::path& directory);
+
+  /// Execute SQL directly; use for DDL and one-off queries.
+  ResultSet execute(std::string_view sql, const Params& params = {});
+  std::size_t execute_update(std::string_view sql, const Params& params = {});
+
+  PreparedStatement prepare(std::string sql) {
+    return PreparedStatement(*this, std::move(sql));
+  }
+
+  DatabaseMetaData get_meta_data() { return DatabaseMetaData(*this); }
+
+  void begin();
+  void commit();
+  void rollback();
+  void checkpoint();
+
+  Database& database() { return *database_; }
+  std::mutex& mutex() { return mutex_; }
+
+ private:
+  friend class PreparedStatement;
+
+  std::unique_ptr<Database> database_;
+  std::mutex mutex_;
+};
+
+}  // namespace perfdmf::sqldb

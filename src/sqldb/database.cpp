@@ -1,0 +1,641 @@
+#include "sqldb/database.h"
+
+#include <sstream>
+
+#include "sqldb/parser.h"
+#include "sqldb/wal.h"
+#include "util/error.h"
+#include "util/file.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace perfdmf::sqldb {
+
+namespace {
+constexpr const char* kSnapshotFile = "snapshot.pdb";
+constexpr const char* kWalFile = "wal.log";
+
+ResultSetData count_result(std::size_t n) {
+  ResultSetData out;
+  out.column_names = {"rows_affected"};
+  out.rows.push_back({Value(static_cast<std::int64_t>(n))});
+  return out;
+}
+}  // namespace
+
+Database::Database() = default;
+
+Database::Database(const std::filesystem::path& directory) : directory_(directory) {
+  std::filesystem::create_directories(directory);
+  const auto snapshot = directory / kSnapshotFile;
+  if (std::filesystem::exists(snapshot)) load_snapshot(snapshot);
+  wal_ = std::make_unique<Wal>(directory / kWalFile);
+  replaying_ = true;
+  wal_->replay([this](const std::string& sql, const Params& params) {
+    try {
+      execute(sql, params);
+    } catch (const Error& e) {
+      // A failed replayed statement means the WAL recorded something the
+      // snapshot already contains (or a bug); warn and continue so the
+      // archive stays usable.
+      util::log_warn() << "WAL replay: " << e.what();
+    }
+  });
+  replaying_ = false;
+}
+
+Database::~Database() {
+  if (wal_ && !replaying_) {
+    try {
+      checkpoint();
+    } catch (const std::exception& e) {
+      util::log_error() << "checkpoint on close failed: " << e.what();
+    }
+  }
+}
+
+ResultSetData Database::execute(std::string_view sql, const Params& params) {
+  Statement stmt = parse_statement(sql);
+  return execute_parsed(stmt, params, sql);
+}
+
+ResultSetData Database::execute(Statement& stmt, const Params& params,
+                                std::string_view original_sql) {
+  return execute_parsed(stmt, params, original_sql);
+}
+
+ResultSetData Database::execute_parsed(Statement& stmt, const Params& params,
+                                       std::string_view sql) {
+  if (stmt.placeholder_count > params.size()) {
+    throw DbError("statement needs " + std::to_string(stmt.placeholder_count) +
+                  " parameters, got " + std::to_string(params.size()));
+  }
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return execute_select(*this, stmt.select, params);
+    case StatementKind::kInsert: {
+      std::size_t n = run_insert(stmt.insert, params);
+      log_statement(sql, params);
+      return count_result(n);
+    }
+    case StatementKind::kUpdate: {
+      std::size_t n = run_update(stmt.update, params);
+      log_statement(sql, params);
+      return count_result(n);
+    }
+    case StatementKind::kDelete: {
+      std::size_t n = run_delete(stmt.del, params);
+      log_statement(sql, params);
+      return count_result(n);
+    }
+    case StatementKind::kCreateTable:
+      run_create_table(stmt.create_table);
+      log_statement(sql, params);
+      return count_result(0);
+    case StatementKind::kDropTable:
+      run_drop_table(stmt.drop_table);
+      log_statement(sql, params);
+      return count_result(0);
+    case StatementKind::kAlterAddColumn: {
+      Table& t = table(stmt.alter.table);
+      t.add_column(stmt.alter.column);
+      log_statement(sql, params);
+      return count_result(0);
+    }
+    case StatementKind::kAlterDropColumn: {
+      Table& t = table(stmt.alter.table);
+      t.drop_column(stmt.alter.column_name);
+      log_statement(sql, params);
+      return count_result(0);
+    }
+    case StatementKind::kCreateIndex:
+      run_create_index(stmt.create_index);
+      log_statement(sql, params);
+      return count_result(0);
+    case StatementKind::kCreateView:
+      run_create_view(stmt.create_view);
+      log_statement(sql, params);
+      return count_result(0);
+    case StatementKind::kDropView:
+      run_drop_view(stmt.drop_view);
+      log_statement(sql, params);
+      return count_result(0);
+    case StatementKind::kBegin:
+      begin();
+      return count_result(0);
+    case StatementKind::kCommit:
+      commit();
+      return count_result(0);
+    case StatementKind::kRollback:
+      rollback();
+      return count_result(0);
+  }
+  throw DbError("unreachable statement kind");
+}
+
+// --------------------------------------------------------------- catalog
+
+bool Database::has_table(std::string_view name) const {
+  return tables_.count(util::to_lower(name)) > 0;
+}
+
+Table& Database::table(std::string_view name) {
+  auto it = tables_.find(util::to_lower(name));
+  if (it == tables_.end()) {
+    throw DbError("no such table: " + std::string(name));
+  }
+  return *it->second;
+}
+
+const Table& Database::table(std::string_view name) const {
+  auto it = tables_.find(util::to_lower(name));
+  if (it == tables_.end()) {
+    throw DbError("no such table: " + std::string(name));
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Database::table_names() const { return table_order_; }
+
+bool Database::has_view(std::string_view name) const {
+  return views_.count(util::to_lower(name)) > 0;
+}
+
+const std::string& Database::view_sql(std::string_view name) const {
+  auto it = views_.find(util::to_lower(name));
+  if (it == views_.end()) throw DbError("no such view: " + std::string(name));
+  return it->second;
+}
+
+std::vector<std::string> Database::view_names() const { return view_order_; }
+
+// ------------------------------------------------------------------- DML
+
+std::size_t Database::run_insert(InsertStatement& stmt, const Params& params) {
+  Table& t = table(stmt.table);
+  const auto& columns = t.schema().columns();
+
+  // Map the statement's column list to schema positions.
+  std::vector<std::size_t> positions;
+  if (stmt.columns.empty()) {
+    for (std::size_t i = 0; i < columns.size(); ++i) positions.push_back(i);
+  } else {
+    for (const auto& name : stmt.columns) {
+      positions.push_back(t.schema().column_index_or_throw(name));
+    }
+  }
+
+  std::size_t inserted = 0;
+  auto insert_values = [&](const Row& values) {
+    if (values.size() != positions.size()) {
+      throw DbError("INSERT value count mismatch for table " + stmt.table);
+    }
+    Row row(columns.size());
+    // Unspecified columns receive their DEFAULT (NULL when none declared).
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      row[i] = columns[i].default_value;
+    }
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      row[positions[i]] = values[i];
+    }
+    check_foreign_keys_insert(t, row);
+    const RowId id = t.insert(std::move(row));
+    undo_push({UndoRecord::Kind::kInsert, util::to_lower(stmt.table), id, {}});
+    ++inserted;
+  };
+
+  if (stmt.select) {
+    // INSERT INTO ... SELECT: materialize the query, then feed each row.
+    // (Materializing first also makes self-referential inserts — reading
+    // from the target table — well defined.)
+    ResultSetData result = execute_select(*this, *stmt.select, params);
+    for (auto& row : result.rows) insert_values(row);
+    return inserted;
+  }
+
+  static const Row kNoRow;
+  for (auto& tuple : stmt.rows) {
+    Row values;
+    values.reserve(tuple.size());
+    for (auto& expr : tuple) values.push_back(eval_expr(*expr, kNoRow, params));
+    insert_values(values);
+  }
+  return inserted;
+}
+
+std::size_t Database::run_update(UpdateStatement& stmt, const Params& params) {
+  Table& t = table(stmt.table);
+  std::vector<BoundColumn> layout;
+  const std::string alias = util::to_lower(stmt.table);
+  for (const auto& column : t.schema().columns()) {
+    layout.push_back({alias, column.name});
+  }
+  if (stmt.where) bind_expr(*stmt.where, layout);
+  for (auto& [column, expr] : stmt.assignments) bind_expr(*expr, layout);
+
+  std::vector<RowId> candidates =
+      collect_candidates(t, stmt.where ? stmt.where.get() : nullptr, params);
+  std::size_t updated = 0;
+  for (RowId id : candidates) {
+    if (!t.is_live(id)) continue;
+    const Row& old_row = t.row(id);
+    if (stmt.where && !is_truthy(eval_expr(*stmt.where, old_row, params))) continue;
+    Row new_row = old_row;
+    for (auto& [column, expr] : stmt.assignments) {
+      new_row[t.schema().column_index_or_throw(column)] =
+          eval_expr(*expr, old_row, params);
+    }
+    check_foreign_keys_insert(t, new_row);  // FK columns may have changed
+    Row saved = old_row;
+    t.update(id, std::move(new_row));
+    undo_push({UndoRecord::Kind::kUpdate, util::to_lower(stmt.table), id,
+               std::move(saved)});
+    ++updated;
+  }
+  return updated;
+}
+
+std::size_t Database::run_delete(DeleteStatement& stmt, const Params& params) {
+  Table& t = table(stmt.table);
+  std::vector<BoundColumn> layout;
+  const std::string alias = util::to_lower(stmt.table);
+  for (const auto& column : t.schema().columns()) {
+    layout.push_back({alias, column.name});
+  }
+  if (stmt.where) bind_expr(*stmt.where, layout);
+
+  std::vector<RowId> candidates =
+      collect_candidates(t, stmt.where ? stmt.where.get() : nullptr, params);
+  std::size_t deleted = 0;
+  for (RowId id : candidates) {
+    if (!t.is_live(id)) continue;
+    const Row& row = t.row(id);
+    if (stmt.where && !is_truthy(eval_expr(*stmt.where, row, params))) continue;
+    check_foreign_keys_delete(t, row);
+    Row saved = row;
+    t.erase(id);
+    undo_push({UndoRecord::Kind::kDelete, util::to_lower(stmt.table), id,
+               std::move(saved)});
+    ++deleted;
+  }
+  return deleted;
+}
+
+// ------------------------------------------------------------------- DDL
+
+void Database::run_create_table(const CreateTableStatement& stmt) {
+  const std::string key = util::to_lower(stmt.schema.name());
+  if (tables_.count(key)) {
+    if (stmt.if_not_exists) return;
+    throw DbError("table already exists: " + stmt.schema.name());
+  }
+  if (views_.count(key)) {
+    throw DbError("a view named " + stmt.schema.name() + " already exists");
+  }
+  if (in_txn_) throw DbError("DDL inside a transaction is not supported");
+  // Validate foreign keys up front so a broken schema never enters the
+  // catalog (self-references are allowed).
+  for (const auto& fk : stmt.schema.foreign_keys()) {
+    stmt.schema.column_index_or_throw(fk.column);
+    if (!util::iequals(fk.parent_table, stmt.schema.name()) &&
+        !has_table(fk.parent_table)) {
+      throw DbError("foreign key references unknown table " + fk.parent_table);
+    }
+  }
+  auto t = std::make_unique<Table>(stmt.schema);
+  // Index FK columns: parent lookups and restrict-on-delete checks must
+  // not scan (this matches the DDL PerfDMF ships for its supported DBMSs).
+  for (const auto& fk : stmt.schema.foreign_keys()) {
+    t->create_index(stmt.schema.column_index_or_throw(fk.column), /*unique=*/false);
+  }
+  tables_.emplace(key, std::move(t));
+  table_order_.push_back(stmt.schema.name());
+}
+
+void Database::run_drop_table(const DropTableStatement& stmt) {
+  const std::string key = util::to_lower(stmt.table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (stmt.if_exists) return;
+    throw DbError("no such table: " + stmt.table);
+  }
+  if (in_txn_) throw DbError("DDL inside a transaction is not supported");
+  // Refuse when another table still references this one.
+  for (const auto& [other_key, other] : tables_) {
+    if (other_key == key) continue;
+    for (const auto& fk : other->schema().foreign_keys()) {
+      if (util::iequals(fk.parent_table, stmt.table) && other->live_row_count() > 0) {
+        throw DbError("cannot drop " + stmt.table + ": referenced by " +
+                      other->schema().name());
+      }
+    }
+  }
+  tables_.erase(it);
+  for (auto name_it = table_order_.begin(); name_it != table_order_.end(); ++name_it) {
+    if (util::iequals(*name_it, stmt.table)) {
+      table_order_.erase(name_it);
+      break;
+    }
+  }
+}
+
+void Database::run_create_index(const CreateIndexStatement& stmt) {
+  Table& t = table(stmt.table);
+  t.create_index(t.schema().column_index_or_throw(stmt.column), stmt.unique);
+}
+
+void Database::run_create_view(const CreateViewStatement& stmt) {
+  const std::string key = util::to_lower(stmt.name);
+  if (tables_.count(key)) {
+    throw DbError("a table named " + stmt.name + " already exists");
+  }
+  if (views_.count(key)) {
+    throw DbError("view already exists: " + stmt.name);
+  }
+  if (in_txn_) throw DbError("DDL inside a transaction is not supported");
+  views_.emplace(key, stmt.select_sql);
+  view_order_.push_back(stmt.name);
+}
+
+void Database::run_drop_view(const DropViewStatement& stmt) {
+  const std::string key = util::to_lower(stmt.name);
+  auto it = views_.find(key);
+  if (it == views_.end()) {
+    if (stmt.if_exists) return;
+    throw DbError("no such view: " + stmt.name);
+  }
+  if (in_txn_) throw DbError("DDL inside a transaction is not supported");
+  views_.erase(it);
+  for (auto name_it = view_order_.begin(); name_it != view_order_.end();
+       ++name_it) {
+    if (util::iequals(*name_it, stmt.name)) {
+      view_order_.erase(name_it);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------- foreign keys
+
+void Database::check_foreign_keys_insert(const Table& t, const Row& row) {
+  for (const auto& fk : t.schema().foreign_keys()) {
+    const Value& value = row[t.schema().column_index_or_throw(fk.column)];
+    if (value.is_null()) continue;
+    const Table& parent = table(fk.parent_table);
+    const std::size_t parent_column =
+        parent.schema().column_index_or_throw(fk.parent_column);
+    bool found = false;
+    if (auto hits = parent.index_equal(parent_column, value)) {
+      found = !hits->empty();
+    } else {
+      parent.scan([&](RowId, const Row& parent_row) {
+        if (parent_row[parent_column] == value) found = true;
+      });
+    }
+    if (!found) {
+      throw DbError("foreign key violation: " + t.schema().name() + "." +
+                    fk.column + " = " + value.to_string() + " has no parent in " +
+                    fk.parent_table + "." + fk.parent_column);
+    }
+  }
+}
+
+void Database::check_foreign_keys_delete(const Table& t, const Row& row) {
+  // Restrict semantics: refuse to delete a row other tables still reference.
+  for (const auto& [key, child] : tables_) {
+    for (const auto& fk : child->schema().foreign_keys()) {
+      if (!util::iequals(fk.parent_table, t.schema().name())) continue;
+      const std::size_t parent_column =
+          t.schema().column_index_or_throw(fk.parent_column);
+      const Value& value = row[parent_column];
+      if (value.is_null()) continue;
+      const std::size_t child_column =
+          child->schema().column_index_or_throw(fk.column);
+      bool referenced = false;
+      if (auto hits = child->index_equal(child_column, value)) {
+        // When the child is the same table as the parent, the row being
+        // deleted may reference itself; that is fine.
+        for (RowId id : *hits) {
+          if (child.get() == &t && t.row(id) == row) continue;
+          referenced = true;
+        }
+      } else {
+        child->scan([&](RowId, const Row& child_row) {
+          if (child_row[child_column] == value) referenced = true;
+        });
+      }
+      if (referenced) {
+        throw DbError("cannot delete from " + t.schema().name() + ": row " +
+                      fk.parent_column + " = " + value.to_string() +
+                      " is referenced by " + child->schema().name() + "." +
+                      fk.column);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- transactions
+
+void Database::begin() {
+  if (in_txn_) throw DbError("nested transactions are not supported");
+  in_txn_ = true;
+  undo_log_.clear();
+  txn_wal_buffer_.clear();
+}
+
+void Database::commit() {
+  if (!in_txn_) throw DbError("COMMIT without BEGIN");
+  in_txn_ = false;
+  undo_log_.clear();
+  if (wal_ && !replaying_ && !txn_wal_buffer_.empty()) {
+    wal_->append_batch(txn_wal_buffer_);
+  }
+  txn_wal_buffer_.clear();
+}
+
+void Database::rollback() {
+  if (!in_txn_) throw DbError("ROLLBACK without BEGIN");
+  in_txn_ = false;
+  apply_undo();
+  txn_wal_buffer_.clear();
+}
+
+void Database::apply_undo() {
+  // Undo in reverse order. Rows deleted during the transaction are
+  // re-inserted under fresh RowIds (slots are append-only), so later undo
+  // steps referring to the old id are translated through `remapped`.
+  std::map<std::pair<std::string, RowId>, RowId> remapped;
+  auto resolve = [&](const std::string& table_name, RowId id) {
+    auto it = remapped.find({table_name, id});
+    return it == remapped.end() ? id : it->second;
+  };
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    Table& t = *tables_.at(it->table);
+    const RowId id = resolve(it->table, it->row_id);
+    switch (it->kind) {
+      case UndoRecord::Kind::kInsert:
+        t.erase(id);
+        break;
+      case UndoRecord::Kind::kUpdate:
+        t.update(id, std::move(it->old_row));
+        break;
+      case UndoRecord::Kind::kDelete: {
+        const RowId new_id = t.insert(std::move(it->old_row));
+        remapped[{it->table, it->row_id}] = new_id;
+        break;
+      }
+    }
+  }
+  undo_log_.clear();
+}
+
+void Database::undo_push(UndoRecord record) {
+  if (in_txn_) undo_log_.push_back(std::move(record));
+}
+
+void Database::log_statement(std::string_view sql, const Params& params) {
+  if (!wal_ || replaying_) return;
+  if (in_txn_) {
+    txn_wal_buffer_.emplace_back(std::string(sql), params);
+  } else {
+    wal_->append(sql, params);
+  }
+}
+
+// ------------------------------------------------------------ persistence
+
+void Database::checkpoint() {
+  if (!wal_) return;
+  if (in_txn_) throw DbError("cannot checkpoint inside a transaction");
+  save_snapshot(directory_ / kSnapshotFile);
+  wal_->reset();
+}
+
+void Database::save_snapshot(const std::filesystem::path& path) const {
+  // Text format, mirroring the WAL value encoding:
+  //   TABLE <name>\n COLS <n>\n per-column lines\n FKS <n>\n ... ROWS <n>\n
+  std::string out = "PERFDB SNAPSHOT 1\n";
+  for (const auto& name : view_order_) {
+    // Views serialize as their defining statement, replayed on load.
+    const std::string& sql = views_.at(util::to_lower(name));
+    out += "VIEW " + name + " " + std::to_string(sql.size()) + "\n";
+    out += sql;
+    out += "\n";
+  }
+  for (const auto& name : table_order_) {
+    const Table& t = table(name);
+    const TableSchema& schema = t.schema();
+    out += "TABLE " + schema.name() + "\n";
+    out += "AUTO " + std::to_string(t.next_auto_increment()) + "\n";
+    out += "COLS " + std::to_string(schema.columns().size()) + "\n";
+    for (const auto& column : schema.columns()) {
+      out += "COL " + column.name + " " + value_type_name(column.type) + " " +
+             (column.not_null ? "1" : "0") + " " + (column.primary_key ? "1" : "0") +
+             " " + (column.auto_increment ? "1" : "0") + "\n";
+      out += encode_value(column.default_value);
+    }
+    out += "FKS " + std::to_string(schema.foreign_keys().size()) + "\n";
+    for (const auto& fk : schema.foreign_keys()) {
+      out += "FK " + fk.column + " " + fk.parent_table + " " + fk.parent_column + "\n";
+    }
+    out += "ROWS " + std::to_string(t.live_row_count()) + "\n";
+    t.scan([&](RowId, const Row& row) {
+      for (const auto& value : row) out += encode_value(value);
+    });
+  }
+  util::write_file(path, out);
+}
+
+void Database::load_snapshot(const std::filesystem::path& path) {
+  const std::string text = util::read_file(path);
+  std::size_t pos = 0;
+  auto next_line = [&]() -> std::string {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) throw ParseError("snapshot truncated");
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+  if (next_line() != "PERFDB SNAPSHOT 1") {
+    throw ParseError("unrecognized snapshot header");
+  }
+  while (pos < text.size()) {
+    std::string header = next_line();
+    if (util::starts_with(header, "VIEW ")) {
+      auto view_parts = util::split_ws_limit(header, 3);
+      if (view_parts.size() != 3) throw ParseError("bad VIEW header in snapshot");
+      const std::size_t length = static_cast<std::size_t>(
+          util::parse_int_or_throw(view_parts[2], "snapshot view length"));
+      if (pos + length + 1 > text.size()) {
+        throw ParseError("snapshot truncated in view body");
+      }
+      views_.emplace(util::to_lower(view_parts[1]), text.substr(pos, length));
+      view_order_.push_back(view_parts[1]);
+      pos += length + 1;  // skip trailing newline
+      continue;
+    }
+    auto parts = util::split_ws_limit(header, 2);
+    if (parts.size() != 2 || parts[0] != "TABLE") {
+      throw ParseError("expected TABLE header in snapshot");
+    }
+    TableSchema schema(parts[1]);
+    std::string auto_line = next_line();
+    if (!util::starts_with(auto_line, "AUTO ")) throw ParseError("expected AUTO");
+    const std::int64_t next_auto =
+        util::parse_int_or_throw(auto_line.substr(5), "snapshot auto");
+    std::string cols_line = next_line();
+    if (!util::starts_with(cols_line, "COLS ")) throw ParseError("expected COLS");
+    const std::size_t n_cols = static_cast<std::size_t>(
+        util::parse_int_or_throw(cols_line.substr(5), "snapshot cols"));
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      auto col_parts = util::split_ws(next_line());
+      if (col_parts.size() != 6 || col_parts[0] != "COL") {
+        throw ParseError("bad COL line in snapshot");
+      }
+      ColumnDef column;
+      column.name = col_parts[1];
+      const std::string& type = col_parts[2];
+      if (type == "INTEGER") column.type = ValueType::kInt;
+      else if (type == "REAL") column.type = ValueType::kReal;
+      else if (type == "TEXT") column.type = ValueType::kText;
+      else column.type = ValueType::kNull;
+      column.not_null = col_parts[3] == "1";
+      column.primary_key = col_parts[4] == "1";
+      column.auto_increment = col_parts[5] == "1";
+      column.default_value = decode_value(text, pos);
+      schema.add_column(std::move(column));
+    }
+    std::string fks_line = next_line();
+    if (!util::starts_with(fks_line, "FKS ")) throw ParseError("expected FKS");
+    const std::size_t n_fks = static_cast<std::size_t>(
+        util::parse_int_or_throw(fks_line.substr(4), "snapshot fks"));
+    for (std::size_t f = 0; f < n_fks; ++f) {
+      auto fk_parts = util::split_ws(next_line());
+      if (fk_parts.size() != 4 || fk_parts[0] != "FK") {
+        throw ParseError("bad FK line in snapshot");
+      }
+      schema.add_foreign_key({fk_parts[1], fk_parts[2], fk_parts[3]});
+    }
+    std::string rows_line = next_line();
+    if (!util::starts_with(rows_line, "ROWS ")) throw ParseError("expected ROWS");
+    const std::size_t n_rows = static_cast<std::size_t>(
+        util::parse_int_or_throw(rows_line.substr(5), "snapshot rows"));
+
+    auto t = std::make_unique<Table>(schema);
+    for (const auto& fk : schema.foreign_keys()) {
+      t->create_index(schema.column_index_or_throw(fk.column), /*unique=*/false);
+    }
+    const std::size_t width = schema.columns().size();
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      Row row;
+      row.reserve(width);
+      for (std::size_t c = 0; c < width; ++c) row.push_back(decode_value(text, pos));
+      t->insert(std::move(row));
+    }
+    t->bump_auto_increment(next_auto);
+    tables_.emplace(util::to_lower(schema.name()), std::move(t));
+    table_order_.push_back(schema.name());
+  }
+}
+
+}  // namespace perfdmf::sqldb

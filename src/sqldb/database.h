@@ -1,0 +1,115 @@
+// The database: catalog of tables, DML with transactions, WAL-backed
+// durability, and snapshot persistence. This is the substrate standing in
+// for the external RDBMS (PostgreSQL / MySQL / Oracle / DB2) the paper's
+// Java implementation connects to.
+//
+// Concurrency: Database is externally synchronized — the Connection layer
+// serializes access with a mutex, matching PerfDMF's usage (one analysis
+// process, many sequential queries).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/executor.h"
+#include "sqldb/table.h"
+
+namespace perfdmf::sqldb {
+
+class Wal;
+
+class Database {
+ public:
+  /// In-memory database (no durability).
+  Database();
+  /// File-backed: `directory` holds snapshot + WAL. Created if missing;
+  /// existing state is recovered (snapshot, then WAL replay).
+  explicit Database(const std::filesystem::path& directory);
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ----- statement execution ------------------------------------------
+  /// Parse and execute one statement. For SELECT, returns rows; for DML,
+  /// a one-cell result holding the affected-row count.
+  ResultSetData execute(std::string_view sql, const Params& params = {});
+
+  /// Execute a pre-parsed statement (prepared-statement path).
+  ResultSetData execute(Statement& stmt, const Params& params,
+                        std::string_view original_sql);
+
+  // ----- catalog --------------------------------------------------------
+  bool has_table(std::string_view name) const;
+  Table& table(std::string_view name);
+  const Table& table(std::string_view name) const;
+  /// Table names in creation order (DatabaseMetaData reflection).
+  std::vector<std::string> table_names() const;
+
+  // ----- views ----------------------------------------------------------
+  bool has_view(std::string_view name) const;
+  /// The stored SELECT text of a view (throws for unknown views).
+  const std::string& view_sql(std::string_view name) const;
+  std::vector<std::string> view_names() const;
+
+  // ----- transactions ---------------------------------------------------
+  void begin();
+  void commit();
+  void rollback();
+  bool in_transaction() const { return in_txn_; }
+
+  /// Flush a snapshot and truncate the WAL (file-backed databases only).
+  void checkpoint();
+
+  bool is_persistent() const { return wal_ != nullptr; }
+
+ private:
+  friend ResultSetData execute_select(Database&, SelectStatement&, const Params&);
+
+  struct UndoRecord {
+    enum class Kind { kInsert, kUpdate, kDelete } kind;
+    std::string table;
+    RowId row_id;
+    Row old_row;  // kUpdate / kDelete
+  };
+
+  ResultSetData execute_parsed(Statement& stmt, const Params& params,
+                               std::string_view sql);
+  std::size_t run_insert(InsertStatement& stmt, const Params& params);
+  std::size_t run_update(UpdateStatement& stmt, const Params& params);
+  std::size_t run_delete(DeleteStatement& stmt, const Params& params);
+  void run_create_table(const CreateTableStatement& stmt);
+  void run_drop_table(const DropTableStatement& stmt);
+  void run_create_index(const CreateIndexStatement& stmt);
+  void run_create_view(const CreateViewStatement& stmt);
+  void run_drop_view(const DropViewStatement& stmt);
+
+  void check_foreign_keys_insert(const Table& table, const Row& row);
+  void check_foreign_keys_delete(const Table& table, const Row& row);
+
+  void log_statement(std::string_view sql, const Params& params);
+  void undo_push(UndoRecord record);
+  void apply_undo();
+
+  void save_snapshot(const std::filesystem::path& path) const;
+  void load_snapshot(const std::filesystem::path& path);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lower name
+  std::vector<std::string> table_order_;                  // original names
+  std::map<std::string, std::string> views_;              // lower name -> SELECT
+  std::vector<std::string> view_order_;
+
+  bool in_txn_ = false;
+  std::vector<UndoRecord> undo_log_;
+  std::vector<std::pair<std::string, Params>> txn_wal_buffer_;
+
+  std::unique_ptr<Wal> wal_;
+  std::filesystem::path directory_;
+  bool replaying_ = false;  // suppress WAL writes during recovery
+};
+
+}  // namespace perfdmf::sqldb

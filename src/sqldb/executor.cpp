@@ -1,0 +1,607 @@
+#include "sqldb/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "sqldb/database.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perfdmf::sqldb {
+
+namespace {
+
+// ------------------------------------------------------------ planning
+
+/// A simple index-usable predicate: column (by resolved index) op constant.
+struct IndexPredicate {
+  std::size_t column = 0;
+  std::string op;  // "=", "<", "<=", ">", ">="
+  Value value;
+};
+
+bool is_constant_expr(const Expr& e) {
+  return e.kind == ExprKind::kLiteral || e.kind == ExprKind::kPlaceholder;
+}
+
+Value const_value(const Expr& e, const Params& params) {
+  if (e.kind == ExprKind::kLiteral) return e.literal;
+  if (e.placeholder_index >= params.size()) {
+    throw DbError("missing bind parameter " + std::to_string(e.placeholder_index + 1));
+  }
+  return params[e.placeholder_index];
+}
+
+/// Walk the AND-conjunction tree of a bound WHERE clause collecting
+/// predicates an index can serve. `max_column` restricts to base-table
+/// columns (resolved indexes below it).
+void collect_index_predicates(const Expr& e, const Params& params,
+                              std::size_t max_column,
+                              std::vector<IndexPredicate>& out) {
+  if (e.kind == ExprKind::kBinary && e.op == "AND") {
+    collect_index_predicates(*e.children[0], params, max_column, out);
+    collect_index_predicates(*e.children[1], params, max_column, out);
+    return;
+  }
+  if (e.kind == ExprKind::kBetween && !e.negated &&
+      e.children[0]->kind == ExprKind::kColumnRef &&
+      e.children[0]->resolved_index < max_column &&
+      is_constant_expr(*e.children[1]) && is_constant_expr(*e.children[2])) {
+    out.push_back({e.children[0]->resolved_index, ">=",
+                   const_value(*e.children[1], params)});
+    out.push_back({e.children[0]->resolved_index, "<=",
+                   const_value(*e.children[2], params)});
+    return;
+  }
+  if (e.kind != ExprKind::kBinary) return;
+  static const char* kOps[] = {"=", "<", "<=", ">", ">="};
+  bool usable = false;
+  for (const char* op : kOps) {
+    if (e.op == op) usable = true;
+  }
+  if (!usable) return;
+  const Expr* lhs = e.children[0].get();
+  const Expr* rhs = e.children[1].get();
+  std::string op = e.op;
+  if (lhs->kind != ExprKind::kColumnRef && rhs->kind == ExprKind::kColumnRef) {
+    std::swap(lhs, rhs);  // constant op column -> column (flipped op) constant
+    if (op == "<") op = ">";
+    else if (op == "<=") op = ">=";
+    else if (op == ">") op = "<";
+    else if (op == ">=") op = "<=";
+  }
+  if (lhs->kind == ExprKind::kColumnRef && lhs->resolved_index < max_column &&
+      is_constant_expr(*rhs)) {
+    out.push_back({lhs->resolved_index, op, const_value(*rhs, params)});
+  }
+}
+
+/// Split an AND-conjunction tree into its conjuncts (pointers into the
+/// tree). A non-AND expression is a single conjunct.
+void split_conjuncts(Expr& e, std::vector<Expr*>& out) {
+  if (e.kind == ExprKind::kBinary && e.op == "AND") {
+    split_conjuncts(*e.children[0], out);
+    split_conjuncts(*e.children[1], out);
+    return;
+  }
+  out.push_back(&e);
+}
+
+}  // namespace
+
+std::vector<RowId> collect_candidates(const Table& table, const Expr* bound_where,
+                                      const Params& params) {
+  std::vector<RowId> all;
+  if (bound_where != nullptr) {
+    std::vector<IndexPredicate> predicates;
+    collect_index_predicates(*bound_where, params, table.schema().columns().size(),
+                             predicates);
+    // Prefer an equality on an indexed column; else try to assemble a range.
+    for (const auto& p : predicates) {
+      if (p.op == "=" && table.has_index(p.column)) {
+        if (auto hits = table.index_equal(p.column, p.value)) return *hits;
+      }
+    }
+    // Range: combine lo/hi bounds on the same indexed column.
+    for (const auto& p : predicates) {
+      if (!table.has_index(p.column)) continue;
+      std::optional<Value> lo;
+      std::optional<Value> hi;
+      for (const auto& q : predicates) {
+        if (q.column != p.column) continue;
+        if (q.op == ">" || q.op == ">=") {
+          if (!lo || q.value > *lo) lo = q.value;
+        } else if (q.op == "<" || q.op == "<=") {
+          if (!hi || q.value < *hi) hi = q.value;
+        }
+      }
+      if (lo || hi) {
+        if (auto hits = table.index_range(p.column, lo, hi)) return *hits;
+      }
+    }
+  }
+  table.scan([&](RowId id, const Row&) { all.push_back(id); });
+  return all;
+}
+
+namespace {
+
+// ------------------------------------------------------- aggregation
+
+struct Accumulator {
+  const Expr* node = nullptr;  // the aggregate call in the tree
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  std::int64_t int_sum = 0;
+  bool all_int = true;
+  bool any = false;
+  Value min;
+  Value max;
+  std::set<Value> distinct;  // for COUNT(DISTINCT x)
+
+  void add(const Value& v) {
+    if (v.is_null()) return;
+    any = true;
+    ++count;
+    if (node->distinct) distinct.insert(v);
+    if (v.type() == ValueType::kInt) {
+      int_sum += v.as_int();
+    } else {
+      all_int = false;
+    }
+    if (v.type() == ValueType::kInt || v.type() == ValueType::kReal) {
+      const double d = v.as_real();
+      sum += d;
+      sum_squares += d * d;
+    }
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || v > max) max = v;
+  }
+
+  Value result() const {
+    const std::string& name = node->function_name;
+    if (name == "COUNT") {
+      return Value(node->distinct ? static_cast<std::int64_t>(distinct.size())
+                                  : count);
+    }
+    if (!any) return Value();  // SUM/AVG/MIN/MAX/STDDEV over no rows is NULL
+    if (name == "SUM") return all_int ? Value(int_sum) : Value(sum);
+    if (name == "AVG") return Value(sum / static_cast<double>(count));
+    if (name == "MIN") return min;
+    if (name == "MAX") return max;
+    if (name == "STDDEV" || name == "VARIANCE") {
+      if (count < 2) return Value();
+      const double n = static_cast<double>(count);
+      const double variance = (sum_squares - sum * sum / n) / (n - 1.0);
+      const double clamped = variance < 0.0 ? 0.0 : variance;  // fp noise
+      return Value(name == "VARIANCE" ? clamped : std::sqrt(clamped));
+    }
+    throw DbError("unknown aggregate " + name);
+  }
+};
+
+/// RAII: rewrite aggregate nodes to literals for one evaluation, restore.
+class AggregateRewrite {
+ public:
+  AggregateRewrite(const std::vector<Expr*>& nodes, const std::vector<Value>& values) {
+    nodes_ = nodes;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i]->kind = ExprKind::kLiteral;
+      nodes[i]->literal = values[i];
+    }
+  }
+  ~AggregateRewrite() {
+    for (Expr* node : nodes_) node->kind = ExprKind::kFunction;
+  }
+
+ private:
+  std::vector<Expr*> nodes_;
+};
+
+struct WorkingSet {
+  std::vector<BoundColumn> layout;
+  std::vector<Row> rows;
+  /// Tables materialized from views for the duration of this query.
+  std::vector<std::unique_ptr<Table>> owned_tables;
+};
+
+/// Resolve a FROM/JOIN name: a real table directly, or a view materialized
+/// into a temporary untyped table by executing its stored SELECT. A depth
+/// guard catches self-referential view chains.
+Table& resolve_table(Database& db, const std::string& name, WorkingSet& ws) {
+  if (!db.has_view(name)) return db.table(name);
+
+  thread_local int view_depth = 0;
+  if (view_depth > 16) {
+    throw DbError("view expansion too deep (cycle?) at " + name);
+  }
+  ++view_depth;
+  ResultSetData data;
+  try {
+    // Views were validated placeholder-free at CREATE VIEW time.
+    data = db.execute(db.view_sql(name), {});
+  } catch (...) {
+    --view_depth;
+    throw;
+  }
+  --view_depth;
+
+  TableSchema schema(name);
+  for (const auto& column : data.column_names) {
+    ColumnDef def;
+    def.name = column;  // untyped: values stored as produced
+    def.type = ValueType::kNull;
+    schema.add_column(std::move(def));
+  }
+  auto materialized = std::make_unique<Table>(std::move(schema));
+  for (auto& row : data.rows) materialized->insert(std::move(row));
+  ws.owned_tables.push_back(std::move(materialized));
+  return *ws.owned_tables.back();
+}
+
+/// FROM + JOIN + WHERE: produce the working rows and the column layout.
+WorkingSet build_working_set(Database& db, SelectStatement& stmt,
+                             const Params& params) {
+  WorkingSet ws;
+  if (!stmt.from) {
+    ws.rows.emplace_back();  // one empty row: SELECT 1+1
+    if (stmt.where) {
+      bind_expr(*stmt.where, ws.layout);
+      std::vector<Row> kept;
+      for (auto& row : ws.rows) {
+        if (is_truthy(eval_expr(*stmt.where, row, params))) kept.push_back(row);
+      }
+      ws.rows = std::move(kept);
+    }
+    return ws;
+  }
+
+  Table& base = resolve_table(db, stmt.from->table, ws);
+  const std::string base_alias = util::to_lower(stmt.from->alias);
+  for (const auto& column : base.schema().columns()) {
+    ws.layout.push_back({base_alias, column.name});
+  }
+  // Predicate push-down. Without joins the whole WHERE binds against the
+  // base layout and drives index selection. With joins, each AND-conjunct
+  // that references only base columns is bound, used for index selection,
+  // and applied before the join (sound under three-valued logic: a row on
+  // which any conjunct is not truthy cannot satisfy the full conjunction).
+  const Expr* base_where = nullptr;
+  std::vector<Expr*> pushed;
+  if (stmt.where) {
+    if (stmt.joins.empty()) {
+      bind_expr(*stmt.where, ws.layout);
+      base_where = stmt.where.get();
+    } else {
+      std::vector<Expr*> conjuncts;
+      split_conjuncts(*stmt.where, conjuncts);
+      for (Expr* conjunct : conjuncts) {
+        try {
+          bind_expr(*conjunct, ws.layout);
+          pushed.push_back(conjunct);
+        } catch (const DbError&) {
+          // References a joined table's columns; evaluated post-join.
+        }
+      }
+    }
+  }
+
+  std::vector<RowId> candidates;
+  if (base_where != nullptr || pushed.empty()) {
+    candidates = collect_candidates(base, base_where, params);
+  } else {
+    // Index selection over the first pushed conjunct that an index serves.
+    bool used_index = false;
+    for (const Expr* conjunct : pushed) {
+      std::vector<IndexPredicate> predicates;
+      collect_index_predicates(*conjunct, params,
+                               base.schema().columns().size(), predicates);
+      for (const auto& p : predicates) {
+        if (p.op == "=" && base.has_index(p.column)) {
+          if (auto hits = base.index_equal(p.column, p.value)) {
+            candidates = *hits;
+            used_index = true;
+          }
+          break;
+        }
+      }
+      if (used_index) break;
+    }
+    if (!used_index) {
+      base.scan([&](RowId id, const Row&) { candidates.push_back(id); });
+    }
+  }
+
+  ws.rows.reserve(candidates.size());
+  for (RowId id : candidates) {
+    if (!base.is_live(id)) continue;
+    const Row& row = base.row(id);
+    bool keep = true;
+    for (const Expr* conjunct : pushed) {
+      if (!is_truthy(eval_expr(*conjunct, row, params))) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) ws.rows.push_back(row);
+  }
+
+  // Joins: nested loop, with index lookup when ON is equality between an
+  // existing column and a column of the joined table that has an index.
+  for (auto& join : stmt.joins) {
+    Table& right = resolve_table(db, join.table.table, ws);
+    const std::string right_alias = util::to_lower(join.table.alias);
+    std::vector<BoundColumn> new_layout = ws.layout;
+    for (const auto& column : right.schema().columns()) {
+      new_layout.push_back({right_alias, column.name});
+    }
+    bind_expr(*join.on, new_layout);
+
+    // Detect "left_col = right_col" to drive an index lookup.
+    std::size_t left_key = static_cast<std::size_t>(-1);
+    std::size_t right_key = static_cast<std::size_t>(-1);
+    const Expr& on = *join.on;
+    if (on.kind == ExprKind::kBinary && on.op == "=" &&
+        on.children[0]->kind == ExprKind::kColumnRef &&
+        on.children[1]->kind == ExprKind::kColumnRef) {
+      std::size_t a = on.children[0]->resolved_index;
+      std::size_t b = on.children[1]->resolved_index;
+      if (a < ws.layout.size() && b >= ws.layout.size()) {
+        left_key = a;
+        right_key = b - ws.layout.size();
+      } else if (b < ws.layout.size() && a >= ws.layout.size()) {
+        left_key = b;
+        right_key = a - ws.layout.size();
+      }
+    }
+    const bool use_index =
+        right_key != static_cast<std::size_t>(-1) && right.has_index(right_key);
+
+    std::vector<Row> joined;
+    const std::size_t right_width = right.schema().columns().size();
+    for (const auto& left_row : ws.rows) {
+      bool matched = false;
+      auto try_pair = [&](const Row& right_row) {
+        Row combined = left_row;
+        combined.insert(combined.end(), right_row.begin(), right_row.end());
+        if (is_truthy(eval_expr(on, combined, params))) {
+          joined.push_back(std::move(combined));
+          matched = true;
+        }
+      };
+      if (use_index) {
+        auto hits = right.index_equal(right_key, left_row[left_key]);
+        for (RowId id : *hits) {
+          if (right.is_live(id)) try_pair(right.row(id));
+        }
+      } else {
+        right.scan([&](RowId, const Row& right_row) { try_pair(right_row); });
+      }
+      if (!matched && join.left_outer) {
+        Row combined = left_row;
+        combined.resize(combined.size() + right_width);  // NULL padding
+        joined.push_back(std::move(combined));
+      }
+    }
+    ws.rows = std::move(joined);
+    ws.layout = std::move(new_layout);
+  }
+
+  if (stmt.where && !stmt.joins.empty()) {
+    bind_expr(*stmt.where, ws.layout);
+    std::vector<Row> kept;
+    kept.reserve(ws.rows.size());
+    for (auto& row : ws.rows) {
+      if (is_truthy(eval_expr(*stmt.where, row, params))) {
+        kept.push_back(std::move(row));
+      }
+    }
+    ws.rows = std::move(kept);
+  } else if (stmt.where && stmt.joins.empty()) {
+    // Index candidates are a superset; apply the full predicate.
+    std::vector<Row> kept;
+    kept.reserve(ws.rows.size());
+    for (auto& row : ws.rows) {
+      if (is_truthy(eval_expr(*stmt.where, row, params))) {
+        kept.push_back(std::move(row));
+      }
+    }
+    ws.rows = std::move(kept);
+  }
+  return ws;
+}
+
+std::string default_column_name(const Expr* expr, std::size_t position) {
+  if (expr == nullptr) return "col" + std::to_string(position);
+  if (expr->kind == ExprKind::kColumnRef) return expr->column_name;
+  if (expr->kind == ExprKind::kFunction) {
+    return util::to_lower(expr->function_name);
+  }
+  return "col" + std::to_string(position);
+}
+
+}  // namespace
+
+ResultSetData execute_select(Database& db, SelectStatement& stmt,
+                             const Params& params) {
+  WorkingSet ws = build_working_set(db, stmt, params);
+
+  // Expand '*' items into one column ref per working column.
+  std::vector<const Expr*> output_exprs;  // parallel to output columns
+  std::vector<ExprPtr> expanded;          // owns the expansion
+  ResultSetData result;
+  for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+    SelectItem& item = stmt.items[i];
+    if (item.expr == nullptr) {
+      for (std::size_t c = 0; c < ws.layout.size(); ++c) {
+        auto ref = make_column(ws.layout[c].qualifier, ws.layout[c].name);
+        ref->resolved_index = c;
+        result.column_names.push_back(ws.layout[c].name);
+        output_exprs.push_back(ref.get());
+        expanded.push_back(std::move(ref));
+      }
+      continue;
+    }
+    bind_expr(*item.expr, ws.layout);
+    result.column_names.push_back(
+        item.alias.empty() ? default_column_name(item.expr.get(), i) : item.alias);
+    output_exprs.push_back(item.expr.get());
+  }
+
+  // Detect aggregation.
+  std::vector<Expr*> aggregate_nodes;
+  for (const Expr* e : output_exprs) {
+    auto found = find_aggregates(*const_cast<Expr*>(e));
+    aggregate_nodes.insert(aggregate_nodes.end(), found.begin(), found.end());
+  }
+  if (stmt.having) {
+    bind_expr(*stmt.having, ws.layout);
+    auto found = find_aggregates(*stmt.having);
+    aggregate_nodes.insert(aggregate_nodes.end(), found.begin(), found.end());
+  }
+  const bool aggregated = !aggregate_nodes.empty() || !stmt.group_by.empty();
+
+  // Pre-compute ORDER BY keys alongside each output row so sorting works
+  // uniformly for plain and aggregated queries.
+  struct OutputRow {
+    Row values;
+    Row sort_keys;
+  };
+  std::vector<OutputRow> output;
+
+  auto order_key_for = [&](const Row& working_row, const Row& produced,
+                           const OrderItem& item) -> Value {
+    // 1) positional: ORDER BY 2
+    if (item.expr->kind == ExprKind::kLiteral &&
+        item.expr->literal.type() == ValueType::kInt) {
+      const std::int64_t pos = item.expr->literal.as_int();
+      if (pos < 1 || pos > static_cast<std::int64_t>(produced.size())) {
+        throw DbError("ORDER BY position out of range");
+      }
+      return produced[static_cast<std::size_t>(pos - 1)];
+    }
+    // 2) alias of an output column
+    if (item.expr->kind == ExprKind::kColumnRef && item.expr->table_qualifier.empty()) {
+      for (std::size_t c = 0; c < result.column_names.size(); ++c) {
+        if (util::iequals(result.column_names[c], item.expr->column_name)) {
+          return produced[c];
+        }
+      }
+    }
+    // 3) arbitrary expression over the working row (plain queries only)
+    if (aggregated) {
+      throw DbError("ORDER BY over aggregated queries must reference output "
+                    "columns by alias or position");
+    }
+    bind_expr(*item.expr, ws.layout);
+    return eval_expr(*item.expr, working_row, params);
+  };
+
+  if (!aggregated) {
+    output.reserve(ws.rows.size());
+    for (const auto& row : ws.rows) {
+      OutputRow out;
+      out.values.reserve(output_exprs.size());
+      for (const Expr* e : output_exprs) {
+        out.values.push_back(eval_expr(*e, row, params));
+      }
+      for (const auto& item : stmt.order_by) {
+        out.sort_keys.push_back(order_key_for(row, out.values, item));
+      }
+      output.push_back(std::move(out));
+    }
+  } else {
+    for (auto& g : stmt.group_by) bind_expr(*g, ws.layout);
+    // Group rows by the GROUP BY key (empty key -> single group).
+    std::map<Row, std::vector<const Row*>> groups;
+    for (const auto& row : ws.rows) {
+      Row key;
+      key.reserve(stmt.group_by.size());
+      for (const auto& g : stmt.group_by) {
+        key.push_back(eval_expr(*g, row, params));
+      }
+      groups[key].push_back(&row);
+    }
+    if (groups.empty() && stmt.group_by.empty()) {
+      groups[Row{}] = {};  // aggregate over zero rows: one output row
+    }
+    for (auto& [key, members] : groups) {
+      // Accumulate every aggregate node over the group's rows.
+      std::vector<Accumulator> accumulators(aggregate_nodes.size());
+      for (std::size_t a = 0; a < aggregate_nodes.size(); ++a) {
+        accumulators[a].node = aggregate_nodes[a];
+      }
+      for (const Row* row : members) {
+        for (std::size_t a = 0; a < aggregate_nodes.size(); ++a) {
+          Expr* node = aggregate_nodes[a];
+          if (node->children.size() == 1 &&
+              node->children[0]->kind == ExprKind::kStar) {
+            ++accumulators[a].count;
+            accumulators[a].any = true;
+          } else {
+            accumulators[a].add(eval_expr(*node->children[0], *row, params));
+          }
+        }
+      }
+      std::vector<Value> aggregate_values;
+      aggregate_values.reserve(accumulators.size());
+      for (const auto& acc : accumulators) aggregate_values.push_back(acc.result());
+
+      // Representative row for bare column references (first member).
+      static const Row kEmptyRow;
+      const Row& rep = members.empty() ? kEmptyRow : *members.front();
+
+      AggregateRewrite rewrite(aggregate_nodes, aggregate_values);
+      if (stmt.having &&
+          !is_truthy(eval_expr(*stmt.having, rep, params))) {
+        continue;
+      }
+      OutputRow out;
+      out.values.reserve(output_exprs.size());
+      for (const Expr* e : output_exprs) {
+        out.values.push_back(eval_expr(*e, rep, params));
+      }
+      for (const auto& item : stmt.order_by) {
+        out.sort_keys.push_back(order_key_for(rep, out.values, item));
+      }
+      output.push_back(std::move(out));
+    }
+  }
+
+  if (stmt.distinct) {
+    std::set<Row> seen;
+    std::vector<OutputRow> kept;
+    for (auto& row : output) {
+      if (seen.insert(row.values).second) kept.push_back(std::move(row));
+    }
+    output = std::move(kept);
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(output.begin(), output.end(),
+                     [&](const OutputRow& a, const OutputRow& b) {
+                       for (std::size_t k = 0; k < stmt.order_by.size(); ++k) {
+                         int c = a.sort_keys[k].compare(b.sort_keys[k]);
+                         if (stmt.order_by[k].descending) c = -c;
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+  }
+
+  std::size_t begin = 0;
+  std::size_t end = output.size();
+  if (stmt.offset) begin = std::min<std::size_t>(end, static_cast<std::size_t>(*stmt.offset));
+  if (stmt.limit) end = std::min(end, begin + static_cast<std::size_t>(*stmt.limit));
+
+  result.rows.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    result.rows.push_back(std::move(output[i].values));
+  }
+  return result;
+}
+
+}  // namespace perfdmf::sqldb

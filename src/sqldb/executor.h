@@ -1,0 +1,41 @@
+// Statement execution against a Database catalog.
+//
+// SELECT pipeline: FROM/JOIN (nested-loop with index acceleration on
+// equality join keys) -> WHERE (index-accelerated candidate selection on
+// the base table) -> GROUP BY / aggregates -> HAVING -> projection ->
+// DISTINCT -> ORDER BY -> LIMIT/OFFSET. Results are materialized; the
+// profile workloads PerfDMF runs are read-mostly and bounded by row
+// construction, not pipelining.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/expr_eval.h"
+#include "sqldb/table.h"
+
+namespace perfdmf::sqldb {
+
+class Database;
+
+struct ResultSetData {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+};
+
+/// Execute a SELECT. `params` supplies '?' bindings. The statement is
+/// mutated in place (column binding, temporary aggregate rewriting) but
+/// is restored to a reusable state, so prepared statements can re-execute
+/// it with different parameters.
+ResultSetData execute_select(Database& db, SelectStatement& stmt,
+                             const Params& params);
+
+/// Candidate RowIds for a WHERE clause over a single table, using an
+/// index when the (already bound) predicate pins an indexed column with
+/// '=', '<', '<=', '>', '>=' or BETWEEN against a literal/placeholder.
+/// The caller must still evaluate the full predicate per candidate.
+std::vector<RowId> collect_candidates(const Table& table, const Expr* bound_where,
+                                      const Params& params);
+
+}  // namespace perfdmf::sqldb

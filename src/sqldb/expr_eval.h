@@ -1,0 +1,51 @@
+// Expression binding and evaluation.
+//
+// Binding resolves column references against an ordered list of
+// (qualifier, column-name) pairs describing the working row produced by
+// the FROM/JOIN stage. Evaluation implements SQL three-valued logic for
+// predicates: comparisons with NULL yield NULL, WHERE keeps only rows
+// where the predicate is truthy.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sqldb/ast.h"
+#include "sqldb/table.h"
+
+namespace perfdmf::sqldb {
+
+/// One output column of the row environment an expression evaluates over.
+struct BoundColumn {
+  std::string qualifier;  // table alias (lower-cased for matching)
+  std::string name;       // column name
+};
+
+/// Resolve every kColumnRef in `expr` to an index into the bound row.
+/// Ambiguous or unknown names throw DbError.
+void bind_expr(Expr& expr, std::span<const BoundColumn> columns);
+
+/// Values supplied for '?' placeholders.
+using Params = std::vector<Value>;
+
+/// Evaluate a bound scalar expression. Aggregate function calls are not
+/// valid here (the executor computes them separately and rewrites them to
+/// literals); encountering one throws DbError.
+Value eval_expr(const Expr& expr, const Row& row, const Params& params);
+
+/// True iff the value is non-NULL and nonzero (SQL truthiness for WHERE).
+bool is_truthy(const Value& v);
+
+/// SQL LIKE with % and _ wildcards.
+bool like_match(const std::string& text, const std::string& pattern);
+
+/// Collect every aggregate function call in `expr` (pointers into the
+/// tree, pre-order). Nested aggregates throw DbError.
+std::vector<Expr*> find_aggregates(Expr& expr);
+
+/// True for COUNT/SUM/AVG/MIN/MAX/STDDEV/VARIANCE names.
+bool is_aggregate_function(const std::string& upper_name);
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,137 @@
+#include "sqldb/lexer.h"
+
+#include <cctype>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perfdmf::sqldb {
+
+namespace {
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && is_ident_char(sql[i])) ++i;
+      token.type = TokenType::kIdentifier;
+      token.text = std::string(sql.substr(start, i - start));
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"') {  // quoted identifier
+      ++i;
+      std::string name;
+      while (i < n && sql[i] != '"') name += sql[i++];
+      if (i >= n) throw perfdmf::ParseError("unterminated quoted identifier");
+      ++i;
+      token.type = TokenType::kIdentifier;
+      token.text = std::move(name);
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_real = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      const std::string text(sql.substr(start, i - start));
+      if (is_real) {
+        token.type = TokenType::kReal;
+        token.real_value = util::parse_double_or_throw(text, "numeric literal");
+      } else {
+        auto value = util::parse_int(text);
+        if (value) {
+          token.type = TokenType::kInteger;
+          token.int_value = *value;
+        } else {  // overflow: fall back to real
+          token.type = TokenType::kReal;
+          token.real_value = util::parse_double_or_throw(text, "numeric literal");
+        }
+      }
+      token.text = text;
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      for (;;) {
+        if (i >= n) throw perfdmf::ParseError("unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(text);
+      out.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = sql.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "!=" || two == "<>" || two == "||") {
+      token.type = TokenType::kOperator;
+      token.text = std::string(two);
+      i += 2;
+      out.push_back(std::move(token));
+      continue;
+    }
+    static const std::string kSingles = "=<>+-*/%(),.?;";
+    if (kSingles.find(c) != std::string::npos) {
+      token.type = TokenType::kOperator;
+      token.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(token));
+      continue;
+    }
+    throw perfdmf::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,32 @@
+// SQL tokenizer. Keywords are returned as identifiers and matched
+// case-insensitively by the parser (ANSI-style). String literals use
+// single quotes with '' escaping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfdmf::sqldb {
+
+enum class TokenType {
+  kIdentifier,  // bare word or "quoted identifier"
+  kInteger,
+  kReal,
+  kString,
+  kOperator,    // = != <> < <= > >= + - * / % ( ) , . ?
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // identifier name / operator spelling / literal text
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  std::size_t offset = 0;  // byte position, for error messages
+};
+
+/// Tokenize a full statement (or statement list). Throws ParseError.
+std::vector<Token> tokenize(std::string_view sql);
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,706 @@
+#include "sqldb/parser.h"
+
+#include "sqldb/lexer.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perfdmf::sqldb {
+
+ExprPtr make_literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr make_column(std::string qualifier, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table_qualifier = std::move(qualifier);
+  e->column_name = std::move(name);
+  return e;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : sql_(sql), tokens_(tokenize(sql)) {}
+
+  Statement parse() {
+    Statement stmt = parse_statement_inner();
+    accept_op(";");
+    if (!at_end()) fail("trailing tokens after statement");
+    stmt.placeholder_count = placeholder_count_;
+    return stmt;
+  }
+
+ private:
+  // ----- token helpers ---------------------------------------------------
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at_end() const { return cur().type == TokenType::kEnd; }
+  void advance() { if (!at_end()) ++pos_; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw perfdmf::ParseError("SQL: " + message + " (near offset " +
+                              std::to_string(cur().offset) + ")");
+  }
+
+  bool peek_keyword(std::string_view kw) const {
+    return cur().type == TokenType::kIdentifier && util::iequals(cur().text, kw);
+  }
+
+  bool accept_keyword(std::string_view kw) {
+    if (peek_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_keyword(std::string_view kw) {
+    if (!accept_keyword(kw)) fail("expected keyword " + std::string(kw));
+  }
+
+  bool peek_op(std::string_view op) const {
+    return cur().type == TokenType::kOperator && cur().text == op;
+  }
+
+  bool accept_op(std::string_view op) {
+    if (peek_op(op)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_op(std::string_view op) {
+    if (!accept_op(op)) fail("expected '" + std::string(op) + "'");
+  }
+
+  std::string expect_identifier(std::string_view what) {
+    if (cur().type != TokenType::kIdentifier) {
+      fail("expected " + std::string(what));
+    }
+    std::string name = cur().text;
+    advance();
+    return name;
+  }
+
+  // ----- statements ------------------------------------------------------
+  Statement parse_statement_inner() {
+    Statement stmt;
+    if (accept_keyword("SELECT")) {
+      stmt.kind = StatementKind::kSelect;
+      stmt.select = parse_select_body();
+    } else if (accept_keyword("INSERT")) {
+      stmt.kind = StatementKind::kInsert;
+      stmt.insert = parse_insert();
+    } else if (accept_keyword("UPDATE")) {
+      stmt.kind = StatementKind::kUpdate;
+      stmt.update = parse_update();
+    } else if (accept_keyword("DELETE")) {
+      stmt.kind = StatementKind::kDelete;
+      stmt.del = parse_delete();
+    } else if (accept_keyword("CREATE")) {
+      if (accept_keyword("TABLE")) {
+        stmt.kind = StatementKind::kCreateTable;
+        stmt.create_table = parse_create_table();
+      } else if (accept_keyword("UNIQUE")) {
+        expect_keyword("INDEX");
+        stmt.kind = StatementKind::kCreateIndex;
+        stmt.create_index = parse_create_index(/*unique=*/true);
+      } else if (accept_keyword("INDEX")) {
+        stmt.kind = StatementKind::kCreateIndex;
+        stmt.create_index = parse_create_index(/*unique=*/false);
+      } else if (accept_keyword("VIEW")) {
+        stmt.kind = StatementKind::kCreateView;
+        stmt.create_view.name = expect_identifier("view name");
+        expect_keyword("AS");
+        // Capture the raw SELECT text from here to the end, then parse it
+        // to validate (and to consume the tokens).
+        const std::size_t select_begin = cur().offset;
+        expect_keyword("SELECT");
+        SelectStatement validated = parse_select_body();
+        (void)validated;
+        if (placeholder_count_ > 0) {
+          fail("views cannot contain '?' placeholders");
+        }
+        std::size_t select_end = sql_.size();
+        if (peek_op(";")) select_end = cur().offset;
+        stmt.create_view.select_sql =
+            std::string(sql_.substr(select_begin, select_end - select_begin));
+      } else {
+        fail("expected TABLE, INDEX or VIEW after CREATE");
+      }
+    } else if (accept_keyword("DROP")) {
+      if (accept_keyword("VIEW")) {
+        stmt.kind = StatementKind::kDropView;
+        if (accept_keyword("IF")) {
+          expect_keyword("EXISTS");
+          stmt.drop_view.if_exists = true;
+        }
+        stmt.drop_view.name = expect_identifier("view name");
+      } else {
+        expect_keyword("TABLE");
+        stmt.kind = StatementKind::kDropTable;
+        if (accept_keyword("IF")) {
+          expect_keyword("EXISTS");
+          stmt.drop_table.if_exists = true;
+        }
+        stmt.drop_table.table = expect_identifier("table name");
+      }
+    } else if (accept_keyword("ALTER")) {
+      expect_keyword("TABLE");
+      std::string table = expect_identifier("table name");
+      if (accept_keyword("ADD")) {
+        accept_keyword("COLUMN");
+        stmt.kind = StatementKind::kAlterAddColumn;
+        stmt.alter.table = std::move(table);
+        stmt.alter.column = parse_column_def();
+      } else if (accept_keyword("DROP")) {
+        accept_keyword("COLUMN");
+        stmt.kind = StatementKind::kAlterDropColumn;
+        stmt.alter.table = std::move(table);
+        stmt.alter.column_name = expect_identifier("column name");
+      } else {
+        fail("expected ADD or DROP after ALTER TABLE <name>");
+      }
+    } else if (accept_keyword("BEGIN")) {
+      accept_keyword("TRANSACTION");
+      stmt.kind = StatementKind::kBegin;
+    } else if (accept_keyword("COMMIT")) {
+      stmt.kind = StatementKind::kCommit;
+    } else if (accept_keyword("ROLLBACK")) {
+      stmt.kind = StatementKind::kRollback;
+    } else {
+      fail("unknown statement");
+    }
+    return stmt;
+  }
+
+  ValueType parse_type() {
+    std::string name = util::to_upper(expect_identifier("type name"));
+    if (name == "INT" || name == "INTEGER" || name == "BIGINT" || name == "SMALLINT") {
+      maybe_skip_size_suffix();
+      return ValueType::kInt;
+    }
+    if (name == "REAL" || name == "DOUBLE" || name == "FLOAT" || name == "NUMERIC" ||
+        name == "DECIMAL") {
+      if (name == "DOUBLE") accept_keyword("PRECISION");
+      // NUMERIC(p,s) / VARCHAR(n) style size suffixes are parsed and ignored.
+      maybe_skip_size_suffix();
+      return ValueType::kReal;
+    }
+    if (name == "TEXT" || name == "VARCHAR" || name == "CHAR" || name == "CLOB" ||
+        name == "STRING") {
+      maybe_skip_size_suffix();
+      return ValueType::kText;
+    }
+    fail("unknown column type " + name);
+  }
+
+  void maybe_skip_size_suffix() {
+    if (accept_op("(")) {
+      while (!peek_op(")") && !at_end()) advance();
+      expect_op(")");
+    }
+  }
+
+  ColumnDef parse_column_def() {
+    ColumnDef column;
+    column.name = expect_identifier("column name");
+    column.type = parse_type();
+    for (;;) {
+      if (accept_keyword("NOT")) {
+        expect_keyword("NULL");
+        column.not_null = true;
+      } else if (accept_keyword("PRIMARY")) {
+        expect_keyword("KEY");
+        column.primary_key = true;
+        if (column.type == ValueType::kInt) column.auto_increment = true;
+      } else if (accept_keyword("AUTOINCREMENT") || accept_keyword("AUTO_INCREMENT")) {
+        column.auto_increment = true;
+      } else if (accept_keyword("DEFAULT")) {
+        column.default_value = parse_literal_value();
+      } else {
+        break;
+      }
+    }
+    return column;
+  }
+
+  Value parse_literal_value() {
+    if (cur().type == TokenType::kInteger) {
+      Value v{cur().int_value};
+      advance();
+      return v;
+    }
+    if (cur().type == TokenType::kReal) {
+      Value v{cur().real_value};
+      advance();
+      return v;
+    }
+    if (cur().type == TokenType::kString) {
+      Value v{cur().text};
+      advance();
+      return v;
+    }
+    if (accept_keyword("NULL")) return Value();
+    bool negative = false;
+    if (accept_op("-")) negative = true;
+    if (negative && cur().type == TokenType::kInteger) {
+      Value v{-cur().int_value};
+      advance();
+      return v;
+    }
+    if (negative && cur().type == TokenType::kReal) {
+      Value v{-cur().real_value};
+      advance();
+      return v;
+    }
+    fail("expected a literal value");
+  }
+
+  CreateTableStatement parse_create_table() {
+    CreateTableStatement out;
+    if (accept_keyword("IF")) {
+      expect_keyword("NOT");
+      expect_keyword("EXISTS");
+      out.if_not_exists = true;
+    }
+    out.schema = TableSchema(expect_identifier("table name"));
+    expect_op("(");
+    for (;;) {
+      if (accept_keyword("FOREIGN")) {
+        expect_keyword("KEY");
+        expect_op("(");
+        ForeignKeyDef fk;
+        fk.column = expect_identifier("column name");
+        expect_op(")");
+        expect_keyword("REFERENCES");
+        fk.parent_table = expect_identifier("table name");
+        expect_op("(");
+        fk.parent_column = expect_identifier("column name");
+        expect_op(")");
+        out.schema.add_foreign_key(std::move(fk));
+      } else {
+        out.schema.add_column(parse_column_def());
+      }
+      if (accept_op(",")) continue;
+      expect_op(")");
+      break;
+    }
+    return out;
+  }
+
+  CreateIndexStatement parse_create_index(bool unique) {
+    CreateIndexStatement out;
+    out.unique = unique;
+    out.name = expect_identifier("index name");
+    expect_keyword("ON");
+    out.table = expect_identifier("table name");
+    expect_op("(");
+    out.column = expect_identifier("column name");
+    expect_op(")");
+    return out;
+  }
+
+  InsertStatement parse_insert() {
+    expect_keyword("INTO");
+    InsertStatement out;
+    out.table = expect_identifier("table name");
+    if (accept_op("(")) {
+      for (;;) {
+        out.columns.push_back(expect_identifier("column name"));
+        if (accept_op(",")) continue;
+        expect_op(")");
+        break;
+      }
+    }
+    if (accept_keyword("SELECT")) {
+      out.select = std::make_unique<SelectStatement>(parse_select_body());
+      return out;
+    }
+    expect_keyword("VALUES");
+    for (;;) {
+      expect_op("(");
+      std::vector<ExprPtr> row;
+      for (;;) {
+        row.push_back(parse_expr());
+        if (accept_op(",")) continue;
+        expect_op(")");
+        break;
+      }
+      out.rows.push_back(std::move(row));
+      if (!accept_op(",")) break;
+    }
+    return out;
+  }
+
+  UpdateStatement parse_update() {
+    UpdateStatement out;
+    out.table = expect_identifier("table name");
+    expect_keyword("SET");
+    for (;;) {
+      std::string column = expect_identifier("column name");
+      expect_op("=");
+      out.assignments.emplace_back(std::move(column), parse_expr());
+      if (!accept_op(",")) break;
+    }
+    if (accept_keyword("WHERE")) out.where = parse_expr();
+    return out;
+  }
+
+  DeleteStatement parse_delete() {
+    expect_keyword("FROM");
+    DeleteStatement out;
+    out.table = expect_identifier("table name");
+    if (accept_keyword("WHERE")) out.where = parse_expr();
+    return out;
+  }
+
+  TableRef parse_table_ref() {
+    TableRef ref;
+    ref.table = expect_identifier("table name");
+    if (accept_keyword("AS")) {
+      ref.alias = expect_identifier("alias");
+    } else if (cur().type == TokenType::kIdentifier && !peek_reserved()) {
+      ref.alias = cur().text;
+      advance();
+    }
+    if (ref.alias.empty()) ref.alias = ref.table;
+    return ref;
+  }
+
+  /// Keywords that terminate a table reference (so a bare identifier after
+  /// a table name is an alias only if it is not one of these).
+  bool peek_reserved() const {
+    static const char* kReserved[] = {
+        "WHERE", "GROUP",  "HAVING", "ORDER", "LIMIT",  "OFFSET", "JOIN",
+        "INNER", "LEFT",   "ON",     "AS",    "UNION",  "SET",    "VALUES",
+    };
+    for (const char* kw : kReserved) {
+      if (util::iequals(cur().text, kw)) return true;
+    }
+    return false;
+  }
+
+  SelectStatement parse_select_body() {
+    SelectStatement out;
+    if (accept_keyword("DISTINCT")) out.distinct = true;
+    for (;;) {
+      SelectItem item;
+      if (accept_op("*")) {
+        item.expr = nullptr;
+      } else {
+        item.expr = parse_expr();
+        if (accept_keyword("AS")) {
+          item.alias = expect_identifier("alias");
+        } else if (cur().type == TokenType::kIdentifier && !peek_reserved() &&
+                   !peek_keyword("FROM")) {
+          item.alias = cur().text;
+          advance();
+        }
+      }
+      out.items.push_back(std::move(item));
+      if (!accept_op(",")) break;
+    }
+    if (accept_keyword("FROM")) {
+      out.from = parse_table_ref();
+      for (;;) {
+        bool left_outer = false;
+        if (accept_keyword("LEFT")) {
+          accept_keyword("OUTER");
+          expect_keyword("JOIN");
+          left_outer = true;
+        } else if (accept_keyword("INNER")) {
+          expect_keyword("JOIN");
+        } else if (!accept_keyword("JOIN")) {
+          break;
+        }
+        JoinClause join;
+        join.left_outer = left_outer;
+        join.table = parse_table_ref();
+        expect_keyword("ON");
+        join.on = parse_expr();
+        out.joins.push_back(std::move(join));
+      }
+    }
+    if (accept_keyword("WHERE")) out.where = parse_expr();
+    if (accept_keyword("GROUP")) {
+      expect_keyword("BY");
+      for (;;) {
+        out.group_by.push_back(parse_expr());
+        if (!accept_op(",")) break;
+      }
+    }
+    if (accept_keyword("HAVING")) out.having = parse_expr();
+    if (accept_keyword("ORDER")) {
+      expect_keyword("BY");
+      for (;;) {
+        OrderItem item;
+        item.expr = parse_expr();
+        if (accept_keyword("DESC")) item.descending = true;
+        else accept_keyword("ASC");
+        out.order_by.push_back(std::move(item));
+        if (!accept_op(",")) break;
+      }
+    }
+    if (accept_keyword("LIMIT")) {
+      if (cur().type != TokenType::kInteger) fail("LIMIT expects an integer");
+      out.limit = cur().int_value;
+      advance();
+      if (accept_keyword("OFFSET")) {
+        if (cur().type != TokenType::kInteger) fail("OFFSET expects an integer");
+        out.offset = cur().int_value;
+        advance();
+      }
+    }
+    return out;
+  }
+
+  // ----- expressions (precedence climbing) --------------------------------
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr left = parse_and();
+    while (accept_keyword("OR")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = "OR";
+      node->children.push_back(std::move(left));
+      node->children.push_back(parse_and());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr left = parse_not();
+    while (accept_keyword("AND")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = "AND";
+      node->children.push_back(std::move(left));
+      node->children.push_back(parse_not());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  ExprPtr parse_not() {
+    if (accept_keyword("NOT")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->op = "NOT";
+      node->children.push_back(parse_not());
+      return node;
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr left = parse_additive();
+    // IS [NOT] NULL
+    if (accept_keyword("IS")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kIsNull;
+      node->negated = accept_keyword("NOT");
+      expect_keyword("NULL");
+      node->children.push_back(std::move(left));
+      return node;
+    }
+    bool negated = false;
+    if (peek_keyword("NOT")) {
+      // lookahead for NOT IN / NOT BETWEEN / NOT LIKE
+      const Token& next = tokens_[pos_ + 1];
+      if (next.type == TokenType::kIdentifier &&
+          (util::iequals(next.text, "IN") || util::iequals(next.text, "BETWEEN") ||
+           util::iequals(next.text, "LIKE"))) {
+        advance();
+        negated = true;
+      }
+    }
+    if (accept_keyword("IN")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kInList;
+      node->negated = negated;
+      node->children.push_back(std::move(left));
+      expect_op("(");
+      for (;;) {
+        node->children.push_back(parse_expr());
+        if (accept_op(",")) continue;
+        expect_op(")");
+        break;
+      }
+      return node;
+    }
+    if (accept_keyword("BETWEEN")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBetween;
+      node->negated = negated;
+      node->children.push_back(std::move(left));
+      node->children.push_back(parse_additive());
+      expect_keyword("AND");
+      node->children.push_back(parse_additive());
+      return node;
+    }
+    if (accept_keyword("LIKE")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = "LIKE";
+      node->negated = negated;
+      node->children.push_back(std::move(left));
+      node->children.push_back(parse_additive());
+      return node;
+    }
+    static const char* kCompareOps[] = {"=", "!=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kCompareOps) {
+      if (accept_op(op)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kBinary;
+        node->op = (std::string(op) == "<>") ? "!=" : op;
+        node->children.push_back(std::move(left));
+        node->children.push_back(parse_additive());
+        return node;
+      }
+    }
+    return left;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr left = parse_multiplicative();
+    for (;;) {
+      std::string op;
+      if (accept_op("+")) op = "+";
+      else if (accept_op("-")) op = "-";
+      else if (accept_op("||")) op = "||";
+      else break;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(left));
+      node->children.push_back(parse_multiplicative());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr left = parse_unary();
+    for (;;) {
+      std::string op;
+      if (accept_op("*")) op = "*";
+      else if (accept_op("/")) op = "/";
+      else if (accept_op("%")) op = "%";
+      else break;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(left));
+      node->children.push_back(parse_unary());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  ExprPtr parse_unary() {
+    if (accept_op("-")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->op = "-";
+      node->children.push_back(parse_unary());
+      return node;
+    }
+    if (accept_op("+")) return parse_unary();
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (accept_op("(")) {
+      ExprPtr inner = parse_expr();
+      expect_op(")");
+      return inner;
+    }
+    if (accept_op("?")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kPlaceholder;
+      node->placeholder_index = placeholder_count_++;
+      return node;
+    }
+    if (cur().type == TokenType::kInteger) {
+      auto node = make_literal(Value(cur().int_value));
+      advance();
+      return node;
+    }
+    if (cur().type == TokenType::kReal) {
+      auto node = make_literal(Value(cur().real_value));
+      advance();
+      return node;
+    }
+    if (cur().type == TokenType::kString) {
+      auto node = make_literal(Value(cur().text));
+      advance();
+      return node;
+    }
+    if (accept_keyword("NULL")) return make_literal(Value());
+    if (accept_keyword("TRUE")) return make_literal(Value(std::int64_t{1}));
+    if (accept_keyword("FALSE")) return make_literal(Value(std::int64_t{0}));
+
+    if (cur().type != TokenType::kIdentifier) fail("expected an expression");
+    // Reserved words cannot start an expression — this catches malformed
+    // statements like "SELECT FROM t" early instead of treating FROM as a
+    // column name.
+    static const char* kNotAColumn[] = {"FROM",  "WHERE", "GROUP", "HAVING",
+                                        "ORDER", "LIMIT", "SELECT", "JOIN",
+                                        "ON",    "SET",   "VALUES"};
+    for (const char* kw : kNotAColumn) {
+      if (util::iequals(cur().text, kw)) {
+        fail("unexpected keyword " + cur().text + " in expression");
+      }
+    }
+    std::string first = cur().text;
+    advance();
+
+    if (accept_op("(")) {  // function call
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kFunction;
+      node->function_name = util::to_upper(first);
+      if (accept_keyword("DISTINCT")) node->distinct = true;
+      if (accept_op("*")) {
+        auto star = std::make_unique<Expr>();
+        star->kind = ExprKind::kStar;
+        node->children.push_back(std::move(star));
+        expect_op(")");
+        return node;
+      }
+      if (!accept_op(")")) {
+        for (;;) {
+          node->children.push_back(parse_expr());
+          if (accept_op(",")) continue;
+          expect_op(")");
+          break;
+        }
+      }
+      return node;
+    }
+
+    if (accept_op(".")) {  // table.column
+      std::string column = expect_identifier("column name");
+      return make_column(std::move(first), std::move(column));
+    }
+    return make_column("", std::move(first));
+  }
+
+  std::string_view sql_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::size_t placeholder_count_ = 0;
+};
+
+}  // namespace
+
+Statement parse_statement(std::string_view sql) { return Parser(sql).parse(); }
+
+}  // namespace perfdmf::sqldb

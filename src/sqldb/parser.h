@@ -1,0 +1,14 @@
+// Recursive-descent parser for the SQL subset (see ast.h).
+#pragma once
+
+#include <string_view>
+
+#include "sqldb/ast.h"
+
+namespace perfdmf::sqldb {
+
+/// Parse exactly one statement (a trailing ';' is allowed). Throws
+/// ParseError on malformed input or trailing tokens.
+Statement parse_statement(std::string_view sql);
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,65 @@
+// Table schemas: column definitions, primary keys, foreign keys.
+//
+// PerfDMF's "flexible schema" requirement (paper §3.2) — analysts may add
+// or remove metadata columns on APPLICATION / EXPERIMENT / TRIAL without
+// source changes — is satisfied by ALTER TABLE plus runtime reflection
+// through DatabaseMetaData; both operate on these definitions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqldb/value.h"
+
+namespace perfdmf::sqldb {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kText;  // declared affinity
+  bool not_null = false;
+  bool primary_key = false;   // single-column primary keys only
+  bool auto_increment = false;  // INTEGER PRIMARY KEY columns auto-fill
+  Value default_value;        // used when an INSERT omits the column
+};
+
+struct ForeignKeyDef {
+  std::string column;         // referencing column in this table
+  std::string parent_table;
+  std::string parent_column;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_column(ColumnDef column);
+  void drop_column(const std::string& name);
+  void add_foreign_key(ForeignKeyDef fk) { foreign_keys_.push_back(std::move(fk)); }
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const std::vector<ForeignKeyDef>& foreign_keys() const { return foreign_keys_; }
+
+  /// Case-insensitive lookup; column names in SQL are case-insensitive.
+  std::optional<std::size_t> find_column(std::string_view name) const;
+  std::size_t column_index_or_throw(std::string_view name) const;
+
+  /// Index of the primary-key column, if declared.
+  std::optional<std::size_t> primary_key_index() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+/// Check that `value` is storable in a column of declared type, applying
+/// numeric coercion (int literal into REAL column and vice versa) and
+/// rejecting NULL in NOT NULL columns. Returns the (possibly coerced) value.
+Value coerce_for_column(const ColumnDef& column, const Value& value,
+                        const std::string& table_name);
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,193 @@
+#include "sqldb/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace perfdmf::sqldb {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  // The primary key always gets a unique index: PerfDMF point lookups
+  // (trial by id, event by id) must not scan.
+  if (auto pk = schema_.primary_key_index()) {
+    create_index(*pk, /*unique=*/true);
+  }
+}
+
+Row Table::normalize(Row row) const {
+  const auto& columns = schema_.columns();
+  if (row.size() != columns.size()) {
+    throw DbError("table " + schema_.name() + " expects " +
+                  std::to_string(columns.size()) + " values, got " +
+                  std::to_string(row.size()));
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    row[i] = coerce_for_column(columns[i], row[i], schema_.name());
+  }
+  return row;
+}
+
+void Table::check_unique(const Row& row, std::optional<RowId> self) const {
+  for (const auto& [column, index] : indexes_) {
+    if (!index.unique) continue;
+    const Value& key = row[column];
+    if (key.is_null()) continue;
+    auto [lo, hi] = index.entries.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      if (self && it->second == *self) continue;
+      throw DbError("unique constraint violated on " + schema_.name() + "." +
+                    schema_.columns()[column].name + " = " + key.to_string());
+    }
+  }
+}
+
+RowId Table::insert(Row row) {
+  // Auto-increment: fill a NULL primary key before validation (normalize
+  // would reject the NULL), and track the high-water mark.
+  if (auto pk = schema_.primary_key_index()) {
+    const ColumnDef& pk_col = schema_.columns()[*pk];
+    if (row.size() == schema_.columns().size() && pk_col.auto_increment &&
+        row[*pk].is_null()) {
+      row[*pk] = Value(next_auto_);
+    }
+  }
+  row = normalize(std::move(row));
+  if (auto pk = schema_.primary_key_index()) {
+    if (row[*pk].is_null()) {
+      throw DbError("NULL primary key in table " + schema_.name());
+    }
+    if (schema_.columns()[*pk].type == ValueType::kInt) {
+      bump_auto_increment(row[*pk].as_int() + 1);
+    }
+  }
+  check_unique(row, std::nullopt);
+
+  const RowId id = rows_.size();
+  rows_.emplace_back(std::move(row));
+  ++live_rows_;
+  index_insert(id, *rows_[id]);
+  return id;
+}
+
+void Table::update(RowId id, Row row) {
+  if (!is_live(id)) throw DbError("update of dead row in " + schema_.name());
+  row = normalize(std::move(row));
+  check_unique(row, id);
+  index_erase(id, *rows_[id]);
+  rows_[id] = std::move(row);
+  index_insert(id, *rows_[id]);
+}
+
+void Table::erase(RowId id) {
+  if (!is_live(id)) throw DbError("delete of dead row in " + schema_.name());
+  index_erase(id, *rows_[id]);
+  rows_[id].reset();
+  --live_rows_;
+}
+
+const Row& Table::row(RowId id) const {
+  if (!is_live(id)) throw DbError("access to dead row in " + schema_.name());
+  return *rows_[id];
+}
+
+void Table::create_index(std::size_t column_index, bool unique) {
+  if (column_index >= schema_.columns().size()) {
+    throw DbError("index column out of range in " + schema_.name());
+  }
+  auto [it, inserted] = indexes_.try_emplace(column_index);
+  if (!inserted) {
+    it->second.unique = it->second.unique || unique;
+    return;
+  }
+  it->second.unique = unique;
+  scan([&](RowId id, const Row& row) {
+    it->second.entries.emplace(row[column_index], id);
+  });
+}
+
+bool Table::has_index(std::size_t column_index) const {
+  return indexes_.count(column_index) > 0;
+}
+
+std::optional<std::vector<RowId>> Table::index_equal(std::size_t column_index,
+                                                     const Value& key) const {
+  auto it = indexes_.find(column_index);
+  if (it == indexes_.end()) return std::nullopt;
+  std::vector<RowId> out;
+  auto [lo, hi] = it->second.entries.equal_range(key);
+  for (auto e = lo; e != hi; ++e) out.push_back(e->second);
+  return out;
+}
+
+std::optional<std::vector<RowId>> Table::index_range(
+    std::size_t column_index, const std::optional<Value>& lo,
+    const std::optional<Value>& hi) const {
+  auto it = indexes_.find(column_index);
+  if (it == indexes_.end()) return std::nullopt;
+  const auto& entries = it->second.entries;
+  auto begin = lo ? entries.lower_bound(*lo) : entries.begin();
+  auto end = hi ? entries.upper_bound(*hi) : entries.end();
+  std::vector<RowId> out;
+  for (auto e = begin; e != end; ++e) {
+    if (e->first.is_null()) continue;  // NULLs never match range predicates
+    out.push_back(e->second);
+  }
+  return out;
+}
+
+void Table::bump_auto_increment(std::int64_t at_least) {
+  next_auto_ = std::max(next_auto_, at_least);
+}
+
+void Table::add_column(ColumnDef column) {
+  if (column.primary_key) {
+    throw DbError("cannot add a primary key column to existing table " +
+                  schema_.name());
+  }
+  if (column.not_null && column.default_value.is_null()) {
+    throw DbError("added NOT NULL column '" + column.name +
+                  "' requires a DEFAULT value");
+  }
+  const Value fill = column.default_value;
+  schema_.add_column(std::move(column));
+  for (auto& slot : rows_) {
+    if (slot) slot->push_back(fill);
+  }
+}
+
+void Table::drop_column(const std::string& name) {
+  const std::size_t index = schema_.column_index_or_throw(name);
+  if (indexes_.count(index)) {
+    throw DbError("cannot drop indexed column '" + name + "'");
+  }
+  schema_.drop_column(name);
+  // Shift index keys above the removed column down by one.
+  std::map<std::size_t, Index> remapped;
+  for (auto& [col, idx] : indexes_) {
+    remapped.emplace(col > index ? col - 1 : col, std::move(idx));
+  }
+  indexes_ = std::move(remapped);
+  for (auto& slot : rows_) {
+    if (slot) slot->erase(slot->begin() + static_cast<std::ptrdiff_t>(index));
+  }
+}
+
+void Table::index_insert(RowId id, const Row& row) {
+  for (auto& [column, index] : indexes_) {
+    index.entries.emplace(row[column], id);
+  }
+}
+
+void Table::index_erase(RowId id, const Row& row) {
+  for (auto& [column, index] : indexes_) {
+    auto [lo, hi] = index.entries.equal_range(row[column]);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == id) {
+        index.entries.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace perfdmf::sqldb

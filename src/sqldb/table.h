@@ -1,0 +1,94 @@
+// In-memory table storage with tombstoned slots and ordered indexes.
+//
+// Row identifiers are stable slot numbers: updates keep the RowId, deletes
+// tombstone the slot. Indexes are ordered multimaps maintained on every
+// mutation; the executor consults them for equality and range predicates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sqldb/schema.h"
+
+namespace perfdmf::sqldb {
+
+using RowId = std::uint64_t;
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  std::size_t live_row_count() const { return live_rows_; }
+  std::size_t slot_count() const { return rows_.size(); }
+
+  /// Validate, coerce, fill defaults/auto-increment, maintain indexes.
+  /// `row` must have one value per schema column. Returns the new RowId.
+  RowId insert(Row row);
+
+  /// Replace the row at `id` (must be live). Values are coerced.
+  void update(RowId id, Row row);
+
+  /// Tombstone the row at `id` (must be live).
+  void erase(RowId id);
+
+  bool is_live(RowId id) const {
+    return id < rows_.size() && rows_[id].has_value();
+  }
+
+  const Row& row(RowId id) const;
+
+  /// Visit every live row in slot order.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (rows_[id]) fn(id, *rows_[id]);
+    }
+  }
+
+  /// Create an ordered secondary index over one column. Idempotent.
+  void create_index(std::size_t column_index, bool unique);
+  bool has_index(std::size_t column_index) const;
+
+  /// RowIds whose column equals `key` (via an index when present, else
+  /// nullopt so the caller falls back to a scan).
+  std::optional<std::vector<RowId>> index_equal(std::size_t column_index,
+                                                const Value& key) const;
+
+  /// RowIds with lo <= column <= hi (either bound may be absent).
+  std::optional<std::vector<RowId>> index_range(std::size_t column_index,
+                                                const std::optional<Value>& lo,
+                                                const std::optional<Value>& hi) const;
+
+  /// Next value the auto-increment primary key would take (for reflection).
+  std::int64_t next_auto_increment() const { return next_auto_; }
+  void bump_auto_increment(std::int64_t at_least);
+
+  /// Schema evolution (flexible-schema support, paper §3.2). Existing rows
+  /// are padded with the default value / have the column removed.
+  void add_column(ColumnDef column);
+  void drop_column(const std::string& name);
+
+ private:
+  struct Index {
+    bool unique = false;
+    std::multimap<Value, RowId> entries;
+  };
+
+  Row normalize(Row row) const;
+  void index_insert(RowId id, const Row& row);
+  void index_erase(RowId id, const Row& row);
+  void check_unique(const Row& row, std::optional<RowId> self) const;
+
+  TableSchema schema_;
+  std::vector<std::optional<Row>> rows_;
+  std::size_t live_rows_ = 0;
+  std::map<std::size_t, Index> indexes_;  // column index -> index
+  std::int64_t next_auto_ = 1;
+};
+
+}  // namespace perfdmf::sqldb

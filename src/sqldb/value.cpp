@@ -1,0 +1,109 @@
+#include "sqldb/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "util/error.h"
+
+namespace perfdmf::sqldb {
+
+const char* value_type_name(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INTEGER";
+    case ValueType::kReal: return "REAL";
+    case ValueType::kText: return "TEXT";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0: return ValueType::kNull;
+    case 1: return ValueType::kInt;
+    case 2: return ValueType::kReal;
+    default: return ValueType::kText;
+  }
+}
+
+std::int64_t Value::as_int() const {
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (auto* d = std::get_if<double>(&data_)) return static_cast<std::int64_t>(*d);
+  throw DbError(std::string("value is ") + value_type_name(type()) +
+                ", wanted INTEGER");
+}
+
+double Value::as_real() const {
+  if (auto* d = std::get_if<double>(&data_)) return *d;
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*i);
+  throw DbError(std::string("value is ") + value_type_name(type()) + ", wanted REAL");
+}
+
+const std::string& Value::as_text() const {
+  if (auto* s = std::get_if<std::string>(&data_)) return *s;
+  throw DbError(std::string("value is ") + value_type_name(type()) + ", wanted TEXT");
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(std::get<std::int64_t>(data_));
+    case ValueType::kReal: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.17g", std::get<double>(data_));
+      return buffer;
+    }
+    case ValueType::kText: return std::get<std::string>(data_);
+  }
+  return {};
+}
+
+int Value::compare(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull: return 0;
+      case ValueType::kInt:
+      case ValueType::kReal: return 1;
+      case ValueType::kText: return 2;
+    }
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b) ? -1 : 1;
+  if (a == ValueType::kNull) return 0;
+  if (rank(a) == 1) {
+    // Numeric comparison; exact when both are ints.
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      const std::int64_t x = std::get<std::int64_t>(data_);
+      const std::int64_t y = std::get<std::int64_t>(other.data_);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = as_real();
+    const double y = other.as_real();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  const std::string& x = std::get<std::string>(data_);
+  const std::string& y = std::get<std::string>(other.data_);
+  return x.compare(y) < 0 ? -1 : (x == y ? 0 : 1);
+}
+
+std::size_t Value::hash() const {
+  switch (type()) {
+    case ValueType::kNull: return 0x9e3779b9;
+    case ValueType::kInt:
+      return std::hash<double>{}(static_cast<double>(std::get<std::int64_t>(data_)));
+    case ValueType::kReal: {
+      double d = std::get<double>(data_);
+      // Hash integral reals like the equal int so x == y -> hash(x)==hash(y).
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kText: return std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,167 @@
+#include "sqldb/wal.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+namespace perfdmf::sqldb {
+
+std::string encode_value(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "N\n";
+    case ValueType::kInt:
+      return "I " + std::to_string(v.as_int()) + "\n";
+    case ValueType::kReal: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "R %.17g\n", v.as_real());
+      return buffer;
+    }
+    case ValueType::kText: {
+      const std::string& text = v.as_text();
+      return "T " + std::to_string(text.size()) + " " + text + "\n";
+    }
+  }
+  throw DbError("unencodable value");
+}
+
+namespace {
+std::string read_line(const std::string& text, std::size_t& pos) {
+  const std::size_t nl = text.find('\n', pos);
+  if (nl == std::string::npos) throw perfdmf::ParseError("truncated record");
+  std::string line = text.substr(pos, nl - pos);
+  pos = nl + 1;
+  return line;
+}
+}  // namespace
+
+Value decode_value(const std::string& text, std::size_t& pos) {
+  if (pos >= text.size()) throw perfdmf::ParseError("truncated value record");
+  const char tag = text[pos];
+  if (tag == 'N') {
+    read_line(text, pos);
+    return Value();
+  }
+  if (tag == 'I') {
+    std::string line = read_line(text, pos);
+    return Value(util::parse_int_or_throw(line.substr(2), "wal int"));
+  }
+  if (tag == 'R') {
+    std::string line = read_line(text, pos);
+    return Value(util::parse_double_or_throw(line.substr(2), "wal real"));
+  }
+  if (tag == 'T') {
+    // "T <len> <bytes...>\n" where bytes may contain newlines.
+    const std::size_t space1 = text.find(' ', pos);
+    const std::size_t space2 = text.find(' ', space1 + 1);
+    if (space1 == std::string::npos || space2 == std::string::npos) {
+      throw perfdmf::ParseError("malformed text value record");
+    }
+    const std::size_t length = static_cast<std::size_t>(
+        util::parse_int_or_throw(text.substr(space1 + 1, space2 - space1 - 1),
+                                 "wal text length"));
+    if (space2 + 1 + length + 1 > text.size()) {
+      throw perfdmf::ParseError("truncated text value record");
+    }
+    Value v(text.substr(space2 + 1, length));
+    pos = space2 + 1 + length + 1;  // skip trailing newline
+    return v;
+  }
+  throw perfdmf::ParseError("unknown value tag in record");
+}
+
+Wal::Wal(std::filesystem::path path) : path_(std::move(path)) {}
+
+std::string Wal::encode_record(std::string_view sql, const Params& params) const {
+  // Record: "S <sql-len>\n<sql>\nP <count>\n" + encoded params + "E\n"
+  std::string record = "S " + std::to_string(sql.size()) + "\n";
+  record.append(sql);
+  record += "\nP " + std::to_string(params.size()) + "\n";
+  for (const auto& p : params) record += encode_value(p);
+  record += "E\n";
+  return record;
+}
+
+std::ofstream& Wal::stream() {
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_) throw perfdmf::IoError("cannot open WAL for append: " +
+                                      path_.string());
+  }
+  return out_;
+}
+
+void Wal::append(std::string_view sql, const Params& params) {
+  const std::string record = encode_record(sql, params);
+  std::ofstream& out = stream();
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out.flush();
+  if (!out) throw perfdmf::IoError("WAL append failed: " + path_.string());
+}
+
+void Wal::append_batch(
+    const std::vector<std::pair<std::string, Params>>& records) {
+  std::string buffer;
+  for (const auto& [sql, params] : records) {
+    buffer += encode_record(sql, params);
+  }
+  std::ofstream& out = stream();
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  out.flush();
+  if (!out) throw perfdmf::IoError("WAL batch append failed: " + path_.string());
+}
+
+void Wal::replay(const std::function<void(const std::string& sql,
+                                          const Params& params)>& apply) const {
+  if (!std::filesystem::exists(path_)) return;
+  const std::string text = util::read_file(path_);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Parse one record; on any framing error, treat as a torn tail and stop.
+    try {
+      if (text[pos] != 'S') throw perfdmf::ParseError("bad record head");
+      const std::size_t space = text.find(' ', pos);
+      const std::size_t nl = text.find('\n', pos);
+      if (space == std::string::npos || nl == std::string::npos || space > nl) {
+        throw perfdmf::ParseError("bad record header");
+      }
+      const std::size_t sql_length = static_cast<std::size_t>(
+          util::parse_int_or_throw(text.substr(space + 1, nl - space - 1),
+                                   "wal sql length"));
+      std::size_t cursor = nl + 1;
+      if (cursor + sql_length + 1 > text.size()) {
+        throw perfdmf::ParseError("truncated sql");
+      }
+      std::string sql = text.substr(cursor, sql_length);
+      cursor += sql_length + 1;  // + newline
+      std::string param_header = read_line(text, cursor);
+      if (!util::starts_with(param_header, "P ")) {
+        throw perfdmf::ParseError("bad param header");
+      }
+      const std::size_t count = static_cast<std::size_t>(
+          util::parse_int_or_throw(param_header.substr(2), "wal param count"));
+      Params params;
+      params.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        params.push_back(decode_value(text, cursor));
+      }
+      std::string tail = read_line(text, cursor);
+      if (tail != "E") throw perfdmf::ParseError("bad record tail");
+      // Record is intact: apply it, then move on.
+      apply(sql, params);
+      pos = cursor;
+    } catch (const perfdmf::ParseError&) {
+      break;  // torn tail: everything before `pos` was already applied
+    }
+  }
+}
+
+void Wal::reset() {
+  if (out_.is_open()) out_.close();
+  util::write_file(path_, "");
+}
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,55 @@
+// Write-ahead log and value (de)serialization for the persistence layer.
+//
+// The WAL is logical: each committed DML/DDL statement is appended with
+// its bound parameters, and recovery re-executes them on top of the last
+// snapshot. Record framing is length-prefixed so SQL text and string
+// parameters may contain any bytes, including newlines. A torn tail
+// (crash mid-append) is detected and discarded.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sqldb/expr_eval.h"
+#include "sqldb/value.h"
+
+namespace perfdmf::sqldb {
+
+/// Encode a value on one line: "N", "I <int>", "R <%.17g>", "T <len> <bytes>".
+std::string encode_value(const Value& v);
+/// Decode from `text` starting at `pos`; advances pos past the record.
+Value decode_value(const std::string& text, std::size_t& pos);
+
+class Wal {
+ public:
+  explicit Wal(std::filesystem::path path);
+
+  /// Append one statement record (flushes to the OS).
+  void append(std::string_view sql, const Params& params);
+
+  /// Append many records with a single write + flush — the commit path
+  /// for transactions, which makes batched bulk loads one flush instead
+  /// of one per row.
+  void append_batch(const std::vector<std::pair<std::string, Params>>& records);
+
+  /// Replay every intact record in order. Torn tails are ignored.
+  void replay(const std::function<void(const std::string& sql,
+                                       const Params& params)>& apply) const;
+
+  /// Truncate after a checkpoint.
+  void reset();
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::string encode_record(std::string_view sql, const Params& params) const;
+  std::ofstream& stream();
+
+  std::filesystem::path path_;
+  std::ofstream out_;  // kept open across appends; reopened after reset()
+};
+
+}  // namespace perfdmf::sqldb

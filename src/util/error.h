@@ -1,0 +1,43 @@
+// Exception hierarchy for PerfDMF-C++.
+//
+// All framework errors derive from perfdmf::Error so callers can catch one
+// base type at an API boundary. Subclasses mark which subsystem failed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace perfdmf {
+
+/// Base class for every error thrown by the framework.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed input file or string (profile formats, XML, SQL text).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Database engine failures: constraint violations, unknown tables, etc.
+class DbError : public Error {
+ public:
+  explicit DbError(const std::string& what) : Error("db error: " + what) {}
+};
+
+/// Filesystem / OS-level failures.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// A caller violated an API precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+}  // namespace perfdmf

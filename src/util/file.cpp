@@ -1,0 +1,86 @@
+#include "util/file.h"
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace perfdmf::util {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open file for reading: " + path.string());
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) throw IoError("read failed: " + path.string());
+  return std::move(out).str();
+}
+
+void write_file(const std::filesystem::path& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open file for writing: " + path.string());
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw IoError("write failed: " + path.string());
+}
+
+void append_file(const std::filesystem::path& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw IoError("cannot open file for appending: " + path.string());
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) throw IoError("append failed: " + path.string());
+}
+
+std::vector<std::filesystem::path> list_files(const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) throw IoError("not a directory: " + dir.string());
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::filesystem::path make_temp_dir(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  static std::mt19937_64 rng{std::random_device{}()};
+  const fs::path root = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    fs::path candidate = root / (prefix + "-" + std::to_string(rng()));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec) && !ec) return candidate;
+  }
+  throw IoError("could not create temporary directory under " + root.string());
+}
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix)
+    : path_(make_temp_dir(prefix)) {}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort in a destructor
+  }
+}
+
+ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+}  // namespace perfdmf::util

@@ -1,0 +1,43 @@
+// Filesystem helpers used by the profile readers/writers and the WAL.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace perfdmf::util {
+
+/// Read an entire file into a string. Throws IoError on failure.
+std::string read_file(const std::filesystem::path& path);
+
+/// Write (truncate) a file from a string. Throws IoError on failure.
+void write_file(const std::filesystem::path& path, std::string_view content);
+
+/// Append to a file, creating it if necessary. Throws IoError on failure.
+void append_file(const std::filesystem::path& path, std::string_view content);
+
+/// Non-recursive listing of regular files in a directory, sorted by name.
+std::vector<std::filesystem::path> list_files(const std::filesystem::path& dir);
+
+/// Create a unique temporary directory under the system temp root.
+/// The caller owns removal; tests use ScopedTempDir below.
+std::filesystem::path make_temp_dir(const std::string& prefix);
+
+/// RAII temporary directory: created on construction, recursively removed
+/// on destruction. Move-only.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "perfdmf");
+  ~ScopedTempDir();
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ScopedTempDir(ScopedTempDir&& other) noexcept;
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace perfdmf::util

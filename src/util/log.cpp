@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace perfdmf::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::string line = "[perfdmf ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  // One fwrite call keeps concurrent lines from interleaving mid-line.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace perfdmf::util

@@ -1,0 +1,178 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace perfdmf::util {
+
+namespace {
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && is_space(s[b])) ++b;
+  std::size_t e = s.size();
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws_limit(std::string_view s, std::size_t max_fields) {
+  std::vector<std::string> out;
+  if (max_fields == 0) return out;
+  std::size_t i = 0;
+  while (i < s.size() && out.size() + 1 < max_fields) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  while (i < s.size() && is_space(s[i])) ++i;
+  if (i < s.size()) out.emplace_back(trim(s.substr(i)));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (*first == '+') ++first;  // from_chars rejects a leading '+'
+  auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // std::from_chars for double is available in libstdc++ 11+; use it.
+  double v = 0.0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (*first == '+') ++first;
+  auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::int64_t parse_int_or_throw(std::string_view s, std::string_view what) {
+  auto v = parse_int(s);
+  if (!v) throw ParseError("expected integer for " + std::string(what) + ", got '" +
+                           std::string(s) + "'");
+  return *v;
+}
+
+double parse_double_or_throw(std::string_view s, std::string_view what) {
+  auto v = parse_double(s);
+  if (!v) throw ParseError("expected number for " + std::string(what) + ", got '" +
+                           std::string(s) + "'");
+  return *v;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      std::size_t end = i;
+      if (end > start && text[end - 1] == '\r') --end;
+      out.emplace_back(text.substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    std::size_t end = text.size();
+    if (end > start && text[end - 1] == '\r') --end;
+    out.emplace_back(text.substr(start, end - start));
+  }
+  return out;
+}
+
+std::string replace_all(std::string s, std::string_view from, std::string_view to) {
+  if (from.empty()) return s;
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+}  // namespace perfdmf::util

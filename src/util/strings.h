@@ -1,0 +1,57 @@
+// Small string utilities shared across the framework.
+//
+// These helpers exist because profile-format parsing is overwhelmingly
+// line- and token-oriented; keeping them here avoids N private copies in
+// the readers (paper objective: common data utilities for translators).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfdmf::util {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split into at most `max_fields` whitespace-separated fields; the final
+/// field receives the untouched remainder (useful for "columns then a free
+/// text name" layouts such as gprof and mpiP).
+std::vector<std::string> split_ws_limit(std::string_view s, std::size_t max_fields);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view s, std::string_view needle);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+/// Case-insensitive equality for ASCII (SQL keywords, format sniffing).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Strict numeric parsing: the whole view must be consumed.
+std::optional<std::int64_t> parse_int(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// Parse or throw perfdmf::ParseError with context.
+std::int64_t parse_int_or_throw(std::string_view s, std::string_view what);
+double parse_double_or_throw(std::string_view s, std::string_view what);
+
+/// Split text into lines; handles both "\n" and "\r\n", drops no lines.
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+}  // namespace perfdmf::util

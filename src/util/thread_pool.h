@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// PerfDMF workloads that benefit: parsing one profile file per thread of
+// execution (TAU writes profile.N.C.T per thread), bulk row encoding, and
+// the k-means / PCA inner loops. Determinism matters more than peak
+// throughput here, so parallel_for partitions the index space statically
+// and reductions are performed by the caller in index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace perfdmf::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. Static block partitioning; exceptions from any
+  /// block are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& default_pool();
+
+}  // namespace perfdmf::util

@@ -1,0 +1,292 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perfdmf::xml {
+
+namespace {
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+}  // namespace
+
+XmlParser::XmlParser(std::string input)
+    : owned_input_(std::move(input)), input_(owned_input_) {}
+
+void XmlParser::fail(const std::string& message) const {
+  throw perfdmf::ParseError("XML line " + std::to_string(line_) + ": " + message);
+}
+
+char XmlParser::cur() const {
+  if (eof()) fail("unexpected end of input");
+  return input_[pos_];
+}
+
+void XmlParser::advance(std::size_t n) {
+  for (std::size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+}
+
+bool XmlParser::literal(std::string_view expected) {
+  if (input_.substr(pos_, expected.size()) == expected) {
+    advance(expected.size());
+    return true;
+  }
+  return false;
+}
+
+void XmlParser::skip_until(std::string_view terminator, std::string_view what) {
+  const std::size_t found = input_.find(terminator, pos_);
+  if (found == std::string_view::npos) {
+    fail("unterminated " + std::string(what));
+  }
+  while (pos_ < found) advance();
+  advance(terminator.size());
+}
+
+std::string XmlParser::parse_name() {
+  if (eof() || !is_name_start(cur())) fail("expected a name");
+  const std::size_t start = pos_;
+  while (!eof() && is_name_char(input_[pos_])) advance();
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+std::string XmlParser::decode_entities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size();) {
+    if (raw[i] != '&') {
+      out += raw[i++];
+      continue;
+    }
+    const std::size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) fail("unterminated entity reference");
+    const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      const std::string digits(entity.substr(1));
+      char* end = nullptr;
+      if (digits.size() > 1 && (digits[0] == 'x' || digits[0] == 'X')) {
+        code = std::strtol(digits.c_str() + 1, &end, 16);
+      } else {
+        code = std::strtol(digits.c_str(), &end, 10);
+      }
+      if (end == nullptr || *end != '\0' || code <= 0 || code > 0x10FFFF) {
+        fail("bad character reference &" + std::string(entity) + ";");
+      }
+      // Encode as UTF-8.
+      const unsigned long cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else if (cp < 0x10000) {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+    } else {
+      fail("unknown entity &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+const XmlEvent& XmlParser::peek() {
+  if (!have_peek_) {
+    peeked_ = parse_next();
+    have_peek_ = true;
+  }
+  return peeked_;
+}
+
+XmlEvent XmlParser::next() {
+  if (have_peek_) {
+    have_peek_ = false;
+    return std::move(peeked_);
+  }
+  return parse_next();
+}
+
+XmlEvent XmlParser::parse_next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    XmlEvent event;
+    event.type = XmlEventType::kEndElement;
+    event.name = pending_end_name_;
+    --depth_;
+    return event;
+  }
+
+  for (;;) {
+    if (eof()) {
+      if (depth_ != 0) fail("unexpected end of document inside an element");
+      XmlEvent event;
+      event.type = XmlEventType::kEndDocument;
+      return event;
+    }
+
+    if (cur() != '<') {
+      // Character data up to the next tag.
+      const std::size_t start = pos_;
+      while (!eof() && cur() != '<') advance();
+      std::string_view raw = input_.substr(start, pos_ - start);
+      if (depth_ == 0) {
+        // Whitespace between top-level constructs is insignificant.
+        if (perfdmf::util::trim(raw).empty()) continue;
+        fail("character data outside the root element");
+      }
+      std::string decoded = decode_entities(raw);
+      // Handle CDATA immediately following text by coalescing on next call;
+      // emit what we have (even pure whitespace inside elements).
+      XmlEvent event;
+      event.type = XmlEventType::kText;
+      event.text = std::move(decoded);
+      return event;
+    }
+
+    // A '<' construct.
+    if (literal("<?")) {
+      skip_until("?>", "processing instruction");
+      continue;
+    }
+    if (literal("<!--")) {
+      skip_until("-->", "comment");
+      continue;
+    }
+    if (literal("<![CDATA[")) {
+      const std::size_t end = input_.find("]]>", pos_);
+      if (end == std::string_view::npos) fail("unterminated CDATA section");
+      std::string_view raw = input_.substr(pos_, end - pos_);
+      while (pos_ < end) advance();
+      advance(3);
+      if (depth_ == 0) fail("CDATA outside the root element");
+      XmlEvent event;
+      event.type = XmlEventType::kText;
+      event.text = std::string(raw);
+      if (event.text.empty()) continue;  // empty CDATA: nothing to report
+      return event;
+    }
+    if (literal("<!")) {
+      skip_until(">", "declaration");  // DOCTYPE etc. — skipped, not validated
+      continue;
+    }
+    if (literal("</")) {
+      std::string name = parse_name();
+      while (!eof() && std::isspace(static_cast<unsigned char>(cur()))) advance();
+      if (!literal(">")) fail("expected '>' after </" + name);
+      if (depth_ == 0) fail("close tag </" + name + "> with no open element");
+      --depth_;
+      XmlEvent event;
+      event.type = XmlEventType::kEndElement;
+      event.name = std::move(name);
+      return event;
+    }
+
+    // Start tag.
+    advance();  // consume '<'
+    XmlEvent event;
+    event.type = XmlEventType::kStartElement;
+    event.name = parse_name();
+    for (;;) {
+      while (!eof() && std::isspace(static_cast<unsigned char>(cur()))) advance();
+      if (literal("/>")) {
+        pending_end_ = true;
+        pending_end_name_ = event.name;
+        ++depth_;  // balanced by the synthetic end event
+        return event;
+      }
+      if (literal(">")) {
+        ++depth_;
+        return event;
+      }
+      std::string attr_name = parse_name();
+      while (!eof() && std::isspace(static_cast<unsigned char>(cur()))) advance();
+      if (!literal("=")) fail("expected '=' after attribute " + attr_name);
+      while (!eof() && std::isspace(static_cast<unsigned char>(cur()))) advance();
+      const char quote = cur();
+      if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+      advance();
+      const std::size_t value_start = pos_;
+      while (!eof() && cur() != quote) advance();
+      std::string_view raw = input_.substr(value_start, pos_ - value_start);
+      advance();  // closing quote
+      event.attrs[attr_name] = decode_entities(raw);
+    }
+  }
+}
+
+void XmlParser::skip_element() {
+  int depth = 1;
+  while (depth > 0) {
+    XmlEvent event = next();
+    switch (event.type) {
+      case XmlEventType::kStartElement: ++depth; break;
+      case XmlEventType::kEndElement: --depth; break;
+      case XmlEventType::kText: break;
+      case XmlEventType::kEndDocument:
+        fail("document ended while skipping an element");
+    }
+  }
+}
+
+void XmlParser::skip_whitespace_text() {
+  while (peek().type == XmlEventType::kText &&
+         perfdmf::util::trim(peek().text).empty()) {
+    next();
+  }
+}
+
+XmlEvent XmlParser::expect_start(const std::string& name) {
+  skip_whitespace_text();
+  XmlEvent event = next();
+  if (event.type != XmlEventType::kStartElement || event.name != name) {
+    fail("expected <" + name + ">");
+  }
+  return event;
+}
+
+void XmlParser::expect_end(const std::string& name) {
+  skip_whitespace_text();
+  XmlEvent event = next();
+  if (event.type != XmlEventType::kEndElement || event.name != name) {
+    fail("expected </" + name + ">");
+  }
+}
+
+std::string XmlParser::read_text_until_end(const std::string& name) {
+  std::string out;
+  for (;;) {
+    XmlEvent event = next();
+    if (event.type == XmlEventType::kText) {
+      out += event.text;
+    } else if (event.type == XmlEventType::kEndElement && event.name == name) {
+      return out;
+    } else {
+      fail("expected text content inside <" + name + ">");
+    }
+  }
+}
+
+}  // namespace perfdmf::xml

@@ -1,0 +1,79 @@
+// Pull-style XML parser.
+//
+// Covers the subset the framework emits plus what the psrun importer
+// needs: elements, attributes, text, comments, processing instructions,
+// CDATA, and the five predefined entities plus numeric character
+// references. No DTDs or namespaces-aware processing (prefixes are kept
+// verbatim in names). Throws ParseError with a line number on bad input.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace perfdmf::xml {
+
+enum class XmlEventType {
+  kStartElement,
+  kEndElement,
+  kText,        // coalesced character data (entities decoded); never empty
+  kEndDocument,
+};
+
+struct XmlEvent {
+  XmlEventType type = XmlEventType::kEndDocument;
+  std::string name;                          // element name for Start/End
+  std::map<std::string, std::string> attrs;  // for kStartElement
+  std::string text;                          // for kText
+};
+
+class XmlParser {
+ public:
+  /// The parser owns a copy of the input, so temporaries are safe to pass.
+  explicit XmlParser(std::string input);
+
+  /// Advance to the next event. After kEndDocument, keeps returning it.
+  XmlEvent next();
+
+  /// Peek without consuming.
+  const XmlEvent& peek();
+
+  /// Skip events until the current element (just returned as kStartElement)
+  /// is closed. `depth` balancing is handled internally.
+  void skip_element();
+
+  /// Convenience for readers: require a start element with this name.
+  XmlEvent expect_start(const std::string& name);
+  /// Require the next event to close an element with this name.
+  void expect_end(const std::string& name);
+  /// Read the text content of a simple element (start already consumed);
+  /// consumes up to and including the matching end tag.
+  std::string read_text_until_end(const std::string& name);
+
+  int line() const { return line_; }
+
+ private:
+  XmlEvent parse_next();
+  void skip_whitespace_text();
+  [[noreturn]] void fail(const std::string& message) const;
+  char cur() const;
+  bool eof() const { return pos_ >= input_.size(); }
+  void advance(std::size_t n = 1);
+  bool literal(std::string_view expected);
+  void skip_until(std::string_view terminator, std::string_view what);
+  std::string parse_name();
+  std::string decode_entities(std::string_view raw);
+
+  std::string owned_input_;
+  std::string_view input_;  // view over owned_input_
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int depth_ = 0;
+  bool have_peek_ = false;
+  XmlEvent peeked_;
+  // Set while inside an empty-element tag (<a/>): the synthetic end event.
+  bool pending_end_ = false;
+  std::string pending_end_name_;
+};
+
+}  // namespace perfdmf::xml

@@ -1,0 +1,112 @@
+#include "xml/xml_writer.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace perfdmf::xml {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+XmlWriter::XmlWriter(int indent_width) : indent_width_(indent_width) {}
+
+void XmlWriter::declaration() {
+  if (!out_.empty()) throw perfdmf::InvalidArgument("XML declaration must come first");
+  out_ += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+}
+
+void XmlWriter::newline_indent() {
+  if (indent_width_ <= 0) return;
+  if (!out_.empty()) out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_width_), ' ');
+}
+
+void XmlWriter::close_start_tag() {
+  if (tag_open_) {
+    out_ += '>';
+    tag_open_ = false;
+  }
+}
+
+void XmlWriter::start_element(const std::string& name) {
+  close_start_tag();
+  newline_indent();
+  out_ += '<';
+  out_ += name;
+  stack_.push_back(name);
+  tag_open_ = true;
+  just_wrote_text_ = false;
+}
+
+void XmlWriter::attribute(const std::string& name, const std::string& value) {
+  if (!tag_open_) {
+    throw perfdmf::InvalidArgument("attribute '" + name + "' outside an open start tag");
+  }
+  out_ += ' ';
+  out_ += name;
+  out_ += "=\"";
+  out_ += escape(value);
+  out_ += '"';
+}
+
+void XmlWriter::attribute(const std::string& name, long long value) {
+  attribute(name, std::to_string(value));
+}
+
+void XmlWriter::attribute(const std::string& name, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  attribute(name, std::string(buffer));
+}
+
+void XmlWriter::text(const std::string& content) {
+  if (stack_.empty()) throw perfdmf::InvalidArgument("text outside any element");
+  close_start_tag();
+  out_ += escape(content);
+  just_wrote_text_ = true;
+}
+
+void XmlWriter::end_element() {
+  if (stack_.empty()) throw perfdmf::InvalidArgument("end_element with empty stack");
+  const std::string name = stack_.back();
+  stack_.pop_back();
+  if (tag_open_) {
+    out_ += "/>";
+    tag_open_ = false;
+  } else {
+    if (!just_wrote_text_) newline_indent();
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+  just_wrote_text_ = false;
+}
+
+void XmlWriter::element_with_text(const std::string& name, const std::string& content) {
+  start_element(name);
+  text(content);
+  end_element();
+}
+
+std::string XmlWriter::str() const {
+  if (!stack_.empty()) {
+    throw perfdmf::InvalidArgument("unclosed XML element: " + stack_.back());
+  }
+  return out_;
+}
+
+}  // namespace perfdmf::xml

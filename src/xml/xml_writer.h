@@ -1,0 +1,49 @@
+// Streaming XML writer.
+//
+// PerfDMF exports profiles in a common XML representation (paper §3.1) and
+// the PerfSuite psrun format is XML; this writer backs both. It produces
+// indented, well-formed output and escapes all text/attribute content.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perfdmf::xml {
+
+/// Escape &, <, >, ", ' for use in text nodes and attribute values.
+std::string escape(std::string_view text);
+
+class XmlWriter {
+ public:
+  /// `indent_width` spaces per nesting level; 0 disables pretty printing.
+  explicit XmlWriter(int indent_width = 2);
+
+  /// Emit the `<?xml ...?>` declaration. Call at most once, first.
+  void declaration();
+
+  void start_element(const std::string& name);
+  /// Attributes attach to the most recently started, still-open tag.
+  void attribute(const std::string& name, const std::string& value);
+  void attribute(const std::string& name, long long value);
+  void attribute(const std::string& name, double value);
+  void text(const std::string& content);
+  void end_element();
+
+  /// Convenience: <name>content</name> on one line.
+  void element_with_text(const std::string& name, const std::string& content);
+
+  /// Finish and return the document. All elements must be closed.
+  std::string str() const;
+
+ private:
+  void close_start_tag();
+  void newline_indent();
+
+  int indent_width_;
+  std::string out_;
+  std::vector<std::string> stack_;
+  bool tag_open_ = false;        // "<name attr=..." emitted but '>' pending
+  bool just_wrote_text_ = false; // suppress indentation before a close tag
+};
+
+}  // namespace perfdmf::xml

@@ -1,0 +1,125 @@
+// Tests for the access-authorization layer (paper §5.1: shared
+// repository with per-user policies).
+#include <gtest/gtest.h>
+
+#include "api/access_control.h"
+#include "io/synth.h"
+
+using namespace perfdmf;
+using namespace perfdmf::api;
+
+namespace {
+
+class AccessTest : public ::testing::Test {
+ protected:
+  AccessTest() : connection(std::make_shared<sqldb::Connection>()) {
+    // Seed the shared archive with two applications as an administrator.
+    DatabaseSession admin(connection);
+    io::synth::TrialSpec spec;
+    spec.nodes = 2;
+    spec.event_count = 3;
+    sppm_trial = admin.save_trial(io::synth::generate_trial(spec), "sppm", "runs");
+    spec.seed = 9;
+    secret_trial =
+        admin.save_trial(io::synth::generate_trial(spec), "classified", "runs");
+  }
+
+  AccessPolicy typical_policy() const {
+    AccessPolicy policy;
+    policy.grant("alice", "*", Permission::kWrite);       // admin
+    policy.grant("bob", "sppm", Permission::kRead);       // analyst
+    policy.grant("carol", "*", Permission::kRead);        // auditor
+    policy.grant("carol", "classified", Permission::kNone);
+    return policy;
+  }
+
+  std::shared_ptr<sqldb::Connection> connection;
+  std::int64_t sppm_trial = -1;
+  std::int64_t secret_trial = -1;
+};
+
+TEST_F(AccessTest, PolicyResolutionOrder) {
+  auto policy = typical_policy();
+  EXPECT_EQ(policy.permission_for("alice", "anything"), Permission::kWrite);
+  EXPECT_EQ(policy.permission_for("bob", "sppm"), Permission::kRead);
+  EXPECT_EQ(policy.permission_for("bob", "classified"), Permission::kNone);
+  // Exact rule beats the wildcard.
+  EXPECT_EQ(policy.permission_for("carol", "classified"), Permission::kNone);
+  EXPECT_EQ(policy.permission_for("carol", "sppm"), Permission::kRead);
+  EXPECT_EQ(policy.permission_for("stranger", "sppm"), Permission::kNone);
+}
+
+TEST_F(AccessTest, DefaultPermissionApplies) {
+  AccessPolicy open_policy;
+  open_policy.set_default(Permission::kRead);
+  EXPECT_EQ(open_policy.permission_for("anyone", "sppm"), Permission::kRead);
+}
+
+TEST_F(AccessTest, ApplicationListIsFiltered) {
+  AuthorizedSession bob(connection, typical_policy(), "bob");
+  auto apps = bob.get_application_list();
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].name, "sppm");
+
+  AuthorizedSession alice(connection, typical_policy(), "alice");
+  EXPECT_EQ(alice.get_application_list().size(), 2u);
+
+  AuthorizedSession stranger(connection, typical_policy(), "mallory");
+  EXPECT_TRUE(stranger.get_application_list().empty());
+}
+
+TEST_F(AccessTest, ReadersCanLoadAllowedTrials) {
+  AuthorizedSession bob(connection, typical_policy(), "bob");
+  auto data = bob.load_trial(sppm_trial);
+  EXPECT_GT(data.interval_point_count(), 0u);
+  EXPECT_THROW(bob.load_trial(secret_trial), AccessDenied);
+}
+
+TEST_F(AccessTest, ReadersCannotWriteOrDelete) {
+  AuthorizedSession bob(connection, typical_policy(), "bob");
+  io::synth::TrialSpec spec;
+  EXPECT_THROW(bob.save_trial(io::synth::generate_trial(spec), "sppm", "runs"),
+               AccessDenied);
+  EXPECT_THROW(bob.delete_trial(sppm_trial), AccessDenied);
+}
+
+TEST_F(AccessTest, WritersCanStoreAndDelete) {
+  AuthorizedSession alice(connection, typical_policy(), "alice");
+  io::synth::TrialSpec spec;
+  spec.seed = 33;
+  const std::int64_t id =
+      alice.save_trial(io::synth::generate_trial(spec), "sppm", "runs");
+  EXPECT_GT(id, 0);
+  EXPECT_NO_THROW(alice.delete_trial(id));
+}
+
+TEST_F(AccessTest, BrowsingScopedByApplication) {
+  AuthorizedSession bob(connection, typical_policy(), "bob");
+  auto experiments = bob.get_experiment_list("sppm");
+  ASSERT_EQ(experiments.size(), 1u);
+  auto trials = bob.get_trial_list("sppm", experiments[0].id);
+  EXPECT_EQ(trials.size(), 1u);
+  EXPECT_THROW(bob.get_experiment_list("classified"), AccessDenied);
+}
+
+TEST_F(AccessTest, CannotLaunderExperimentThroughAllowedApplication) {
+  // bob may read sppm; he must not fetch classified's trials by passing
+  // classified's experiment id with sppm's name.
+  AuthorizedSession bob(connection, typical_policy(), "bob");
+  DatabaseSession admin(connection);
+  auto secret_app = admin.api().find_application("classified");
+  auto experiments = admin.api().list_experiments(secret_app->id);
+  ASSERT_EQ(experiments.size(), 1u);
+  EXPECT_THROW(bob.get_trial_list("sppm", experiments[0].id), AccessDenied);
+}
+
+TEST_F(AccessTest, WildcardWriteDoesNotLeakAcrossUsers) {
+  AuthorizedSession stranger(connection, typical_policy(), "mallory");
+  EXPECT_THROW(stranger.load_trial(sppm_trial), AccessDenied);
+  io::synth::TrialSpec spec;
+  EXPECT_THROW(
+      stranger.save_trial(io::synth::generate_trial(spec), "newapp", "e"),
+      AccessDenied);
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// Tests for the CUBE-style trial algebra (paper §7 planned integration).
+#include <gtest/gtest.h>
+
+#include "analysis/algebra.h"
+#include "io/synth.h"
+#include "util/error.h"
+
+using namespace perfdmf;
+using namespace perfdmf::analysis;
+
+namespace {
+
+profile::TrialData simple_trial(const std::string& name, double scale,
+                                std::int32_t nodes = 2) {
+  profile::TrialData trial;
+  trial.trial().name = name;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e1 = trial.intern_event("alpha", "comp");
+  const std::size_t e2 = trial.intern_event("beta", "comp");
+  for (std::int32_t n = 0; n < nodes; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    profile::IntervalDataPoint p;
+    p.inclusive = 100.0 * scale;
+    p.exclusive = 60.0 * scale;
+    p.num_calls = 10.0 * scale;
+    trial.set_interval_data(e1, t, m, p);
+    p.inclusive = 40.0 * scale;
+    p.exclusive = 40.0 * scale;
+    p.num_calls = 4.0 * scale;
+    trial.set_interval_data(e2, t, m, p);
+  }
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+}  // namespace
+
+TEST(TrialAlgebra, DifferenceOfAlignedTrials) {
+  auto a = simple_trial("a", 3.0);
+  auto b = simple_trial("b", 1.0);
+  auto diff = trial_difference(a, b);
+  EXPECT_EQ(diff.trial().name, "a - b");
+  const auto e = diff.find_event("alpha");
+  const auto m = diff.find_metric("TIME");
+  const auto t = diff.find_thread({0, 0, 0});
+  ASSERT_TRUE(e && m && t);
+  const auto* p = diff.interval_data(*e, *t, *m);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, 120.0);  // 180 - 60
+  EXPECT_DOUBLE_EQ(p->inclusive, 200.0);  // 300 - 100
+  EXPECT_DOUBLE_EQ(p->num_calls, 20.0);
+}
+
+TEST(TrialAlgebra, DifferenceSelfIsZero) {
+  auto a = simple_trial("a", 2.0);
+  auto diff = trial_difference(a, a);
+  diff.for_each_interval([](std::size_t, std::size_t, std::size_t,
+                            const profile::IntervalDataPoint& p) {
+    EXPECT_DOUBLE_EQ(p.inclusive, 0.0);
+    EXPECT_DOUBLE_EQ(p.exclusive, 0.0);
+  });
+}
+
+TEST(TrialAlgebra, DifferenceKeepsStructuralExtras) {
+  auto a = simple_trial("a", 1.0);
+  auto b = simple_trial("b", 1.0);
+  // Add an event only in b.
+  const std::size_t extra = b.intern_event("gamma");
+  profile::IntervalDataPoint p;
+  p.exclusive = 7.0;
+  p.inclusive = 7.0;
+  b.set_interval_data(extra, 0, 0, p);
+
+  auto diff = trial_difference(a, b);
+  const auto ge = diff.find_event("gamma");
+  ASSERT_TRUE(ge.has_value());
+  const auto* q = diff.interval_data(*ge, *diff.find_thread({0, 0, 0}),
+                                     *diff.find_metric("TIME"));
+  ASSERT_NE(q, nullptr);
+  EXPECT_DOUBLE_EQ(q->exclusive, -7.0);  // 0 - 7
+}
+
+TEST(TrialAlgebra, MergeSumsAlignedPoints) {
+  auto a = simple_trial("a", 1.0);
+  auto b = simple_trial("b", 2.0);
+  auto merged = trial_merge(a, b);
+  const auto* p = merged.interval_data(*merged.find_event("beta"),
+                                       *merged.find_thread({1, 0, 0}),
+                                       *merged.find_metric("TIME"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, 120.0);  // 40 + 80
+}
+
+TEST(TrialAlgebra, MergeOfDisjointThreadsIsUnion) {
+  auto a = simple_trial("a", 1.0, 2);  // nodes 0,1
+  profile::TrialData b;
+  b.trial().name = "b";
+  const std::size_t m = b.intern_metric("TIME");
+  const std::size_t e = b.intern_event("alpha", "comp");
+  const std::size_t t = b.intern_thread({5, 0, 0});
+  profile::IntervalDataPoint p;
+  p.exclusive = 9.0;
+  b.set_interval_data(e, t, m, p);
+
+  auto merged = trial_merge(a, b);
+  EXPECT_EQ(merged.threads().size(), 3u);
+  EXPECT_DOUBLE_EQ(merged
+                       .interval_data(*merged.find_event("alpha"),
+                                      *merged.find_thread({5, 0, 0}),
+                                      *merged.find_metric("TIME"))
+                       ->exclusive,
+                   9.0);
+}
+
+TEST(TrialAlgebra, MeanOfThreeTrials) {
+  auto a = simple_trial("a", 1.0);
+  auto b = simple_trial("b", 2.0);
+  auto c = simple_trial("c", 3.0);
+  auto mean = trial_mean({&a, &b, &c});
+  const auto* p = mean.interval_data(*mean.find_event("alpha"),
+                                     *mean.find_thread({0, 0, 0}),
+                                     *mean.find_metric("TIME"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, 120.0);  // (60+120+180)/3
+  EXPECT_DOUBLE_EQ(p->num_calls, 20.0);
+}
+
+TEST(TrialAlgebra, MeanDividesByContributingTrials) {
+  auto a = simple_trial("a", 1.0);
+  auto b = simple_trial("b", 3.0);
+  const std::size_t extra = b.intern_event("gamma");
+  profile::IntervalDataPoint p;
+  p.exclusive = 10.0;
+  b.set_interval_data(extra, 0, 0, p);
+  auto mean = trial_mean({&a, &b});
+  // gamma exists only in b -> mean over 1 contributor.
+  const auto* q = mean.interval_data(*mean.find_event("gamma"),
+                                     *mean.find_thread({0, 0, 0}),
+                                     *mean.find_metric("TIME"));
+  ASSERT_NE(q, nullptr);
+  EXPECT_DOUBLE_EQ(q->exclusive, 10.0);
+}
+
+TEST(TrialAlgebra, MeanOfNothingThrows) {
+  EXPECT_THROW(trial_mean({}), InvalidArgument);
+}
+
+TEST(TrialAlgebra, MeanIdentity) {
+  auto a = simple_trial("a", 1.5);
+  auto mean = trial_mean({&a});
+  a.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                          const profile::IntervalDataPoint& p) {
+    const auto* q = mean.interval_data(
+        *mean.find_event(a.events()[e].name),
+        *mean.find_thread(a.threads()[t]), *mean.find_metric(a.metrics()[m].name));
+    ASSERT_NE(q, nullptr);
+    EXPECT_DOUBLE_EQ(q->exclusive, p.exclusive);
+  });
+}
+
+TEST(TrialAlgebra, CombineCustomOperator) {
+  auto a = simple_trial("a", 2.0);
+  auto b = simple_trial("b", 1.0);
+  auto ratio = trial_combine(
+      a, b,
+      [](const profile::IntervalDataPoint& pa,
+         const profile::IntervalDataPoint& pb) {
+        profile::IntervalDataPoint out;
+        out.exclusive = pb.exclusive != 0.0 ? pa.exclusive / pb.exclusive : 0.0;
+        out.inclusive = pb.inclusive != 0.0 ? pa.inclusive / pb.inclusive : 0.0;
+        return out;
+      },
+      false, false);
+  const auto* p = ratio.interval_data(*ratio.find_event("alpha"),
+                                      *ratio.find_thread({0, 0, 0}),
+                                      *ratio.find_metric("TIME"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, 2.0);
+}
+
+TEST(TrialAlgebra, CombineDropPolicies) {
+  auto a = simple_trial("a", 1.0);
+  auto b = simple_trial("b", 1.0);
+  b.intern_event("gamma");
+  profile::IntervalDataPoint p;
+  p.exclusive = 1.0;
+  b.set_interval_data(*b.find_event("gamma"), 0, 0, p);
+
+  auto add = [](const profile::IntervalDataPoint& x,
+                const profile::IntervalDataPoint& y) {
+    profile::IntervalDataPoint out;
+    out.exclusive = x.exclusive + y.exclusive;
+    out.inclusive = x.inclusive + y.inclusive;
+    return out;
+  };
+  auto strict = trial_combine(a, b, add, false, false);
+  EXPECT_FALSE(strict.find_event("gamma").has_value());
+  auto keep_b = trial_combine(a, b, add, false, true);
+  EXPECT_TRUE(keep_b.find_event("gamma").has_value());
+}
+
+TEST(StructuralDiffTest, DetectsAsymmetries) {
+  auto a = simple_trial("a", 1.0, 3);
+  auto b = simple_trial("b", 1.0, 2);
+  b.intern_metric("PAPI_FP_OPS");
+  a.intern_event("only_a");
+
+  auto diff = structural_diff(a, b);
+  EXPECT_FALSE(diff.identical_structure());
+  ASSERT_EQ(diff.events_only_in_a.size(), 1u);
+  EXPECT_EQ(diff.events_only_in_a[0], "only_a");
+  ASSERT_EQ(diff.metrics_only_in_b.size(), 1u);
+  EXPECT_EQ(diff.metrics_only_in_b[0], "PAPI_FP_OPS");
+  EXPECT_EQ(diff.threads_only_in_a, 1u);  // node 2
+  EXPECT_EQ(diff.threads_only_in_b, 0u);
+}
+
+TEST(StructuralDiffTest, IdenticalTrials) {
+  auto a = simple_trial("a", 1.0);
+  auto diff = structural_diff(a, a);
+  EXPECT_TRUE(diff.identical_structure());
+}
+
+TEST(TrialAlgebra, DifferenceOfSyntheticScalingTrialsShowsImprovement) {
+  io::synth::ScalingSpec spec;
+  auto slow = io::synth::generate_scaling_trial(spec, 2);
+  auto fast = io::synth::generate_scaling_trial(spec, 8);
+  // Threads differ (2 vs 8 ranks); compare rank 0 only via the diff on
+  // aligned points: exclusive times should drop (positive delta).
+  auto diff = trial_difference(slow, fast);
+  const auto e = diff.find_event("hydro_sweep");
+  const auto m = diff.find_metric("TIME");
+  const auto t = diff.find_thread({0, 0, 0});
+  ASSERT_TRUE(e && m && t);
+  EXPECT_GT(diff.interval_data(*e, *t, *m)->exclusive, 0.0);
+}

@@ -1,0 +1,378 @@
+// Tests for the analysis toolkit: descriptive stats, comparison, speedup,
+// scalability models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/comparison.h"
+#include "analysis/scalability.h"
+#include "analysis/speedup.h"
+#include "analysis/stats.h"
+#include "io/synth.h"
+#include "util/error.h"
+
+using namespace perfdmf;
+using namespace perfdmf::analysis;
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, DescribeBasics) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  auto d = describe(values);
+  EXPECT_EQ(d.count, 8u);
+  EXPECT_DOUBLE_EQ(d.minimum, 2.0);
+  EXPECT_DOUBLE_EQ(d.maximum, 9.0);
+  EXPECT_DOUBLE_EQ(d.mean, 5.0);
+  EXPECT_DOUBLE_EQ(d.sum, 40.0);
+  EXPECT_NEAR(d.std_dev, std::sqrt(32.0 / 7.0), 1e-12);  // sample stddev
+}
+
+TEST(Stats, DescribeEmptyAndSingle) {
+  EXPECT_EQ(describe({}).count, 0u);
+  auto d = describe(std::vector<double>{3.0});
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_DOUBLE_EQ(d.mean, 3.0);
+  EXPECT_DOUBLE_EQ(d.std_dev, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 2.5);
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(percentile(values, 1.5), InvalidArgument);
+}
+
+TEST(Stats, PearsonPerfectAndAnti) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  const std::vector<double> constant{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);  // degenerate
+}
+
+TEST(Stats, ZscoreColumns) {
+  std::vector<double> m{1.0, 10.0, 2.0, 20.0, 3.0, 30.0};  // 3x2
+  zscore_columns(m, 3, 2);
+  // Each column now has mean 0.
+  EXPECT_NEAR(m[0] + m[2] + m[4], 0.0, 1e-12);
+  EXPECT_NEAR(m[1] + m[3] + m[5], 0.0, 1e-12);
+  // And sample stddev 1: values -1, 0, 1.
+  EXPECT_NEAR(m[0], -1.0, 1e-12);
+  EXPECT_NEAR(m[4], 1.0, 1e-12);
+}
+
+TEST(Stats, ZscoreZeroVarianceColumnBecomesZero) {
+  std::vector<double> m{5.0, 5.0, 5.0};  // 3x1 constant
+  zscore_columns(m, 3, 1);
+  for (double v : m) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// -------------------------------------------------------------- comparison
+
+TEST(Comparison, AlignsEventsAcrossTrials) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 4;
+  auto a = io::synth::generate_trial(spec);
+  spec.base_time_us *= 2.0;  // second trial twice as slow
+  spec.seed = 43;
+  auto b = io::synth::generate_trial(spec);
+  a.trial().name = "fast";
+  b.trial().name = "slow";
+
+  auto report = compare_trials({&a, &b});
+  EXPECT_EQ(report.trial_names, (std::vector<std::string>{"fast", "slow"}));
+  ASSERT_EQ(report.rows.size(), 4u);
+  // Sorted descending by the first trial's value.
+  for (std::size_t i = 1; i < report.rows.size(); ++i) {
+    EXPECT_GE(report.rows[i - 1].mean_exclusive[0],
+              report.rows[i].mean_exclusive[0]);
+  }
+  // Ratio around 2 for every aligned event.
+  for (const auto& row : report.rows) {
+    EXPECT_NEAR(row.ratio_to_first[1], 2.0, 0.3);
+    EXPECT_DOUBLE_EQ(row.ratio_to_first[0], 1.0);
+  }
+}
+
+TEST(Comparison, MissingEventGetsSentinel) {
+  profile::TrialData a;
+  profile::TrialData b;
+  for (auto* trial : {&a, &b}) {
+    const std::size_t m = trial->intern_metric("TIME");
+    const std::size_t t = trial->intern_thread({0, 0, 0});
+    const std::size_t e = trial->intern_event("shared");
+    profile::IntervalDataPoint p;
+    p.exclusive = 10.0;
+    trial->set_interval_data(e, t, m, p);
+  }
+  const std::size_t only_b = b.intern_event("only_in_b");
+  profile::IntervalDataPoint p;
+  p.exclusive = 5.0;
+  b.set_interval_data(only_b, 0, 0, p);
+
+  auto report = compare_trials({&a, &b});
+  ASSERT_EQ(report.rows.size(), 2u);
+  bool found = false;
+  for (const auto& row : report.rows) {
+    if (row.event_name == "only_in_b") {
+      EXPECT_DOUBLE_EQ(row.mean_exclusive[0], -1.0);
+      EXPECT_DOUBLE_EQ(row.ratio_to_first[1], -1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Comparison, ErrorsOnBadInput) {
+  EXPECT_THROW(compare_trials({}), InvalidArgument);
+  profile::TrialData no_metric;
+  EXPECT_THROW(compare_trials({&no_metric}, "TIME"), InvalidArgument);
+}
+
+TEST(Comparison, FormatsTable) {
+  io::synth::TrialSpec spec;
+  auto a = io::synth::generate_trial(spec);
+  auto report = compare_trials({&a});
+  const std::string table = format_comparison_table(report);
+  EXPECT_NE(table.find("event"), std::string::npos);
+  EXPECT_NE(table.find("main"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ speedup
+
+namespace {
+
+std::vector<profile::TrialData> scaling_family(std::vector<std::int32_t> procs) {
+  std::vector<profile::TrialData> out;
+  io::synth::ScalingSpec spec;
+  for (auto p : procs) out.push_back(io::synth::generate_scaling_trial(spec, p));
+  return out;
+}
+
+}  // namespace
+
+TEST(Speedup, PerfectRoutineScalesNearLinearly) {
+  auto family = scaling_family({1, 4, 16});
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials;
+  std::int32_t procs[] = {1, 4, 16};
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    trials.emplace_back(procs[i], &family[i]);
+  }
+  auto report = compute_speedup(trials);
+  EXPECT_EQ(report.base_processors, 1);
+
+  // hydro_sweep has serial fraction 0 -> speedup ~ p.
+  const RoutineSpeedup* hydro = nullptr;
+  for (const auto& routine : report.routines) {
+    if (routine.event_name == "hydro_sweep") hydro = &routine;
+  }
+  ASSERT_NE(hydro, nullptr);
+  ASSERT_EQ(hydro->points.size(), 3u);
+  EXPECT_NEAR(hydro->points[2].mean_speedup, 16.0, 2.0);
+  EXPECT_GE(hydro->points[2].max_speedup, hydro->points[2].mean_speedup);
+  EXPECT_LE(hydro->points[2].min_speedup, hydro->points[2].mean_speedup);
+  EXPECT_NEAR(hydro->points[2].efficiency, 1.0, 0.15);
+}
+
+TEST(Speedup, SerialRoutineSaturates) {
+  auto family = scaling_family({1, 16});
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials{
+      {1, &family[0]}, {16, &family[1]}};
+  auto report = compute_speedup(trials);
+  const RoutineSpeedup* remap = nullptr;  // highest serial fraction
+  for (const auto& routine : report.routines) {
+    if (routine.event_name == "remap") remap = &routine;
+  }
+  ASSERT_NE(remap, nullptr);
+  EXPECT_LT(remap->points[1].mean_speedup, 4.0);
+  EXPECT_LT(remap->points[1].efficiency, 0.3);
+}
+
+TEST(Speedup, ApplicationSpeedupUsesLargestInclusive) {
+  auto family = scaling_family({1, 4});
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials{
+      {1, &family[0]}, {4, &family[1]}};
+  auto report = compute_speedup(trials);
+  EXPECT_EQ(report.application.event_name, "main");
+  ASSERT_EQ(report.application.points.size(), 2u);
+  EXPECT_GT(report.application.points[1].mean_speedup, 1.5);
+  EXPECT_LE(report.application.points[1].mean_speedup, 4.2);
+}
+
+TEST(Speedup, NeedsTwoTrials) {
+  auto family = scaling_family({1});
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials{
+      {1, &family[0]}};
+  EXPECT_THROW(compute_speedup(trials), InvalidArgument);
+}
+
+TEST(Speedup, MissingMetricThrows) {
+  auto family = scaling_family({1, 2});
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials{
+      {1, &family[0]}, {2, &family[1]}};
+  EXPECT_THROW(compute_speedup(trials, "PAPI_FP_OPS"), InvalidArgument);
+}
+
+TEST(Speedup, FormatTableContainsRoutines) {
+  auto family = scaling_family({1, 4});
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials{
+      {1, &family[0]}, {4, &family[1]}};
+  const std::string table = format_speedup_table(compute_speedup(trials));
+  EXPECT_NE(table.find("hydro_sweep"), std::string::npos);
+  EXPECT_NE(table.find("main"), std::string::npos);
+  EXPECT_NE(table.find("eff"), std::string::npos);
+}
+
+// --------------------------------------------------------------- scalability
+
+TEST(Amdahl, RecoversKnownSerialFraction) {
+  // T(p) = 100 * (0.2 + 0.8/p)
+  std::vector<ScalingObservation> observations;
+  for (std::int64_t p : {1, 2, 4, 8, 16, 32}) {
+    observations.push_back({p, 100.0 * (0.2 + 0.8 / static_cast<double>(p))});
+  }
+  auto fit = fit_amdahl(observations);
+  EXPECT_NEAR(fit.t1, 100.0, 1e-9);
+  EXPECT_NEAR(fit.serial_fraction, 0.2, 1e-9);
+  EXPECT_NEAR(fit.max_speedup(), 5.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(64), 100.0 * (0.2 + 0.8 / 64.0), 1e-9);
+}
+
+TEST(Amdahl, PerfectScalingHasInfiniteBound) {
+  std::vector<ScalingObservation> observations;
+  for (std::int64_t p : {1, 2, 4, 8}) {
+    observations.push_back({p, 64.0 / static_cast<double>(p)});
+  }
+  auto fit = fit_amdahl(observations);
+  EXPECT_NEAR(fit.serial_fraction, 0.0, 1e-9);
+  EXPECT_TRUE(std::isinf(fit.max_speedup()));
+}
+
+TEST(Amdahl, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_amdahl({}), InvalidArgument);
+  EXPECT_THROW(fit_amdahl({{4, 10.0}}), InvalidArgument);
+  EXPECT_THROW(fit_amdahl({{4, 10.0}, {4, 11.0}}), InvalidArgument);
+  EXPECT_THROW(fit_amdahl({{0, 10.0}, {2, 5.0}}), InvalidArgument);
+  auto fit = fit_amdahl({{1, 10.0}, {2, 5.0}});
+  EXPECT_THROW(fit.predict(0), InvalidArgument);
+}
+
+TEST(ClassifyScaling, Categories) {
+  EXPECT_EQ(classify_scaling({{1, 100}, {2, 50}, {4, 25}}), "linear");
+  EXPECT_EQ(classify_scaling({{1, 100}, {4, 40}}), "sublinear");
+  EXPECT_EQ(classify_scaling({{1, 100}, {16, 50}}), "saturating");
+  EXPECT_EQ(classify_scaling({{1, 100}, {2, 60}, {4, 80}}), "degrading");
+  EXPECT_EQ(classify_scaling({{1, 100}}), "unknown");
+}
+
+TEST(CommModel, RecoversKnownCoefficients) {
+  // T(p) = 10 + 1000/p + 4*log2(p)
+  std::vector<ScalingObservation> observations;
+  for (std::int64_t p : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const double dp = static_cast<double>(p);
+    observations.push_back({p, 10.0 + 1000.0 / dp + 4.0 * std::log2(dp)});
+  }
+  auto fit = fit_comm_model(observations);
+  EXPECT_NEAR(fit.serial, 10.0, 1e-6);
+  EXPECT_NEAR(fit.work, 1000.0, 1e-6);
+  EXPECT_NEAR(fit.comm, 4.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(256), 10.0 + 1000.0 / 256.0 + 4.0 * 8.0, 1e-6);
+  // Optimum at work*ln2/comm = 1000*0.693/4 ~ 173.
+  EXPECT_NEAR(fit.optimal_processors(), 1000.0 * std::log(2.0) / 4.0, 1e-6);
+}
+
+TEST(CommModel, PureAmdahlHasNoCommTerm) {
+  std::vector<ScalingObservation> observations;
+  for (std::int64_t p : {1, 2, 4, 8, 16}) {
+    observations.push_back({p, 100.0 * (0.1 + 0.9 / static_cast<double>(p))});
+  }
+  auto fit = fit_comm_model(observations);
+  EXPECT_NEAR(fit.comm, 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(fit.optimal_processors(), 0.0);  // always improves
+}
+
+TEST(CommModel, RejectsTooFewCounts) {
+  EXPECT_THROW(fit_comm_model({{1, 10.0}, {2, 6.0}}), InvalidArgument);
+  EXPECT_THROW(fit_comm_model({{2, 6.0}, {2, 6.1}, {2, 6.2}}), InvalidArgument);
+  EXPECT_THROW(fit_comm_model({{0, 1.0}, {2, 1.0}, {4, 1.0}}), InvalidArgument);
+}
+
+TEST(CommModel, FitsSyntheticScalingFamily) {
+  // The synthetic generator has comm growing with log2(p); the model
+  // should attribute positive comm and near-total work to MPI_Allreduce.
+  std::vector<ScalingObservation> observations;
+  io::synth::ScalingSpec spec;
+  for (std::int32_t p : {1, 2, 4, 8, 16, 32}) {
+    auto trial = io::synth::generate_scaling_trial(spec, p);
+    const std::size_t metric = *trial.find_metric("TIME");
+    const std::size_t main_event = *trial.find_event("main");
+    double sum = 0.0;
+    for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+      sum += trial.interval_data(main_event, t, metric)->inclusive;
+    }
+    observations.push_back({p, sum / static_cast<double>(trial.threads().size())});
+  }
+  auto fit = fit_comm_model(observations);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_GT(fit.work, 0.0);
+}
+
+TEST(WeakScaling, ComputeRoutinesStayNearIdealCommDecays) {
+  io::synth::ScalingSpec spec;
+  std::vector<profile::TrialData> family;
+  for (std::int32_t p : {1, 4, 16, 64}) {
+    family.push_back(io::synth::generate_weak_scaling_trial(spec, p));
+  }
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials;
+  std::int32_t procs[] = {1, 4, 16, 64};
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    trials.emplace_back(procs[i], &family[i]);
+  }
+  auto report = compute_weak_scaling(trials);
+  EXPECT_EQ(report.base_processors, 1);
+
+  const WeakScalingReport::Row* compute = nullptr;
+  const WeakScalingReport::Row* comm = nullptr;
+  for (const auto& row : report.routines) {
+    if (row.event_name == "hydro_sweep") compute = &row;
+    if (row.event_name == "MPI_Allreduce()") comm = &row;
+  }
+  ASSERT_NE(compute, nullptr);
+  ASSERT_NE(comm, nullptr);
+  // Compute work per processor is constant: efficiency ~ 1 at 64p.
+  ASSERT_EQ(compute->efficiency.size(), 4u);
+  EXPECT_NEAR(compute->efficiency.back().second, 1.0, 0.1);
+  // Communication grows with log2(p): efficiency well below 1 at 64p
+  // (the generator gives the base count a latency floor, so the ratio is
+  // defined everywhere).
+  ASSERT_EQ(comm->efficiency.size(), 4u);
+  EXPECT_LT(comm->efficiency.back().second, 0.6);
+}
+
+TEST(WeakScaling, RejectsSingleTrial) {
+  io::synth::ScalingSpec spec;
+  auto only = io::synth::generate_weak_scaling_trial(spec, 4);
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials{
+      {4, &only}};
+  EXPECT_THROW(compute_weak_scaling(trials), InvalidArgument);
+}
+
+TEST(WeakScaling, GeneratorKeepsPerProcessorWorkConstant) {
+  io::synth::ScalingSpec spec;
+  auto small = io::synth::generate_weak_scaling_trial(spec, 2);
+  auto large = io::synth::generate_weak_scaling_trial(spec, 32);
+  const std::size_t ms = *small.find_metric("TIME");
+  const std::size_t ml = *large.find_metric("TIME");
+  const std::size_t es = *small.find_event("hydro_sweep");
+  const std::size_t el = *large.find_event("hydro_sweep");
+  const double a = small.interval_data(es, 0, ms)->exclusive;
+  const double b = large.interval_data(el, 0, ml)->exclusive;
+  EXPECT_NEAR(b / a, 1.0, 0.1);  // same per-rank work
+}

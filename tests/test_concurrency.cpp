@@ -1,0 +1,159 @@
+// Concurrency tests: a Connection serializes access internally, so
+// multiple analysis threads may share one archive (the shared-repository
+// deployment of paper §5.1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/database_api.h"
+#include "io/synth.h"
+#include "sqldb/connection.h"
+
+using namespace perfdmf;
+
+TEST(Concurrency, ParallelReadersSeeConsistentData) {
+  auto connection = std::make_shared<sqldb::Connection>();
+  api::DatabaseAPI api(connection);
+  profile::Application app;
+  app.name = "shared";
+  api.save_application(app);
+  profile::Experiment experiment;
+  experiment.application_id = app.id;
+  experiment.name = "e";
+  api.save_experiment(experiment);
+  io::synth::TrialSpec spec;
+  spec.nodes = 8;
+  spec.event_count = 10;
+  const std::int64_t trial_id =
+      api.upload_trial(io::synth::generate_trial(spec), experiment.id);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      try {
+        for (int i = 0; i < 50; ++i) {
+          auto stmt = connection->prepare(
+              "SELECT COUNT(*) FROM interval_location_profile WHERE node = ?");
+          stmt.set_int(1, (r + i) % 8);
+          auto rs = stmt.execute_query();
+          rs.next();
+          if (rs.get_int(1) != 10) ++failures;
+          (void)trial_id;
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, ParallelWritersToDistinctTables) {
+  auto connection = std::make_shared<sqldb::Connection>();
+  for (int t = 0; t < 4; ++t) {
+    connection->execute_update("CREATE TABLE t" + std::to_string(t) +
+                               " (id INTEGER PRIMARY KEY, x INTEGER)");
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      try {
+        auto stmt = connection->prepare("INSERT INTO t" + std::to_string(w) +
+                                        " (x) VALUES (?)");
+        for (int i = 0; i < 200; ++i) {
+          stmt.set_int(1, i);
+          stmt.execute_update();
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < 4; ++t) {
+    auto rs = connection->execute("SELECT COUNT(*) FROM t" + std::to_string(t));
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 200);
+  }
+}
+
+TEST(Concurrency, MixedReadersAndWriterOnOneTable) {
+  auto connection = std::make_shared<sqldb::Connection>();
+  connection->execute_update(
+      "CREATE TABLE log (id INTEGER PRIMARY KEY, x INTEGER)");
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    try {
+      auto stmt = connection->prepare("INSERT INTO log (x) VALUES (?)");
+      for (int i = 0; i < 500; ++i) {
+        stmt.set_int(1, i);
+        stmt.execute_update();
+      }
+    } catch (...) {
+      ++failures;
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      try {
+        std::int64_t last = 0;
+        while (!stop.load()) {
+          auto rs = connection->execute("SELECT COUNT(*) FROM log");
+          rs.next();
+          const std::int64_t count = rs.get_int(1);
+          if (count < last) ++failures;  // counts must be monotone
+          last = count;
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto rs = connection->execute("SELECT COUNT(*) FROM log");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 500);
+}
+
+TEST(Concurrency, ParallelUploadsToSeparateSessionsShareNothing) {
+  // Independent in-memory archives in parallel threads: full isolation.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        auto connection = std::make_shared<sqldb::Connection>();
+        api::DatabaseAPI api(connection);
+        profile::Application app;
+        app.name = "w" + std::to_string(w);
+        api.save_application(app);
+        profile::Experiment experiment;
+        experiment.application_id = app.id;
+        experiment.name = "e";
+        api.save_experiment(experiment);
+        io::synth::TrialSpec spec;
+        spec.nodes = 4;
+        spec.event_count = 6;
+        spec.seed = static_cast<std::uint64_t>(w);
+        api.upload_trial(io::synth::generate_trial(spec), experiment.id);
+        if (api.list_applications().size() != 1) ++failures;
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}

@@ -1,0 +1,157 @@
+// Tests for the PerfExplorer analysis server (paper §5.3, Fig. 3).
+#include <gtest/gtest.h>
+
+#include "analysis/kmeans.h"
+#include "api/database_session.h"
+#include "explorer/analysis_server.h"
+#include "io/synth.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+using namespace perfdmf;
+using namespace perfdmf::explorer;
+
+namespace {
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  ExplorerTest()
+      : connection(std::make_shared<sqldb::Connection>()),
+        server(connection, /*workers=*/2) {
+    io::synth::ClusterSpec spec;
+    spec.threads = 48;
+    spec.cluster_count = 2;
+    planted = io::synth::generate_clustered_trial(spec);
+    api::DatabaseSession session(connection);
+    trial_id = session.save_trial(planted.trial, "sppm", "frost");
+  }
+
+  std::shared_ptr<sqldb::Connection> connection;
+  AnalysisServer server;
+  io::synth::ClusteredTrial planted;
+  std::int64_t trial_id = -1;
+};
+
+TEST_F(ExplorerTest, KMeansRequestRunsAndStoresResult) {
+  AnalysisRequest request;
+  request.trial_id = trial_id;
+  request.kind = AnalysisKind::kKMeans;
+  request.k = 2;
+  auto response = server.submit(request);
+  EXPECT_GT(response.result_id, 0);
+  EXPECT_EQ(response.kind, "kmeans");
+  EXPECT_NE(response.summary.find("k=2"), std::string::npos);
+  EXPECT_NE(response.content.find("assignment:"), std::string::npos);
+
+  auto results = server.browse(trial_id);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].kind, "kmeans");
+  EXPECT_EQ(results[0].content, response.content);
+}
+
+TEST_F(ExplorerTest, KMeansAssignmentRecoversPlantedStructure) {
+  AnalysisRequest request;
+  request.trial_id = trial_id;
+  request.kind = AnalysisKind::kKMeans;
+  request.k = 2;
+  auto response = server.submit(request);
+  // Parse the stored assignment back out and score it.
+  const std::size_t at = response.content.find("assignment:");
+  ASSERT_NE(at, std::string::npos);
+  auto fields = util::split_ws(response.content.substr(at + 11));
+  std::vector<std::size_t> assignment;
+  for (const auto& f : fields) {
+    assignment.push_back(static_cast<std::size_t>(*util::parse_int(f)));
+  }
+  ASSERT_EQ(assignment.size(), planted.ground_truth.size());
+  EXPECT_GT(analysis::adjusted_rand_index(assignment, planted.ground_truth),
+            0.9);
+}
+
+TEST_F(ExplorerTest, EveryAnalysisKindProducesAResult) {
+  for (AnalysisKind kind :
+       {AnalysisKind::kKMeans, AnalysisKind::kHierarchical,
+        AnalysisKind::kCorrelation, AnalysisKind::kPca,
+        AnalysisKind::kDescriptive}) {
+    AnalysisRequest request;
+    request.trial_id = trial_id;
+    request.kind = kind;
+    request.k = 2;
+    auto response = server.submit(request);
+    EXPECT_GT(response.result_id, 0) << analysis_kind_name(kind);
+    EXPECT_FALSE(response.summary.empty()) << analysis_kind_name(kind);
+  }
+  EXPECT_EQ(server.browse(trial_id).size(), 5u);
+}
+
+TEST_F(ExplorerTest, AsyncRequestsCompleteOnWorkers) {
+  std::vector<std::future<AnalysisResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    AnalysisRequest request;
+    request.trial_id = trial_id;
+    request.kind = i % 2 == 0 ? AnalysisKind::kDescriptive
+                              : AnalysisKind::kCorrelation;
+    futures.push_back(server.submit_async(request));
+  }
+  for (auto& f : futures) {
+    auto response = f.get();
+    EXPECT_GT(response.result_id, 0);
+  }
+  EXPECT_EQ(server.browse(trial_id).size(), 4u);
+}
+
+TEST_F(ExplorerTest, SynchronousFallbackWithoutWorkers) {
+  AnalysisServer direct(connection, /*workers=*/0);
+  AnalysisRequest request;
+  request.trial_id = trial_id;
+  request.kind = AnalysisKind::kPca;
+  auto response = direct.submit_async(request).get();
+  EXPECT_GT(response.result_id, 0);
+}
+
+TEST_F(ExplorerTest, UnknownTrialRejected) {
+  AnalysisRequest request;
+  request.trial_id = 9999;
+  EXPECT_THROW(server.submit(request), InvalidArgument);
+  auto future = server.submit_async(request);
+  EXPECT_THROW(future.get(), InvalidArgument);
+}
+
+TEST_F(ExplorerTest, DescriptiveWithExplicitMetric) {
+  AnalysisRequest request;
+  request.trial_id = trial_id;
+  request.kind = AnalysisKind::kDescriptive;
+  request.metric_name = "PAPI_FP_OPS";
+  auto response = server.submit(request);
+  EXPECT_NE(response.content.find("hydro_sweep"), std::string::npos);
+  request.metric_name = "NO_SUCH_METRIC";
+  EXPECT_THROW(server.submit(request), InvalidArgument);
+}
+
+TEST_F(ExplorerTest, DeterministicForSeed) {
+  AnalysisRequest request;
+  request.trial_id = trial_id;
+  request.kind = AnalysisKind::kKMeans;
+  request.k = 2;
+  request.seed = 7;
+  auto a = server.submit(request);
+  auto b = server.submit(request);
+  EXPECT_EQ(a.content, b.content);
+}
+
+}  // namespace
+
+namespace {
+
+TEST_F(ExplorerTest, ImbalanceAnalysisKind) {
+  AnalysisRequest request;
+  request.trial_id = trial_id;
+  request.kind = AnalysisKind::kImbalance;
+  auto response = server.submit(request);
+  EXPECT_GT(response.result_id, 0);
+  EXPECT_EQ(response.kind, "imbalance");
+  EXPECT_NE(response.summary.find("worst_imbalance"), std::string::npos);
+  EXPECT_NE(response.content.find("event"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,457 @@
+// Tests for the extension modules: TAU callpath support, CSV export,
+// expression-based derived metrics, hierarchical clustering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/derived_expr.h"
+#include "analysis/hierarchical.h"
+#include "analysis/imbalance.h"
+#include "analysis/kmeans.h"
+#include "io/csv_export.h"
+#include "io/detect.h"
+#include "io/synth.h"
+#include "profile/callpath.h"
+#include "util/error.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+using namespace perfdmf;
+
+// ---------------------------------------------------------------- callpath
+
+TEST(Callpath, Predicates) {
+  EXPECT_TRUE(profile::is_callpath("main => solve"));
+  EXPECT_FALSE(profile::is_callpath("main"));
+  EXPECT_FALSE(profile::is_callpath("compare a=>b"));  // needs spaces
+}
+
+TEST(Callpath, SplitAndComponents) {
+  const std::string chain = "main => solve => MPI_Allreduce()";
+  auto parts = profile::split_callpath(chain);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "main");
+  EXPECT_EQ(parts[2], "MPI_Allreduce()");
+  EXPECT_EQ(profile::callpath_leaf(chain), "MPI_Allreduce()");
+  EXPECT_EQ(profile::callpath_parent(chain), "main => solve");
+  EXPECT_EQ(profile::callpath_depth(chain), 3u);
+  EXPECT_EQ(profile::callpath_depth("flat"), 1u);
+  EXPECT_EQ(profile::callpath_parent("flat"), "");
+  EXPECT_EQ(profile::callpath_leaf("flat"), "flat");
+}
+
+namespace {
+
+/// A pure-callpath trial: solve called from two different parents.
+profile::TrialData callpath_trial() {
+  profile::TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  auto put = [&](const std::string& name, double excl, double calls) {
+    const std::size_t e = trial.intern_event(name, "TAU_CALLPATH");
+    profile::IntervalDataPoint p;
+    p.exclusive = excl;
+    p.inclusive = excl;
+    p.num_calls = calls;
+    trial.set_interval_data(e, t, m, p);
+  };
+  put("main => a => solve", 30.0, 3.0);
+  put("main => b => solve", 70.0, 7.0);
+  put("main => a", 10.0, 1.0);
+  put("main => b", 20.0, 1.0);
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+}  // namespace
+
+TEST(Callpath, FlattenAggregatesLeaves) {
+  auto flat = profile::flatten_callpaths(callpath_trial());
+  const auto solve = flat.find_event("solve");
+  ASSERT_TRUE(solve.has_value());
+  const auto* p = flat.interval_data(*solve, 0, 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, 100.0);  // 30 + 70
+  EXPECT_DOUBLE_EQ(p->num_calls, 10.0);
+  // Group marker stripped.
+  EXPECT_EQ(flat.events()[*solve].group, "");
+  // Leaves a and b aggregated too.
+  EXPECT_TRUE(flat.find_event("a").has_value());
+  EXPECT_TRUE(flat.find_event("b").has_value());
+  EXPECT_FALSE(flat.find_event("main => a => solve").has_value());
+}
+
+TEST(Callpath, FlattenPrefersMeasuredFlatEvents) {
+  auto trial = callpath_trial();
+  // Add an authoritative flat "solve" with different numbers (TAU emits
+  // flat + callpath side by side).
+  const std::size_t e = trial.intern_event("solve", "TAU_USER");
+  profile::IntervalDataPoint p;
+  p.exclusive = 99.0;
+  p.inclusive = 99.0;
+  p.num_calls = 10.0;
+  trial.set_interval_data(e, 0, 0, p);
+
+  auto flat = profile::flatten_callpaths(trial);
+  const auto* q = flat.interval_data(*flat.find_event("solve"), 0, 0);
+  ASSERT_NE(q, nullptr);
+  EXPECT_DOUBLE_EQ(q->exclusive, 99.0);  // measured, not 100 summed
+}
+
+TEST(Callpath, FlattenPassesThroughFlatProfiles) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 5;
+  auto trial = io::synth::generate_trial(spec);
+  auto flat = profile::flatten_callpaths(trial);
+  EXPECT_EQ(flat.events().size(), trial.events().size());
+  EXPECT_EQ(flat.interval_point_count(), trial.interval_point_count());
+}
+
+// --------------------------------------------------------------------- CSV
+
+TEST(CsvEscape, QuotingRules) {
+  EXPECT_EQ(io::csv_escape("plain", ','), "plain");
+  EXPECT_EQ(io::csv_escape("a,b", ','), "\"a,b\"");
+  EXPECT_EQ(io::csv_escape("say \"hi\"", ','), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(io::csv_escape("line\nbreak", ','), "\"line\nbreak\"");
+  EXPECT_EQ(io::csv_escape("a,b", '\t'), "a,b");  // separator-dependent
+}
+
+TEST(CsvExport, IntervalRowsAndHeader) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 3;
+  auto trial = io::synth::generate_trial(spec);
+  const std::string csv = io::export_interval_csv(trial);
+  auto lines = util::split_lines(csv);
+  ASSERT_EQ(lines.size(), 1u + trial.interval_point_count());
+  EXPECT_TRUE(util::starts_with(lines[0], "event,group,node,"));
+  // Every data line has the same number of separators as the header.
+  const auto header_fields = util::split(lines[0], ',');
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(util::split(lines[i], ',').size(), header_fields.size());
+  }
+}
+
+TEST(CsvExport, EventNamesWithCommasAreQuoted) {
+  profile::TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e = trial.intern_event("foo(int, double)");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  profile::IntervalDataPoint p;
+  p.exclusive = 1.0;
+  trial.set_interval_data(e, t, m, p);
+  const std::string csv = io::export_interval_csv(trial);
+  EXPECT_NE(csv.find("\"foo(int, double)\""), std::string::npos);
+}
+
+TEST(CsvExport, AtomicRows) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 2;
+  spec.atomic_event_count = 2;
+  auto trial = io::synth::generate_trial(spec);
+  const std::string csv = io::export_atomic_csv(trial);
+  auto lines = util::split_lines(csv);
+  EXPECT_EQ(lines.size(), 1u + trial.atomic_point_count());
+}
+
+TEST(CsvExport, CompactOptionDropsDerivedColumns) {
+  io::synth::TrialSpec spec;
+  auto trial = io::synth::generate_trial(spec);
+  io::CsvOptions options;
+  options.include_derived_fields = false;
+  const std::string csv = io::export_interval_csv(trial, options);
+  EXPECT_EQ(csv.find("inclusive_pct"), std::string::npos);
+}
+
+// ------------------------------------------------- derived expressions
+
+namespace {
+
+profile::TrialData two_metric_trial() {
+  profile::TrialData trial;
+  const std::size_t time = trial.intern_metric("TIME");
+  const std::size_t flops = trial.intern_metric("PAPI_FP_OPS");
+  const std::size_t e = trial.intern_event("kernel");
+  for (int n = 0; n < 3; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    profile::IntervalDataPoint p;
+    p.exclusive = 10.0 * (n + 1);
+    p.inclusive = 20.0 * (n + 1);
+    p.num_calls = 5.0;
+    trial.set_interval_data(e, t, time, p);
+    p.exclusive = 100.0 * (n + 1);
+    p.inclusive = 200.0 * (n + 1);
+    trial.set_interval_data(e, t, flops, p);
+  }
+  return trial;
+}
+
+}  // namespace
+
+TEST(DerivedExpr, RatioFormula) {
+  auto trial = two_metric_trial();
+  const std::size_t index =
+      analysis::derive_expression(trial, "RATE", "PAPI_FP_OPS / TIME");
+  EXPECT_TRUE(trial.metrics()[index].derived);
+  const auto* p = trial.interval_data(0, 0, index);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, 10.0);   // 100/10
+  EXPECT_DOUBLE_EQ(p->inclusive, 10.0);   // 200/20
+}
+
+TEST(DerivedExpr, ArithmeticWithConstants) {
+  auto trial = two_metric_trial();
+  const std::size_t index = analysis::derive_expression(
+      trial, "SCALED", "(PAPI_FP_OPS + TIME) * 0.5 - 5");
+  const auto* p = trial.interval_data(0, 1, index);  // thread 1: 220, 20 excl
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, (200.0 + 20.0) * 0.5 - 5.0);
+}
+
+TEST(DerivedExpr, FunctionsWork) {
+  auto trial = two_metric_trial();
+  const std::size_t index =
+      analysis::derive_expression(trial, "ROOT", "SQRT(PAPI_FP_OPS)");
+  const auto* p = trial.interval_data(0, 0, index);
+  EXPECT_DOUBLE_EQ(p->exclusive, 10.0);
+}
+
+TEST(DerivedExpr, DivisionByZeroYieldsZero) {
+  profile::TrialData trial;
+  trial.intern_metric("A");
+  trial.intern_metric("B");
+  trial.intern_event("e");
+  trial.intern_thread({0, 0, 0});
+  profile::IntervalDataPoint p;
+  p.exclusive = 5.0;
+  trial.set_interval_data(0, 0, 0, p);
+  p.exclusive = 0.0;
+  trial.set_interval_data(0, 0, 1, p);
+  const std::size_t index = analysis::derive_expression(trial, "R", "A / B");
+  EXPECT_DOUBLE_EQ(trial.interval_data(0, 0, index)->exclusive, 0.0);
+}
+
+TEST(DerivedExpr, ErrorsAreReported) {
+  auto trial = two_metric_trial();
+  EXPECT_THROW(analysis::derive_expression(trial, "TIME", "PAPI_FP_OPS"),
+               InvalidArgument);  // duplicate name
+  EXPECT_THROW(analysis::derive_expression(trial, "X", "NO_SUCH / TIME"),
+               DbError);  // unknown metric
+  EXPECT_THROW(analysis::derive_expression(trial, "X", "TIME +"), ParseError);
+  EXPECT_THROW(analysis::derive_expression(trial, "X", "1 + 2"),
+               InvalidArgument);  // no metric referenced
+}
+
+TEST(DerivedExpr, SkipsPointsMissingAnOperand) {
+  auto trial = two_metric_trial();
+  // Add an event with TIME only.
+  const std::size_t lonely = trial.intern_event("lonely");
+  profile::IntervalDataPoint p;
+  p.exclusive = 1.0;
+  trial.set_interval_data(lonely, 0, *trial.find_metric("TIME"), p);
+  const std::size_t index =
+      analysis::derive_expression(trial, "R", "PAPI_FP_OPS / TIME");
+  EXPECT_EQ(trial.interval_data(lonely, 0, index), nullptr);
+  EXPECT_NE(trial.interval_data(*trial.find_event("kernel"), 0, index), nullptr);
+}
+
+// ---------------------------------------------------------- hierarchical
+
+TEST(Hierarchical, MergesObviousClustersLast) {
+  // Two tight blobs: the final (highest) merge joins the blobs.
+  std::vector<double> data;
+  for (int i = 0; i < 5; ++i) data.push_back(0.0 + 0.01 * i);
+  for (int i = 0; i < 5; ++i) data.push_back(100.0 + 0.01 * i);
+  auto tree = analysis::hierarchical_cluster(data, 10, 1);
+  ASSERT_EQ(tree.merges.size(), 9u);
+  EXPECT_GT(tree.merges.back().height, 50.0);
+  EXPECT_LT(tree.merges[0].height, 1.0);
+  // Heights are non-decreasing for average linkage on this data.
+  for (std::size_t i = 1; i < tree.merges.size(); ++i) {
+    EXPECT_GE(tree.merges[i].height + 1e-9, tree.merges[i - 1].height);
+  }
+}
+
+TEST(Hierarchical, CutRecoversBlobs) {
+  std::vector<double> data;
+  for (int i = 0; i < 5; ++i) data.push_back(0.0 + 0.01 * i);
+  for (int i = 0; i < 5; ++i) data.push_back(100.0 + 0.01 * i);
+  auto tree = analysis::hierarchical_cluster(data, 10, 1);
+  auto assignment = tree.cut(2);
+  ASSERT_EQ(assignment.size(), 10u);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(assignment[i], assignment[0]);
+  for (int i = 6; i < 10; ++i) EXPECT_EQ(assignment[i], assignment[5]);
+  EXPECT_NE(assignment[0], assignment[5]);
+}
+
+TEST(Hierarchical, CutExtremes) {
+  std::vector<double> data{1.0, 2.0, 3.0};
+  auto tree = analysis::hierarchical_cluster(data, 3, 1);
+  auto all_separate = tree.cut(3);
+  EXPECT_EQ(all_separate, (std::vector<std::size_t>{0, 1, 2}));
+  auto all_together = tree.cut(1);
+  EXPECT_EQ(all_together, (std::vector<std::size_t>{0, 0, 0}));
+  auto clamped = tree.cut(99);
+  EXPECT_EQ(clamped, all_separate);
+  EXPECT_THROW(tree.cut(0), InvalidArgument);
+}
+
+TEST(Hierarchical, SingleRow) {
+  auto tree = analysis::hierarchical_cluster({1.0, 2.0}, 1, 2);
+  EXPECT_TRUE(tree.merges.empty());
+  EXPECT_EQ(tree.cut(1), (std::vector<std::size_t>{0}));
+}
+
+TEST(Hierarchical, AgreesWithKMeansOnPlantedClusters) {
+  io::synth::ClusterSpec spec;
+  spec.threads = 60;
+  spec.cluster_count = 3;
+  auto planted = io::synth::generate_clustered_trial(spec);
+  auto features = analysis::thread_features(planted.trial);
+  auto tree = analysis::hierarchical_cluster(features.values, features.rows,
+                                             features.cols);
+  auto assignment = tree.cut(3);
+  EXPECT_GT(analysis::adjusted_rand_index(assignment, planted.ground_truth),
+            0.95);
+}
+
+TEST(Hierarchical, BadInputThrows) {
+  EXPECT_THROW(analysis::hierarchical_cluster({}, 0, 0), InvalidArgument);
+  EXPECT_THROW(analysis::hierarchical_cluster({1.0}, 1, 2), InvalidArgument);
+}
+
+TEST(Callpath, SyntheticCallpathTrialRoundTripsAndFlattens) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 5;
+  spec.with_callpaths = true;
+  auto trial = io::synth::generate_trial(spec);
+  // 5 flat events + 4 callpath twins (children only).
+  EXPECT_EQ(trial.events().size(), 9u);
+
+  // Through TAU files and back: callpath names survive intact.
+  util::ScopedTempDir dir;
+  io::synth::write_as_tau(trial, dir.path() / "cp");
+  auto reloaded = io::load_profile(dir.path() / "cp");
+  EXPECT_EQ(reloaded.events().size(), 9u);
+  bool found_chain = false;
+  for (const auto& event : reloaded.events()) {
+    if (profile::is_callpath(event.name)) {
+      found_chain = true;
+      EXPECT_EQ(event.group, "TAU_CALLPATH");
+    }
+  }
+  EXPECT_TRUE(found_chain);
+
+  // Flatten: back down to the 5 flat events, flat data authoritative.
+  auto flat = profile::flatten_callpaths(reloaded);
+  EXPECT_EQ(flat.events().size(), 5u);
+  const auto e = flat.find_event("hydro_sweep");
+  const auto oe = trial.find_event("hydro_sweep");
+  ASSERT_TRUE(e && oe);
+  EXPECT_DOUBLE_EQ(flat.interval_data(*e, 0, 0)->exclusive,
+                   trial.interval_data(*oe, 0, 0)->exclusive);
+}
+
+// ---------------------------------------------------------- imbalance
+
+TEST(Imbalance, DetectsPlantedSkew) {
+  profile::TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t balanced = trial.intern_event("balanced");
+  const std::size_t skewed = trial.intern_event("skewed");
+  for (int n = 0; n < 8; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    profile::IntervalDataPoint p;
+    p.exclusive = 100.0;
+    trial.set_interval_data(balanced, t, m, p);
+    p.exclusive = n == 3 ? 400.0 : 100.0;  // one hot thread
+    trial.set_interval_data(skewed, t, m, p);
+  }
+  auto rows = analysis::compute_imbalance(trial);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].event_name, "skewed");  // biggest balancing win first
+  // mean = (7*100 + 400)/8 = 137.5, max = 400 -> imb% ~ 190.9
+  EXPECT_NEAR(rows[0].imbalance_pct, (400.0 / 137.5 - 1.0) * 100.0, 1e-9);
+  EXPECT_NEAR(rows[0].imbalance_time, 400.0 - 137.5, 1e-9);
+  EXPECT_NEAR(rows[1].imbalance_pct, 0.0, 1e-9);
+}
+
+TEST(Imbalance, OutlierThreadsByZScore) {
+  profile::TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e = trial.intern_event("work");
+  for (int n = 0; n < 16; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    profile::IntervalDataPoint p;
+    p.exclusive = n == 5 ? 1000.0 : 100.0 + n * 0.01;
+    trial.set_interval_data(e, t, m, p);
+  }
+  auto outliers = analysis::find_outlier_threads(trial, "TIME", 2.0);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0].thread.node, 5);
+  EXPECT_GT(outliers[0].z_score, 2.0);
+}
+
+TEST(Imbalance, NoOutliersInUniformData) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 16;
+  spec.imbalance = 0.0;  // perfectly balanced generator
+  auto trial = io::synth::generate_trial(spec);
+  // Tiny jitter remains (2% per event); a 3-sigma test finds nothing huge.
+  auto outliers = analysis::find_outlier_threads(trial, "TIME", 4.0);
+  EXPECT_TRUE(outliers.empty());
+}
+
+TEST(Imbalance, ErrorsAndEdges) {
+  profile::TrialData empty;
+  EXPECT_THROW(analysis::compute_imbalance(empty), InvalidArgument);
+  EXPECT_THROW(analysis::find_outlier_threads(empty), InvalidArgument);
+  // Two threads: imbalance computes, outliers need >= 3.
+  profile::TrialData tiny;
+  const std::size_t m = tiny.intern_metric("TIME");
+  const std::size_t e = tiny.intern_event("f");
+  for (int n = 0; n < 2; ++n) {
+    const std::size_t t = tiny.intern_thread({n, 0, 0});
+    profile::IntervalDataPoint p;
+    p.exclusive = 50.0 + n;
+    tiny.set_interval_data(e, t, m, p);
+  }
+  EXPECT_EQ(analysis::compute_imbalance(tiny).size(), 1u);
+  EXPECT_TRUE(analysis::find_outlier_threads(tiny).empty());
+}
+
+TEST(Imbalance, FormatTable) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 4;
+  auto trial = io::synth::generate_trial(spec);
+  const std::string table =
+      analysis::format_imbalance_table(analysis::compute_imbalance(trial));
+  EXPECT_NE(table.find("event"), std::string::npos);
+  EXPECT_NE(table.find("imb%"), std::string::npos);
+}
+
+TEST(Callpath, FlattenIsIdempotent) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.event_count = 6;
+  spec.with_callpaths = true;
+  auto trial = io::synth::generate_trial(spec);
+  auto once = profile::flatten_callpaths(trial);
+  auto twice = profile::flatten_callpaths(once);
+  ASSERT_EQ(twice.events().size(), once.events().size());
+  ASSERT_EQ(twice.interval_point_count(), once.interval_point_count());
+  once.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                             const profile::IntervalDataPoint& p) {
+    const auto* q = twice.interval_data(
+        *twice.find_event(once.events()[e].name),
+        *twice.find_thread(once.threads()[t]), m);
+    ASSERT_NE(q, nullptr);
+    EXPECT_DOUBLE_EQ(q->exclusive, p.exclusive);
+    EXPECT_DOUBLE_EQ(q->num_calls, p.num_calls);
+  });
+}

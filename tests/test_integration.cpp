@@ -1,0 +1,278 @@
+// End-to-end integration tests exercising the full pipeline the paper
+// describes: synthesize profiles on disk in multiple tool formats ->
+// import through the translators -> store in the relational archive ->
+// query through the API -> run toolkit analyses -> save results back.
+#include <gtest/gtest.h>
+
+#include "analysis/kmeans.h"
+#include "analysis/speedup.h"
+#include "io/csv_export.h"
+#include "api/database_session.h"
+#include "io/detect.h"
+#include "io/hpm_format.h"
+#include "io/synth.h"
+#include "io/tau_format.h"
+#include "io/xml_io.h"
+#include "profile/derived.h"
+#include "util/file.h"
+#include "util/strings.h"
+
+using namespace perfdmf;
+using namespace perfdmf::api;
+
+TEST(Integration, MultiFormatArchiveLikeParaProf) {
+  // Paper Fig. 2: one database archive holding HPMToolkit, mpiP and TAU
+  // trials of the same application.
+  util::ScopedTempDir dir;
+
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 5;
+  auto tau_trial = io::synth::generate_trial(spec);
+  io::synth::write_as_tau(tau_trial, dir.path() / "tau");
+
+  spec.extra_metrics = {"PM_FPU0_CMPL"};
+  auto hpm_trial = io::synth::generate_trial(spec);
+  io::synth::write_as_hpm(hpm_trial, dir.path() / "hpm");
+
+  auto mpip_trial = io::synth::generate_mpip_style_trial(spec);
+  io::synth::write_as_mpip(mpip_trial, dir.path() / "run.mpiP");
+
+  DatabaseSession session;
+  // TAU: directory; mpiP: file; HPM: per-process files merged.
+  session.save_trial(io::load_profile(dir.path() / "tau"), "sppm", "mixed tools");
+  session.save_trial(io::load_profile(dir.path() / "run.mpiP"), "sppm",
+                     "mixed tools");
+  profile::TrialData merged_hpm;
+  for (const auto& f : util::list_files(dir.path() / "hpm")) {
+    io::HpmDataSource::parse_into(util::read_file(f), merged_hpm);
+  }
+  merged_hpm.infer_dimensions();
+  merged_hpm.recompute_derived_fields();
+  merged_hpm.trial().name = "hpm run";
+  session.save_trial(merged_hpm, "sppm", "mixed tools");
+
+  session.clear_application();
+  session.clear_experiment();
+  auto trials = session.get_trial_list();
+  ASSERT_EQ(trials.size(), 3u);
+
+  // Each trial browsable through the same API.
+  for (const auto& trial : trials) {
+    session.set_trial(trial.id);
+    EXPECT_FALSE(session.get_interval_events().empty());
+    EXPECT_FALSE(session.get_interval_data().empty());
+  }
+}
+
+TEST(Integration, SpeedupStudyThroughDatabase) {
+  // Paper §5.2: EVH1-style speedup analysis over archived trials.
+  DatabaseSession session;
+  io::synth::ScalingSpec spec;
+  for (std::int32_t p : {1, 2, 4, 8}) {
+    session.save_trial(io::synth::generate_scaling_trial(spec, p), "evh1",
+                       "strong scaling");
+  }
+  auto experiments = session.api().list_experiments(1);
+  ASSERT_EQ(experiments.size(), 1u);
+  auto report = analysis::compute_speedup_for_experiment(session.api(),
+                                                         experiments[0].id);
+  EXPECT_EQ(report.base_processors, 1);
+  ASSERT_FALSE(report.application.points.empty());
+  // Application speedup at p=8 should be clearly superlinear-free and > 2.
+  const auto& last = report.application.points.back();
+  EXPECT_EQ(last.processors, 8);
+  EXPECT_GT(last.mean_speedup, 2.0);
+  EXPECT_LT(last.mean_speedup, 8.5);
+}
+
+TEST(Integration, PerfExplorerWorkflowWithResultSaveBack) {
+  // Paper §5.3: cluster a large trial, summarize, store results via the
+  // extended schema.
+  io::synth::ClusterSpec spec;
+  spec.threads = 64;
+  spec.cluster_count = 2;
+  auto planted = io::synth::generate_clustered_trial(spec);
+
+  DatabaseSession session;
+  const std::int64_t trial_id =
+      session.save_trial(planted.trial, "sppm", "frost 64");
+
+  auto loaded = session.load_selected_trial();
+  auto features = analysis::thread_features(loaded);
+  analysis::KMeansOptions options;
+  options.k = 2;
+  auto result =
+      analysis::kmeans(features.values, features.rows, features.cols, options);
+  EXPECT_GT(analysis::adjusted_rand_index(result.assignment,
+                                          planted.ground_truth),
+            0.9);
+
+  std::string content = "k=2 sizes=";
+  for (std::size_t s : result.cluster_sizes) {
+    content += std::to_string(s) + ",";
+  }
+  session.api().save_analysis_result(trial_id, "kmeans", "clustering", content);
+  auto results = session.api().list_analysis_results(trial_id);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].kind, "clustering");
+}
+
+TEST(Integration, DerivedMetricPipeline) {
+  // Paper §3.2/§4: compute FLOP rate from two measured metrics and save it
+  // back to the archived trial.
+  io::synth::TrialSpec spec;
+  spec.nodes = 4;
+  spec.event_count = 4;
+  spec.extra_metrics = {"PAPI_FP_OPS"};
+  auto data = io::synth::generate_trial(spec);
+
+  DatabaseSession session;
+  const std::int64_t trial_id = session.save_trial(data, "app", "exp");
+
+  auto working = session.load_selected_trial();
+  profile::derive_ratio(working, "FLOP_RATE", "PAPI_FP_OPS", "TIME");
+  session.api().save_derived_metric(trial_id, working, "FLOP_RATE");
+
+  auto metrics = session.get_metrics();
+  ASSERT_EQ(metrics.size(), 3u);
+  session.set_metric(metrics[2].id);
+  auto rows = session.get_interval_data();
+  EXPECT_EQ(rows.size(), 16u);  // 4 events x 4 threads
+  for (const auto& row : rows) EXPECT_GE(row.data.exclusive, 0.0);
+}
+
+TEST(Integration, XmlExportOfDatabaseTrialReimports) {
+  // Common XML as the interchange layer: archive -> XML -> fresh archive.
+  io::synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.event_count = 4;
+  spec.atomic_event_count = 1;
+  auto data = io::synth::generate_trial(spec);
+
+  DatabaseSession first;
+  first.save_trial(data, "a", "e");
+  auto exported = io::export_xml(first.load_selected_trial());
+
+  DatabaseSession second;
+  second.save_trial(io::import_xml(exported), "a", "e");
+  auto reloaded = second.load_selected_trial();
+  EXPECT_EQ(reloaded.interval_point_count(), data.interval_point_count());
+  EXPECT_EQ(reloaded.atomic_point_count(), data.atomic_point_count());
+}
+
+TEST(Integration, TauRoundTripThroughArchiveAndBack) {
+  util::ScopedTempDir dir;
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.contexts_per_node = 2;
+  spec.event_count = 6;
+  spec.extra_metrics = {"PAPI_L1_DCM"};
+  auto original = io::synth::generate_trial(spec);
+  io::synth::write_as_tau(original, dir.path() / "t");
+
+  DatabaseSession session;
+  session.save_trial(io::load_profile(dir.path() / "t"), "app", "e");
+  auto loaded = session.load_selected_trial();
+
+  EXPECT_EQ(loaded.threads().size(), original.threads().size());
+  EXPECT_EQ(loaded.metrics().size(), original.metrics().size());
+  EXPECT_EQ(loaded.interval_point_count(), original.interval_point_count());
+  // Spot-check one value through the whole chain.
+  const auto le = loaded.find_event("main");
+  const auto lm = loaded.find_metric("TIME");
+  const auto lt = loaded.find_thread({1, 1, 0});
+  ASSERT_TRUE(le && lm && lt);
+  const auto oe = original.find_event("main");
+  const auto om = original.find_metric("TIME");
+  const auto ot = original.find_thread({1, 1, 0});
+  EXPECT_NEAR(loaded.interval_data(*le, *lt, *lm)->inclusive,
+              original.interval_data(*oe, *ot, *om)->inclusive, 1e-6);
+}
+
+TEST(Integration, LargeTrialStoresAndAggregates) {
+  // A mid-size stand-in for the Miranda scale claim, kept test-suite
+  // friendly: 101 events x 64 threads = 6464 rows/metric.
+  io::synth::TrialSpec spec;
+  spec.nodes = 64;
+  spec.event_count = 101;
+  auto data = io::synth::generate_trial(spec);
+  ASSERT_EQ(data.interval_point_count(), 101u * 64u);
+
+  DatabaseSession session;
+  const std::int64_t trial_id = session.save_trial(data, "miranda", "bgl");
+  auto events = session.get_interval_events();
+  ASSERT_EQ(events.size(), 101u);
+
+  auto summary = session.api().aggregate_interval_column(
+      trial_id, events[0].id, "exclusive");
+  EXPECT_EQ(summary.count, 64u);
+  EXPECT_GT(summary.std_dev, 0.0);
+  EXPECT_GE(summary.maximum, summary.mean);
+  EXPECT_LE(summary.minimum, summary.mean);
+}
+
+TEST(Integration, AnalysisViewsOverTheSchema) {
+  // An analyst defines reusable views over the PerfDMF schema and queries
+  // them like tables — the SQL-side composition story.
+  io::synth::TrialSpec spec;
+  spec.nodes = 8;
+  spec.event_count = 12;
+  api::DatabaseSession session;
+  session.save_trial(io::synth::generate_trial(spec), "app", "runs");
+  auto& conn = session.api().connection();
+
+  conn.execute_update(
+      "CREATE VIEW hot_events AS"
+      " SELECT e.name AS event, AVG(p.exclusive) AS mean_excl"
+      " FROM interval_event e JOIN interval_location_profile p"
+      " ON p.interval_event = e.id GROUP BY e.name");
+  auto rs = conn.execute(
+      "SELECT event FROM hot_events ORDER BY mean_excl DESC LIMIT 1");
+  ASSERT_TRUE(rs.next());
+  // The Zipf weighting makes the first compute routine the hottest.
+  EXPECT_EQ(rs.get_string(1), "hydro_sweep");
+
+  // The view recomputes after more data arrives.
+  spec.seed = 99;
+  spec.base_time_us *= 10;
+  session.save_trial(io::synth::generate_trial(spec), "app", "runs");
+  auto rs2 = conn.execute("SELECT COUNT(*) FROM hot_events");
+  rs2.next();
+  EXPECT_EQ(rs2.get_int(1), 12);  // same 12 event names, both trials pooled
+}
+
+TEST(Integration, SpeedupForExperimentMissingRoutineInLaterTrial) {
+  // A routine present only at the base count (e.g. instrumentation turned
+  // off later) must not break the analyzer; it simply has fewer points.
+  io::synth::ScalingSpec spec;
+  auto base = io::synth::generate_scaling_trial(spec, 1);
+  auto big = io::synth::generate_scaling_trial(spec, 8);
+  const std::size_t extra = base.intern_event("only_in_base");
+  profile::IntervalDataPoint p;
+  p.exclusive = 42.0;
+  p.inclusive = 42.0;
+  base.set_interval_data(extra, 0, *base.find_metric("TIME"), p);
+
+  std::vector<std::pair<std::int64_t, const profile::TrialData*>> trials{
+      {1, &base}, {8, &big}};
+  auto report = analysis::compute_speedup(trials);
+  const analysis::RoutineSpeedup* lonely = nullptr;
+  for (const auto& routine : report.routines) {
+    if (routine.event_name == "only_in_base") lonely = &routine;
+  }
+  ASSERT_NE(lonely, nullptr);
+  ASSERT_EQ(lonely->points.size(), 1u);  // only the base point
+  EXPECT_EQ(lonely->points[0].processors, 1);
+}
+
+TEST(Integration, CsvOfArchivedTrialMatchesPointCount) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.event_count = 5;
+  api::DatabaseSession session;
+  session.save_trial(io::synth::generate_trial(spec), "a", "e");
+  auto loaded = session.load_selected_trial();
+  const std::string csv = io::export_interval_csv(loaded);
+  EXPECT_EQ(util::split_lines(csv).size(), 1u + loaded.interval_point_count());
+}

@@ -1,0 +1,364 @@
+// Tests for the gprof, mpiP, dynaprof, HPMToolkit, and psrun importers:
+// fixed-fixture parses, synthetic round trips, error handling, detection.
+#include <gtest/gtest.h>
+
+#include "io/detect.h"
+#include "io/dynaprof_format.h"
+#include "io/gprof_format.h"
+#include "io/hpm_format.h"
+#include "io/mpip_format.h"
+#include "io/psrun_format.h"
+#include "io/synth.h"
+#include "util/error.h"
+#include "util/file.h"
+
+using namespace perfdmf;
+using namespace perfdmf::io;
+
+// ------------------------------------------------------------------- gprof
+
+namespace {
+const char* kGprofReport =
+    "Flat profile:\n"
+    "\n"
+    "Each sample counts as 0.01 seconds.\n"
+    "  %   cumulative   self              self     total\n"
+    " time   seconds   seconds    calls  ms/call  ms/call  name\n"
+    " 50.00      0.02     0.02     1000     0.02     0.03  hot_function\n"
+    " 30.00      0.03     0.01      500     0.02     0.02  warm_function\n"
+    " 20.00      0.04     0.01                             no_call_counts\n"
+    "\n"
+    "\t\t     Call graph\n"
+    "\n"
+    "index % time    self  children    called     name\n"
+    "[1]     75.0    0.02      0.01      1000   hot_function [1]\n"
+    "-----------------------------------------------\n"
+    "[2]     25.0    0.01      0.00       500   warm_function [2]\n";
+}  // namespace
+
+TEST(Gprof, ParsesFlatProfile) {
+  auto trial = GprofDataSource::parse(kGprofReport);
+  ASSERT_EQ(trial.events().size(), 3u);
+  const auto hot = trial.find_event("hot_function");
+  ASSERT_TRUE(hot.has_value());
+  const auto* p = trial.interval_data(*hot, 0, 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->exclusive, 0.02 * 1e6);  // seconds -> us
+  EXPECT_DOUBLE_EQ(p->num_calls, 1000.0);
+}
+
+TEST(Gprof, CallGraphSetsInclusive) {
+  auto trial = GprofDataSource::parse(kGprofReport);
+  const auto hot = trial.find_event("hot_function");
+  const auto* p = trial.interval_data(*hot, 0, 0);
+  EXPECT_DOUBLE_EQ(p->inclusive, 0.03 * 1e6);  // self + children
+}
+
+TEST(Gprof, FunctionWithoutCallCounts) {
+  auto trial = GprofDataSource::parse(kGprofReport);
+  const auto e = trial.find_event("no_call_counts");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(trial.interval_data(*e, 0, 0)->num_calls, 0.0);
+}
+
+TEST(Gprof, SingleThreadOnly) {
+  auto trial = GprofDataSource::parse(kGprofReport);
+  EXPECT_EQ(trial.threads().size(), 1u);
+  EXPECT_EQ(trial.threads()[0], (profile::ThreadId{0, 0, 0}));
+}
+
+TEST(Gprof, MissingFlatProfileThrows) {
+  EXPECT_THROW(GprofDataSource::parse("no profile here"), ParseError);
+}
+
+TEST(Gprof, SyntheticRoundTrip) {
+  synth::TrialSpec spec;
+  spec.nodes = 1;
+  spec.event_count = 8;
+  auto original = synth::generate_trial(spec);
+
+  util::ScopedTempDir dir;
+  const auto file = dir.path() / "gmon.txt";
+  synth::write_as_gprof(original, file);
+  auto reloaded = GprofDataSource(file).load();
+
+  // Every event with data on thread 0 must come back.
+  EXPECT_EQ(reloaded.events().size(), original.events().size());
+  // Exclusive times should match to report precision (1e-2 s = 1e4 us).
+  const auto original_main = original.find_event("main");
+  const auto reloaded_main = reloaded.find_event("main");
+  ASSERT_TRUE(original_main && reloaded_main);
+  EXPECT_NEAR(reloaded.interval_data(*reloaded_main, 0, 0)->exclusive,
+              original.interval_data(*original_main, 0, 0)->exclusive, 1e4);
+}
+
+// -------------------------------------------------------------------- mpiP
+
+TEST(MpiP, SyntheticRoundTrip) {
+  synth::TrialSpec spec;
+  spec.nodes = 4;
+  spec.event_count = 6;
+  auto original = synth::generate_mpip_style_trial(spec);
+
+  util::ScopedTempDir dir;
+  const auto file = dir.path() / "app.mpiP";
+  synth::write_as_mpip(original, file);
+  auto reloaded = MpiPDataSource(file).load();
+
+  EXPECT_EQ(reloaded.threads().size(), 4u);
+  EXPECT_EQ(reloaded.events().size(), original.events().size());
+  // Application inclusive should match to %.4g precision.
+  const auto app = reloaded.find_event("Application");
+  ASSERT_TRUE(app.has_value());
+  const auto* p = reloaded.interval_data(*app, 0, 0);
+  const auto* q = original.interval_data(*original.find_event("Application"), 0, 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NEAR(p->inclusive, q->inclusive, q->inclusive * 1e-3);
+}
+
+TEST(MpiP, CallsiteCallCountsSurvive) {
+  synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 3;
+  auto original = synth::generate_mpip_style_trial(spec);
+  util::ScopedTempDir dir;
+  synth::write_as_mpip(original, dir.path() / "r.mpiP");
+  auto reloaded = MpiPDataSource(dir.path() / "r.mpiP").load();
+  for (std::size_t e = 0; e < original.events().size(); ++e) {
+    const std::string& name = original.events()[e].name;
+    if (name == "Application") continue;
+    auto re = reloaded.find_event(name);
+    ASSERT_TRUE(re.has_value()) << name;
+    EXPECT_DOUBLE_EQ(reloaded.interval_data(*re, 0, 0)->num_calls,
+                     original.interval_data(e, 0, 0)->num_calls);
+  }
+}
+
+TEST(MpiP, HeaderRequired) {
+  EXPECT_THROW(MpiPDataSource::parse("not mpip"), ParseError);
+  EXPECT_THROW(MpiPDataSource::parse("@ mpiP\nno sections"), ParseError);
+}
+
+// ---------------------------------------------------------------- dynaprof
+
+TEST(Dynaprof, ParsesReport) {
+  const char* report =
+      "DynaProf 1.0 Output\n"
+      "Probe: papiprobe\n"
+      "Metric: PAPI_TOT_CYC\n"
+      "Process: 3  Thread: 1\n"
+      "\n"
+      "Function Summary\n"
+      "Name            Calls    Excl.       Incl.\n"
+      "main                1    1000        9000\n"
+      "solver             25    8000        8000\n";
+  auto trial = DynaprofDataSource::parse(report);
+  EXPECT_EQ(trial.metrics()[0].name, "PAPI_TOT_CYC");
+  ASSERT_EQ(trial.threads().size(), 1u);
+  EXPECT_EQ(trial.threads()[0], (profile::ThreadId{3, 0, 1}));
+  const auto solver = trial.find_event("solver");
+  ASSERT_TRUE(solver.has_value());
+  EXPECT_DOUBLE_EQ(trial.interval_data(*solver, 0, 0)->num_calls, 25.0);
+  EXPECT_DOUBLE_EQ(trial.interval_data(*solver, 0, 0)->exclusive, 8000.0);
+}
+
+TEST(Dynaprof, SyntheticRoundTripMultiProcess) {
+  synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.event_count = 5;
+  auto original = synth::generate_trial(spec);
+
+  util::ScopedTempDir dir;
+  synth::write_as_dynaprof(original, dir.path() / "dyn");
+  // Merge the per-process reports back into one trial.
+  profile::TrialData merged;
+  for (const auto& file : util::list_files(dir.path() / "dyn")) {
+    DynaprofDataSource::parse_into(util::read_file(file), merged);
+  }
+  merged.infer_dimensions();
+  EXPECT_EQ(merged.threads().size(), 3u);
+  EXPECT_EQ(merged.events().size(), original.events().size());
+}
+
+TEST(Dynaprof, BannerRequired) {
+  EXPECT_THROW(DynaprofDataSource::parse("nope"), ParseError);
+  EXPECT_THROW(DynaprofDataSource::parse("DynaProf 1.0\nno summary\n"),
+               ParseError);
+}
+
+// --------------------------------------------------------------------- hpm
+
+TEST(Hpm, ParsesSectionsCountersAndProcesses) {
+  const char* report =
+      "libhpm (Version 2.4.2) summary\n"
+      "\n"
+      "Instrumented section: 1 - Label: main - process: 2\n"
+      "  file: a.f, lines: 1 <--> 10\n"
+      "  Count: 3\n"
+      "  Wall Clock Time: 1.5 seconds\n"
+      "  Total time in user mode: 1.2 seconds\n"
+      "  PM_FPU0_CMPL (FPU 0 instructions) : 12345\n"
+      "  PM_INST_CMPL (Instructions completed) : 67890\n";
+  auto trial = HpmDataSource::parse(report);
+  ASSERT_EQ(trial.events().size(), 1u);
+  EXPECT_EQ(trial.events()[0].name, "main");
+  EXPECT_EQ(trial.threads()[0], (profile::ThreadId{2, 0, 0}));
+  const auto time = trial.find_metric("TIME");
+  ASSERT_TRUE(time.has_value());
+  const auto* p = trial.interval_data(0, 0, *time);
+  EXPECT_DOUBLE_EQ(p->inclusive, 1.5e6);
+  EXPECT_DOUBLE_EQ(p->num_calls, 3.0);
+  const auto fpu = trial.find_metric("PM_FPU0_CMPL");
+  ASSERT_TRUE(fpu.has_value());
+  EXPECT_DOUBLE_EQ(trial.interval_data(0, 0, *fpu)->inclusive, 12345.0);
+  const auto user = trial.find_metric("USER_TIME");
+  ASSERT_TRUE(user.has_value());
+}
+
+TEST(Hpm, SyntheticRoundTrip) {
+  synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 4;
+  spec.extra_metrics = {"PM_FPU0_CMPL", "PM_INST_CMPL"};
+  auto original = synth::generate_trial(spec);
+
+  util::ScopedTempDir dir;
+  synth::write_as_hpm(original, dir.path() / "hpm");
+  profile::TrialData merged;
+  for (const auto& file : util::list_files(dir.path() / "hpm")) {
+    HpmDataSource::parse_into(util::read_file(file), merged);
+  }
+  merged.infer_dimensions();
+  EXPECT_EQ(merged.threads().size(), 2u);
+  EXPECT_EQ(merged.events().size(), original.events().size());
+  EXPECT_TRUE(merged.find_metric("PM_FPU0_CMPL").has_value());
+}
+
+TEST(Hpm, NoSectionsThrows) {
+  EXPECT_THROW(HpmDataSource::parse("libhpm summary, nothing else"), ParseError);
+}
+
+// ------------------------------------------------------------------- psrun
+
+TEST(Psrun, ParsesXmlReport) {
+  const char* report =
+      "<?xml version=\"1.0\"?>\n"
+      "<hwpcreport class=\"PAPI\" mode=\"count\">\n"
+      "  <executableinfo><name>app</name></executableinfo>\n"
+      "  <processinfo><rank>5</rank></processinfo>\n"
+      "  <wallclock units=\"seconds\">2.5</wallclock>\n"
+      "  <hwpceventlist>\n"
+      "    <hwpcevent name=\"PAPI_TOT_CYC\" derived=\"no\">1000000</hwpcevent>\n"
+      "    <hwpcevent name=\"PAPI_FP_OPS\" derived=\"no\">500000</hwpcevent>\n"
+      "  </hwpceventlist>\n"
+      "</hwpcreport>\n";
+  auto trial = PsrunDataSource::parse(report);
+  EXPECT_EQ(trial.threads()[0], (profile::ThreadId{5, 0, 0}));
+  ASSERT_EQ(trial.events().size(), 1u);
+  const auto time = trial.find_metric("TIME");
+  ASSERT_TRUE(time.has_value());
+  EXPECT_DOUBLE_EQ(trial.interval_data(0, 0, *time)->inclusive, 2.5e6);
+  const auto cyc = trial.find_metric("PAPI_TOT_CYC");
+  ASSERT_TRUE(cyc.has_value());
+  EXPECT_DOUBLE_EQ(trial.interval_data(0, 0, *cyc)->inclusive, 1e6);
+}
+
+TEST(Psrun, SyntheticRoundTripPerProcessFiles) {
+  synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.extra_metrics = {"PAPI_TOT_CYC", "PAPI_FP_OPS"};
+  auto original = synth::generate_psrun_style_trial(spec);
+
+  util::ScopedTempDir dir;
+  synth::write_as_psrun(original, dir.path() / "ps");
+  profile::TrialData merged;
+  for (const auto& file : util::list_files(dir.path() / "ps")) {
+    PsrunDataSource::parse_into(util::read_file(file), merged);
+  }
+  merged.infer_dimensions();
+  EXPECT_EQ(merged.threads().size(), 3u);
+  EXPECT_EQ(merged.metrics().size(), 3u);  // TIME + 2 counters
+}
+
+TEST(Psrun, BadXmlThrows) {
+  EXPECT_THROW(PsrunDataSource::parse("<other/>"), ParseError);
+  EXPECT_THROW(PsrunDataSource::parse("<hwpcreport><rank>x</rank></hwpcreport>"),
+               ParseError);
+}
+
+// --------------------------------------------------------------- detection
+
+TEST(Detect, IdentifiesEveryFileFormat) {
+  util::ScopedTempDir dir;
+  util::write_file(dir.path() / "a.mpiP", "@ mpiP\n");
+  util::write_file(dir.path() / "b.txt", "DynaProf 1.0 Output\n");
+  util::write_file(dir.path() / "c.txt", kGprofReport);
+  util::write_file(dir.path() / "d.txt", "Instrumented section: 1 - Label: x\n");
+  util::write_file(dir.path() / "e.xml", "<?xml version=\"1.0\"?><hwpcreport/>");
+  util::write_file(dir.path() / "f.xml", "<perfdmf_profile version=\"1\"/>");
+  EXPECT_EQ(detect_format(dir.path() / "a.mpiP").value(), ProfileFormat::kMpiP);
+  EXPECT_EQ(detect_format(dir.path() / "b.txt").value(),
+            ProfileFormat::kDynaprof);
+  EXPECT_EQ(detect_format(dir.path() / "c.txt").value(), ProfileFormat::kGprof);
+  EXPECT_EQ(detect_format(dir.path() / "d.txt").value(), ProfileFormat::kHpm);
+  EXPECT_EQ(detect_format(dir.path() / "e.xml").value(), ProfileFormat::kPsrun);
+  EXPECT_EQ(detect_format(dir.path() / "f.xml").value(),
+            ProfileFormat::kPerfDmfXml);
+  EXPECT_FALSE(detect_format(dir.path()).has_value());  // dir w/o profiles
+}
+
+TEST(Detect, UnknownContentReturnsNullopt) {
+  util::ScopedTempDir dir;
+  util::write_file(dir.path() / "x.bin", "random content");
+  EXPECT_FALSE(detect_format(dir.path() / "x.bin").has_value());
+  EXPECT_THROW(load_profile(dir.path() / "x.bin"), ParseError);
+}
+
+TEST(FormatName, CoversAllFormats) {
+  EXPECT_STREQ(format_name(ProfileFormat::kTau), "tau");
+  EXPECT_STREQ(format_name(ProfileFormat::kGprof), "gprof");
+  EXPECT_STREQ(format_name(ProfileFormat::kMpiP), "mpip");
+  EXPECT_STREQ(format_name(ProfileFormat::kDynaprof), "dynaprof");
+  EXPECT_STREQ(format_name(ProfileFormat::kHpm), "hpmtoolkit");
+  EXPECT_STREQ(format_name(ProfileFormat::kPsrun), "psrun");
+  EXPECT_STREQ(format_name(ProfileFormat::kPerfDmfXml), "perfdmf-xml");
+}
+
+TEST(MpiP, MessageSizeStatisticsRoundTrip) {
+  synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.event_count = 4;
+  spec.atomic_event_count = 1;  // enables message-size atomic events
+  auto original = synth::generate_mpip_style_trial(spec);
+  ASSERT_GT(original.atomic_events().size(), 0u);
+
+  util::ScopedTempDir dir;
+  synth::write_as_mpip(original, dir.path() / "m.mpiP");
+  auto reloaded = MpiPDataSource(dir.path() / "m.mpiP").load();
+
+  ASSERT_EQ(reloaded.atomic_events().size(), original.atomic_events().size());
+  EXPECT_EQ(reloaded.atomic_point_count(), original.atomic_point_count());
+  for (std::size_t a = 0; a < original.atomic_events().size(); ++a) {
+    const std::string& name = original.atomic_events()[a].name;
+    auto ra = reloaded.find_atomic_event(name);
+    ASSERT_TRUE(ra.has_value()) << name;
+    const auto* p = original.atomic_data(a, 0);
+    const auto* q = reloaded.atomic_data(*ra, 0);
+    ASSERT_NE(p, nullptr);
+    ASSERT_NE(q, nullptr);
+    EXPECT_DOUBLE_EQ(q->sample_count, p->sample_count);
+    // %.4g rendering: values match to ~4 significant digits.
+    EXPECT_NEAR(q->mean, p->mean, p->mean * 1e-3 + 1e-9);
+  }
+}
+
+TEST(MpiP, MessageSizeSectionAbsentWithoutAtomicEvents) {
+  synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.atomic_event_count = 0;
+  auto trial = synth::generate_mpip_style_trial(spec);
+  const std::string report = render_mpip_report(trial);
+  EXPECT_EQ(report.find("Message Sent"), std::string::npos);
+  auto reloaded = MpiPDataSource::parse(report);
+  EXPECT_EQ(reloaded.atomic_events().size(), 0u);
+}

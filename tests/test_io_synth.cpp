@@ -1,0 +1,189 @@
+// Tests for the synthetic workload generators: determinism, internal
+// consistency, planted structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "io/synth.h"
+#include "util/error.h"
+
+using namespace perfdmf;
+using namespace perfdmf::io::synth;
+
+TEST(SynthTrial, ShapeMatchesSpec) {
+  TrialSpec spec;
+  spec.nodes = 4;
+  spec.contexts_per_node = 2;
+  spec.threads_per_context = 3;
+  spec.event_count = 10;
+  spec.extra_metrics = {"PAPI_L1_DCM"};
+  spec.atomic_event_count = 2;
+  auto trial = generate_trial(spec);
+
+  EXPECT_EQ(trial.threads().size(), 24u);
+  EXPECT_EQ(trial.trial().node_count, 4);
+  EXPECT_EQ(trial.trial().contexts_per_node, 2);
+  EXPECT_EQ(trial.trial().threads_per_context, 3);
+  EXPECT_EQ(trial.events().size(), 10u);
+  EXPECT_EQ(trial.metrics().size(), 2u);
+  EXPECT_EQ(trial.atomic_events().size(), 2u);
+  // Full cross product of points.
+  EXPECT_EQ(trial.interval_point_count(), 10u * 24u * 2u);
+  EXPECT_EQ(trial.atomic_point_count(), 2u * 24u);
+}
+
+TEST(SynthTrial, DeterministicForSeed) {
+  TrialSpec spec;
+  spec.seed = 77;
+  auto a = generate_trial(spec);
+  auto b = generate_trial(spec);
+  bool equal = true;
+  a.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                          const profile::IntervalDataPoint& p) {
+    const auto* q = b.interval_data(e, t, m);
+    if (q == nullptr || q->exclusive != p.exclusive) equal = false;
+  });
+  EXPECT_TRUE(equal);
+}
+
+TEST(SynthTrial, DifferentSeedsDiffer) {
+  TrialSpec spec;
+  spec.seed = 1;
+  auto a = generate_trial(spec);
+  spec.seed = 2;
+  auto b = generate_trial(spec);
+  const auto* pa = a.interval_data(1, 0, 0);
+  const auto* pb = b.interval_data(1, 0, 0);
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_NE(pa->exclusive, pb->exclusive);
+}
+
+TEST(SynthTrial, MainInclusiveEqualsChildrenPlusOwnExclusive) {
+  TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 6;
+  auto trial = generate_trial(spec);
+  const std::size_t time = *trial.find_metric("TIME");
+  const std::size_t main_event = *trial.find_event("main");
+  for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+    double children = 0.0;
+    for (std::size_t e = 0; e < trial.events().size(); ++e) {
+      if (e == main_event) continue;
+      children += trial.interval_data(e, t, time)->inclusive;
+    }
+    const auto* main_point = trial.interval_data(main_event, t, time);
+    EXPECT_NEAR(main_point->inclusive, children + main_point->exclusive,
+                main_point->inclusive * 1e-12);
+    EXPECT_DOUBLE_EQ(main_point->inclusive_pct, 100.0);
+  }
+}
+
+TEST(SynthTrial, InvalidSpecThrows) {
+  TrialSpec spec;
+  spec.event_count = 0;
+  EXPECT_THROW(generate_trial(spec), InvalidArgument);
+}
+
+TEST(SynthScaling, WorkConservedAcrossProcessorCounts) {
+  ScalingSpec spec;
+  auto t1 = generate_scaling_trial(spec, 1);
+  auto t16 = generate_scaling_trial(spec, 16);
+  EXPECT_EQ(t1.threads().size(), 1u);
+  EXPECT_EQ(t16.threads().size(), 16u);
+  // Total compute time at p=16 >= total at p=1 / 16 (Amdahl floor).
+  const std::size_t time1 = *t1.find_metric("TIME");
+  const std::size_t time16 = *t16.find_metric("TIME");
+  auto total = [](const profile::TrialData& trial, std::size_t metric) {
+    double sum = 0.0;
+    trial.for_each_interval([&](std::size_t, std::size_t, std::size_t m,
+                                const profile::IntervalDataPoint& p) {
+      if (m == metric) sum += p.exclusive;
+    });
+    return sum;
+  };
+  EXPECT_GT(total(t16, time16), total(t1, time1) * 0.9);
+}
+
+TEST(SynthScaling, SerialRoutinesScaleWorse) {
+  ScalingSpec spec;
+  spec.routine_count = 12;  // last routine is "remap"
+  spec.min_serial_fraction = 0.0;
+  spec.max_serial_fraction = 0.5;
+  auto t1 = generate_scaling_trial(spec, 1);
+  auto t32 = generate_scaling_trial(spec, 32);
+  const std::size_t m1 = *t1.find_metric("TIME");
+  const std::size_t m32 = *t32.find_metric("TIME");
+
+  auto mean_time = [](const profile::TrialData& trial, const std::string& name,
+                      std::size_t metric) {
+    const std::size_t e = *trial.find_event(name);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+      const auto* p = trial.interval_data(e, t, metric);
+      if (p != nullptr) {
+        sum += p->exclusive;
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  // hydro_sweep has serial fraction 0 (speedup ~32); remap (last) ~0.5.
+  const double first_speedup = mean_time(t1, "hydro_sweep", m1) /
+                               mean_time(t32, "hydro_sweep", m32);
+  const double last_speedup =
+      mean_time(t1, "remap", m1) / mean_time(t32, "remap", m32);
+  EXPECT_GT(first_speedup, 20.0);
+  EXPECT_LT(last_speedup, 4.0);
+}
+
+TEST(SynthScaling, InvalidProcessorsThrows) {
+  EXPECT_THROW(generate_scaling_trial(ScalingSpec{}, 0), InvalidArgument);
+  EXPECT_THROW(generate_scaling_trial(ScalingSpec{}, -4), InvalidArgument);
+}
+
+TEST(SynthCluster, GroundTruthShapeAndBlocks) {
+  ClusterSpec spec;
+  spec.threads = 30;
+  spec.cluster_count = 3;
+  auto out = generate_clustered_trial(spec);
+  ASSERT_EQ(out.ground_truth.size(), 30u);
+  EXPECT_EQ(out.ground_truth.front(), 0u);
+  EXPECT_EQ(out.ground_truth.back(), 2u);
+  // Contiguous block assignment: non-decreasing.
+  for (std::size_t i = 1; i < out.ground_truth.size(); ++i) {
+    EXPECT_GE(out.ground_truth[i], out.ground_truth[i - 1]);
+  }
+  EXPECT_EQ(out.trial.metrics().size(), spec.metric_count);
+  EXPECT_EQ(out.trial.events().size(), spec.event_count);
+}
+
+TEST(SynthCluster, ClustersAreSeparated) {
+  ClusterSpec spec;
+  spec.threads = 60;
+  spec.cluster_count = 2;
+  spec.cluster_separation = 8.0;
+  auto out = generate_clustered_trial(spec);
+  const std::size_t metric = 1;  // some PAPI counter
+  const std::size_t event = 0;
+  // Mean of cluster 0 vs cluster 1 for one (event, metric) must differ by
+  // far more than the within-cluster noise (1%).
+  double mean0 = 0.0;
+  double mean1 = 0.0;
+  for (std::size_t t = 0; t < 30; ++t) {
+    mean0 += out.trial.interval_data(event, t, metric)->exclusive;
+  }
+  for (std::size_t t = 30; t < 60; ++t) {
+    mean1 += out.trial.interval_data(event, t, metric)->exclusive;
+  }
+  mean0 /= 30.0;
+  mean1 /= 30.0;
+  EXPECT_GT(std::fabs(mean0 - mean1) / std::max(mean0, mean1), 0.05);
+}
+
+TEST(SynthCluster, BadSpecThrows) {
+  ClusterSpec spec;
+  spec.cluster_count = 0;
+  EXPECT_THROW(generate_clustered_trial(spec), InvalidArgument);
+}

@@ -1,0 +1,237 @@
+// Tests for the TAU profile reader/writer: grammar, layouts, round trips.
+#include <gtest/gtest.h>
+
+#include "io/detect.h"
+#include "io/synth.h"
+#include "io/tau_format.h"
+#include "util/error.h"
+#include "util/file.h"
+
+using namespace perfdmf;
+using namespace perfdmf::io;
+
+namespace {
+
+const char* kSimpleProfile =
+    "2 templated_functions_MULTI_TIME\n"
+    "# Name Calls Subrs Excl Incl ProfileCalls #\n"
+    "\"main\" 1 1 200 1000 0 GROUP=\"TAU_DEFAULT\"\n"
+    "\"work()\" 10 0 800 800 0 GROUP=\"TAU_USER|compute\"\n"
+    "0 aggregates\n"
+    "1 userevents\n"
+    "# eventname numevents max min mean sumsqr\n"
+    "\"message size\" 4 100 10 50 11000\n";
+
+}  // namespace
+
+TEST(TauParse, SingleFileFields) {
+  profile::TrialData trial;
+  TauDataSource::parse_file(kSimpleProfile, {0, 0, 0}, trial);
+  ASSERT_EQ(trial.metrics().size(), 1u);
+  EXPECT_EQ(trial.metrics()[0].name, "TIME");
+  ASSERT_EQ(trial.events().size(), 2u);
+  EXPECT_EQ(trial.events()[0].name, "main");
+  EXPECT_EQ(trial.events()[1].group, "TAU_USER|compute");
+
+  const auto* main_point = trial.interval_data(0, 0, 0);
+  ASSERT_NE(main_point, nullptr);
+  EXPECT_DOUBLE_EQ(main_point->num_calls, 1.0);
+  EXPECT_DOUBLE_EQ(main_point->exclusive, 200.0);
+  EXPECT_DOUBLE_EQ(main_point->inclusive, 1000.0);
+}
+
+TEST(TauParse, UserEventStatistics) {
+  profile::TrialData trial;
+  TauDataSource::parse_file(kSimpleProfile, {0, 0, 0}, trial);
+  ASSERT_EQ(trial.atomic_events().size(), 1u);
+  EXPECT_EQ(trial.atomic_events()[0].name, "message size");
+  const auto* p = trial.atomic_data(0, 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->sample_count, 4.0);
+  EXPECT_DOUBLE_EQ(p->maximum, 100.0);
+  EXPECT_DOUBLE_EQ(p->minimum, 10.0);
+  EXPECT_DOUBLE_EQ(p->mean, 50.0);
+  // stddev from sumsqr: 11000/4 - 2500 = 250 -> sqrt(250)
+  EXPECT_NEAR(p->std_dev, 15.811388, 1e-5);
+}
+
+TEST(TauParse, PlainHeaderDefaultsToTimeMetric) {
+  profile::TrialData trial;
+  TauDataSource::parse_file(
+      "1 templated_functions\n\"f\" 1 0 5 5 0\n0 aggregates\n0 userevents\n",
+      {0, 0, 0}, trial);
+  EXPECT_EQ(trial.metrics()[0].name, "TIME");
+}
+
+TEST(TauParse, QuotedNameWithSpaces) {
+  profile::TrialData trial;
+  TauDataSource::parse_file(
+      "1 templated_functions_MULTI_TIME\n"
+      "\"void foo(int, double) [{file.cpp} {12}]\" 2 0 10 10 0 GROUP=\"X\"\n"
+      "0 aggregates\n0 userevents\n",
+      {0, 0, 0}, trial);
+  EXPECT_EQ(trial.events()[0].name, "void foo(int, double) [{file.cpp} {12}]");
+}
+
+TEST(TauParse, MalformedInputsThrow) {
+  profile::TrialData trial;
+  EXPECT_THROW(TauDataSource::parse_file("", {0, 0, 0}, trial), ParseError);
+  EXPECT_THROW(TauDataSource::parse_file("garbage\n", {0, 0, 0}, trial),
+               ParseError);
+  EXPECT_THROW(
+      TauDataSource::parse_file("2 templated_functions_MULTI_TIME\n"
+                                "\"only one\" 1 0 1 1 0\n",
+                                {0, 0, 0}, trial),
+      ParseError);
+  EXPECT_THROW(
+      TauDataSource::parse_file("1 templated_functions_MULTI_TIME\n"
+                                "unquoted 1 0 1 1 0\n0 aggregates\n",
+                                {0, 0, 0}, trial),
+      ParseError);
+}
+
+TEST(TauDirectory, FlatLayoutLoadsAllThreads) {
+  util::ScopedTempDir dir;
+  for (int n = 0; n < 3; ++n) {
+    util::write_file(dir.path() / ("profile." + std::to_string(n) + ".0.0"),
+                     kSimpleProfile);
+  }
+  TauDataSource source(dir.path());
+  auto trial = source.load();
+  EXPECT_EQ(trial.threads().size(), 3u);
+  EXPECT_EQ(trial.trial().node_count, 3);
+  EXPECT_EQ(trial.interval_point_count(), 6u);  // 2 events x 3 threads
+}
+
+TEST(TauDirectory, PrefixFilterRestrictsFiles) {
+  util::ScopedTempDir dir;
+  util::write_file(dir.path() / "profile.0.0.0", kSimpleProfile);
+  util::write_file(dir.path() / "profile.1.0.0", kSimpleProfile);
+  ScanFilter filter;
+  filter.prefix = "profile.0";
+  TauDataSource source(dir.path(), filter);
+  EXPECT_EQ(source.load().threads().size(), 1u);
+}
+
+TEST(TauDirectory, EmptyDirectoryThrows) {
+  util::ScopedTempDir dir;
+  TauDataSource source(dir.path());
+  EXPECT_THROW(source.load(), ParseError);
+}
+
+TEST(TauDirectory, IgnoresNonProfileFiles) {
+  util::ScopedTempDir dir;
+  util::write_file(dir.path() / "profile.0.0.0", kSimpleProfile);
+  util::write_file(dir.path() / "README", "not a profile");
+  util::write_file(dir.path() / "profile.bad.name", "not a profile");
+  TauDataSource source(dir.path());
+  EXPECT_EQ(source.load().threads().size(), 1u);
+}
+
+TEST(TauRoundTrip, SingleMetricPreservesData) {
+  profile::TrialData original;
+  TauDataSource::parse_file(kSimpleProfile, {0, 0, 0}, original);
+  original.infer_dimensions();
+  original.recompute_derived_fields();
+
+  util::ScopedTempDir dir;
+  write_tau_profiles(original, dir.path() / "trial");
+  auto reloaded = TauDataSource(dir.path() / "trial").load();
+
+  EXPECT_EQ(reloaded.events().size(), original.events().size());
+  EXPECT_EQ(reloaded.interval_point_count(), original.interval_point_count());
+  const auto* p = reloaded.interval_data(*reloaded.find_event("main"), 0, 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->inclusive, 1000.0);
+  const auto* atomic = reloaded.atomic_data(0, 0);
+  ASSERT_NE(atomic, nullptr);
+  EXPECT_DOUBLE_EQ(atomic->mean, 50.0);
+  EXPECT_NEAR(atomic->std_dev, 15.811388, 1e-5);
+}
+
+TEST(TauRoundTrip, MultiMetricUsesMultiDirectories) {
+  profile::TrialData trial;
+  const std::size_t time = trial.intern_metric("TIME");
+  const std::size_t fp = trial.intern_metric("PAPI_FP_OPS");
+  const std::size_t e = trial.intern_event("kernel", "compute");
+  for (int n = 0; n < 2; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    profile::IntervalDataPoint p;
+    p.inclusive = 100.0 + n;
+    p.exclusive = 100.0 + n;
+    p.num_calls = 3;
+    trial.set_interval_data(e, t, time, p);
+    p.inclusive = 5000.0 + n;
+    p.exclusive = 5000.0 + n;
+    trial.set_interval_data(e, t, fp, p);
+  }
+  trial.infer_dimensions();
+
+  util::ScopedTempDir dir;
+  write_tau_profiles(trial, dir.path() / "multi");
+  EXPECT_TRUE(std::filesystem::is_directory(dir.path() / "multi" / "MULTI__TIME"));
+  EXPECT_TRUE(
+      std::filesystem::is_directory(dir.path() / "multi" / "MULTI__PAPI_FP_OPS"));
+
+  auto reloaded = TauDataSource(dir.path() / "multi").load();
+  ASSERT_EQ(reloaded.metrics().size(), 2u);
+  EXPECT_EQ(reloaded.threads().size(), 2u);
+  const auto* p = reloaded.interval_data(*reloaded.find_event("kernel"),
+                                         *reloaded.find_thread({1, 0, 0}),
+                                         *reloaded.find_metric("PAPI_FP_OPS"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->inclusive, 5001.0);
+}
+
+TEST(TauDetect, DirectoryAndSingleFile) {
+  util::ScopedTempDir dir;
+  util::write_file(dir.path() / "profile.0.0.0", kSimpleProfile);
+  EXPECT_EQ(detect_format(dir.path()).value(), ProfileFormat::kTau);
+  EXPECT_EQ(detect_format(dir.path() / "profile.0.0.0").value(),
+            ProfileFormat::kTau);
+  // Loading a single profile file loads just that thread.
+  auto trial = load_profile(dir.path() / "profile.0.0.0");
+  EXPECT_EQ(trial.threads().size(), 1u);
+}
+
+TEST(TauMetadata, MetadataBlockParsedIntoTrialFields) {
+  const char* content =
+      "1 templated_functions_MULTI_TIME\n"
+      "# Name Calls Subrs Excl Incl ProfileCalls # "
+      "<metadata><attribute><name>OS</name><value>Linux 2.6</value>"
+      "</attribute><attribute><name>Hostname</name><value>bgl0042</value>"
+      "</attribute></metadata>\n"
+      "\"main\" 1 0 10 10 0 GROUP=\"X\"\n"
+      "0 aggregates\n0 userevents\n";
+  profile::TrialData trial;
+  TauDataSource::parse_file(content, {0, 0, 0}, trial);
+  EXPECT_EQ(trial.trial().fields.at("OS"), "Linux 2.6");
+  EXPECT_EQ(trial.trial().fields.at("Hostname"), "bgl0042");
+}
+
+TEST(TauMetadata, MalformedMetadataIsIgnored) {
+  const char* content =
+      "1 templated_functions_MULTI_TIME\n"
+      "# header # <metadata><attribute><name>broken\n"
+      "\"main\" 1 0 10 10 0\n"
+      "0 aggregates\n0 userevents\n";
+  profile::TrialData trial;
+  EXPECT_NO_THROW(TauDataSource::parse_file(content, {0, 0, 0}, trial));
+  EXPECT_TRUE(trial.trial().fields.empty());
+  EXPECT_EQ(trial.events().size(), 1u);
+}
+
+TEST(TauMetadata, WriterRoundTripsTrialFields) {
+  perfdmf::io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 3;
+  auto original = perfdmf::io::synth::generate_trial(spec);
+  original.trial().fields["Compiler"] = "xlc 7.0";
+  original.trial().fields["Queue"] = "pbatch & <special>";
+
+  util::ScopedTempDir dir;
+  write_tau_profiles(original, dir.path() / "meta");
+  auto reloaded = TauDataSource(dir.path() / "meta").load();
+  EXPECT_EQ(reloaded.trial().fields.at("Compiler"), "xlc 7.0");
+  EXPECT_EQ(reloaded.trial().fields.at("Queue"), "pbatch & <special>");
+}

@@ -1,0 +1,135 @@
+// Tests for the PerfDMF common XML representation (export/import).
+#include <gtest/gtest.h>
+
+#include "io/synth.h"
+#include "io/xml_io.h"
+#include "util/error.h"
+#include "util/file.h"
+
+using namespace perfdmf;
+using namespace perfdmf::io;
+
+namespace {
+
+/// Structural equality of the parts the XML stores.
+void expect_equivalent(const profile::TrialData& a, const profile::TrialData& b) {
+  EXPECT_EQ(a.trial().name, b.trial().name);
+  EXPECT_EQ(a.trial().fields, b.trial().fields);
+  ASSERT_EQ(a.metrics().size(), b.metrics().size());
+  for (std::size_t m = 0; m < a.metrics().size(); ++m) {
+    EXPECT_EQ(a.metrics()[m].name, b.metrics()[m].name);
+    EXPECT_EQ(a.metrics()[m].derived, b.metrics()[m].derived);
+  }
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t e = 0; e < a.events().size(); ++e) {
+    EXPECT_EQ(a.events()[e].name, b.events()[e].name);
+    EXPECT_EQ(a.events()[e].group, b.events()[e].group);
+  }
+  ASSERT_EQ(a.threads().size(), b.threads().size());
+  ASSERT_EQ(a.interval_point_count(), b.interval_point_count());
+  a.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                          const profile::IntervalDataPoint& p) {
+    const auto* q = b.interval_data(e, t, m);
+    ASSERT_NE(q, nullptr);
+    EXPECT_DOUBLE_EQ(p.inclusive, q->inclusive);
+    EXPECT_DOUBLE_EQ(p.exclusive, q->exclusive);
+    EXPECT_DOUBLE_EQ(p.num_calls, q->num_calls);
+    EXPECT_DOUBLE_EQ(p.num_subrs, q->num_subrs);
+  });
+  ASSERT_EQ(a.atomic_point_count(), b.atomic_point_count());
+  a.for_each_atomic([&](std::size_t e, std::size_t t,
+                        const profile::AtomicDataPoint& p) {
+    const auto* q = b.atomic_data(e, t);
+    ASSERT_NE(q, nullptr);
+    EXPECT_DOUBLE_EQ(p.mean, q->mean);
+    EXPECT_DOUBLE_EQ(p.std_dev, q->std_dev);
+  });
+}
+
+}  // namespace
+
+TEST(PerfdmfXml, RoundTripSmallTrial) {
+  synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.event_count = 6;
+  spec.extra_metrics = {"PAPI_FP_OPS"};
+  spec.atomic_event_count = 2;
+  auto original = synth::generate_trial(spec);
+  original.trial().fields["compiler"] = "xlf 8.1";
+  original.trial().fields["problem size"] = "128^3";
+
+  auto reloaded = import_xml(export_xml(original));
+  expect_equivalent(original, reloaded);
+}
+
+TEST(PerfdmfXml, RoundTripViaFileAndDataSource) {
+  synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 4;
+  auto original = synth::generate_trial(spec);
+
+  util::ScopedTempDir dir;
+  const auto file = dir.path() / "trial.xml";
+  util::write_file(file, export_xml(original));
+  auto reloaded = XmlDataSource(file).load();
+  expect_equivalent(original, reloaded);
+}
+
+TEST(PerfdmfXml, SpecialCharactersInNamesSurvive) {
+  profile::TrialData trial;
+  trial.trial().name = "trial <with> \"specials\" & 'quotes'";
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e =
+      trial.intern_event("void f<T>(A&, B) [\"file\"]", "g<&>");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  profile::IntervalDataPoint p;
+  p.inclusive = 1.0;
+  trial.set_interval_data(e, t, m, p);
+
+  auto reloaded = import_xml(export_xml(trial));
+  EXPECT_EQ(reloaded.trial().name, trial.trial().name);
+  EXPECT_EQ(reloaded.events()[0].name, trial.events()[0].name);
+  EXPECT_EQ(reloaded.events()[0].group, "g<&>");
+}
+
+TEST(PerfdmfXml, PercentagesRecomputedOnImport) {
+  profile::TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e1 = trial.intern_event("main");
+  const std::size_t e2 = trial.intern_event("half");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  profile::IntervalDataPoint p;
+  p.inclusive = 100.0;
+  p.exclusive = 50.0;
+  trial.set_interval_data(e1, t, m, p);
+  p.inclusive = 50.0;
+  p.exclusive = 50.0;
+  trial.set_interval_data(e2, t, m, p);
+
+  auto reloaded = import_xml(export_xml(trial));
+  EXPECT_DOUBLE_EQ(reloaded.interval_data(e2, t, m)->inclusive_pct, 50.0);
+}
+
+TEST(PerfdmfXml, MalformedDocumentsThrow) {
+  EXPECT_THROW(import_xml("<wrong_root/>"), ParseError);
+  EXPECT_THROW(import_xml("<perfdmf_profile><p e=\"0\" t=\"0\" m=\"0\""
+                          " incl=\"1\" excl=\"1\" calls=\"0\" subrs=\"0\"/>"
+                          "</perfdmf_profile>"),
+               ParseError);  // <p> before any metric/event/thread declared
+  EXPECT_THROW(import_xml("<perfdmf_profile>"), ParseError);  // truncated
+}
+
+TEST(PerfdmfXml, MissingAttributeThrows) {
+  EXPECT_THROW(import_xml("<perfdmf_profile><metrics>"
+                          "<metric id=\"0\"/>"  // no name
+                          "</metrics></perfdmf_profile>"),
+               ParseError);
+}
+
+TEST(PerfdmfXml, EmptyTrialExportsAndImports) {
+  profile::TrialData empty;
+  empty.trial().name = "empty";
+  auto reloaded = import_xml(export_xml(empty));
+  EXPECT_EQ(reloaded.trial().name, "empty");
+  EXPECT_EQ(reloaded.interval_point_count(), 0u);
+}

@@ -1,0 +1,304 @@
+// Unit tests for the profile data model: TrialData, summaries, derived
+// metrics.
+#include <gtest/gtest.h>
+
+#include "profile/derived.h"
+#include "profile/summary.h"
+#include "profile/trial_data.h"
+#include "util/error.h"
+
+using namespace perfdmf::profile;
+
+namespace {
+
+TrialData make_small_trial() {
+  TrialData trial;
+  const std::size_t time = trial.intern_metric("TIME");
+  const std::size_t flops = trial.intern_metric("PAPI_FP_OPS");
+  const std::size_t main_event = trial.intern_event("main", "application");
+  const std::size_t work = trial.intern_event("work", "computation");
+  for (int n = 0; n < 2; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    IntervalDataPoint main_point;
+    main_point.inclusive = 100.0;
+    main_point.exclusive = 20.0;
+    main_point.num_calls = 1.0;
+    main_point.num_subrs = 1.0;
+    trial.set_interval_data(main_event, t, time, main_point);
+    IntervalDataPoint work_point;
+    work_point.inclusive = 80.0;
+    work_point.exclusive = 80.0;
+    work_point.num_calls = 8.0;
+    trial.set_interval_data(work, t, time, work_point);
+    IntervalDataPoint flops_point;
+    flops_point.inclusive = 640.0;
+    flops_point.exclusive = 640.0;
+    flops_point.num_calls = 8.0;
+    trial.set_interval_data(work, t, flops, flops_point);
+  }
+  trial.infer_dimensions();
+  trial.recompute_derived_fields();
+  return trial;
+}
+
+}  // namespace
+
+TEST(TrialData, InterningIsIdempotent) {
+  TrialData trial;
+  EXPECT_EQ(trial.intern_metric("TIME"), 0u);
+  EXPECT_EQ(trial.intern_metric("TIME"), 0u);
+  EXPECT_EQ(trial.intern_metric("OTHER"), 1u);
+  EXPECT_EQ(trial.intern_event("f", "g1"), 0u);
+  EXPECT_EQ(trial.intern_event("f", "different-group-ignored"), 0u);
+  EXPECT_EQ(trial.events()[0].group, "g1");
+  EXPECT_EQ(trial.intern_thread({1, 2, 3}), 0u);
+  EXPECT_EQ(trial.intern_thread({1, 2, 3}), 0u);
+  EXPECT_EQ(trial.intern_thread({1, 2, 4}), 1u);
+}
+
+TEST(TrialData, FindReturnsNulloptForUnknown) {
+  TrialData trial;
+  EXPECT_FALSE(trial.find_metric("absent"));
+  EXPECT_FALSE(trial.find_event("absent"));
+  EXPECT_FALSE(trial.find_thread({9, 9, 9}));
+  trial.intern_metric("m");
+  EXPECT_TRUE(trial.find_metric("m"));
+}
+
+TEST(TrialData, SetAndGetIntervalData) {
+  TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e = trial.intern_event("f");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  IntervalDataPoint p;
+  p.inclusive = 5.0;
+  trial.set_interval_data(e, t, m, p);
+  ASSERT_NE(trial.interval_data(e, t, m), nullptr);
+  EXPECT_DOUBLE_EQ(trial.interval_data(e, t, m)->inclusive, 5.0);
+  EXPECT_EQ(trial.interval_data(e, t, m + 1), nullptr);
+  EXPECT_EQ(trial.interval_point_count(), 1u);
+}
+
+TEST(TrialData, OverwriteKeepsSinglePoint) {
+  TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e = trial.intern_event("f");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  IntervalDataPoint p;
+  p.inclusive = 1.0;
+  trial.set_interval_data(e, t, m, p);
+  p.inclusive = 2.0;
+  trial.set_interval_data(e, t, m, p);
+  EXPECT_EQ(trial.interval_point_count(), 1u);
+  EXPECT_DOUBLE_EQ(trial.interval_data(e, t, m)->inclusive, 2.0);
+}
+
+TEST(TrialData, OutOfRangeIndexThrows) {
+  TrialData trial;
+  trial.intern_metric("TIME");
+  trial.intern_event("f");
+  trial.intern_thread({0, 0, 0});
+  IntervalDataPoint p;
+  EXPECT_THROW(trial.set_interval_data(5, 0, 0, p), perfdmf::InvalidArgument);
+  EXPECT_THROW(trial.set_interval_data(0, 5, 0, p), perfdmf::InvalidArgument);
+  EXPECT_THROW(trial.set_interval_data(0, 0, 5, p), perfdmf::InvalidArgument);
+}
+
+TEST(TrialData, ForEachIntervalVisitsInsertionOrder) {
+  TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t e = trial.intern_event("f" + std::to_string(i));
+    IntervalDataPoint p;
+    p.inclusive = i;
+    trial.set_interval_data(e, t, m, p);
+  }
+  std::vector<std::size_t> order;
+  trial.for_each_interval([&](std::size_t e, std::size_t, std::size_t,
+                              const IntervalDataPoint&) { order.push_back(e); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TrialData, AtomicDataRoundTrip) {
+  TrialData trial;
+  const std::size_t a = trial.intern_atomic_event("bytes sent", "TAU_EVENT");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  AtomicDataPoint p;
+  p.sample_count = 10;
+  p.mean = 256;
+  p.minimum = 8;
+  p.maximum = 1024;
+  p.std_dev = 50;
+  trial.set_atomic_data(a, t, p);
+  ASSERT_NE(trial.atomic_data(a, t), nullptr);
+  EXPECT_DOUBLE_EQ(trial.atomic_data(a, t)->mean, 256);
+  EXPECT_EQ(trial.atomic_point_count(), 1u);
+}
+
+TEST(TrialData, RecomputeDerivedFields) {
+  TrialData trial = make_small_trial();
+  const std::size_t time = *trial.find_metric("TIME");
+  const std::size_t main_event = *trial.find_event("main");
+  const std::size_t work = *trial.find_event("work");
+  const std::size_t t0 = *trial.find_thread({0, 0, 0});
+  // main inclusive 100 is the thread total: 100% inclusive.
+  EXPECT_DOUBLE_EQ(trial.interval_data(main_event, t0, time)->inclusive_pct, 100.0);
+  EXPECT_DOUBLE_EQ(trial.interval_data(work, t0, time)->inclusive_pct, 80.0);
+  EXPECT_DOUBLE_EQ(trial.interval_data(work, t0, time)->exclusive_pct, 80.0);
+  // per call: 80 / 8
+  EXPECT_DOUBLE_EQ(trial.interval_data(work, t0, time)->inclusive_per_call, 10.0);
+}
+
+TEST(TrialData, InferDimensions) {
+  TrialData trial;
+  trial.intern_thread({0, 0, 0});
+  trial.intern_thread({3, 1, 2});
+  trial.infer_dimensions();
+  EXPECT_EQ(trial.trial().node_count, 4);
+  EXPECT_EQ(trial.trial().contexts_per_node, 2);
+  EXPECT_EQ(trial.trial().threads_per_context, 3);
+}
+
+TEST(ThreadIdToString, Formats) {
+  EXPECT_EQ(to_string(ThreadId{1, 2, 3}), "1:2:3");
+}
+
+// ---------------------------------------------------------------- summary
+
+TEST(Summary, TotalsAndMeansAcrossThreads) {
+  TrialData trial = make_small_trial();
+  auto summaries = compute_interval_summaries(trial);
+  // (main, TIME), (work, TIME), (work, FLOPS)
+  ASSERT_EQ(summaries.size(), 3u);
+  const auto& main_summary = summaries[0];
+  EXPECT_EQ(main_summary.thread_count, 2u);
+  EXPECT_DOUBLE_EQ(main_summary.total.inclusive, 200.0);
+  EXPECT_DOUBLE_EQ(main_summary.mean.inclusive, 100.0);
+  const auto& work_summary = summaries[1];
+  EXPECT_DOUBLE_EQ(work_summary.total.exclusive, 160.0);
+  EXPECT_DOUBLE_EQ(work_summary.mean.num_calls, 8.0);
+}
+
+TEST(Summary, AtomicSummaries) {
+  TrialData trial;
+  const std::size_t a = trial.intern_atomic_event("ev");
+  for (int n = 0; n < 3; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    AtomicDataPoint p;
+    p.sample_count = 10;
+    p.minimum = n;
+    p.maximum = 100 + n;
+    p.mean = 50 + n;
+    trial.set_atomic_data(a, t, p);
+  }
+  auto summaries = compute_atomic_summaries(trial);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].thread_count, 3u);
+  EXPECT_DOUBLE_EQ(summaries[0].total_samples, 30.0);
+  EXPECT_DOUBLE_EQ(summaries[0].minimum, 0.0);
+  EXPECT_DOUBLE_EQ(summaries[0].maximum, 102.0);
+  EXPECT_DOUBLE_EQ(summaries[0].mean_of_means, 51.0);
+}
+
+TEST(Summary, EmptyTrialYieldsNoSummaries) {
+  TrialData trial;
+  EXPECT_TRUE(compute_interval_summaries(trial).empty());
+  EXPECT_TRUE(compute_atomic_summaries(trial).empty());
+}
+
+// ---------------------------------------------------------------- derived
+
+TEST(Derived, RatioMetric) {
+  TrialData trial = make_small_trial();
+  const std::size_t index =
+      derive_ratio(trial, "FLOPS_PER_US", "PAPI_FP_OPS", "TIME");
+  EXPECT_TRUE(trial.metrics()[index].derived);
+  const std::size_t work = *trial.find_event("work");
+  const std::size_t t0 = *trial.find_thread({0, 0, 0});
+  // 640 FLOPS / 80 us = 8.
+  ASSERT_NE(trial.interval_data(work, t0, index), nullptr);
+  EXPECT_DOUBLE_EQ(trial.interval_data(work, t0, index)->exclusive, 8.0);
+  // main has no FLOPS data: no derived point.
+  const std::size_t main_event = *trial.find_event("main");
+  EXPECT_EQ(trial.interval_data(main_event, t0, index), nullptr);
+}
+
+TEST(Derived, ScaledMetric) {
+  TrialData trial = make_small_trial();
+  const std::size_t index = derive_scaled(trial, "TIME_MS", "TIME", 1e-3);
+  const std::size_t work = *trial.find_event("work");
+  const std::size_t t0 = *trial.find_thread({0, 0, 0});
+  EXPECT_DOUBLE_EQ(trial.interval_data(work, t0, index)->exclusive, 0.08);
+}
+
+TEST(Derived, DuplicateNameThrows) {
+  TrialData trial = make_small_trial();
+  EXPECT_THROW(derive_ratio(trial, "TIME", "PAPI_FP_OPS", "TIME"),
+               perfdmf::InvalidArgument);
+}
+
+TEST(Derived, MissingOperandThrows) {
+  TrialData trial = make_small_trial();
+  EXPECT_THROW(derive_ratio(trial, "X", "NOPE", "TIME"),
+               perfdmf::InvalidArgument);
+  EXPECT_THROW(derive_ratio(trial, "X", "TIME", "NOPE"),
+               perfdmf::InvalidArgument);
+}
+
+TEST(Derived, DivisionByZeroYieldsZero) {
+  TrialData trial;
+  const std::size_t a = trial.intern_metric("A");
+  const std::size_t b = trial.intern_metric("B");
+  const std::size_t e = trial.intern_event("f");
+  const std::size_t t = trial.intern_thread({0, 0, 0});
+  IntervalDataPoint pa;
+  pa.exclusive = 10.0;
+  trial.set_interval_data(e, t, a, pa);
+  IntervalDataPoint pb;  // zeros
+  trial.set_interval_data(e, t, b, pb);
+  const std::size_t index = derive_ratio(trial, "R", "A", "B");
+  EXPECT_DOUBLE_EQ(trial.interval_data(e, t, index)->exclusive, 0.0);
+}
+
+TEST(TrialDataLimits, TooManyMetricsRejected) {
+  TrialData trial;
+  // The packed-key layout allows 4096 metrics; the 4097th must throw
+  // rather than corrupt keys.
+  for (int i = 0; i < 4096; ++i) {
+    trial.intern_metric("m" + std::to_string(i));
+  }
+  EXPECT_THROW(trial.intern_metric("one_too_many"), perfdmf::InvalidArgument);
+  // Existing metrics still intern idempotently.
+  EXPECT_EQ(trial.intern_metric("m0"), 0u);
+}
+
+TEST(TrialData, NegativeThreadComponentsRoundTrip) {
+  // Odd but legal: some tools use -1 sentinels; packing must not collide.
+  TrialData trial;
+  const std::size_t a = trial.intern_thread({-1, 0, 0});
+  const std::size_t b = trial.intern_thread({0, -1, 0});
+  const std::size_t c = trial.intern_thread({0, 0, -1});
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(trial.find_thread({-1, 0, 0}).value(), a);
+}
+
+TEST(Summary, PerCallUsesTotalCallsNotMeanOfRates) {
+  TrialData trial;
+  const std::size_t m = trial.intern_metric("TIME");
+  const std::size_t e = trial.intern_event("f");
+  // Thread 0: 100us / 1 call; thread 1: 100us / 99 calls.
+  for (int n = 0; n < 2; ++n) {
+    const std::size_t t = trial.intern_thread({n, 0, 0});
+    IntervalDataPoint p;
+    p.inclusive = 100.0;
+    p.exclusive = 100.0;
+    p.num_calls = n == 0 ? 1.0 : 99.0;
+    trial.set_interval_data(e, t, m, p);
+  }
+  auto summaries = compute_interval_summaries(trial);
+  ASSERT_EQ(summaries.size(), 1u);
+  // total per-call = 200 / 100 = 2, not the mean of 100 and ~1.
+  EXPECT_DOUBLE_EQ(summaries[0].total.inclusive_per_call, 2.0);
+}

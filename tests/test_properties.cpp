@@ -1,0 +1,531 @@
+// Property-based / parameterized sweeps (TEST_P) over the invariants the
+// framework promises:
+//  - every format writer/reader pair round-trips structure at any shape
+//  - database upload -> load is lossless at any shape
+//  - index-accelerated queries return exactly what a scan returns
+//  - WAL recovery replays an intact prefix no matter where a crash cuts
+//  - value encoding round-trips arbitrary values
+//  - summaries and algebra obey algebraic identities on random trials
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/algebra.h"
+#include "api/database_session.h"
+#include "io/detect.h"
+#include "io/synth.h"
+#include "io/xml_io.h"
+#include "profile/summary.h"
+#include "sqldb/connection.h"
+#include "sqldb/wal.h"
+#include "util/file.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace perfdmf;
+
+// ------------------------------------------------- format round trips
+
+struct ShapeParam {
+  std::int32_t nodes;
+  std::int32_t contexts;
+  std::int32_t threads;
+  std::size_t events;
+  std::size_t metrics;  // extra metrics beyond TIME
+  std::uint64_t seed;
+};
+
+static std::string shape_name(const ::testing::TestParamInfo<ShapeParam>& info) {
+  const ShapeParam& p = info.param;
+  return "n" + std::to_string(p.nodes) + "c" + std::to_string(p.contexts) + "t" +
+         std::to_string(p.threads) + "e" + std::to_string(p.events) + "m" +
+         std::to_string(p.metrics) + "s" + std::to_string(p.seed);
+}
+
+class TauRoundTripProperty : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(TauRoundTripProperty, WriteThenReadPreservesEveryPoint) {
+  const ShapeParam& shape = GetParam();
+  io::synth::TrialSpec spec;
+  spec.nodes = shape.nodes;
+  spec.contexts_per_node = shape.contexts;
+  spec.threads_per_context = shape.threads;
+  spec.event_count = shape.events;
+  spec.seed = shape.seed;
+  for (std::size_t m = 0; m < shape.metrics; ++m) {
+    spec.extra_metrics.push_back("PAPI_CTR_" + std::to_string(m));
+  }
+  auto original = io::synth::generate_trial(spec);
+
+  util::ScopedTempDir dir;
+  io::synth::write_as_tau(original, dir.path() / "t");
+  auto reloaded = io::load_profile(dir.path() / "t");
+
+  ASSERT_EQ(reloaded.threads().size(), original.threads().size());
+  ASSERT_EQ(reloaded.metrics().size(), original.metrics().size());
+  ASSERT_EQ(reloaded.events().size(), original.events().size());
+  ASSERT_EQ(reloaded.interval_point_count(), original.interval_point_count());
+  original.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                                 const profile::IntervalDataPoint& p) {
+    const auto re = reloaded.find_event(original.events()[e].name);
+    const auto rt = reloaded.find_thread(original.threads()[t]);
+    const auto rm = reloaded.find_metric(original.metrics()[m].name);
+    ASSERT_TRUE(re && rt && rm);
+    const auto* q = reloaded.interval_data(*re, *rt, *rm);
+    ASSERT_NE(q, nullptr);
+    // %.17g text representation is exact for doubles.
+    EXPECT_DOUBLE_EQ(q->inclusive, p.inclusive);
+    EXPECT_DOUBLE_EQ(q->exclusive, p.exclusive);
+    EXPECT_DOUBLE_EQ(q->num_calls, p.num_calls);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TauRoundTripProperty,
+    ::testing::Values(ShapeParam{1, 1, 1, 1, 0, 1},      // minimal
+                      ShapeParam{1, 1, 4, 3, 0, 2},      // threads only
+                      ShapeParam{3, 2, 2, 5, 1, 3},      // full hierarchy
+                      ShapeParam{8, 1, 1, 16, 2, 4},     // multi-metric
+                      ShapeParam{2, 1, 1, 64, 0, 5},     // many events
+                      ShapeParam{16, 1, 1, 2, 3, 6}),    // many nodes
+    shape_name);
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(XmlRoundTripProperty, ExportImportPreservesEveryPoint) {
+  const ShapeParam& shape = GetParam();
+  io::synth::TrialSpec spec;
+  spec.nodes = shape.nodes;
+  spec.contexts_per_node = shape.contexts;
+  spec.threads_per_context = shape.threads;
+  spec.event_count = shape.events;
+  spec.seed = shape.seed;
+  spec.atomic_event_count = shape.metrics;  // reuse as atomic count
+  auto original = io::synth::generate_trial(spec);
+  auto reloaded = io::import_xml(io::export_xml(original));
+  ASSERT_EQ(reloaded.interval_point_count(), original.interval_point_count());
+  ASSERT_EQ(reloaded.atomic_point_count(), original.atomic_point_count());
+  original.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                                 const profile::IntervalDataPoint& p) {
+    const auto* q = reloaded.interval_data(e, t, m);  // same dense ids
+    ASSERT_NE(q, nullptr);
+    EXPECT_DOUBLE_EQ(q->exclusive, p.exclusive);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XmlRoundTripProperty,
+    ::testing::Values(ShapeParam{1, 1, 1, 1, 0, 11}, ShapeParam{4, 1, 2, 6, 2, 12},
+                      ShapeParam{2, 3, 1, 9, 1, 13}, ShapeParam{12, 1, 1, 30, 0, 14}),
+    shape_name);
+
+class DbRoundTripProperty : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(DbRoundTripProperty, UploadLoadIsLossless) {
+  const ShapeParam& shape = GetParam();
+  io::synth::TrialSpec spec;
+  spec.nodes = shape.nodes;
+  spec.contexts_per_node = shape.contexts;
+  spec.threads_per_context = shape.threads;
+  spec.event_count = shape.events;
+  spec.seed = shape.seed;
+  spec.atomic_event_count = 1;
+  for (std::size_t m = 0; m < shape.metrics; ++m) {
+    spec.extra_metrics.push_back("M" + std::to_string(m));
+  }
+  auto original = io::synth::generate_trial(spec);
+
+  api::DatabaseSession session;
+  session.save_trial(original, "prop", "shapes");
+  auto reloaded = session.load_selected_trial();
+
+  ASSERT_EQ(reloaded.interval_point_count(), original.interval_point_count());
+  ASSERT_EQ(reloaded.atomic_point_count(), original.atomic_point_count());
+  original.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                                 const profile::IntervalDataPoint& p) {
+    const auto re = reloaded.find_event(original.events()[e].name);
+    const auto rt = reloaded.find_thread(original.threads()[t]);
+    const auto rm = reloaded.find_metric(original.metrics()[m].name);
+    ASSERT_TRUE(re && rt && rm);
+    const auto* q = reloaded.interval_data(*re, *rt, *rm);
+    ASSERT_NE(q, nullptr);
+    EXPECT_DOUBLE_EQ(q->inclusive, p.inclusive);
+    EXPECT_DOUBLE_EQ(q->exclusive, p.exclusive);
+    EXPECT_DOUBLE_EQ(q->inclusive_pct, p.inclusive_pct);
+    EXPECT_DOUBLE_EQ(q->num_calls, p.num_calls);
+    EXPECT_DOUBLE_EQ(q->num_subrs, p.num_subrs);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DbRoundTripProperty,
+    ::testing::Values(ShapeParam{1, 1, 1, 1, 0, 21}, ShapeParam{5, 1, 1, 7, 1, 22},
+                      ShapeParam{2, 2, 2, 11, 2, 23},
+                      ShapeParam{32, 1, 1, 13, 0, 24}),
+    shape_name);
+
+// ------------------------------------------ index / scan equivalence
+
+class IndexEquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalenceProperty, IndexedAndUnindexedQueriesAgree) {
+  // Two identical tables, one with secondary indexes; every query must
+  // return the same multiset of rows.
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  sqldb::Connection conn;
+  conn.execute_update(
+      "CREATE TABLE with_idx (id INTEGER PRIMARY KEY, k INTEGER, v REAL)");
+  conn.execute_update(
+      "CREATE TABLE no_idx (id INTEGER PRIMARY KEY, k INTEGER, v REAL)");
+  conn.execute_update("CREATE INDEX idx_k ON with_idx (k)");
+  auto insert_a = conn.prepare("INSERT INTO with_idx (id, k, v) VALUES (?, ?, ?)");
+  auto insert_b = conn.prepare("INSERT INTO no_idx (id, k, v) VALUES (?, ?, ?)");
+  for (int i = 1; i <= 500; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.next_below(20));
+    const double v = rng.uniform(0.0, 100.0);
+    insert_a.set_int(1, i);
+    insert_a.set_int(2, k);
+    insert_a.set_double(3, v);
+    insert_a.execute_update();
+    insert_b.set_int(1, i);
+    insert_b.set_int(2, k);
+    insert_b.set_double(3, v);
+    insert_b.execute_update();
+  }
+
+  const char* kPredicates[] = {
+      "k = 7",
+      "k = 99",             // matches nothing
+      "k >= 15",
+      "k > 3 AND k < 9",
+      "k BETWEEN 5 AND 12",
+      "k = 4 AND v > 50.0",
+      "k <= 2 OR k >= 18",  // OR: not index-servable, must still be right
+      "v > 90.0",
+  };
+  for (const char* predicate : kPredicates) {
+    auto run = [&](const char* table) {
+      auto rs = conn.execute(std::string("SELECT id FROM ") + table +
+                             " WHERE " + predicate + " ORDER BY id");
+      std::vector<std::int64_t> ids;
+      while (rs.next()) ids.push_back(rs.get_int(1));
+      return ids;
+    };
+    EXPECT_EQ(run("with_idx"), run("no_idx")) << predicate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalenceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------ WAL recovery
+
+class WalTruncationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalTruncationProperty, TruncatedWalReplaysAnIntactPrefix) {
+  // Write N records, truncate the log at an arbitrary byte, and verify
+  // replay yields a prefix of the statements (never garbage, never a
+  // statement out of order).
+  util::ScopedTempDir dir;
+  const auto path = dir.path() / "wal.log";
+  sqldb::Wal wal(path);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    wal.append("INSERT INTO t VALUES (?)",
+               {sqldb::Value(static_cast<std::int64_t>(i))});
+  }
+  const std::string full = util::read_file(path);
+  // Truncate at a pseudo-random fraction determined by the parameter.
+  const std::size_t cut = full.size() * static_cast<std::size_t>(GetParam()) / 17;
+  util::write_file(path, full.substr(0, cut));
+
+  std::vector<std::int64_t> replayed;
+  wal.replay([&](const std::string& sql, const sqldb::Params& params) {
+    ASSERT_EQ(sql, "INSERT INTO t VALUES (?)");
+    ASSERT_EQ(params.size(), 1u);
+    replayed.push_back(params[0].as_int());
+  });
+  // Replayed sequence must be exactly 0..k-1 for some k <= n.
+  ASSERT_LE(replayed.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], static_cast<std::int64_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, WalTruncationProperty,
+                         ::testing::Range(0, 18));
+
+// ------------------------------------------------- value encoding
+
+class ValueEncodingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueEncodingProperty, RandomValuesRoundTrip) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int i = 0; i < 200; ++i) {
+    sqldb::Value v;
+    switch (rng.next_below(4)) {
+      case 0: v = sqldb::Value(); break;
+      case 1:
+        v = sqldb::Value(static_cast<std::int64_t>(rng.next_u64()));
+        break;
+      case 2:
+        v = sqldb::Value(rng.next_gaussian() * std::pow(10.0, rng.uniform(-5, 15)));
+        break;
+      default: {
+        std::string s;
+        const std::size_t length = rng.next_below(40);
+        for (std::size_t c = 0; c < length; ++c) {
+          s += static_cast<char>(rng.next_below(256));
+        }
+        v = sqldb::Value(std::move(s));
+      }
+    }
+    const std::string encoded = sqldb::encode_value(v);
+    std::size_t pos = 0;
+    const sqldb::Value decoded = sqldb::decode_value(encoded, pos);
+    EXPECT_EQ(pos, encoded.size());
+    EXPECT_EQ(decoded, v) << "encoded as: " << encoded;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueEncodingProperty, ::testing::Values(1, 2, 3));
+
+// ----------------------------------------------- algebra identities
+
+class AlgebraIdentityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgebraIdentityProperty, MergeMinusOperandEqualsOtherOperand) {
+  // (a + b) - b == a on every aligned point.
+  io::synth::TrialSpec spec;
+  spec.nodes = 3;
+  spec.event_count = 6;
+  spec.seed = static_cast<std::uint64_t>(GetParam());
+  auto a = io::synth::generate_trial(spec);
+  spec.seed += 1000;
+  auto b = io::synth::generate_trial(spec);
+
+  auto merged = analysis::trial_merge(a, b);
+  auto recovered = analysis::trial_difference(merged, b);
+  a.for_each_interval([&](std::size_t e, std::size_t t, std::size_t m,
+                          const profile::IntervalDataPoint& p) {
+    const auto re = recovered.find_event(a.events()[e].name);
+    const auto rt = recovered.find_thread(a.threads()[t]);
+    const auto rm = recovered.find_metric(a.metrics()[m].name);
+    ASSERT_TRUE(re && rt && rm);
+    const auto* q = recovered.interval_data(*re, *rt, *rm);
+    ASSERT_NE(q, nullptr);
+    EXPECT_NEAR(q->exclusive, p.exclusive, 1e-6 * std::fabs(p.exclusive) + 1e-9);
+  });
+}
+
+TEST_P(AlgebraIdentityProperty, SummaryTotalsMatchManualSums) {
+  io::synth::TrialSpec spec;
+  spec.nodes = 4;
+  spec.event_count = 5;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) + 50;
+  auto trial = io::synth::generate_trial(spec);
+
+  auto summaries = profile::compute_interval_summaries(trial);
+  for (const auto& s : summaries) {
+    double manual = 0.0;
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < trial.threads().size(); ++t) {
+      const auto* p = trial.interval_data(s.event_index, t, s.metric_index);
+      if (p != nullptr) {
+        manual += p->exclusive;
+        ++count;
+      }
+    }
+    EXPECT_NEAR(s.total.exclusive, manual, 1e-9 * std::fabs(manual) + 1e-12);
+    EXPECT_EQ(s.thread_count, count);
+    EXPECT_NEAR(s.mean.exclusive, manual / count,
+                1e-9 * std::fabs(manual) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraIdentityProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ----------------------------------- aggregate vs manual (random SQL)
+
+class AggregateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregateProperty, SqlAggregatesMatchManualComputation) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  sqldb::Connection conn;
+  conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, g INTEGER, x REAL)");
+  auto insert = conn.prepare("INSERT INTO t (g, x) VALUES (?, ?)");
+  std::map<std::int64_t, std::vector<double>> groups;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t g = static_cast<std::int64_t>(rng.next_below(5));
+    const double x = rng.uniform(-100.0, 100.0);
+    insert.set_int(1, g);
+    insert.set_double(2, x);
+    insert.execute_update();
+    groups[g].push_back(x);
+  }
+  auto rs = conn.execute(
+      "SELECT g, COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x), STDDEV(x)"
+      " FROM t GROUP BY g ORDER BY 1");
+  std::size_t seen = 0;
+  while (rs.next()) {
+    ++seen;
+    const auto& values = groups.at(rs.get_int(1));
+    double sum = 0.0;
+    double minimum = values[0];
+    double maximum = values[0];
+    for (double v : values) {
+      sum += v;
+      minimum = std::min(minimum, v);
+      maximum = std::max(maximum, v);
+    }
+    const double mean = sum / static_cast<double>(values.size());
+    double m2 = 0.0;
+    for (double v : values) m2 += (v - mean) * (v - mean);
+    const double stddev =
+        values.size() > 1 ? std::sqrt(m2 / static_cast<double>(values.size() - 1))
+                          : 0.0;
+    EXPECT_EQ(rs.get_int(2), static_cast<std::int64_t>(values.size()));
+    EXPECT_NEAR(rs.get_double(3), sum, 1e-7);
+    EXPECT_NEAR(rs.get_double(4), mean, 1e-9);
+    EXPECT_DOUBLE_EQ(rs.get_double(5), minimum);
+    EXPECT_DOUBLE_EQ(rs.get_double(6), maximum);
+    if (values.size() > 1) {
+      EXPECT_NEAR(rs.get_double(7), stddev, 1e-6);
+    }
+  }
+  EXPECT_EQ(seen, groups.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateProperty, ::testing::Values(7, 8, 9));
+
+// ------------------------------- all formats: structural round trip
+
+#include "io/dynaprof_format.h"
+#include "io/hpm_format.h"
+#include "io/psrun_format.h"
+#include "io/tau_format.h"
+
+namespace {
+
+struct FormatCase {
+  io::ProfileFormat format;
+  std::int32_t nodes;
+  std::size_t events;
+};
+
+std::string format_case_name(const ::testing::TestParamInfo<FormatCase>& info) {
+  std::string name = io::format_name(info.param.format);
+  // gtest parameter names must be alphanumeric/underscore.
+  name = util::replace_all(name, "-", "_");
+  return name + "_n" + std::to_string(info.param.nodes) + "e" +
+         std::to_string(info.param.events);
+}
+
+}  // namespace
+
+class FormatRoundTripProperty : public ::testing::TestWithParam<FormatCase> {};
+
+TEST_P(FormatRoundTripProperty, StructureSurvivesDiskRoundTrip) {
+  const FormatCase& param = GetParam();
+  util::ScopedTempDir dir;
+
+  io::synth::TrialSpec spec;
+  spec.nodes = param.nodes;
+  spec.event_count = param.events;
+  spec.seed = 1000 + static_cast<std::uint64_t>(param.nodes) * 13 +
+              param.events;
+
+  profile::TrialData original;
+  profile::TrialData reloaded;
+  switch (param.format) {
+    case io::ProfileFormat::kTau: {
+      original = io::synth::generate_trial(spec);
+      io::synth::write_as_tau(original, dir.path() / "t");
+      reloaded = io::load_profile(dir.path() / "t");
+      break;
+    }
+    case io::ProfileFormat::kGprof: {
+      spec.nodes = 1;  // sequential profiler
+      original = io::synth::generate_trial(spec);
+      io::synth::write_as_gprof(original, dir.path() / "g.txt");
+      reloaded = io::load_profile(dir.path() / "g.txt");
+      break;
+    }
+    case io::ProfileFormat::kMpiP: {
+      original = io::synth::generate_mpip_style_trial(spec);
+      io::synth::write_as_mpip(original, dir.path() / "m.mpiP");
+      reloaded = io::load_profile(dir.path() / "m.mpiP");
+      break;
+    }
+    case io::ProfileFormat::kDynaprof: {
+      original = io::synth::generate_trial(spec);
+      io::synth::write_as_dynaprof(original, dir.path() / "d");
+      for (const auto& file : util::list_files(dir.path() / "d")) {
+        io::DynaprofDataSource::parse_into(util::read_file(file), reloaded);
+      }
+      reloaded.infer_dimensions();
+      break;
+    }
+    case io::ProfileFormat::kHpm: {
+      spec.extra_metrics = {"PM_INST_CMPL"};
+      original = io::synth::generate_trial(spec);
+      io::synth::write_as_hpm(original, dir.path() / "h");
+      for (const auto& file : util::list_files(dir.path() / "h")) {
+        io::HpmDataSource::parse_into(util::read_file(file), reloaded);
+      }
+      reloaded.infer_dimensions();
+      break;
+    }
+    case io::ProfileFormat::kPsrun: {
+      spec.extra_metrics = {"PAPI_TOT_CYC", "PAPI_FP_OPS"};
+      original = io::synth::generate_psrun_style_trial(spec);
+      io::synth::write_as_psrun(original, dir.path() / "p");
+      for (const auto& file : util::list_files(dir.path() / "p")) {
+        io::PsrunDataSource::parse_into(util::read_file(file), reloaded);
+      }
+      reloaded.infer_dimensions();
+      break;
+    }
+    case io::ProfileFormat::kPerfDmfXml: {
+      original = io::synth::generate_trial(spec);
+      util::write_file(dir.path() / "x.xml", io::export_xml(original));
+      reloaded = io::load_profile(dir.path() / "x.xml");
+      break;
+    }
+  }
+
+  // Structural invariants common to every format.
+  EXPECT_EQ(reloaded.events().size(), original.events().size());
+  EXPECT_EQ(reloaded.threads().size(), original.threads().size());
+  EXPECT_EQ(reloaded.metrics().size(), original.metrics().size());
+  for (const auto& event : original.events()) {
+    EXPECT_TRUE(reloaded.find_event(event.name).has_value()) << event.name;
+  }
+  for (const auto& metric : original.metrics()) {
+    EXPECT_TRUE(reloaded.find_metric(metric.name).has_value()) << metric.name;
+  }
+  for (const auto& thread : original.threads()) {
+    EXPECT_TRUE(reloaded.find_thread(thread).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatRoundTripProperty,
+    ::testing::Values(
+        FormatCase{io::ProfileFormat::kTau, 2, 4},
+        FormatCase{io::ProfileFormat::kTau, 6, 12},
+        FormatCase{io::ProfileFormat::kGprof, 1, 5},
+        FormatCase{io::ProfileFormat::kGprof, 1, 20},
+        FormatCase{io::ProfileFormat::kMpiP, 3, 4},
+        FormatCase{io::ProfileFormat::kMpiP, 8, 10},
+        FormatCase{io::ProfileFormat::kDynaprof, 2, 6},
+        FormatCase{io::ProfileFormat::kDynaprof, 5, 9},
+        FormatCase{io::ProfileFormat::kHpm, 2, 5},
+        FormatCase{io::ProfileFormat::kHpm, 4, 8},
+        FormatCase{io::ProfileFormat::kPsrun, 2, 3},
+        FormatCase{io::ProfileFormat::kPsrun, 6, 3},
+        FormatCase{io::ProfileFormat::kPerfDmfXml, 3, 7},
+        FormatCase{io::ProfileFormat::kPerfDmfXml, 5, 15}),
+    format_case_name);

@@ -1,0 +1,725 @@
+// Execution tests for the SQL engine: DDL, DML, SELECT machinery,
+// constraints, and transactions, through the JDBC-like Connection layer.
+#include <gtest/gtest.h>
+
+#include "sqldb/connection.h"
+#include "sqldb/parser.h"
+#include "util/error.h"
+
+using namespace perfdmf::sqldb;
+using perfdmf::DbError;
+
+namespace {
+
+/// A connection pre-loaded with a small two-table dataset.
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    conn.execute_update(
+        "CREATE TABLE dept (id INTEGER PRIMARY KEY, name TEXT NOT NULL)");
+    conn.execute_update(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT NOT NULL,"
+        " dept INTEGER, salary REAL, FOREIGN KEY (dept) REFERENCES dept (id))");
+    conn.execute_update("INSERT INTO dept (name) VALUES ('eng'), ('ops')");
+    conn.execute_update(
+        "INSERT INTO emp (name, dept, salary) VALUES"
+        " ('ada', 1, 100.0), ('bob', 1, 80.0), ('cyd', 2, 90.0),"
+        " ('dee', 2, 70.0), ('eli', NULL, 60.0)");
+  }
+
+  Connection conn;
+};
+
+TEST_F(ExecTest, SelectAllColumnsAndRows) {
+  auto rs = conn.execute("SELECT * FROM emp");
+  EXPECT_EQ(rs.row_count(), 5u);
+  EXPECT_EQ(rs.column_count(), 4u);
+  EXPECT_EQ(rs.column_names()[1], "name");
+}
+
+TEST_F(ExecTest, WhereFiltering) {
+  auto rs = conn.execute("SELECT name FROM emp WHERE salary >= 90");
+  EXPECT_EQ(rs.row_count(), 2u);
+}
+
+TEST_F(ExecTest, WhereWithPlaceholders) {
+  auto stmt = conn.prepare("SELECT name FROM emp WHERE dept = ? AND salary > ?");
+  stmt.set_int(1, 1);
+  stmt.set_double(2, 90.0);
+  auto rs = stmt.execute_query();
+  ASSERT_EQ(rs.row_count(), 1u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+}
+
+TEST_F(ExecTest, PreparedStatementReusableWithNewParams) {
+  auto stmt = conn.prepare("SELECT COUNT(*) FROM emp WHERE dept = ?");
+  stmt.set_int(1, 1);
+  auto rs1 = stmt.execute_query();
+  rs1.next();
+  EXPECT_EQ(rs1.get_int(1), 2);
+  stmt.set_int(1, 2);
+  auto rs2 = stmt.execute_query();
+  rs2.next();
+  EXPECT_EQ(rs2.get_int(1), 2);
+}
+
+TEST_F(ExecTest, NullComparisonExcludesRows) {
+  // eli has NULL dept; dept = NULL is unknown, dept != 1 excludes NULL too.
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp WHERE dept != 1");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 2);
+}
+
+TEST_F(ExecTest, IsNullAndIsNotNull) {
+  auto rs = conn.execute("SELECT name FROM emp WHERE dept IS NULL");
+  ASSERT_EQ(rs.row_count(), 1u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "eli");
+  auto rs2 = conn.execute("SELECT COUNT(*) FROM emp WHERE dept IS NOT NULL");
+  rs2.next();
+  EXPECT_EQ(rs2.get_int(1), 4);
+}
+
+TEST_F(ExecTest, OrderByAscDescAndPosition) {
+  auto rs = conn.execute("SELECT name, salary FROM emp ORDER BY salary DESC");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+  auto rs2 = conn.execute("SELECT name, salary FROM emp ORDER BY 2");
+  rs2.next();
+  EXPECT_EQ(rs2.get_string(1), "eli");
+}
+
+TEST_F(ExecTest, OrderByExpression) {
+  auto rs = conn.execute("SELECT name FROM emp ORDER BY salary * -1");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+}
+
+TEST_F(ExecTest, LimitOffset) {
+  auto rs =
+      conn.execute("SELECT name FROM emp ORDER BY id LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs.row_count(), 2u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "bob");
+}
+
+TEST_F(ExecTest, DistinctRemovesDuplicates) {
+  auto rs = conn.execute("SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL");
+  EXPECT_EQ(rs.row_count(), 2u);
+}
+
+TEST_F(ExecTest, AggregatesWithoutGroupBy) {
+  auto rs = conn.execute(
+      "SELECT COUNT(*), COUNT(dept), MIN(salary), MAX(salary), AVG(salary),"
+      " SUM(salary) FROM emp");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 5);
+  EXPECT_EQ(rs.get_int(2), 4);  // COUNT(col) skips NULLs
+  EXPECT_DOUBLE_EQ(rs.get_double(3), 60.0);
+  EXPECT_DOUBLE_EQ(rs.get_double(4), 100.0);
+  EXPECT_DOUBLE_EQ(rs.get_double(5), 80.0);
+  EXPECT_DOUBLE_EQ(rs.get_double(6), 400.0);
+}
+
+TEST_F(ExecTest, StddevMatchesSampleFormula) {
+  auto rs = conn.execute("SELECT STDDEV(salary) FROM emp WHERE dept = 1");
+  rs.next();
+  // values 100, 80 -> sample stddev = sqrt(200) ~ 14.1421
+  EXPECT_NEAR(rs.get_double(1), 14.142135623730951, 1e-9);
+}
+
+TEST_F(ExecTest, StddevOfSingleRowIsNull) {
+  auto rs = conn.execute("SELECT STDDEV(salary) FROM emp WHERE name = 'ada'");
+  rs.next();
+  EXPECT_TRUE(rs.is_null(1));
+}
+
+TEST_F(ExecTest, AggregateOverEmptySetIsNullButCountZero) {
+  auto rs = conn.execute("SELECT COUNT(*), SUM(salary) FROM emp WHERE id > 99");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 0);
+  EXPECT_TRUE(rs.is_null(2));
+}
+
+TEST_F(ExecTest, GroupByWithHaving) {
+  auto rs = conn.execute(
+      "SELECT dept, COUNT(*) AS n, AVG(salary) FROM emp"
+      " WHERE dept IS NOT NULL GROUP BY dept HAVING AVG(salary) > 75"
+      " ORDER BY dept");
+  ASSERT_EQ(rs.row_count(), 2u);
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 1);
+  EXPECT_EQ(rs.get_int(2), 2);
+  EXPECT_DOUBLE_EQ(rs.get_double(3), 90.0);
+}
+
+TEST_F(ExecTest, CountDistinct) {
+  conn.execute_update("INSERT INTO emp (name, dept, salary) VALUES ('fey', 1, 80)");
+  auto rs = conn.execute("SELECT COUNT(DISTINCT salary) FROM emp");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 5);  // 100, 80, 90, 70, 60 (80 repeated)
+}
+
+TEST_F(ExecTest, InnerJoinWithIndexKey) {
+  auto rs = conn.execute(
+      "SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept = d.id"
+      " ORDER BY e.id");
+  ASSERT_EQ(rs.row_count(), 4u);  // eli (NULL dept) drops out
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+  EXPECT_EQ(rs.get_string(2), "eng");
+}
+
+TEST_F(ExecTest, JoinWithArbitraryCondition) {
+  auto rs = conn.execute(
+      "SELECT COUNT(*) FROM emp a JOIN emp b ON a.salary < b.salary");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 10);  // 5 choose 2 ordered pairs
+}
+
+TEST_F(ExecTest, LeftJoinKeepsUnmatchedRowsNullPadded) {
+  auto rs = conn.execute(
+      "SELECT e.name, d.name FROM emp e LEFT JOIN dept d ON e.dept = d.id"
+      " ORDER BY e.id");
+  ASSERT_EQ(rs.row_count(), 5u);  // eli kept with NULL dept name
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rs.next());
+    EXPECT_FALSE(rs.is_null(2));
+  }
+  ASSERT_TRUE(rs.next());
+  EXPECT_EQ(rs.get_string(1), "eli");
+  EXPECT_TRUE(rs.is_null(2));
+}
+
+TEST_F(ExecTest, LeftOuterJoinSpelling) {
+  auto rs = conn.execute(
+      "SELECT COUNT(*) FROM emp e LEFT OUTER JOIN dept d ON e.dept = d.id");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 5);
+}
+
+TEST_F(ExecTest, LeftJoinAggregatesPerParent) {
+  // Departments with how many employees (including a new empty one).
+  conn.execute_update("INSERT INTO dept (name) VALUES ('empty')");
+  auto rs = conn.execute(
+      "SELECT d.name, COUNT(e.id) FROM dept d LEFT JOIN emp e"
+      " ON e.dept = d.id GROUP BY d.name ORDER BY 1");
+  ASSERT_EQ(rs.row_count(), 3u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "empty");
+  EXPECT_EQ(rs.get_int(2), 0);  // COUNT(col) skips the NULL padding
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "eng");
+  EXPECT_EQ(rs.get_int(2), 2);
+}
+
+TEST_F(ExecTest, PredicatePushDownWithJoinMatchesPostFilter) {
+  // Same query with the filter on the base table vs on the joined table;
+  // the base-table filter takes the push-down path.
+  auto rs1 = conn.execute(
+      "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.id"
+      " WHERE e.salary > 75");
+  rs1.next();
+  auto rs2 = conn.execute(
+      "SELECT COUNT(*) FROM dept d JOIN emp e ON e.dept = d.id"
+      " WHERE e.salary > 75");
+  rs2.next();
+  EXPECT_EQ(rs1.get_int(1), rs2.get_int(1));
+  EXPECT_EQ(rs1.get_int(1), 3);  // ada 100, bob 80, cyd 90
+}
+
+TEST_F(ExecTest, SelectExpressionWithoutFrom) {
+  auto rs = conn.execute("SELECT 2 + 3 * 4, 'a' || 'b'");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 14);
+  EXPECT_EQ(rs.get_string(2), "ab");
+}
+
+TEST_F(ExecTest, ScalarFunctions) {
+  auto rs = conn.execute(
+      "SELECT ABS(-5), LOWER('AbC'), UPPER('x'), LENGTH('four'),"
+      " COALESCE(NULL, NULL, 9), ROUND(2.567, 2), SQRT(16.0)");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 5);
+  EXPECT_EQ(rs.get_string(2), "abc");
+  EXPECT_EQ(rs.get_string(3), "X");
+  EXPECT_EQ(rs.get_int(4), 4);
+  EXPECT_EQ(rs.get_int(5), 9);
+  EXPECT_DOUBLE_EQ(rs.get_double(6), 2.57);
+  EXPECT_DOUBLE_EQ(rs.get_double(7), 4.0);
+}
+
+TEST_F(ExecTest, LikePatterns) {
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp WHERE name LIKE '%d%'");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 3);  // ada, cyd, dee
+}
+
+TEST_F(ExecTest, LikeUnderscore) {
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp WHERE name LIKE '_o_'");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 1);  // bob
+}
+
+TEST_F(ExecTest, InListAndBetween) {
+  auto rs = conn.execute(
+      "SELECT COUNT(*) FROM emp WHERE salary IN (60.0, 70.0, 999.0)");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 2);
+  auto rs2 =
+      conn.execute("SELECT COUNT(*) FROM emp WHERE salary BETWEEN 70 AND 90");
+  rs2.next();
+  EXPECT_EQ(rs2.get_int(1), 3);
+}
+
+TEST_F(ExecTest, DivisionByZeroYieldsNull) {
+  auto rs = conn.execute("SELECT 1 / 0, 5 % 0");
+  rs.next();
+  EXPECT_TRUE(rs.is_null(1));
+  EXPECT_TRUE(rs.is_null(2));
+}
+
+TEST_F(ExecTest, UpdateRowsAndReturnCount) {
+  const std::size_t n =
+      conn.execute_update("UPDATE emp SET salary = salary + 10 WHERE dept = 1");
+  EXPECT_EQ(n, 2u);
+  auto rs = conn.execute("SELECT salary FROM emp WHERE name = 'ada'");
+  rs.next();
+  EXPECT_DOUBLE_EQ(rs.get_double(1), 110.0);
+}
+
+TEST_F(ExecTest, DeleteRowsAndReturnCount) {
+  EXPECT_EQ(conn.execute_update("DELETE FROM emp WHERE salary < 75"), 2u);
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 3);
+}
+
+TEST_F(ExecTest, PrimaryKeyAutoIncrementAndUnique) {
+  conn.execute_update("INSERT INTO dept (name) VALUES ('qa')");
+  auto rs = conn.execute("SELECT MAX(id) FROM dept");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 3);
+  EXPECT_THROW(
+      conn.execute_update("INSERT INTO dept (id, name) VALUES (3, 'dup')"),
+      DbError);
+}
+
+TEST_F(ExecTest, ExplicitPkAdvancesAutoIncrement) {
+  conn.execute_update("INSERT INTO dept (id, name) VALUES (50, 'fixed')");
+  conn.execute_update("INSERT INTO dept (name) VALUES ('after')");
+  auto rs = conn.execute("SELECT id FROM dept WHERE name = 'after'");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 51);
+}
+
+TEST_F(ExecTest, NotNullConstraint) {
+  EXPECT_THROW(conn.execute_update("INSERT INTO dept (name) VALUES (NULL)"),
+               DbError);
+}
+
+TEST_F(ExecTest, ForeignKeyInsertEnforced) {
+  EXPECT_THROW(conn.execute_update(
+                   "INSERT INTO emp (name, dept, salary) VALUES ('x', 99, 1)"),
+               DbError);
+  // NULL FK is allowed.
+  EXPECT_NO_THROW(conn.execute_update(
+      "INSERT INTO emp (name, dept, salary) VALUES ('x', NULL, 1)"));
+}
+
+TEST_F(ExecTest, ForeignKeyDeleteRestricted) {
+  EXPECT_THROW(conn.execute_update("DELETE FROM dept WHERE id = 1"), DbError);
+  conn.execute_update("DELETE FROM emp WHERE dept = 1");
+  EXPECT_NO_THROW(conn.execute_update("DELETE FROM dept WHERE id = 1"));
+}
+
+TEST_F(ExecTest, DropTableGuardsReferences) {
+  EXPECT_THROW(conn.execute_update("DROP TABLE dept"), DbError);
+  conn.execute_update("DELETE FROM emp");
+  EXPECT_NO_THROW(conn.execute_update("DROP TABLE emp"));
+  EXPECT_NO_THROW(conn.execute_update("DROP TABLE dept"));
+  EXPECT_NO_THROW(conn.execute_update("DROP TABLE IF EXISTS dept"));
+  EXPECT_THROW(conn.execute_update("DROP TABLE dept"), DbError);
+}
+
+TEST_F(ExecTest, AlterTableAddAndDropColumn) {
+  conn.execute_update("ALTER TABLE emp ADD COLUMN title TEXT DEFAULT 'tbd'");
+  auto rs = conn.execute("SELECT title FROM emp WHERE name = 'ada'");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "tbd");
+  conn.execute_update("UPDATE emp SET title = 'chief' WHERE name = 'ada'");
+  conn.execute_update("ALTER TABLE emp DROP COLUMN title");
+  EXPECT_THROW(conn.execute("SELECT title FROM emp"), DbError);
+}
+
+TEST_F(ExecTest, TransactionCommitKeepsChanges) {
+  conn.begin();
+  conn.execute_update("INSERT INTO dept (name) VALUES ('tx')");
+  conn.commit();
+  auto rs = conn.execute("SELECT COUNT(*) FROM dept");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 3);
+}
+
+TEST_F(ExecTest, TransactionRollbackUndoesInsertUpdateDelete) {
+  conn.begin();
+  conn.execute_update("INSERT INTO dept (name) VALUES ('tx')");
+  conn.execute_update("UPDATE emp SET salary = 0 WHERE name = 'ada'");
+  conn.execute_update("DELETE FROM emp WHERE name = 'bob'");
+  conn.rollback();
+
+  auto rs = conn.execute("SELECT COUNT(*) FROM dept");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 2);
+  auto rs2 = conn.execute("SELECT salary FROM emp WHERE name = 'ada'");
+  rs2.next();
+  EXPECT_DOUBLE_EQ(rs2.get_double(1), 100.0);
+  auto rs3 = conn.execute("SELECT COUNT(*) FROM emp WHERE name = 'bob'");
+  rs3.next();
+  EXPECT_EQ(rs3.get_int(1), 1);
+}
+
+TEST_F(ExecTest, RollbackOfInsertThenDeleteOfSameRow) {
+  auto count = [&] {
+    auto rs = conn.execute("SELECT COUNT(*) FROM dept");
+    rs.next();
+    return rs.get_int(1);
+  };
+  const auto before = count();
+  conn.begin();
+  conn.execute_update("INSERT INTO dept (name) VALUES ('ephemeral')");
+  conn.execute_update("DELETE FROM dept WHERE name = 'ephemeral'");
+  conn.rollback();
+  EXPECT_EQ(count(), before);
+}
+
+TEST_F(ExecTest, NestedBeginRejected) {
+  conn.begin();
+  EXPECT_THROW(conn.begin(), DbError);
+  conn.rollback();
+  EXPECT_THROW(conn.rollback(), DbError);
+  EXPECT_THROW(conn.commit(), DbError);
+}
+
+TEST_F(ExecTest, ResultSetAccessors) {
+  auto rs = conn.execute("SELECT id, name FROM dept ORDER BY id");
+  EXPECT_THROW(rs.get(1), DbError);  // before first next()
+  ASSERT_TRUE(rs.next());
+  EXPECT_EQ(rs.get_int("id"), 1);
+  EXPECT_EQ(rs.get_string("NAME"), "eng");  // case-insensitive names
+  EXPECT_THROW(rs.get(3), DbError);
+  EXPECT_THROW(rs.get("absent"), DbError);
+  ASSERT_TRUE(rs.next());
+  EXPECT_FALSE(rs.next());
+  EXPECT_THROW(rs.get(1), DbError);  // after the end
+}
+
+TEST_F(ExecTest, MetaDataReflection) {
+  auto meta = conn.get_meta_data();
+  auto tables = meta.get_tables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], "dept");
+  auto columns = meta.get_columns("emp");
+  ASSERT_EQ(columns.size(), 4u);
+  EXPECT_EQ(columns[0].name, "id");
+  EXPECT_TRUE(columns[0].primary_key);
+  auto fks = meta.get_foreign_keys("emp");
+  ASSERT_EQ(fks.size(), 1u);
+  EXPECT_EQ(fks[0].parent_table, "dept");
+}
+
+TEST_F(ExecTest, UnknownColumnAndTableErrors) {
+  EXPECT_THROW(conn.execute("SELECT bogus FROM emp"), DbError);
+  EXPECT_THROW(conn.execute("SELECT * FROM bogus"), DbError);
+  EXPECT_THROW(conn.execute("SELECT e.name FROM emp x"), DbError);
+}
+
+TEST_F(ExecTest, AmbiguousColumnDetected) {
+  EXPECT_THROW(
+      conn.execute("SELECT name FROM emp a JOIN emp b ON a.id = b.id"), DbError);
+}
+
+TEST_F(ExecTest, MissingBindParameterThrows) {
+  auto stmt = conn.prepare("SELECT * FROM emp WHERE id = ?");
+  EXPECT_NO_THROW(stmt.execute_query());  // NULL-bound: id = NULL matches none
+  EXPECT_THROW(stmt.set_int(2, 1), DbError);
+}
+
+TEST_F(ExecTest, IndexAcceleratedEqualsMatchesScanResults) {
+  conn.execute_update("CREATE INDEX idx_salary ON emp (salary)");
+  auto rs = conn.execute("SELECT name FROM emp WHERE salary = 80.0");
+  ASSERT_EQ(rs.row_count(), 1u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "bob");
+  // Range through the same index.
+  auto rs2 =
+      conn.execute("SELECT COUNT(*) FROM emp WHERE salary BETWEEN 65 AND 85");
+  rs2.next();
+  EXPECT_EQ(rs2.get_int(1), 2);
+}
+
+}  // namespace
+
+namespace {
+
+TEST_F(ExecTest, ThreeTableJoin) {
+  conn.execute_update(
+      "CREATE TABLE badge (id INTEGER PRIMARY KEY, emp INTEGER, code TEXT,"
+      " FOREIGN KEY (emp) REFERENCES emp (id))");
+  conn.execute_update(
+      "INSERT INTO badge (emp, code) VALUES (1, 'A1'), (3, 'C3')");
+  auto rs = conn.execute(
+      "SELECT e.name, d.name, b.code FROM emp e"
+      " JOIN dept d ON e.dept = d.id"
+      " JOIN badge b ON b.emp = e.id ORDER BY e.id");
+  ASSERT_EQ(rs.row_count(), 2u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+  EXPECT_EQ(rs.get_string(2), "eng");
+  EXPECT_EQ(rs.get_string(3), "A1");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "cyd");
+  EXPECT_EQ(rs.get_string(3), "C3");
+}
+
+TEST_F(ExecTest, GroupByNullKeyFormsItsOwnGroup) {
+  auto rs = conn.execute(
+      "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY 2 DESC");
+  // Groups: dept 1 (2), dept 2 (2), NULL (1).
+  EXPECT_EQ(rs.row_count(), 3u);
+  std::size_t total = 0;
+  std::size_t null_groups = 0;
+  auto rs2 = conn.execute("SELECT dept, COUNT(*) FROM emp GROUP BY dept");
+  while (rs2.next()) {
+    total += static_cast<std::size_t>(rs2.get_int(2));
+    if (rs2.is_null(1)) ++null_groups;
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(null_groups, 1u);
+}
+
+TEST_F(ExecTest, DistinctTreatsNullsAsEqual) {
+  conn.execute_update("INSERT INTO emp (name, dept, salary) VALUES ('fay', NULL, 1)");
+  auto rs = conn.execute("SELECT DISTINCT dept FROM emp");
+  EXPECT_EQ(rs.row_count(), 3u);  // 1, 2, NULL
+}
+
+TEST_F(ExecTest, LimitZeroAndOffsetBeyondEnd) {
+  auto rs = conn.execute("SELECT * FROM emp LIMIT 0");
+  EXPECT_EQ(rs.row_count(), 0u);
+  auto rs2 = conn.execute("SELECT * FROM emp ORDER BY id LIMIT 10 OFFSET 99");
+  EXPECT_EQ(rs2.row_count(), 0u);
+}
+
+TEST_F(ExecTest, OrderByPutsNullsFirst) {
+  auto rs = conn.execute("SELECT name FROM emp ORDER BY dept, name");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "eli");  // NULL dept sorts before 1 and 2
+}
+
+TEST_F(ExecTest, SelfJoinWithAliases) {
+  auto rs = conn.execute(
+      "SELECT a.name, b.name FROM emp a JOIN emp b"
+      " ON a.dept = b.dept AND a.id < b.id ORDER BY a.id");
+  // Pairs within a department: (ada,bob), (cyd,dee).
+  ASSERT_EQ(rs.row_count(), 2u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+  EXPECT_EQ(rs.get_string(2), "bob");
+}
+
+TEST_F(ExecTest, UpdateWithIndexedWhere) {
+  conn.execute_update("CREATE INDEX idx_emp_dept ON emp (dept)");
+  EXPECT_EQ(conn.execute_update("UPDATE emp SET salary = 0 WHERE dept = 2"), 2u);
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp WHERE salary = 0");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 2);
+}
+
+TEST_F(ExecTest, DeleteWithIndexedWhere) {
+  conn.execute_update("CREATE INDEX idx_emp_dept ON emp (dept)");
+  EXPECT_EQ(conn.execute_update("DELETE FROM emp WHERE dept = 2"), 2u);
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 3);
+}
+
+TEST_F(ExecTest, AggregateInsideExpression) {
+  auto rs = conn.execute("SELECT MAX(salary) - MIN(salary), AVG(salary) * 2"
+                         " FROM emp WHERE dept IS NOT NULL");
+  rs.next();
+  EXPECT_DOUBLE_EQ(rs.get_double(1), 30.0);   // 100 - 70
+  EXPECT_DOUBLE_EQ(rs.get_double(2), 170.0);  // 85 * 2
+}
+
+TEST_F(ExecTest, HavingOnBareColumnUsesGroupRepresentative) {
+  auto rs = conn.execute(
+      "SELECT dept, COUNT(*) FROM emp WHERE dept IS NOT NULL"
+      " GROUP BY dept HAVING dept = 1");
+  ASSERT_EQ(rs.row_count(), 1u);
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 1);
+}
+
+TEST_F(ExecTest, QuotedIdentifiersWorkInDml) {
+  conn.execute_update("ALTER TABLE emp ADD COLUMN \"weird name\" TEXT");
+  conn.execute_update("UPDATE emp SET \"weird name\" = 'x' WHERE id = 1");
+  auto rs = conn.execute("SELECT \"weird name\" FROM emp WHERE id = 1");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "x");
+}
+
+TEST_F(ExecTest, InsertDefaultsApplyForOmittedColumns) {
+  conn.execute_update(
+      "CREATE TABLE defaults_table (id INTEGER PRIMARY KEY,"
+      " label TEXT DEFAULT 'none', score REAL DEFAULT 1.5)");
+  conn.execute_update("INSERT INTO defaults_table (id) VALUES (1)");
+  auto rs = conn.execute("SELECT label, score FROM defaults_table");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "none");
+  EXPECT_DOUBLE_EQ(rs.get_double(2), 1.5);
+}
+
+}  // namespace
+
+namespace {
+
+TEST_F(ExecTest, InsertFromSelect) {
+  conn.execute_update(
+      "CREATE TABLE well_paid (id INTEGER PRIMARY KEY, name TEXT, pay REAL)");
+  const std::size_t inserted = conn.execute_update(
+      "INSERT INTO well_paid (name, pay)"
+      " SELECT name, salary FROM emp WHERE salary >= 80 ");
+  EXPECT_EQ(inserted, 3u);
+  auto rs = conn.execute("SELECT name FROM well_paid ORDER BY pay DESC");
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+}
+
+TEST_F(ExecTest, InsertFromSelectWithAggregates) {
+  conn.execute_update(
+      "CREATE TABLE dept_stats (dept INTEGER, n INTEGER, avg_pay REAL)");
+  conn.execute_update(
+      "INSERT INTO dept_stats (dept, n, avg_pay)"
+      " SELECT dept, COUNT(*), AVG(salary) FROM emp"
+      " WHERE dept IS NOT NULL GROUP BY dept");
+  auto rs = conn.execute("SELECT n, avg_pay FROM dept_stats WHERE dept = 1");
+  ASSERT_TRUE(rs.next());
+  EXPECT_EQ(rs.get_int(1), 2);
+  EXPECT_DOUBLE_EQ(rs.get_double(2), 90.0);
+}
+
+TEST_F(ExecTest, InsertFromSelfSelectIsWellDefined) {
+  // Reading from the table being written must not loop (materialized).
+  const std::size_t before = [&] {
+    auto rs = conn.execute("SELECT COUNT(*) FROM emp");
+    rs.next();
+    return static_cast<std::size_t>(rs.get_int(1));
+  }();
+  conn.execute_update(
+      "INSERT INTO emp (name, dept, salary)"
+      " SELECT name, dept, salary + 1 FROM emp");
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp");
+  rs.next();
+  EXPECT_EQ(static_cast<std::size_t>(rs.get_int(1)), before * 2);
+}
+
+TEST_F(ExecTest, InsertFromSelectRespectsConstraints) {
+  // Selecting a NULL into a NOT NULL column must fail.
+  EXPECT_THROW(conn.execute_update(
+                   "INSERT INTO dept (name) SELECT NULL FROM emp LIMIT 1"),
+               DbError);
+  // FK violations propagate too.
+  EXPECT_THROW(conn.execute_update(
+                   "INSERT INTO emp (name, dept, salary)"
+                   " SELECT 'ghost', 99, 1 FROM dept LIMIT 1"),
+               DbError);
+}
+
+TEST_F(ExecTest, InsertFromSelectWithPlaceholders) {
+  auto stmt = conn.prepare(
+      "INSERT INTO emp (name, dept, salary)"
+      " SELECT name || '_copy', dept, salary * ? FROM emp WHERE dept = ?");
+  stmt.set_double(1, 2.0);
+  stmt.set_int(2, 1);
+  EXPECT_EQ(stmt.execute_update(), 2u);
+  auto rs = conn.execute("SELECT salary FROM emp WHERE name = 'ada_copy'");
+  ASSERT_TRUE(rs.next());
+  EXPECT_DOUBLE_EQ(rs.get_double(1), 200.0);
+}
+
+}  // namespace
+
+namespace {
+
+TEST_F(ExecTest, ViewSelectsLikeATable) {
+  conn.execute_update(
+      "CREATE VIEW well_paid AS SELECT name, salary FROM emp WHERE salary >= 80");
+  auto rs = conn.execute("SELECT * FROM well_paid ORDER BY salary DESC");
+  ASSERT_EQ(rs.row_count(), 3u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+  // Views reflect later base-table changes (re-materialized per query).
+  conn.execute_update("UPDATE emp SET salary = 200 WHERE name = 'eli'");
+  auto rs2 = conn.execute("SELECT COUNT(*) FROM well_paid");
+  rs2.next();
+  EXPECT_EQ(rs2.get_int(1), 4);
+}
+
+TEST_F(ExecTest, ViewWithAggregatesAndFilterOnView) {
+  conn.execute_update(
+      "CREATE VIEW dept_stats AS SELECT dept AS d, COUNT(*) AS n,"
+      " AVG(salary) AS pay FROM emp WHERE dept IS NOT NULL GROUP BY dept");
+  auto rs = conn.execute("SELECT d, pay FROM dept_stats WHERE n = 2 ORDER BY d");
+  ASSERT_EQ(rs.row_count(), 2u);
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 1);
+  EXPECT_DOUBLE_EQ(rs.get_double(2), 90.0);
+}
+
+TEST_F(ExecTest, ViewJoinsAgainstTables) {
+  conn.execute_update(
+      "CREATE VIEW engineers AS SELECT id, name, dept FROM emp WHERE dept = 1");
+  auto rs = conn.execute(
+      "SELECT v.name, d.name FROM engineers v JOIN dept d ON v.dept = d.id"
+      " ORDER BY v.id");
+  ASSERT_EQ(rs.row_count(), 2u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(2), "eng");
+}
+
+TEST_F(ExecTest, ViewOnViewAndCycleDetection) {
+  conn.execute_update("CREATE VIEW v1 AS SELECT name FROM emp WHERE dept = 1");
+  conn.execute_update("CREATE VIEW v2 AS SELECT name FROM v1 WHERE name LIKE 'a%'");
+  auto rs = conn.execute("SELECT * FROM v2");
+  ASSERT_EQ(rs.row_count(), 1u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "ada");
+  // A view over a missing table fails at use, not at create: views bind late.
+  conn.execute_update("CREATE VIEW dangling AS SELECT x FROM not_yet");
+  EXPECT_THROW(conn.execute("SELECT * FROM dangling"), DbError);
+}
+
+TEST_F(ExecTest, ViewDdlRules) {
+  conn.execute_update("CREATE VIEW v AS SELECT name FROM emp");
+  EXPECT_THROW(conn.execute_update("CREATE VIEW v AS SELECT 1"), DbError);
+  EXPECT_THROW(conn.execute_update("CREATE TABLE v (x INTEGER)"), DbError);
+  EXPECT_THROW(conn.execute_update("CREATE VIEW dept AS SELECT 1"), DbError);
+  EXPECT_THROW(parse_statement("CREATE VIEW p AS SELECT * FROM t WHERE x = ?"),
+               perfdmf::ParseError);
+  conn.execute_update("DROP VIEW v");
+  EXPECT_THROW(conn.execute_update("DROP VIEW v"), DbError);
+  EXPECT_NO_THROW(conn.execute_update("DROP VIEW IF EXISTS v"));
+  auto views = conn.get_meta_data().get_views();
+  EXPECT_TRUE(views.empty());
+}
+
+TEST_F(ExecTest, ViewListedInMetadata) {
+  conn.execute_update("CREATE VIEW v AS SELECT name FROM emp");
+  auto views = conn.get_meta_data().get_views();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0], "v");
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Unit tests for the SQL lexer and parser.
+#include <gtest/gtest.h>
+
+#include "sqldb/lexer.h"
+#include "sqldb/parser.h"
+#include "util/error.h"
+
+using namespace perfdmf::sqldb;
+using perfdmf::ParseError;
+
+// ------------------------------------------------------------------- lexer
+
+TEST(Lexer, TokenizesIdentifiersNumbersStrings) {
+  auto tokens = tokenize("SELECT x, 42, 3.5, 'it''s' FROM t");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[3].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[3].int_value, 42);
+  EXPECT_EQ(tokens[5].type, TokenType::kReal);
+  EXPECT_DOUBLE_EQ(tokens[5].real_value, 3.5);
+  EXPECT_EQ(tokens[7].type, TokenType::kString);
+  EXPECT_EQ(tokens[7].text, "it's");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto tokens = tokenize("a <= b >= c != d <> e || f");
+  std::vector<std::string> ops;
+  for (const auto& token : tokens) {
+    if (token.type == TokenType::kOperator) ops.push_back(token.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"<=", ">=", "!=", "<>", "||"}));
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto tokens = tokenize("SELECT 1 -- comment here\n, 2");
+  std::size_t ints = 0;
+  for (const auto& token : tokens) {
+    if (token.type == TokenType::kInteger) ++ints;
+  }
+  EXPECT_EQ(ints, 2u);
+}
+
+TEST(Lexer, ScientificNotation) {
+  auto tokens = tokenize("1e3 2.5E-2");
+  EXPECT_DOUBLE_EQ(tokens[0].real_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[1].real_value, 0.025);
+}
+
+TEST(Lexer, QuotedIdentifiers) {
+  auto tokens = tokenize("\"weird name\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird name");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("'open"), ParseError);
+  EXPECT_THROW(tokenize("\"open"), ParseError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(tokenize("SELECT #"), ParseError);
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(Parser, CreateTableFull) {
+  auto stmt = parse_statement(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL,"
+      " score REAL DEFAULT 1.5, note VARCHAR(80),"
+      " parent INTEGER, FOREIGN KEY (parent) REFERENCES p (id))");
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateTable);
+  const auto& schema = stmt.create_table.schema;
+  EXPECT_EQ(schema.name(), "t");
+  ASSERT_EQ(schema.columns().size(), 5u);
+  EXPECT_TRUE(schema.columns()[0].primary_key);
+  EXPECT_TRUE(schema.columns()[0].auto_increment);  // INTEGER PRIMARY KEY
+  EXPECT_TRUE(schema.columns()[1].not_null);
+  EXPECT_DOUBLE_EQ(schema.columns()[2].default_value.as_real(), 1.5);
+  EXPECT_EQ(schema.columns()[3].type, ValueType::kText);
+  ASSERT_EQ(schema.foreign_keys().size(), 1u);
+  EXPECT_EQ(schema.foreign_keys()[0].parent_table, "p");
+}
+
+TEST(Parser, CreateTableIfNotExists) {
+  auto stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)");
+  EXPECT_TRUE(stmt.create_table.if_not_exists);
+}
+
+TEST(Parser, DropAndAlter) {
+  EXPECT_TRUE(parse_statement("DROP TABLE IF EXISTS t").drop_table.if_exists);
+  auto add = parse_statement("ALTER TABLE t ADD COLUMN c TEXT");
+  EXPECT_EQ(add.kind, StatementKind::kAlterAddColumn);
+  EXPECT_EQ(add.alter.column.name, "c");
+  auto drop = parse_statement("ALTER TABLE t DROP COLUMN c");
+  EXPECT_EQ(drop.kind, StatementKind::kAlterDropColumn);
+  EXPECT_EQ(drop.alter.column_name, "c");
+}
+
+TEST(Parser, CreateIndex) {
+  auto stmt = parse_statement("CREATE UNIQUE INDEX idx ON t (col)");
+  EXPECT_EQ(stmt.kind, StatementKind::kCreateIndex);
+  EXPECT_TRUE(stmt.create_index.unique);
+  EXPECT_EQ(stmt.create_index.table, "t");
+  EXPECT_EQ(stmt.create_index.column, "col");
+}
+
+TEST(Parser, InsertMultiRowWithPlaceholders) {
+  auto stmt =
+      parse_statement("INSERT INTO t (a, b) VALUES (?, ?), (1, 'x')");
+  ASSERT_EQ(stmt.kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt.insert.columns.size(), 2u);
+  EXPECT_EQ(stmt.insert.rows.size(), 2u);
+  EXPECT_EQ(stmt.placeholder_count, 2u);
+}
+
+TEST(Parser, SelectFullClauses) {
+  auto stmt = parse_statement(
+      "SELECT DISTINCT a.x AS ax, COUNT(*) FROM t1 a JOIN t2 b ON a.id = b.ref"
+      " WHERE a.x > 5 AND b.y IS NOT NULL GROUP BY a.x HAVING COUNT(*) >= 2"
+      " ORDER BY ax DESC, 2 LIMIT 10 OFFSET 3");
+  ASSERT_EQ(stmt.kind, StatementKind::kSelect);
+  const auto& select = stmt.select;
+  EXPECT_TRUE(select.distinct);
+  EXPECT_EQ(select.items.size(), 2u);
+  EXPECT_EQ(select.items[0].alias, "ax");
+  ASSERT_TRUE(select.from.has_value());
+  EXPECT_EQ(select.from->table, "t1");
+  EXPECT_EQ(select.from->alias, "a");
+  ASSERT_EQ(select.joins.size(), 1u);
+  EXPECT_EQ(select.joins[0].table.alias, "b");
+  ASSERT_TRUE(select.where != nullptr);
+  EXPECT_EQ(select.group_by.size(), 1u);
+  ASSERT_TRUE(select.having != nullptr);
+  ASSERT_EQ(select.order_by.size(), 2u);
+  EXPECT_TRUE(select.order_by[0].descending);
+  EXPECT_EQ(select.limit.value(), 10);
+  EXPECT_EQ(select.offset.value(), 3);
+}
+
+TEST(Parser, SelectWithoutFrom) {
+  auto stmt = parse_statement("SELECT 1 + 2 * 3");
+  EXPECT_FALSE(stmt.select.from.has_value());
+}
+
+TEST(Parser, SelectStar) {
+  auto stmt = parse_statement("SELECT * FROM t");
+  ASSERT_EQ(stmt.select.items.size(), 1u);
+  EXPECT_EQ(stmt.select.items[0].expr, nullptr);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3)
+  auto stmt = parse_statement("SELECT 1 + 2 * 3");
+  const Expr& root = *stmt.select.items[0].expr;
+  ASSERT_EQ(root.kind, ExprKind::kBinary);
+  EXPECT_EQ(root.op, "+");
+  EXPECT_EQ(root.children[1]->op, "*");
+}
+
+TEST(Parser, BooleanPrecedenceAndNot) {
+  // NOT a = 1 OR b = 2 AND c = 3  ==  (NOT (a=1)) OR ((b=2) AND (c=3))
+  auto stmt = parse_statement("SELECT NOT a = 1 OR b = 2 AND c = 3 FROM t");
+  const Expr& root = *stmt.select.items[0].expr;
+  EXPECT_EQ(root.op, "OR");
+  EXPECT_EQ(root.children[0]->kind, ExprKind::kUnary);
+  EXPECT_EQ(root.children[1]->op, "AND");
+}
+
+TEST(Parser, InBetweenLikeIsNull) {
+  auto stmt = parse_statement(
+      "SELECT a IN (1, 2), b NOT IN (3), c BETWEEN 1 AND 5,"
+      " d NOT BETWEEN 0 AND 1, e LIKE 'x%', f NOT LIKE '%y', g IS NULL,"
+      " h IS NOT NULL FROM t");
+  const auto& items = stmt.select.items;
+  EXPECT_EQ(items[0].expr->kind, ExprKind::kInList);
+  EXPECT_FALSE(items[0].expr->negated);
+  EXPECT_TRUE(items[1].expr->negated);
+  EXPECT_EQ(items[2].expr->kind, ExprKind::kBetween);
+  EXPECT_TRUE(items[3].expr->negated);
+  EXPECT_EQ(items[4].expr->op, "LIKE");
+  EXPECT_TRUE(items[5].expr->negated);
+  EXPECT_EQ(items[6].expr->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(items[7].expr->negated);
+}
+
+TEST(Parser, FunctionCallsAndCountStar) {
+  auto stmt = parse_statement(
+      "SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), COALESCE(c, 0) FROM t");
+  const auto& items = stmt.select.items;
+  EXPECT_EQ(items[0].expr->function_name, "COUNT");
+  EXPECT_EQ(items[0].expr->children[0]->kind, ExprKind::kStar);
+  EXPECT_TRUE(items[1].expr->distinct);
+  EXPECT_EQ(items[2].expr->function_name, "SUM");
+  EXPECT_EQ(items[3].expr->children.size(), 2u);
+}
+
+TEST(Parser, UpdateAndDelete) {
+  auto update = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = ?");
+  ASSERT_EQ(update.kind, StatementKind::kUpdate);
+  EXPECT_EQ(update.update.assignments.size(), 2u);
+  EXPECT_EQ(update.placeholder_count, 1u);
+
+  auto del = parse_statement("DELETE FROM t WHERE x < 0");
+  ASSERT_EQ(del.kind, StatementKind::kDelete);
+  ASSERT_TRUE(del.del.where != nullptr);
+}
+
+TEST(Parser, TransactionStatements) {
+  EXPECT_EQ(parse_statement("BEGIN").kind, StatementKind::kBegin);
+  EXPECT_EQ(parse_statement("BEGIN TRANSACTION").kind, StatementKind::kBegin);
+  EXPECT_EQ(parse_statement("COMMIT").kind, StatementKind::kCommit);
+  EXPECT_EQ(parse_statement("ROLLBACK").kind, StatementKind::kRollback);
+}
+
+TEST(Parser, TrailingSemicolonAllowed) {
+  EXPECT_NO_THROW(parse_statement("SELECT 1;"));
+}
+
+TEST(Parser, ErrorsAreParseErrors) {
+  EXPECT_THROW(parse_statement("SELEC 1"), ParseError);
+  EXPECT_THROW(parse_statement("SELECT FROM"), ParseError);
+  EXPECT_THROW(parse_statement("INSERT INTO t VALUES"), ParseError);
+  EXPECT_THROW(parse_statement("SELECT 1 extra tokens here ,"), ParseError);
+  EXPECT_THROW(parse_statement("CREATE TABLE t (a BADTYPE)"), ParseError);
+  EXPECT_THROW(parse_statement("SELECT (1 + 2"), ParseError);
+}
+
+TEST(Parser, NegativeLiteralsViaUnaryMinus) {
+  auto stmt = parse_statement("SELECT -5, -2.5, +3");
+  EXPECT_EQ(stmt.select.items.size(), 3u);
+  EXPECT_EQ(stmt.select.items[0].expr->kind, ExprKind::kUnary);
+}

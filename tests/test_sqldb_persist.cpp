@@ -1,0 +1,336 @@
+// Persistence tests: WAL encoding, replay, snapshot, crash recovery.
+#include <gtest/gtest.h>
+
+#include "sqldb/connection.h"
+#include "sqldb/wal.h"
+#include "util/error.h"
+#include "util/file.h"
+
+using namespace perfdmf::sqldb;
+namespace u = perfdmf::util;
+
+TEST(ValueEncoding, RoundTripsEveryType) {
+  for (const Value& v :
+       {Value(), Value(std::int64_t{-42}), Value(3.14159),
+        Value("text with\nnewline and spaces"), Value(std::string())}) {
+    const std::string encoded = encode_value(v);
+    std::size_t pos = 0;
+    const Value decoded = decode_value(encoded, pos);
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, encoded.size());
+  }
+}
+
+TEST(ValueEncoding, RealPrecisionPreserved) {
+  const Value v(0.1234567890123456789);
+  std::size_t pos = 0;
+  EXPECT_DOUBLE_EQ(decode_value(encode_value(v), pos).as_real(), v.as_real());
+}
+
+TEST(ValueEncoding, TruncatedInputThrows) {
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_value("T 100 short\n", pos), perfdmf::ParseError);
+  pos = 0;
+  EXPECT_THROW(decode_value("I", pos), perfdmf::ParseError);
+  pos = 0;
+  EXPECT_THROW(decode_value("Z 1\n", pos), perfdmf::ParseError);
+}
+
+TEST(Wal, AppendAndReplay) {
+  u::ScopedTempDir dir;
+  Wal wal(dir.path() / "wal.log");
+  wal.append("INSERT INTO t VALUES (?)", {Value(std::int64_t{1})});
+  wal.append("INSERT INTO t VALUES (?, ?)", {Value("x"), Value()});
+
+  std::vector<std::pair<std::string, Params>> seen;
+  wal.replay([&](const std::string& sql, const Params& params) {
+    seen.emplace_back(sql, params);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, "INSERT INTO t VALUES (?)");
+  EXPECT_EQ(seen[0].second[0], Value(std::int64_t{1}));
+  EXPECT_EQ(seen[1].second[1], Value());
+}
+
+TEST(Wal, TornTailIsDiscarded) {
+  u::ScopedTempDir dir;
+  Wal wal(dir.path() / "wal.log");
+  wal.append("SELECT 1", {});
+  // Simulate a crash mid-append.
+  u::append_file(dir.path() / "wal.log", "S 999\nincomplete...");
+  std::size_t replayed = 0;
+  wal.replay([&](const std::string&, const Params&) { ++replayed; });
+  EXPECT_EQ(replayed, 1u);
+}
+
+TEST(Wal, ResetTruncates) {
+  u::ScopedTempDir dir;
+  Wal wal(dir.path() / "wal.log");
+  wal.append("SELECT 1", {});
+  wal.reset();
+  std::size_t replayed = 0;
+  wal.replay([&](const std::string&, const Params&) { ++replayed; });
+  EXPECT_EQ(replayed, 0u);
+}
+
+TEST(Persistence, DataSurvivesReopen) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update(
+        "CREATE TABLE kv (id INTEGER PRIMARY KEY, k TEXT, v REAL)");
+    conn.execute_update("INSERT INTO kv (k, v) VALUES ('a', 1.5), ('b', 2.5)");
+  }  // destructor checkpoints
+  {
+    Connection conn(db_dir);
+    auto rs = conn.execute("SELECT v FROM kv WHERE k = 'b'");
+    ASSERT_TRUE(rs.next());
+    EXPECT_DOUBLE_EQ(rs.get_double(1), 2.5);
+  }
+}
+
+TEST(Persistence, WalReplayWithoutCheckpoint) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.execute_update("INSERT INTO t (x) VALUES (10)");
+    // Simulate a crash: copy WAL aside, reopen from WAL only.
+    // (No checkpoint call; the destructor would checkpoint, so instead we
+    // verify the WAL alone can rebuild by reading it directly.)
+    std::size_t records = 0;
+    Wal wal(db_dir / "wal.log");
+    wal.replay([&](const std::string&, const Params&) { ++records; });
+    EXPECT_EQ(records, 2u);  // CREATE + INSERT
+  }
+}
+
+TEST(Persistence, UpdatesAndDeletesSurviveReopen) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.execute_update("INSERT INTO t (x) VALUES (1), (2), (3)");
+    conn.execute_update("UPDATE t SET x = 20 WHERE x = 2");
+    conn.execute_update("DELETE FROM t WHERE x = 1");
+  }
+  {
+    Connection conn(db_dir);
+    auto rs = conn.execute("SELECT x FROM t ORDER BY x");
+    ASSERT_EQ(rs.row_count(), 2u);
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 3);
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 20);
+  }
+}
+
+TEST(Persistence, RolledBackTransactionNotReplayed) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.begin();
+    conn.execute_update("INSERT INTO t (x) VALUES (1)");
+    conn.rollback();
+    conn.begin();
+    conn.execute_update("INSERT INTO t (x) VALUES (2)");
+    conn.commit();
+  }
+  {
+    Connection conn(db_dir);
+    auto rs = conn.execute("SELECT x FROM t");
+    ASSERT_EQ(rs.row_count(), 1u);
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 2);
+  }
+}
+
+TEST(Persistence, CheckpointTruncatesWalAndKeepsData) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  Connection conn(db_dir);
+  conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+  conn.execute_update("INSERT INTO t (x) VALUES (7)");
+  conn.checkpoint();
+  EXPECT_TRUE(u::read_file(db_dir / "wal.log").empty());
+  auto rs = conn.execute("SELECT x FROM t");
+  ASSERT_TRUE(rs.next());
+  EXPECT_EQ(rs.get_int(1), 7);
+}
+
+TEST(Persistence, AutoIncrementContinuesAfterReopen) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.execute_update("INSERT INTO t (x) VALUES (1), (2)");
+    conn.execute_update("DELETE FROM t WHERE id = 2");
+    conn.checkpoint();
+  }
+  {
+    Connection conn(db_dir);
+    conn.execute_update("INSERT INTO t (x) VALUES (3)");
+    auto rs = conn.execute("SELECT MAX(id) FROM t");
+    rs.next();
+    // Must not reuse id 2's slot number... id continues from the high mark.
+    EXPECT_GE(rs.get_int(1), 3);
+  }
+}
+
+TEST(Persistence, SchemaDetailsSurviveSnapshot) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update(
+        "CREATE TABLE parent (id INTEGER PRIMARY KEY, name TEXT NOT NULL)");
+    conn.execute_update(
+        "CREATE TABLE child (id INTEGER PRIMARY KEY, p INTEGER,"
+        " note TEXT DEFAULT 'none',"
+        " FOREIGN KEY (p) REFERENCES parent (id))");
+    conn.execute_update("INSERT INTO parent (name) VALUES ('a')");
+    conn.checkpoint();
+  }
+  {
+    Connection conn(db_dir);
+    // FK still enforced after reload.
+    EXPECT_THROW(conn.execute_update("INSERT INTO child (p) VALUES (99)"),
+                 perfdmf::DbError);
+    // DEFAULT still applied.
+    conn.execute_update("INSERT INTO child (p) VALUES (1)");
+    auto rs = conn.execute("SELECT note FROM child");
+    rs.next();
+    EXPECT_EQ(rs.get_string(1), "none");
+    // NOT NULL still enforced.
+    EXPECT_THROW(conn.execute_update("INSERT INTO parent (name) VALUES (NULL)"),
+                 perfdmf::DbError);
+  }
+}
+
+TEST(Persistence, InMemoryDatabaseHasNoFiles) {
+  Connection conn;  // in-memory
+  conn.execute_update("CREATE TABLE t (x INTEGER)");
+  conn.execute_update("INSERT INTO t VALUES (1)");
+  EXPECT_NO_THROW(conn.checkpoint());  // no-op, must not throw
+}
+
+TEST(Persistence, AlterTableSurvivesWalReplayAndSnapshot) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.execute_update("INSERT INTO t (x) VALUES (1)");
+    conn.execute_update("ALTER TABLE t ADD COLUMN note TEXT DEFAULT 'n/a'");
+    conn.execute_update("INSERT INTO t (x, note) VALUES (2, 'hello')");
+  }
+  {
+    // First reopen: recovered from WAL replay (destructor checkpointed,
+    // but exercise another write + reopen to cover the snapshot path too).
+    Connection conn(db_dir);
+    auto rs = conn.execute("SELECT note FROM t ORDER BY id");
+    ASSERT_EQ(rs.row_count(), 2u);
+    rs.next();
+    EXPECT_EQ(rs.get_string(1), "n/a");
+    rs.next();
+    EXPECT_EQ(rs.get_string(1), "hello");
+    conn.execute_update("ALTER TABLE t DROP COLUMN note");
+  }
+  {
+    Connection conn(db_dir);
+    EXPECT_THROW(conn.execute("SELECT note FROM t"), perfdmf::DbError);
+    auto rs = conn.execute("SELECT COUNT(*) FROM t");
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 2);
+  }
+}
+
+TEST(Persistence, CorruptedSnapshotIsRejected) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY)");
+    conn.checkpoint();
+  }
+  // Damage the snapshot header.
+  const auto snapshot = db_dir / "snapshot.pdb";
+  std::string content = u::read_file(snapshot);
+  content[0] = 'X';
+  u::write_file(snapshot, content);
+  EXPECT_THROW(Connection bad(db_dir), perfdmf::ParseError);
+}
+
+TEST(Persistence, TruncatedSnapshotIsRejected) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)");
+    conn.execute_update("INSERT INTO t (s) VALUES ('abcdefghij')");
+    conn.checkpoint();
+  }
+  const auto snapshot = db_dir / "snapshot.pdb";
+  const std::string content = u::read_file(snapshot);
+  u::write_file(snapshot, content.substr(0, content.size() / 2));
+  EXPECT_THROW(Connection bad(db_dir), perfdmf::ParseError);
+}
+
+TEST(Persistence, IndexesRebuiltAfterReload) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v REAL)");
+    conn.execute_update("CREATE INDEX idx_k ON t (k)");
+    auto stmt = conn.prepare("INSERT INTO t (k, v) VALUES (?, ?)");
+    conn.begin();
+    for (int i = 0; i < 500; ++i) {
+      stmt.set_int(1, i % 10);
+      stmt.set_double(2, i);
+      stmt.execute_update();
+    }
+    conn.commit();
+  }
+  {
+    Connection conn(db_dir);
+    // Index-served query must return the same multiset as a full check.
+    auto rs = conn.execute("SELECT COUNT(*) FROM t WHERE k = 3");
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 50);
+    // Uniqueness of the PK is still enforced after recovery.
+    EXPECT_THROW(conn.execute_update("INSERT INTO t (id, k, v) VALUES (1, 0, 0)"),
+                 perfdmf::DbError);
+  }
+}
+
+TEST(Persistence, ViewsSurviveReopenViaSnapshotAndWal) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.execute_update("INSERT INTO t (x) VALUES (1), (2), (3)");
+    conn.execute_update("CREATE VIEW big AS SELECT x FROM t WHERE x >= 2");
+    conn.checkpoint();  // view now lives in the snapshot
+    conn.execute_update(
+        "CREATE VIEW small AS SELECT x FROM t WHERE x < 2");  // in the WAL
+  }
+  {
+    Connection conn(db_dir);
+    auto rs = conn.execute("SELECT COUNT(*) FROM big");
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 2);
+    auto rs2 = conn.execute("SELECT COUNT(*) FROM small");
+    rs2.next();
+    EXPECT_EQ(rs2.get_int(1), 1);
+    EXPECT_EQ(conn.get_meta_data().get_views().size(), 2u);
+  }
+}

@@ -1,0 +1,147 @@
+// Unit tests for sqldb::Value and schema coercion.
+#include <gtest/gtest.h>
+
+#include "sqldb/schema.h"
+#include "sqldb/value.h"
+#include "util/error.h"
+
+using perfdmf::DbError;
+using perfdmf::sqldb::ColumnDef;
+using perfdmf::sqldb::coerce_for_column;
+using perfdmf::sqldb::TableSchema;
+using perfdmf::sqldb::Value;
+using perfdmf::sqldb::ValueType;
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(std::int64_t{5}).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value("hi").as_text(), "hi");
+}
+
+TEST(Value, NumericCrossAccess) {
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{4}).as_real(), 4.0);
+  EXPECT_EQ(Value(4.9).as_int(), 4);  // truncation, like CAST
+}
+
+TEST(Value, WrongTypeAccessThrows) {
+  EXPECT_THROW(Value("x").as_int(), DbError);
+  EXPECT_THROW(Value(std::int64_t{1}).as_text(), DbError);
+  EXPECT_THROW(Value().as_int(), DbError);
+}
+
+TEST(Value, ToStringRendersEveryType) {
+  EXPECT_EQ(Value().to_string(), "NULL");
+  EXPECT_EQ(Value(std::int64_t{-3}).to_string(), "-3");
+  EXPECT_EQ(Value("text").to_string(), "text");
+  EXPECT_EQ(Value(0.5).to_string(), "0.5");
+}
+
+TEST(Value, OrderingNullNumbersText) {
+  EXPECT_LT(Value(), Value(std::int64_t{0}));
+  EXPECT_LT(Value(std::int64_t{5}), Value("a"));
+  EXPECT_LT(Value(std::int64_t{1}), Value(std::int64_t{2}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+}
+
+TEST(Value, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value(std::int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(1.5), Value(std::int64_t{2}));
+  EXPECT_GT(Value(std::int64_t{3}), Value(2.5));
+}
+
+TEST(Value, EqualValuesHashEqually) {
+  EXPECT_EQ(Value(std::int64_t{7}).hash(), Value(7.0).hash());
+  EXPECT_EQ(Value("s").hash(), Value("s").hash());
+}
+
+TEST(Value, LargeIntegerComparisonIsExact) {
+  // Values beyond double's 53-bit mantissa must still compare correctly.
+  const std::int64_t big = (1LL << 60) + 1;
+  EXPECT_LT(Value(std::int64_t{big}), Value(std::int64_t{big + 1}));
+  EXPECT_EQ(Value(std::int64_t{big}), Value(std::int64_t{big}));
+}
+
+// ------------------------------------------------------------------ schema
+
+TEST(Schema, AddAndFindColumnsCaseInsensitive) {
+  TableSchema schema("t");
+  schema.add_column({"Id", ValueType::kInt, true, true, true, Value()});
+  schema.add_column({"Name", ValueType::kText, false, false, false, Value()});
+  EXPECT_EQ(schema.find_column("id").value(), 0u);
+  EXPECT_EQ(schema.find_column("NAME").value(), 1u);
+  EXPECT_FALSE(schema.find_column("absent"));
+  EXPECT_EQ(schema.primary_key_index().value(), 0u);
+}
+
+TEST(Schema, DuplicateColumnThrows) {
+  TableSchema schema("t");
+  schema.add_column({"a", ValueType::kInt, false, false, false, Value()});
+  EXPECT_THROW(
+      schema.add_column({"A", ValueType::kText, false, false, false, Value()}),
+      DbError);
+}
+
+TEST(Schema, SecondPrimaryKeyThrows) {
+  TableSchema schema("t");
+  schema.add_column({"a", ValueType::kInt, false, true, false, Value()});
+  EXPECT_THROW(
+      schema.add_column({"b", ValueType::kInt, false, true, false, Value()}),
+      DbError);
+}
+
+TEST(Schema, DropColumnProtectsPkAndFk) {
+  TableSchema schema("t");
+  schema.add_column({"id", ValueType::kInt, false, true, false, Value()});
+  schema.add_column({"ref", ValueType::kInt, false, false, false, Value()});
+  schema.add_column({"extra", ValueType::kText, false, false, false, Value()});
+  schema.add_foreign_key({"ref", "parent", "id"});
+  EXPECT_THROW(schema.drop_column("id"), DbError);
+  EXPECT_THROW(schema.drop_column("ref"), DbError);
+  schema.drop_column("extra");
+  EXPECT_EQ(schema.columns().size(), 2u);
+}
+
+TEST(Coerce, NullRejectedInNotNullColumn) {
+  ColumnDef column{"c", ValueType::kInt, true, false, false, Value()};
+  EXPECT_THROW(coerce_for_column(column, Value(), "t"), DbError);
+}
+
+TEST(Coerce, NumericCoercionBothWays) {
+  ColumnDef int_column{"c", ValueType::kInt, false, false, false, Value()};
+  ColumnDef real_column{"c", ValueType::kReal, false, false, false, Value()};
+  EXPECT_EQ(coerce_for_column(int_column, Value(2.0), "t").type(),
+            ValueType::kInt);
+  EXPECT_EQ(coerce_for_column(real_column, Value(std::int64_t{2}), "t").type(),
+            ValueType::kReal);
+}
+
+TEST(Coerce, TextColumnAcceptsNumbersAsText) {
+  ColumnDef column{"c", ValueType::kText, false, false, false, Value()};
+  EXPECT_EQ(coerce_for_column(column, Value(std::int64_t{12}), "t").as_text(),
+            "12");
+}
+
+TEST(Coerce, TypeMismatchThrows) {
+  ColumnDef column{"c", ValueType::kInt, false, false, false, Value()};
+  EXPECT_THROW(coerce_for_column(column, Value("nope"), "t"), DbError);
+}
+
+TEST(Value, TextOrderingIsBytewise) {
+  EXPECT_LT(Value("A"), Value("a"));  // 0x41 < 0x61
+  EXPECT_LT(Value(""), Value("a"));
+}
+
+TEST(Value, NullEqualsNullInTotalOrder) {
+  // The index/ORDER BY total order groups NULLs together (predicate
+  // three-valued logic is handled separately in the evaluator).
+  EXPECT_EQ(Value(), Value());
+  EXPECT_EQ(Value().compare(Value()), 0);
+}
+
+TEST(Coerce, RealToIntTruncates) {
+  ColumnDef column{"c", ValueType::kInt, false, false, false, Value()};
+  EXPECT_EQ(coerce_for_column(column, Value(2.9), "t").as_int(), 2);
+  EXPECT_EQ(coerce_for_column(column, Value(-2.9), "t").as_int(), -2);
+}

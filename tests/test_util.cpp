@@ -1,0 +1,271 @@
+// Unit tests for the util module: strings, files, rng, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/error.h"
+#include "util/file.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace u = perfdmf::util;
+
+// ----------------------------------------------------------------- strings
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(u::trim("  hello  "), "hello");
+  EXPECT_EQ(u::trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(u::trim(""), "");
+  EXPECT_EQ(u::trim("   "), "");
+  EXPECT_EQ(u::trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = u::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  auto parts = u::split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsLimitKeepsTailIntact) {
+  auto parts = u::split_ws_limit("1 2 three four five", 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[1], "2");
+  EXPECT_EQ(parts[2], "three four five");
+}
+
+TEST(Strings, SplitWsLimitFewerFieldsThanLimit) {
+  auto parts = u::split_ws_limit("only two", 5);
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(Strings, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(u::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(u::join({}, ","), "");
+  EXPECT_EQ(u::join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(u::starts_with("profile.0.0.0", "profile."));
+  EXPECT_FALSE(u::starts_with("pro", "profile."));
+  EXPECT_TRUE(u::ends_with("report.xml", ".xml"));
+  EXPECT_FALSE(u::ends_with("x", ".xml"));
+  EXPECT_TRUE(u::contains("abcdef", "cde"));
+  EXPECT_FALSE(u::contains("abcdef", "xyz"));
+}
+
+TEST(Strings, CaseConversionAndIEquals) {
+  EXPECT_EQ(u::to_lower("MiXeD"), "mixed");
+  EXPECT_EQ(u::to_upper("MiXeD"), "MIXED");
+  EXPECT_TRUE(u::iequals("SELECT", "select"));
+  EXPECT_FALSE(u::iequals("SELECT", "selec"));
+  EXPECT_TRUE(u::iequals("", ""));
+}
+
+TEST(Strings, ParseIntStrict) {
+  EXPECT_EQ(u::parse_int("42").value(), 42);
+  EXPECT_EQ(u::parse_int("-17").value(), -17);
+  EXPECT_EQ(u::parse_int("+8").value(), 8);
+  EXPECT_EQ(u::parse_int(" 13 ").value(), 13);  // trims
+  EXPECT_FALSE(u::parse_int("12x"));
+  EXPECT_FALSE(u::parse_int(""));
+  EXPECT_FALSE(u::parse_int("1.5"));
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(u::parse_double("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(u::parse_double("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(u::parse_double("7").value(), 7.0);
+  EXPECT_FALSE(u::parse_double("abc"));
+  EXPECT_FALSE(u::parse_double("1.5z"));
+}
+
+TEST(Strings, ParseOrThrowReportsContext) {
+  EXPECT_THROW(u::parse_int_or_throw("zz", "field"), perfdmf::ParseError);
+  EXPECT_THROW(u::parse_double_or_throw("zz", "field"), perfdmf::ParseError);
+  EXPECT_EQ(u::parse_int_or_throw("5", "field"), 5);
+}
+
+TEST(Strings, SplitLinesHandlesCrLfAndNoTrailingNewline) {
+  auto lines = u::split_lines("a\r\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(Strings, SplitLinesEmptyAndTrailing) {
+  EXPECT_TRUE(u::split_lines("").empty());
+  auto lines = u::split_lines("x\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "x");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(u::replace_all("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(u::replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(u::replace_all("none", "x", "y"), "none");
+}
+
+// -------------------------------------------------------------------- file
+
+TEST(File, WriteReadRoundTrip) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "data.txt";
+  u::write_file(path, "hello\nworld");
+  EXPECT_EQ(u::read_file(path), "hello\nworld");
+}
+
+TEST(File, AppendGrowsFile) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "log.txt";
+  u::append_file(path, "a");
+  u::append_file(path, "b");
+  EXPECT_EQ(u::read_file(path), "ab");
+}
+
+TEST(File, ReadMissingFileThrows) {
+  u::ScopedTempDir dir;
+  EXPECT_THROW(u::read_file(dir.path() / "absent"), perfdmf::IoError);
+}
+
+TEST(File, ListFilesSortedAndFilesOnly) {
+  u::ScopedTempDir dir;
+  u::write_file(dir.path() / "b.txt", "");
+  u::write_file(dir.path() / "a.txt", "");
+  std::filesystem::create_directory(dir.path() / "subdir");
+  auto files = u::list_files(dir.path());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].filename(), "a.txt");
+  EXPECT_EQ(files[1].filename(), "b.txt");
+}
+
+TEST(File, ScopedTempDirRemovesOnDestruction) {
+  std::filesystem::path kept;
+  {
+    u::ScopedTempDir dir;
+    kept = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(kept));
+    u::write_file(kept / "f", "x");
+  }
+  EXPECT_FALSE(std::filesystem::exists(kept));
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  u::Rng a(123);
+  u::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  u::Rng a(1);
+  u::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  u::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  u::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(Rng, GaussianHasRoughlyUnitMoments) {
+  u::Rng rng(99);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_squares += v * v;
+  }
+  const double mean = sum / n;
+  const double variance = sum_squares / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(variance, 1.0, 0.1);
+}
+
+TEST(Rng, NextBelowIsBounded) {
+  u::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+}
+
+// -------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  u::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  u::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  u::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionsPropagateFromTasks) {
+  u::ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionsPropagateFromParallelFor) {
+  u::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Timer, MeasuresNonNegativeDurations) {
+  u::WallTimer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_GE(timer.millis(), 0.0);
+}

@@ -1,0 +1,229 @@
+// Unit tests for the XML substrate (writer + pull parser).
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace x = perfdmf::xml;
+
+// ------------------------------------------------------------------ writer
+
+TEST(XmlWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(x::escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(x::escape("plain"), "plain");
+}
+
+TEST(XmlWriter, EmptyElementUsesSelfClosingTag) {
+  x::XmlWriter w;
+  w.start_element("root");
+  w.end_element();
+  EXPECT_EQ(w.str(), "<root/>");
+}
+
+TEST(XmlWriter, AttributesAndText) {
+  x::XmlWriter w(0);  // no pretty printing
+  w.start_element("a");
+  w.attribute("k", "v<1>");
+  w.text("body & soul");
+  w.end_element();
+  EXPECT_EQ(w.str(), "<a k=\"v&lt;1&gt;\">body &amp; soul</a>");
+}
+
+TEST(XmlWriter, NumericAttributes) {
+  x::XmlWriter w(0);
+  w.start_element("n");
+  w.attribute("i", 42LL);
+  w.attribute("d", 1.5);
+  w.end_element();
+  EXPECT_EQ(w.str(), "<n i=\"42\" d=\"1.5\"/>");
+}
+
+TEST(XmlWriter, UnbalancedElementsThrow) {
+  x::XmlWriter w;
+  w.start_element("open");
+  EXPECT_THROW(w.str(), perfdmf::InvalidArgument);
+  w.end_element();
+  EXPECT_THROW(w.end_element(), perfdmf::InvalidArgument);
+}
+
+TEST(XmlWriter, AttributeOutsideOpenTagThrows) {
+  x::XmlWriter w;
+  w.start_element("a");
+  w.text("t");
+  EXPECT_THROW(w.attribute("k", "v"), perfdmf::InvalidArgument);
+}
+
+TEST(XmlWriter, DeclarationMustComeFirst) {
+  x::XmlWriter w;
+  w.start_element("a");
+  EXPECT_THROW(w.declaration(), perfdmf::InvalidArgument);
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(XmlParser, ParsesElementsAttributesText) {
+  x::XmlParser p("<root a=\"1\" b='two'>hi</root>");
+  auto start = p.next();
+  ASSERT_EQ(start.type, x::XmlEventType::kStartElement);
+  EXPECT_EQ(start.name, "root");
+  EXPECT_EQ(start.attrs.at("a"), "1");
+  EXPECT_EQ(start.attrs.at("b"), "two");
+  auto text = p.next();
+  ASSERT_EQ(text.type, x::XmlEventType::kText);
+  EXPECT_EQ(text.text, "hi");
+  auto end = p.next();
+  ASSERT_EQ(end.type, x::XmlEventType::kEndElement);
+  EXPECT_EQ(end.name, "root");
+  EXPECT_EQ(p.next().type, x::XmlEventType::kEndDocument);
+}
+
+TEST(XmlParser, SelfClosingElementEmitsSyntheticEnd) {
+  x::XmlParser p("<a><b x=\"1\"/></a>");
+  EXPECT_EQ(p.next().name, "a");
+  auto b = p.next();
+  EXPECT_EQ(b.type, x::XmlEventType::kStartElement);
+  EXPECT_EQ(b.name, "b");
+  auto b_end = p.next();
+  EXPECT_EQ(b_end.type, x::XmlEventType::kEndElement);
+  EXPECT_EQ(b_end.name, "b");
+  EXPECT_EQ(p.next().type, x::XmlEventType::kEndElement);
+}
+
+TEST(XmlParser, DecodesEntitiesAndCharRefs) {
+  x::XmlParser p("<t>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</t>");
+  p.next();
+  auto text = p.next();
+  EXPECT_EQ(text.text, "<>&\"'AB");
+}
+
+TEST(XmlParser, DecodesEntitiesInAttributes) {
+  x::XmlParser p("<t v=\"a&amp;b\"/>");
+  auto start = p.next();
+  EXPECT_EQ(start.attrs.at("v"), "a&b");
+}
+
+TEST(XmlParser, SkipsDeclarationCommentsAndPI) {
+  x::XmlParser p(
+      "<?xml version=\"1.0\"?><!-- comment --><!DOCTYPE x><root/>");
+  EXPECT_EQ(p.next().name, "root");
+}
+
+TEST(XmlParser, CDataPassesThroughVerbatim) {
+  x::XmlParser p("<t><![CDATA[<not & parsed>]]></t>");
+  p.next();
+  EXPECT_EQ(p.next().text, "<not & parsed>");
+}
+
+TEST(XmlParser, SkipElementBalancesNesting) {
+  x::XmlParser p("<a><b><c/>text<d></d></b><e/></a>");
+  p.next();       // <a>
+  p.next();       // <b>
+  p.skip_element();  // through </b>
+  auto e = p.next();
+  EXPECT_EQ(e.name, "e");
+}
+
+TEST(XmlParser, ExpectHelpers) {
+  x::XmlParser p("<a>  <b>payload</b></a>");
+  p.expect_start("a");
+  p.expect_start("b");
+  EXPECT_EQ(p.read_text_until_end("b"), "payload");
+  p.expect_end("a");
+}
+
+TEST(XmlParser, MalformedInputThrows) {
+  EXPECT_THROW(
+      {
+        x::XmlParser p("<a><b></a>");
+        while (p.next().type != x::XmlEventType::kEndDocument) {
+        }
+      },
+      perfdmf::ParseError);
+  EXPECT_THROW(
+      {
+        x::XmlParser p("<a attr=novalue/>");
+        p.next();
+      },
+      perfdmf::ParseError);
+  EXPECT_THROW(
+      {
+        x::XmlParser p("<a>&bogus;</a>");
+        p.next();
+        p.next();
+      },
+      perfdmf::ParseError);
+}
+
+TEST(XmlParser, UnclosedElementAtEofThrows) {
+  x::XmlParser p("<a><b>");
+  p.next();
+  p.next();
+  EXPECT_THROW(p.next(), perfdmf::ParseError);
+}
+
+TEST(XmlParser, PeekDoesNotConsume) {
+  x::XmlParser p("<a/>");
+  EXPECT_EQ(p.peek().name, "a");
+  EXPECT_EQ(p.peek().name, "a");
+  EXPECT_EQ(p.next().name, "a");
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(XmlRoundTrip, WriterOutputParsesBack) {
+  x::XmlWriter w;
+  w.declaration();
+  w.start_element("doc");
+  w.attribute("version", "1");
+  for (int i = 0; i < 5; ++i) {
+    w.start_element("item");
+    w.attribute("id", static_cast<long long>(i));
+    w.text("value " + std::to_string(i) + " <&>");
+    w.end_element();
+  }
+  w.end_element();
+
+  x::XmlParser p(w.str());
+  auto doc = p.expect_start("doc");
+  EXPECT_EQ(doc.attrs.at("version"), "1");
+  for (int i = 0; i < 5; ++i) {
+    auto item = p.expect_start("item");
+    EXPECT_EQ(item.attrs.at("id"), std::to_string(i));
+    EXPECT_EQ(p.read_text_until_end("item"),
+              "value " + std::to_string(i) + " <&>");
+  }
+  p.expect_end("doc");
+}
+
+TEST(XmlParser, SupplementaryPlaneCharRef) {
+  x::XmlParser p("<t>&#x1F600;</t>");
+  p.next();
+  const std::string text = p.next().text;
+  ASSERT_EQ(text.size(), 4u);  // UTF-8 4-byte sequence
+  EXPECT_EQ(static_cast<unsigned char>(text[0]), 0xF0);
+}
+
+TEST(XmlParser, CommentsAndPiInsideElements) {
+  x::XmlParser p("<a>before<!-- note --><?pi data?>after</a>");
+  p.next();
+  EXPECT_EQ(p.next().text, "before");
+  EXPECT_EQ(p.next().text, "after");
+  EXPECT_EQ(p.next().type, x::XmlEventType::kEndElement);
+}
+
+TEST(XmlParser, MismatchedCloseTagName) {
+  x::XmlParser p("<a></b>");
+  p.next();
+  // The parser reports the close for whatever name appears; expect_end
+  // helpers are what enforce matching. Raw next() returns the event.
+  auto end = p.next();
+  EXPECT_EQ(end.type, x::XmlEventType::kEndElement);
+  EXPECT_EQ(end.name, "b");
+}
+
+TEST(XmlParser, BadCharRefOutOfRange) {
+  x::XmlParser p("<a>&#x110000;</a>");
+  p.next();
+  EXPECT_THROW(p.next(), perfdmf::ParseError);
+}
