@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derived.dir/bench_derived.cpp.o"
+  "CMakeFiles/bench_derived.dir/bench_derived.cpp.o.d"
+  "bench_derived"
+  "bench_derived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_import.dir/bench_import.cpp.o"
+  "CMakeFiles/bench_import.dir/bench_import.cpp.o.d"
+  "bench_import"
+  "bench_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sqldb.dir/bench_sqldb.cpp.o"
+  "CMakeFiles/bench_sqldb.dir/bench_sqldb.cpp.o.d"
+  "bench_sqldb"
+  "bench_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

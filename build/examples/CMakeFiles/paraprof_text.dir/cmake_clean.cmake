@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraprof_text.dir/paraprof_text.cpp.o"
+  "CMakeFiles/paraprof_text.dir/paraprof_text.cpp.o.d"
+  "paraprof_text"
+  "paraprof_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraprof_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for paraprof_text.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_cli.dir/perfdmf_cli.cpp.o"
+  "CMakeFiles/perfdmf_cli.dir/perfdmf_cli.cpp.o.d"
+  "perfdmf_cli"
+  "perfdmf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

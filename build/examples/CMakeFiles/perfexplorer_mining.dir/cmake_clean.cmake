@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfexplorer_mining.dir/perfexplorer_mining.cpp.o"
+  "CMakeFiles/perfexplorer_mining.dir/perfexplorer_mining.cpp.o.d"
+  "perfexplorer_mining"
+  "perfexplorer_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfexplorer_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_analyzer.dir/speedup_analyzer.cpp.o"
+  "CMakeFiles/speedup_analyzer.dir/speedup_analyzer.cpp.o.d"
+  "speedup_analyzer"
+  "speedup_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/algebra.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/algebra.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/algebra.cpp.o.d"
+  "/root/repo/src/analysis/comparison.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/comparison.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/comparison.cpp.o.d"
+  "/root/repo/src/analysis/correlation.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/correlation.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/correlation.cpp.o.d"
+  "/root/repo/src/analysis/derived_expr.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/derived_expr.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/derived_expr.cpp.o.d"
+  "/root/repo/src/analysis/hierarchical.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/hierarchical.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/hierarchical.cpp.o.d"
+  "/root/repo/src/analysis/imbalance.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/imbalance.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/imbalance.cpp.o.d"
+  "/root/repo/src/analysis/kmeans.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/kmeans.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/kmeans.cpp.o.d"
+  "/root/repo/src/analysis/pca.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/pca.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/pca.cpp.o.d"
+  "/root/repo/src/analysis/scalability.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/scalability.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/scalability.cpp.o.d"
+  "/root/repo/src/analysis/speedup.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/speedup.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/speedup.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/CMakeFiles/perfdmf_analysis.dir/analysis/stats.cpp.o" "gcc" "src/CMakeFiles/perfdmf_analysis.dir/analysis/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/perfdmf_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_analysis.dir/analysis/algebra.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/algebra.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/comparison.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/comparison.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/correlation.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/correlation.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/derived_expr.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/derived_expr.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/hierarchical.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/hierarchical.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/imbalance.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/imbalance.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/kmeans.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/kmeans.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/pca.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/pca.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/scalability.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/scalability.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/speedup.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/speedup.cpp.o.d"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/stats.cpp.o"
+  "CMakeFiles/perfdmf_analysis.dir/analysis/stats.cpp.o.d"
+  "libperfdmf_analysis.a"
+  "libperfdmf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

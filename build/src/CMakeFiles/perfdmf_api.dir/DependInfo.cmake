@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/access_control.cpp" "src/CMakeFiles/perfdmf_api.dir/api/access_control.cpp.o" "gcc" "src/CMakeFiles/perfdmf_api.dir/api/access_control.cpp.o.d"
+  "/root/repo/src/api/data_session.cpp" "src/CMakeFiles/perfdmf_api.dir/api/data_session.cpp.o" "gcc" "src/CMakeFiles/perfdmf_api.dir/api/data_session.cpp.o.d"
+  "/root/repo/src/api/database_api.cpp" "src/CMakeFiles/perfdmf_api.dir/api/database_api.cpp.o" "gcc" "src/CMakeFiles/perfdmf_api.dir/api/database_api.cpp.o.d"
+  "/root/repo/src/api/database_session.cpp" "src/CMakeFiles/perfdmf_api.dir/api/database_session.cpp.o" "gcc" "src/CMakeFiles/perfdmf_api.dir/api/database_session.cpp.o.d"
+  "/root/repo/src/api/file_session.cpp" "src/CMakeFiles/perfdmf_api.dir/api/file_session.cpp.o" "gcc" "src/CMakeFiles/perfdmf_api.dir/api/file_session.cpp.o.d"
+  "/root/repo/src/api/schema_bootstrap.cpp" "src/CMakeFiles/perfdmf_api.dir/api/schema_bootstrap.cpp.o" "gcc" "src/CMakeFiles/perfdmf_api.dir/api/schema_bootstrap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/perfdmf_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_api.dir/api/access_control.cpp.o"
+  "CMakeFiles/perfdmf_api.dir/api/access_control.cpp.o.d"
+  "CMakeFiles/perfdmf_api.dir/api/data_session.cpp.o"
+  "CMakeFiles/perfdmf_api.dir/api/data_session.cpp.o.d"
+  "CMakeFiles/perfdmf_api.dir/api/database_api.cpp.o"
+  "CMakeFiles/perfdmf_api.dir/api/database_api.cpp.o.d"
+  "CMakeFiles/perfdmf_api.dir/api/database_session.cpp.o"
+  "CMakeFiles/perfdmf_api.dir/api/database_session.cpp.o.d"
+  "CMakeFiles/perfdmf_api.dir/api/file_session.cpp.o"
+  "CMakeFiles/perfdmf_api.dir/api/file_session.cpp.o.d"
+  "CMakeFiles/perfdmf_api.dir/api/schema_bootstrap.cpp.o"
+  "CMakeFiles/perfdmf_api.dir/api/schema_bootstrap.cpp.o.d"
+  "libperfdmf_api.a"
+  "libperfdmf_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_explorer.dir/explorer/analysis_server.cpp.o"
+  "CMakeFiles/perfdmf_explorer.dir/explorer/analysis_server.cpp.o.d"
+  "libperfdmf_explorer.a"
+  "libperfdmf_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv_export.cpp" "src/CMakeFiles/perfdmf_io.dir/io/csv_export.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/csv_export.cpp.o.d"
+  "/root/repo/src/io/detect.cpp" "src/CMakeFiles/perfdmf_io.dir/io/detect.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/detect.cpp.o.d"
+  "/root/repo/src/io/dir_scan.cpp" "src/CMakeFiles/perfdmf_io.dir/io/dir_scan.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/dir_scan.cpp.o.d"
+  "/root/repo/src/io/dynaprof_format.cpp" "src/CMakeFiles/perfdmf_io.dir/io/dynaprof_format.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/dynaprof_format.cpp.o.d"
+  "/root/repo/src/io/gprof_format.cpp" "src/CMakeFiles/perfdmf_io.dir/io/gprof_format.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/gprof_format.cpp.o.d"
+  "/root/repo/src/io/hpm_format.cpp" "src/CMakeFiles/perfdmf_io.dir/io/hpm_format.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/hpm_format.cpp.o.d"
+  "/root/repo/src/io/mpip_format.cpp" "src/CMakeFiles/perfdmf_io.dir/io/mpip_format.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/mpip_format.cpp.o.d"
+  "/root/repo/src/io/psrun_format.cpp" "src/CMakeFiles/perfdmf_io.dir/io/psrun_format.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/psrun_format.cpp.o.d"
+  "/root/repo/src/io/synth.cpp" "src/CMakeFiles/perfdmf_io.dir/io/synth.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/synth.cpp.o.d"
+  "/root/repo/src/io/tau_format.cpp" "src/CMakeFiles/perfdmf_io.dir/io/tau_format.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/tau_format.cpp.o.d"
+  "/root/repo/src/io/xml_io.cpp" "src/CMakeFiles/perfdmf_io.dir/io/xml_io.cpp.o" "gcc" "src/CMakeFiles/perfdmf_io.dir/io/xml_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/perfdmf_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/perfdmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_io.dir/io/csv_export.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/csv_export.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/detect.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/detect.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/dir_scan.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/dir_scan.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/dynaprof_format.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/dynaprof_format.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/gprof_format.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/gprof_format.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/hpm_format.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/hpm_format.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/mpip_format.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/mpip_format.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/psrun_format.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/psrun_format.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/synth.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/synth.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/tau_format.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/tau_format.cpp.o.d"
+  "CMakeFiles/perfdmf_io.dir/io/xml_io.cpp.o"
+  "CMakeFiles/perfdmf_io.dir/io/xml_io.cpp.o.d"
+  "libperfdmf_io.a"
+  "libperfdmf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

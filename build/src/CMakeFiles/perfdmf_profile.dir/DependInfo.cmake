@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/callpath.cpp" "src/CMakeFiles/perfdmf_profile.dir/profile/callpath.cpp.o" "gcc" "src/CMakeFiles/perfdmf_profile.dir/profile/callpath.cpp.o.d"
+  "/root/repo/src/profile/data_model.cpp" "src/CMakeFiles/perfdmf_profile.dir/profile/data_model.cpp.o" "gcc" "src/CMakeFiles/perfdmf_profile.dir/profile/data_model.cpp.o.d"
+  "/root/repo/src/profile/derived.cpp" "src/CMakeFiles/perfdmf_profile.dir/profile/derived.cpp.o" "gcc" "src/CMakeFiles/perfdmf_profile.dir/profile/derived.cpp.o.d"
+  "/root/repo/src/profile/summary.cpp" "src/CMakeFiles/perfdmf_profile.dir/profile/summary.cpp.o" "gcc" "src/CMakeFiles/perfdmf_profile.dir/profile/summary.cpp.o.d"
+  "/root/repo/src/profile/trial_data.cpp" "src/CMakeFiles/perfdmf_profile.dir/profile/trial_data.cpp.o" "gcc" "src/CMakeFiles/perfdmf_profile.dir/profile/trial_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/perfdmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

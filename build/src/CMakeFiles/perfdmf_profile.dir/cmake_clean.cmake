@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_profile.dir/profile/callpath.cpp.o"
+  "CMakeFiles/perfdmf_profile.dir/profile/callpath.cpp.o.d"
+  "CMakeFiles/perfdmf_profile.dir/profile/data_model.cpp.o"
+  "CMakeFiles/perfdmf_profile.dir/profile/data_model.cpp.o.d"
+  "CMakeFiles/perfdmf_profile.dir/profile/derived.cpp.o"
+  "CMakeFiles/perfdmf_profile.dir/profile/derived.cpp.o.d"
+  "CMakeFiles/perfdmf_profile.dir/profile/summary.cpp.o"
+  "CMakeFiles/perfdmf_profile.dir/profile/summary.cpp.o.d"
+  "CMakeFiles/perfdmf_profile.dir/profile/trial_data.cpp.o"
+  "CMakeFiles/perfdmf_profile.dir/profile/trial_data.cpp.o.d"
+  "libperfdmf_profile.a"
+  "libperfdmf_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

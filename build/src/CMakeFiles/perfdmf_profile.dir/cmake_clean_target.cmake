@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperfdmf_profile.a"
+)

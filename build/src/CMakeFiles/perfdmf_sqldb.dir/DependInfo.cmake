@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqldb/connection.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/connection.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/connection.cpp.o.d"
+  "/root/repo/src/sqldb/database.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/database.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/database.cpp.o.d"
+  "/root/repo/src/sqldb/executor.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/executor.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/executor.cpp.o.d"
+  "/root/repo/src/sqldb/expr_eval.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/expr_eval.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/expr_eval.cpp.o.d"
+  "/root/repo/src/sqldb/lexer.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/lexer.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/lexer.cpp.o.d"
+  "/root/repo/src/sqldb/parser.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/parser.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/parser.cpp.o.d"
+  "/root/repo/src/sqldb/schema.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/schema.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/schema.cpp.o.d"
+  "/root/repo/src/sqldb/table.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/table.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/table.cpp.o.d"
+  "/root/repo/src/sqldb/value.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/value.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/value.cpp.o.d"
+  "/root/repo/src/sqldb/wal.cpp" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/wal.cpp.o" "gcc" "src/CMakeFiles/perfdmf_sqldb.dir/sqldb/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/perfdmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

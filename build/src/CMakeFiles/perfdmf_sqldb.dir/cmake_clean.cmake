@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/connection.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/connection.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/database.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/database.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/executor.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/executor.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/expr_eval.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/expr_eval.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/lexer.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/lexer.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/parser.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/parser.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/schema.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/schema.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/table.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/table.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/value.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/value.cpp.o.d"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/wal.cpp.o"
+  "CMakeFiles/perfdmf_sqldb.dir/sqldb/wal.cpp.o.d"
+  "libperfdmf_sqldb.a"
+  "libperfdmf_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_util.dir/util/file.cpp.o"
+  "CMakeFiles/perfdmf_util.dir/util/file.cpp.o.d"
+  "CMakeFiles/perfdmf_util.dir/util/log.cpp.o"
+  "CMakeFiles/perfdmf_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/perfdmf_util.dir/util/strings.cpp.o"
+  "CMakeFiles/perfdmf_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/perfdmf_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/perfdmf_util.dir/util/thread_pool.cpp.o.d"
+  "libperfdmf_util.a"
+  "libperfdmf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfdmf_xml.dir/xml/xml_parser.cpp.o"
+  "CMakeFiles/perfdmf_xml.dir/xml/xml_parser.cpp.o.d"
+  "CMakeFiles/perfdmf_xml.dir/xml/xml_writer.cpp.o"
+  "CMakeFiles/perfdmf_xml.dir/xml/xml_writer.cpp.o.d"
+  "libperfdmf_xml.a"
+  "libperfdmf_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfdmf_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_synth.dir/test_io_synth.cpp.o"
+  "CMakeFiles/test_io_synth.dir/test_io_synth.cpp.o.d"
+  "test_io_synth"
+  "test_io_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

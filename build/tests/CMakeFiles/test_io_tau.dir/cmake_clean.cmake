@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_tau.dir/test_io_tau.cpp.o"
+  "CMakeFiles/test_io_tau.dir/test_io_tau.cpp.o.d"
+  "test_io_tau"
+  "test_io_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_xml.dir/test_io_xml.cpp.o"
+  "CMakeFiles/test_io_xml.dir/test_io_xml.cpp.o.d"
+  "test_io_xml"
+  "test_io_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sqldb_exec.dir/test_sqldb_exec.cpp.o"
+  "CMakeFiles/test_sqldb_exec.dir/test_sqldb_exec.cpp.o.d"
+  "test_sqldb_exec"
+  "test_sqldb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sqldb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

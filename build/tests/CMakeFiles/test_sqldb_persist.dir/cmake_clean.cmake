@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sqldb_persist.dir/test_sqldb_persist.cpp.o"
+  "CMakeFiles/test_sqldb_persist.dir/test_sqldb_persist.cpp.o.d"
+  "test_sqldb_persist"
+  "test_sqldb_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sqldb_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

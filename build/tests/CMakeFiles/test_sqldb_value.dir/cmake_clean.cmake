@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sqldb_value.dir/test_sqldb_value.cpp.o"
+  "CMakeFiles/test_sqldb_value.dir/test_sqldb_value.cpp.o.d"
+  "test_sqldb_value"
+  "test_sqldb_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sqldb_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
