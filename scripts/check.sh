@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI-style check: build and run the full test suite three times —
+# plain, under ThreadSanitizer, and under AddressSanitizer+UBSan.
+#
+# Usage:
+#   scripts/check.sh            # all three configurations, full suite
+#   scripts/check.sh quick      # sanitizers run only the -L concurrency
+#                               # tests (the thread-heavy suites)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK="${1:-}"
+JOBS="$(nproc)"
+
+run_suite() {
+  local dir="$1" label_filter="$2"
+  shift 2
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  if [ -n "$label_filter" ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "$label_filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  fi
+}
+
+SAN_FILTER=""
+if [ "$QUICK" = "quick" ]; then
+  SAN_FILTER="concurrency"
+fi
+
+echo "=== plain build ==="
+run_suite build-check ""
+
+echo "=== ThreadSanitizer ==="
+run_suite build-tsan "$SAN_FILTER" -DPERFDMF_SANITIZE=thread
+
+echo "=== AddressSanitizer + UBSan ==="
+run_suite build-asan "$SAN_FILTER" -DPERFDMF_SANITIZE=address,undefined
+
+echo "all checks passed"

@@ -53,6 +53,11 @@ class DatabaseAPI {
   explicit DatabaseAPI(std::shared_ptr<sqldb::Connection> connection);
 
   sqldb::Connection& connection() { return *connection_; }
+  /// The shared connection handle (for components spawning their own
+  /// lightweight connections over the same database).
+  const std::shared_ptr<sqldb::Connection>& connection_ptr() const {
+    return connection_;
+  }
 
   // ----- application / experiment / trial management -------------------
   std::vector<profile::Application> list_applications();

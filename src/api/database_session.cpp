@@ -13,6 +13,20 @@ DatabaseSession::DatabaseSession()
 DatabaseSession::DatabaseSession(const std::filesystem::path& directory)
     : api_(std::make_shared<sqldb::Connection>(directory)) {}
 
+DatabaseSession DatabaseSession::fork() const {
+  DatabaseSession out(std::make_shared<sqldb::Connection>(
+      api_.connection_ptr()->database_ptr()));
+  out.application_ = application_;
+  out.experiment_ = experiment_;
+  out.trial_ = trial_;
+  out.node_ = node_;
+  out.context_ = context_;
+  out.thread_ = thread_;
+  out.metric_ = metric_;
+  out.group_ = group_;
+  return out;
+}
+
 std::int64_t DatabaseSession::require_trial() const {
   if (!trial_) throw InvalidArgument("no trial selected on this session");
   return *trial_;

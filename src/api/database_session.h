@@ -21,6 +21,13 @@ class DatabaseSession : public DataSession {
 
   DatabaseAPI& api() { return api_; }
 
+  /// A lightweight sibling session over the same underlying database:
+  /// a fresh Connection sharing this session's Database, carrying the
+  /// current application/experiment/trial and filter selections.
+  /// Read-only queries on forked sessions run in parallel with one
+  /// another (and with this session) under the shared-read lock.
+  DatabaseSession fork() const;
+
   // ----- browsing ---------------------------------------------------------
   std::vector<profile::Application> get_application_list() override;
   std::vector<profile::Experiment> get_experiment_list() override;

@@ -27,29 +27,61 @@ const char* analysis_kind_name(AnalysisKind kind) {
 AnalysisServer::AnalysisServer(std::shared_ptr<sqldb::Connection> connection,
                                std::size_t workers)
     : api_(std::move(connection)) {
-  if (workers > 0) pool_ = std::make_unique<util::ThreadPool>(workers);
+  if (workers > 0) {
+    // Per-worker connections over the shared database: requests on
+    // different workers read in parallel under the shared-read lock.
+    worker_apis_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_apis_.push_back(std::make_unique<api::DatabaseAPI>(
+          std::make_shared<sqldb::Connection>(
+              api_.connection_ptr()->database_ptr())));
+      idle_apis_.push_back(worker_apis_.back().get());
+    }
+    pool_ = std::make_unique<util::ThreadPool>(workers);
+  }
 }
 
-AnalysisServer::~AnalysisServer() = default;
+AnalysisServer::~AnalysisServer() {
+  // Drain outstanding requests before the worker APIs are torn down.
+  if (pool_) pool_->wait_idle();
+}
 
 AnalysisResponse AnalysisServer::submit(const AnalysisRequest& request) {
-  return run(request);
+  {
+    std::lock_guard lock(state_mutex_);
+    ++submitted_;
+  }
+  return run_counted(api_, request);
 }
 
 std::future<AnalysisResponse> AnalysisServer::submit_async(
     const AnalysisRequest& request) {
+  {
+    std::lock_guard lock(state_mutex_);
+    ++submitted_;
+  }
   if (!pool_) {
     // Degenerate synchronous mode: fulfill immediately.
     std::promise<AnalysisResponse> promise;
     try {
-      promise.set_value(run(request));
+      promise.set_value(run_counted(api_, request));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
     return promise.get_future();
   }
   auto task = std::make_shared<std::packaged_task<AnalysisResponse()>>(
-      [this, request] { return run(request); });
+      [this, request] {
+        api::DatabaseAPI* worker = acquire_worker_api();
+        try {
+          AnalysisResponse response = run_counted(*worker, request);
+          release_worker_api(worker);
+          return response;
+        } catch (...) {
+          release_worker_api(worker);
+          throw;
+        }
+      });
   auto future = task->get_future();
   pool_->submit([task] { (*task)(); });
   return future;
@@ -60,14 +92,61 @@ std::vector<api::DatabaseAPI::AnalysisResult> AnalysisServer::browse(
   return api_.list_analysis_results(trial_id);
 }
 
-AnalysisResponse AnalysisServer::run(const AnalysisRequest& request) {
-  if (!api_.get_trial(request.trial_id)) {
+void AnalysisServer::wait_idle() {
+  std::unique_lock lock(state_mutex_);
+  idle_cv_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+std::size_t AnalysisServer::submitted_count() const {
+  std::lock_guard lock(state_mutex_);
+  return submitted_;
+}
+
+std::size_t AnalysisServer::completed_count() const {
+  std::lock_guard lock(state_mutex_);
+  return completed_;
+}
+
+api::DatabaseAPI* AnalysisServer::acquire_worker_api() {
+  std::lock_guard lock(state_mutex_);
+  // Never empty: the pool bounds concurrency to the number of APIs.
+  api::DatabaseAPI* api = idle_apis_.back();
+  idle_apis_.pop_back();
+  return api;
+}
+
+void AnalysisServer::release_worker_api(api::DatabaseAPI* api) {
+  std::lock_guard lock(state_mutex_);
+  idle_apis_.push_back(api);
+}
+
+AnalysisResponse AnalysisServer::run_counted(api::DatabaseAPI& api,
+                                             const AnalysisRequest& request) {
+  // Count completion for failures too; otherwise wait_idle() would hang
+  // after a rejected request.
+  try {
+    AnalysisResponse response = run(api, request);
+    std::lock_guard lock(state_mutex_);
+    ++completed_;
+    idle_cv_.notify_all();
+    return response;
+  } catch (...) {
+    std::lock_guard lock(state_mutex_);
+    ++completed_;
+    idle_cv_.notify_all();
+    throw;
+  }
+}
+
+AnalysisResponse AnalysisServer::run(api::DatabaseAPI& api,
+                                     const AnalysisRequest& request) {
+  if (!api.get_trial(request.trial_id)) {
     throw InvalidArgument("analysis request for unknown trial " +
                           std::to_string(request.trial_id));
   }
   // "the analysis server selects the data of interest, gets the relevant
   // profile data" — one full load per request; requests are independent.
-  profile::TrialData trial = api_.load_trial(request.trial_id);
+  profile::TrialData trial = api.load_trial(request.trial_id);
 
   AnalysisResponse response;
   response.kind = analysis_kind_name(request.kind);
@@ -193,7 +272,7 @@ AnalysisResponse AnalysisServer::run(const AnalysisRequest& request) {
   }
 
   // "the results are saved to the database, using the PerfDMF API."
-  response.result_id = api_.save_analysis_result(
+  response.result_id = api.save_analysis_result(
       request.trial_id, response.summary, response.kind, response.content);
   return response;
 }

@@ -14,11 +14,22 @@
 // in the ANALYSIS_RESULT extension table, and serves browse requests.
 // submit_async() runs requests on a worker pool, mirroring the detached
 // back-end of the paper.
+//
+// Each worker owns a lightweight Connection over the server's shared
+// Database, so requests on different workers — and concurrent browse
+// calls from client threads — overlap: the profile loads are read-only
+// and execute in parallel under the database's shared-read lock, with
+// only the final result insert serializing. Completion is published
+// under a mutex and signalled on a condition variable, giving clients a
+// happens-before edge between a request finishing and wait_idle() (or a
+// counter read) observing it.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,13 +83,34 @@ class AnalysisServer {
   /// Browse stored results for a trial (the client's result view).
   std::vector<api::DatabaseAPI::AnalysisResult> browse(std::int64_t trial_id);
 
+  /// Block until every request submitted (sync or async) so far has
+  /// completed; safe to call from any client thread.
+  void wait_idle();
+  std::size_t submitted_count() const;
+  std::size_t completed_count() const;
+
   api::DatabaseAPI& api() { return api_; }
 
  private:
-  AnalysisResponse run(const AnalysisRequest& request);
+  AnalysisResponse run(api::DatabaseAPI& api, const AnalysisRequest& request);
+  AnalysisResponse run_counted(api::DatabaseAPI& api,
+                               const AnalysisRequest& request);
 
-  api::DatabaseAPI api_;
+  api::DatabaseAPI* acquire_worker_api();
+  void release_worker_api(api::DatabaseAPI* api);
+
+  api::DatabaseAPI api_;  // serves submit() and browse() on caller threads
   std::unique_ptr<util::ThreadPool> pool_;
+
+  // One DatabaseAPI (with its own Connection over the shared Database)
+  // per worker; handed out to tasks so requests never share a handle.
+  std::vector<std::unique_ptr<api::DatabaseAPI>> worker_apis_;
+  std::vector<api::DatabaseAPI*> idle_apis_;  // guarded by state_mutex_
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
 };
 
 }  // namespace perfdmf::explorer

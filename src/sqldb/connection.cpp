@@ -6,6 +6,19 @@
 
 namespace perfdmf::sqldb {
 
+namespace {
+
+/// DML results are a one-cell affected-row count; unwrap it.
+std::size_t update_count(const ResultSetData& result) {
+  if (result.rows.size() == 1 && result.rows[0].size() == 1 &&
+      result.rows[0][0].type() == ValueType::kInt) {
+    return static_cast<std::size_t>(result.rows[0][0].as_int());
+  }
+  return result.rows.size();
+}
+
+}  // namespace
+
 // ------------------------------------------------------------- ResultSet
 
 ResultSet::ResultSet(ResultSetData data) : data_(std::move(data)) {}
@@ -85,35 +98,28 @@ void PreparedStatement::clear_parameters() {
 }
 
 ResultSet PreparedStatement::execute_query() {
-  std::lock_guard lock(connection_.mutex());
-  return ResultSet(connection_.database().execute(statement_, params_, sql_));
+  return ResultSet(connection_.run_statement(statement_, params_, sql_));
 }
 
 std::size_t PreparedStatement::execute_update() {
-  std::lock_guard lock(connection_.mutex());
-  ResultSetData result = connection_.database().execute(statement_, params_, sql_);
-  if (result.rows.size() == 1 && result.rows[0].size() == 1 &&
-      result.rows[0][0].type() == ValueType::kInt) {
-    return static_cast<std::size_t>(result.rows[0][0].as_int());
-  }
-  return result.rows.size();
+  return update_count(connection_.run_statement(statement_, params_, sql_));
 }
 
 // ------------------------------------------------------ DatabaseMetaData
 
 std::vector<std::string> DatabaseMetaData::get_tables() {
-  std::lock_guard lock(connection_.mutex());
+  StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
   return connection_.database().table_names();
 }
 
 std::vector<std::string> DatabaseMetaData::get_views() {
-  std::lock_guard lock(connection_.mutex());
+  StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
   return connection_.database().view_names();
 }
 
 std::vector<DatabaseMetaData::ColumnInfo> DatabaseMetaData::get_columns(
     const std::string& table) {
-  std::lock_guard lock(connection_.mutex());
+  StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
   const Table& t = connection_.database().table(table);
   std::vector<ColumnInfo> out;
   out.reserve(t.schema().columns().size());
@@ -125,7 +131,7 @@ std::vector<DatabaseMetaData::ColumnInfo> DatabaseMetaData::get_columns(
 
 std::vector<DatabaseMetaData::ForeignKeyInfo> DatabaseMetaData::get_foreign_keys(
     const std::string& table) {
-  std::lock_guard lock(connection_.mutex());
+  StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
   const Table& t = connection_.database().table(table);
   std::vector<ForeignKeyInfo> out;
   for (const auto& fk : t.schema().foreign_keys()) {
@@ -136,43 +142,115 @@ std::vector<DatabaseMetaData::ForeignKeyInfo> DatabaseMetaData::get_foreign_keys
 
 // ------------------------------------------------------------ Connection
 
-Connection::Connection() : database_(std::make_unique<Database>()) {}
+Connection::Connection() : database_(std::make_shared<Database>()) {}
 
 Connection::Connection(const std::filesystem::path& directory)
-    : database_(std::make_unique<Database>(directory)) {}
+    : database_(std::make_shared<Database>(directory)) {}
+
+Connection::Connection(std::shared_ptr<Database> database)
+    : database_(std::move(database)) {
+  if (!database_) throw InvalidArgument("Connection over a null database");
+}
+
+ResultSetData Connection::run_statement(Statement& stmt, const Params& params,
+                                        std::string_view sql) {
+  LockManager& locks = database_->locks();
+  const StatementClass cls = classify_statement(stmt);
+
+  if (locks.owned_by_this_thread()) {
+    // Inside this thread's transaction: the exclusive lock is already
+    // held, so every statement passes straight through. COMMIT/ROLLBACK
+    // ends the transaction and releases (even the failure paths inside
+    // Database keep the transaction closed, so release unconditionally).
+    if (cls == StatementClass::kTxnEnd) {
+      ResultSetData result;
+      try {
+        result = database_->execute(stmt, params, sql);
+      } catch (...) {
+        locks.release_transaction();
+        throw;
+      }
+      locks.release_transaction();
+      return result;
+    }
+    return database_->execute(stmt, params, sql);
+  }
+
+  if (cls == StatementClass::kTxnBegin) {
+    locks.acquire_transaction();
+    try {
+      return database_->execute(stmt, params, sql);
+    } catch (...) {
+      locks.release_transaction();
+      throw;
+    }
+  }
+
+  // kTxnEnd without an owned transaction still locks exclusively so the
+  // "COMMIT without BEGIN" diagnostic reads transaction state safely.
+  StatementGuard guard(locks, cls == StatementClass::kRead);
+  return database_->execute(stmt, params, sql);
+}
 
 ResultSet Connection::execute(std::string_view sql, const Params& params) {
-  std::lock_guard lock(mutex_);
-  return ResultSet(database_->execute(sql, params));
+  Statement stmt = parse_statement(sql);  // parsing needs no lock
+  return ResultSet(run_statement(stmt, params, sql));
 }
 
 std::size_t Connection::execute_update(std::string_view sql, const Params& params) {
-  std::lock_guard lock(mutex_);
-  ResultSetData result = database_->execute(sql, params);
-  if (result.rows.size() == 1 && result.rows[0].size() == 1 &&
-      result.rows[0][0].type() == ValueType::kInt) {
-    return static_cast<std::size_t>(result.rows[0][0].as_int());
-  }
-  return result.rows.size();
+  Statement stmt = parse_statement(sql);
+  return update_count(run_statement(stmt, params, sql));
 }
 
 void Connection::begin() {
-  std::lock_guard lock(mutex_);
-  database_->begin();
+  LockManager& locks = database_->locks();
+  if (locks.owned_by_this_thread()) {
+    database_->begin();  // reports "nested transactions are not supported"
+    return;
+  }
+  locks.acquire_transaction();
+  try {
+    database_->begin();
+  } catch (...) {
+    locks.release_transaction();
+    throw;
+  }
 }
 
 void Connection::commit() {
-  std::lock_guard lock(mutex_);
-  database_->commit();
+  LockManager& locks = database_->locks();
+  if (!locks.owned_by_this_thread()) {
+    StatementGuard guard(locks, /*read_only=*/false);
+    database_->commit();  // reports "COMMIT without BEGIN"
+    return;
+  }
+  try {
+    database_->commit();
+  } catch (...) {
+    locks.release_transaction();
+    throw;
+  }
+  locks.release_transaction();
 }
 
 void Connection::rollback() {
-  std::lock_guard lock(mutex_);
-  database_->rollback();
+  LockManager& locks = database_->locks();
+  if (!locks.owned_by_this_thread()) {
+    StatementGuard guard(locks, /*read_only=*/false);
+    database_->rollback();  // reports "ROLLBACK without BEGIN"
+    return;
+  }
+  try {
+    database_->rollback();
+  } catch (...) {
+    locks.release_transaction();
+    throw;
+  }
+  locks.release_transaction();
 }
 
 void Connection::checkpoint() {
-  std::lock_guard lock(mutex_);
+  StatementGuard guard(database_->locks(), /*read_only=*/false);
   database_->checkpoint();
 }
 

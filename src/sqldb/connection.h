@@ -6,12 +6,17 @@
 // binding, ResultSet cursors, and DatabaseMetaData column reflection
 // (the getMetaData() mechanism behind the flexible schema, paper §3.2).
 //
-// A Connection serializes all access to its Database with a mutex, so one
-// database may be shared by several threads of an analysis tool.
+// Concurrency: a Connection coordinates with every other connection to
+// the same Database through the database's LockManager. Statements are
+// classified at prepare/parse time; SELECTs take the lock shared so
+// read-only queries from different connections (or threads) execute in
+// parallel, while DML/DDL/transactions serialize exclusively. Several
+// lightweight connections may share one Database (the multi-client
+// analysis-server deployment); a single Connection may also still be
+// shared by several threads, as before.
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +63,8 @@ class ResultSet {
 class Connection;
 
 /// A pre-parsed statement with '?' parameter binding (1-based setters).
+/// A PreparedStatement belongs to the thread using it (its AST is bound
+/// in place during execution); share the Connection, not the statement.
 class PreparedStatement {
  public:
   PreparedStatement(Connection& connection, std::string sql);
@@ -74,6 +81,11 @@ class PreparedStatement {
   std::size_t execute_update();
 
   std::size_t parameter_count() const { return statement_.placeholder_count; }
+
+  /// Whether this statement only reads (classified once, at parse time).
+  bool is_read_only() const {
+    return classify_statement(statement_) == StatementClass::kRead;
+  }
 
  private:
   Connection& connection_;
@@ -115,6 +127,11 @@ class Connection {
   Connection();
   /// File-backed database at `directory` (created / recovered).
   explicit Connection(const std::filesystem::path& directory);
+  /// Lightweight connection over an existing (shared) database. All
+  /// connections to one Database coordinate through its lock manager,
+  /// so read-only statements from different connections run in parallel
+  /// while writes serialize.
+  explicit Connection(std::shared_ptr<Database> database);
 
   /// Execute SQL directly; use for DDL and one-off queries.
   ResultSet execute(std::string_view sql, const Params& params = {});
@@ -126,19 +143,26 @@ class Connection {
 
   DatabaseMetaData get_meta_data() { return DatabaseMetaData(*this); }
 
+  /// Transactions hold the database's exclusive lock from begin() to
+  /// commit()/rollback() and are thread-affine: finish a transaction on
+  /// the thread that began it.
   void begin();
   void commit();
   void rollback();
   void checkpoint();
 
   Database& database() { return *database_; }
-  std::mutex& mutex() { return mutex_; }
+  /// The shared database handle, for opening sibling connections.
+  const std::shared_ptr<Database>& database_ptr() const { return database_; }
 
  private:
   friend class PreparedStatement;
 
-  std::unique_ptr<Database> database_;
-  std::mutex mutex_;
+  /// Classify, take the right lock, and execute.
+  ResultSetData run_statement(Statement& stmt, const Params& params,
+                              std::string_view sql);
+
+  std::shared_ptr<Database> database_;
 };
 
 }  // namespace perfdmf::sqldb

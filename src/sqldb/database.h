@@ -3,9 +3,12 @@
 // for the external RDBMS (PostgreSQL / MySQL / Oracle / DB2) the paper's
 // Java implementation connects to.
 //
-// Concurrency: Database is externally synchronized — the Connection layer
-// serializes access with a mutex, matching PerfDMF's usage (one analysis
-// process, many sequential queries).
+// Concurrency: Database is externally synchronized through its
+// LockManager — the Connection layer classifies each statement and takes
+// the lock shared (SELECT) or exclusive (DML/DDL/transactions), so one
+// database may be shared by several connections with read-only queries
+// executing in parallel (the shared-repository deployment of the paper's
+// PerfExplorer back end).
 #pragma once
 
 #include <filesystem>
@@ -17,6 +20,7 @@
 
 #include "sqldb/ast.h"
 #include "sqldb/executor.h"
+#include "sqldb/lock_manager.h"
 #include "sqldb/table.h"
 
 namespace perfdmf::sqldb {
@@ -67,6 +71,12 @@ class Database {
 
   bool is_persistent() const { return wal_ != nullptr; }
 
+  /// Reader-writer lock coordinating every Connection over this database.
+  /// The Database itself never locks (recursive execution — view
+  /// expansion, WAL replay — must not self-deadlock); callers hold the
+  /// appropriate lock around execute()/begin()/commit()/checkpoint().
+  LockManager& locks() { return locks_; }
+
  private:
   friend ResultSetData execute_select(Database&, SelectStatement&, const Params&);
 
@@ -110,6 +120,8 @@ class Database {
   std::unique_ptr<Wal> wal_;
   std::filesystem::path directory_;
   bool replaying_ = false;  // suppress WAL writes during recovery
+
+  LockManager locks_;
 };
 
 }  // namespace perfdmf::sqldb

@@ -1,0 +1,29 @@
+#include "sqldb/lock_manager.h"
+
+namespace perfdmf::sqldb {
+
+StatementClass classify_statement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return StatementClass::kRead;
+    case StatementKind::kBegin:
+      return StatementClass::kTxnBegin;
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return StatementClass::kTxnEnd;
+    case StatementKind::kInsert:
+    case StatementKind::kUpdate:
+    case StatementKind::kDelete:
+    case StatementKind::kCreateTable:
+    case StatementKind::kDropTable:
+    case StatementKind::kCreateView:
+    case StatementKind::kDropView:
+    case StatementKind::kAlterAddColumn:
+    case StatementKind::kAlterDropColumn:
+    case StatementKind::kCreateIndex:
+      return StatementClass::kWrite;
+  }
+  return StatementClass::kWrite;  // unreachable; conservative default
+}
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,123 @@
+// Reader-writer concurrency for the sqldb engine.
+//
+// One LockManager guards one Database. Statements are classified once
+// (at parse time, from the AST) into read-only and mutating kinds:
+// SELECTs take the lock shared so any number of read-only queries run
+// in parallel, while DML, DDL, and checkpoints take it exclusive. A
+// transaction holds the exclusive lock from BEGIN to COMMIT/ROLLBACK,
+// so other connections observe either the pre-begin or the post-commit
+// state — never a partially applied transaction.
+//
+// Transactions are thread-affine: the thread that issues BEGIN owns the
+// exclusive lock and must issue the matching COMMIT/ROLLBACK. While a
+// thread owns a transaction, all of its statements (on any connection
+// to the same database) pass through without re-locking.
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+#include "sqldb/ast.h"
+
+namespace perfdmf::sqldb {
+
+/// How a statement interacts with the database lock.
+enum class StatementClass {
+  kRead,      // SELECT: shared lock for the statement
+  kWrite,     // DML / DDL: exclusive lock for the statement
+  kTxnBegin,  // BEGIN: acquire exclusive, hold across statements
+  kTxnEnd,    // COMMIT / ROLLBACK: release the transaction's lock
+};
+
+StatementClass classify_statement(const Statement& stmt);
+
+/// Lock acquisition policy. kSerialized reproduces the old behaviour
+/// (one global mutex, every statement exclusive); it exists so the
+/// benchmarks can measure the read-scalability win and must only be
+/// switched while no statement is in flight.
+enum class ConcurrencyMode {
+  kSharedRead,  // readers in parallel (default)
+  kSerialized,  // legacy: every statement exclusive
+};
+
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  void lock_shared() { rw_.lock_shared(); }
+  void unlock_shared() { rw_.unlock_shared(); }
+  void lock() { rw_.lock(); }
+  void unlock() { rw_.unlock(); }
+
+  /// BEGIN: take the exclusive lock and record the owning thread so the
+  /// transaction's own statements pass through without re-locking.
+  void acquire_transaction() {
+    rw_.lock();
+    txn_owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  }
+
+  /// COMMIT / ROLLBACK: drop ownership and release. Must run on the
+  /// thread that acquired the transaction.
+  void release_transaction() {
+    txn_owner_.store(std::thread::id{}, std::memory_order_release);
+    rw_.unlock();
+  }
+
+  bool owned_by_this_thread() const {
+    return txn_owner_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+  void set_mode(ConcurrencyMode mode) {
+    mode_.store(mode, std::memory_order_relaxed);
+  }
+  ConcurrencyMode mode() const {
+    return mode_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_mutex rw_;
+  std::atomic<std::thread::id> txn_owner_{};
+  std::atomic<ConcurrencyMode> mode_{ConcurrencyMode::kSharedRead};
+};
+
+/// RAII statement-scope guard. Takes the lock shared for read-only
+/// statements (exclusive when the manager is serialized), exclusive for
+/// mutating ones, and nothing at all when the calling thread already
+/// owns the database's transaction lock.
+class StatementGuard {
+ public:
+  StatementGuard(LockManager& locks, bool read_only) : locks_(locks) {
+    if (locks_.owned_by_this_thread()) {
+      held_ = Held::kNone;
+    } else if (read_only && locks_.mode() == ConcurrencyMode::kSharedRead) {
+      locks_.lock_shared();
+      held_ = Held::kShared;
+    } else {
+      locks_.lock();
+      held_ = Held::kExclusive;
+    }
+  }
+
+  ~StatementGuard() {
+    switch (held_) {
+      case Held::kNone: break;
+      case Held::kShared: locks_.unlock_shared(); break;
+      case Held::kExclusive: locks_.unlock(); break;
+    }
+  }
+
+  StatementGuard(const StatementGuard&) = delete;
+  StatementGuard& operator=(const StatementGuard&) = delete;
+
+ private:
+  enum class Held { kNone, kShared, kExclusive };
+
+  LockManager& locks_;
+  Held held_ = Held::kNone;
+};
+
+}  // namespace perfdmf::sqldb

@@ -29,9 +29,20 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(packaged));
+    ++in_flight_;
   }
   cv_.notify_one();
   return future;
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -65,6 +76,11 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     task();  // exceptions are captured in the packaged_task's future
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
   }
 }
 

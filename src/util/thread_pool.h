@@ -31,6 +31,14 @@ class ThreadPool {
   /// Enqueue a task; the returned future rethrows any task exception.
   std::future<void> submit(std::function<void()> task);
 
+  /// Tasks submitted but not yet finished (queued + running).
+  std::size_t pending() const;
+
+  /// Block until every task submitted so far has finished. The wait
+  /// synchronizes with task completion (mutex + condition variable), so
+  /// effects of finished tasks happen-before the return.
+  void wait_idle();
+
   /// Run fn(i) for i in [begin, end) across the pool, blocking until all
   /// iterations finish. Static block partitioning; exceptions from any
   /// block are rethrown (first one wins).
@@ -42,8 +50,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // queued + running
   bool stop_ = false;
 };
 

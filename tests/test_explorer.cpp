@@ -1,6 +1,9 @@
 // Tests for the PerfExplorer analysis server (paper §5.3, Fig. 3).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "analysis/kmeans.h"
 #include "api/database_session.h"
 #include "explorer/analysis_server.h"
@@ -142,6 +145,73 @@ TEST_F(ExplorerTest, DeterministicForSeed) {
 }  // namespace
 
 namespace {
+
+TEST_F(ExplorerTest, CompletionHappensBeforeWaitIdleReturns) {
+  // Regression: completion used to be published only through the future,
+  // so a thread observing server state after another thread's submission
+  // had no happens-before edge with the worker that ran the request.
+  // wait_idle()/completed_count() now synchronize on the server's state
+  // mutex, so after wait_idle() every submitted request's effects —
+  // including its stored result row — must be visible.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        for (int i = 0; i < kPerClient; ++i) {
+          AnalysisRequest request;
+          request.trial_id = trial_id;
+          request.kind = c % 2 == 0 ? AnalysisKind::kDescriptive
+                                    : AnalysisKind::kImbalance;
+          server.submit_async(request);  // future intentionally dropped
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.wait_idle();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.submitted_count(),
+            static_cast<std::size_t>(kClients * kPerClient));
+  EXPECT_EQ(server.completed_count(), server.submitted_count());
+  // Every stored result is visible from the client thread.
+  EXPECT_EQ(server.browse(trial_id).size(),
+            static_cast<std::size_t>(kClients * kPerClient));
+}
+
+TEST_F(ExplorerTest, ConcurrentBrowseDuringAsyncAnalysis) {
+  // Browse requests come from client threads while workers are busy;
+  // both sides read through their own connections under the shared lock.
+  std::vector<std::future<AnalysisResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    AnalysisRequest request;
+    request.trial_id = trial_id;
+    request.kind = AnalysisKind::kDescriptive;
+    futures.push_back(server.submit_async(request));
+  }
+  std::atomic<int> failures{0};
+  std::thread browser([&] {
+    try {
+      std::size_t last = 0;
+      for (int i = 0; i < 50; ++i) {
+        const std::size_t n = server.browse(trial_id).size();
+        if (n < last) ++failures;  // results only accumulate
+        last = n;
+      }
+    } catch (...) {
+      ++failures;
+    }
+  });
+  for (auto& f : futures) EXPECT_GT(f.get().result_id, 0);
+  browser.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.wait_idle();
+  EXPECT_EQ(server.browse(trial_id).size(), 6u);
+}
 
 TEST_F(ExplorerTest, ImbalanceAnalysisKind) {
   AnalysisRequest request;

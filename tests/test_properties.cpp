@@ -8,7 +8,10 @@
 //  - summaries and algebra obey algebraic identities on random trials
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <optional>
+#include <thread>
 
 #include "analysis/algebra.h"
 #include "api/database_session.h"
@@ -399,6 +402,121 @@ TEST_P(AggregateProperty, SqlAggregatesMatchManualComputation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AggregateProperty, ::testing::Values(7, 8, 9));
+
+// ------------------------- randomized transaction interleavings
+
+namespace {
+
+// One randomized run: `conns` threads, each with its own Connection over
+// a shared Database, each executing `txns` transactions of random
+// inserts/updates ending in a commit-or-rollback coin flip. Returns an
+// error description if an invariant broke, nullopt on success. All
+// randomness derives from `seed`, so a failing (seed, conns, txns)
+// triple replays the same workload (though not the same interleaving).
+std::optional<std::string> run_txn_interleaving(std::uint64_t seed, int conns,
+                                                int txns) {
+  auto database = std::make_shared<sqldb::Database>();
+  sqldb::Connection setup(database);
+  setup.execute_update(
+      "CREATE TABLE acct (id INTEGER PRIMARY KEY, k INTEGER, v REAL)");
+  setup.execute_update("CREATE INDEX idx_acct_k ON acct (k)");
+
+  std::vector<std::int64_t> committed_inserts(static_cast<std::size_t>(conns));
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        sqldb::Connection conn(database);
+        util::Rng rng(seed * 1000 + static_cast<std::uint64_t>(c));
+        auto insert = conn.prepare("INSERT INTO acct (k, v) VALUES (?, ?)");
+        auto update = conn.prepare("UPDATE acct SET v = v + 1 WHERE k = ?");
+        std::int64_t committed = 0;
+        for (int t = 0; t < txns; ++t) {
+          conn.begin();
+          std::int64_t inserted = 0;
+          const int ops = 1 + static_cast<int>(rng.next_below(5));
+          for (int op = 0; op < ops; ++op) {
+            if (rng.next_below(3) != 0) {
+              insert.set_int(1, static_cast<std::int64_t>(rng.next_below(10)));
+              insert.set_double(2, rng.uniform(0.0, 10.0));
+              inserted += static_cast<std::int64_t>(insert.execute_update());
+            } else {
+              update.set_int(1, static_cast<std::int64_t>(rng.next_below(10)));
+              update.execute_update();  // row count unchanged
+            }
+          }
+          if (rng.next_below(2) == 0) {
+            conn.commit();
+            committed += inserted;
+          } else {
+            conn.rollback();
+          }
+        }
+        committed_inserts[static_cast<std::size_t>(c)] = committed;
+      } catch (...) {
+        ++errors;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (errors.load() != 0) return "a connection thread threw";
+
+  std::int64_t expected = 0;
+  for (std::int64_t d : committed_inserts) expected += d;
+  auto rs = setup.execute("SELECT COUNT(*) FROM acct");
+  rs.next();
+  const std::int64_t total = rs.get_int(1);
+  if (total != expected) {
+    return "row count " + std::to_string(total) + " != sum of committed " +
+           "insert deltas " + std::to_string(expected);
+  }
+  // Index consistency: the per-key point counts (index path) must
+  // partition the table (scan path).
+  std::int64_t by_key = 0;
+  auto point = setup.prepare("SELECT COUNT(*) FROM acct WHERE k = ?");
+  for (int k = 0; k < 10; ++k) {
+    point.set_int(1, k);
+    auto krs = point.execute_query();
+    krs.next();
+    by_key += krs.get_int(1);
+  }
+  if (by_key != total) {
+    return "index point counts sum to " + std::to_string(by_key) +
+           " but table scan counts " + std::to_string(total);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+class TxnInterleavingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TxnInterleavingProperty, CommittedDeltasAndIndexesStayConsistent) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const int conns = 2 + GetParam() % 7;  // 2..8 connections
+  const int txns = 12;
+
+  auto failure = run_txn_interleaving(seed, conns, txns);
+  if (!failure) return;
+
+  // Shrink: halve the transactions-per-thread while the failure
+  // reproduces, then report the minimal failing size with its seed.
+  int size = txns;
+  while (size > 1) {
+    const int smaller = size / 2;
+    auto shrunk = run_txn_interleaving(seed, conns, smaller);
+    if (!shrunk) break;
+    size = smaller;
+    failure = shrunk;
+  }
+  ADD_FAILURE() << "invariant violated (seed=" << seed << " conns=" << conns
+                << " txns_per_thread=" << size
+                << " — minimal reproducer): " << *failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnInterleavingProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 // ------------------------------- all formats: structural round trip
 
