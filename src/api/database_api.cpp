@@ -29,6 +29,43 @@ bool is_core(const std::string& column, const std::vector<std::string>& core) {
   return false;
 }
 
+/// RAII transaction for multi-statement read-modify-write sequences that
+/// must not interleave with writers on sibling connections (the exclusive
+/// lock is held from begin() to commit()). Joins an enclosing transaction
+/// when the calling thread already owns one — the outer owner commits —
+/// and rolls back on destruction if commit() was never reached.
+class ScopedTransaction {
+ public:
+  explicit ScopedTransaction(sqldb::Connection& connection)
+      : connection_(connection),
+        owned_(!connection.database().locks().owned_by_this_thread()) {
+    if (owned_) connection_.begin();
+  }
+
+  ~ScopedTransaction() {
+    if (owned_ && !done_) {
+      try {
+        connection_.rollback();
+      } catch (...) {
+        // Unwinding already; the original exception carries the cause.
+      }
+    }
+  }
+
+  void commit() {
+    if (owned_) connection_.commit();
+    done_ = true;
+  }
+
+  ScopedTransaction(const ScopedTransaction&) = delete;
+  ScopedTransaction& operator=(const ScopedTransaction&) = delete;
+
+ private:
+  sqldb::Connection& connection_;
+  bool owned_;
+  bool done_ = false;
+};
+
 }  // namespace
 
 DatabaseAPI::DatabaseAPI(std::shared_ptr<sqldb::Connection> connection)
@@ -54,6 +91,14 @@ void DatabaseAPI::save_row_with_fields(
     const std::string& table,
     const std::vector<std::pair<std::string, Value>>& core_values,
     std::int64_t& id, const profile::Metadata& fields, bool extend_schema) {
+  // The reflect → extend → write sequence below is a check-then-act:
+  // without a transaction, two connections saving rows with the same new
+  // metadata column can both see it missing and both ALTER, and the
+  // MAX(id) fetch after the INSERT can read a row another connection just
+  // assigned. The transaction holds the exclusive lock across the whole
+  // sequence, making it atomic against sibling connections.
+  ScopedTransaction txn(*connection_);
+
   // Discover the live column set (flexible schema, paper §3.2).
   auto meta = connection_->get_meta_data();
   auto columns = meta.get_columns(table);
@@ -100,8 +145,8 @@ void DatabaseAPI::save_row_with_fields(
       stmt.set_value(i + 1, writes[i].second);
     }
     stmt.execute_update();
-    // Fetch the id just assigned (max id is safe under the connection mutex
-    // for this single-writer framework).
+    // Fetch the id just assigned (safe: the surrounding transaction holds
+    // the exclusive lock across the INSERT and this read).
     auto rs = connection_->execute("SELECT MAX(id) FROM " + table);
     rs.next();
     id = rs.get_int(1);
@@ -121,6 +166,8 @@ void DatabaseAPI::save_row_with_fields(
       throw DbError("no row with id " + std::to_string(id) + " in " + table);
     }
   }
+
+  txn.commit();
 }
 
 // ------------------------------------------------------------ application
@@ -759,6 +806,11 @@ std::int64_t DatabaseAPI::save_analysis_result(std::int64_t trial_id,
                                                const std::string& name,
                                                const std::string& kind,
                                                const std::string& content) {
+  // AnalysisServer workers insert results concurrently over sibling
+  // connections; the transaction keeps the INSERT and the id fetch from
+  // interleaving with another worker's insert (which would hand this
+  // request someone else's result_id).
+  ScopedTransaction txn(*connection_);
   auto stmt = connection_->prepare(
       "INSERT INTO analysis_result (trial, name, kind, content)"
       " VALUES (?, ?, ?, ?)");
@@ -769,7 +821,9 @@ std::int64_t DatabaseAPI::save_analysis_result(std::int64_t trial_id,
   stmt.execute_update();
   auto rs = connection_->execute("SELECT MAX(id) FROM analysis_result");
   rs.next();
-  return rs.get_int(1);
+  const std::int64_t id = rs.get_int(1);
+  txn.commit();
+  return id;
 }
 
 std::vector<DatabaseAPI::AnalysisResult> DatabaseAPI::list_analysis_results(

@@ -56,11 +56,11 @@ AnalysisResponse AnalysisServer::submit(const AnalysisRequest& request) {
 
 std::future<AnalysisResponse> AnalysisServer::submit_async(
     const AnalysisRequest& request) {
-  {
-    std::lock_guard lock(state_mutex_);
-    ++submitted_;
-  }
   if (!pool_) {
+    {
+      std::lock_guard lock(state_mutex_);
+      ++submitted_;
+    }
     // Degenerate synchronous mode: fulfill immediately.
     std::promise<AnalysisResponse> promise;
     try {
@@ -83,7 +83,22 @@ std::future<AnalysisResponse> AnalysisServer::submit_async(
         }
       });
   auto future = task->get_future();
-  pool_->submit([task] { (*task)(); });
+  // Count the request before enqueueing (the task may complete before we
+  // could count it afterwards), but roll the count back if the enqueue
+  // itself fails — a submitted_ with no matching completion would wedge
+  // every later wait_idle().
+  {
+    std::lock_guard lock(state_mutex_);
+    ++submitted_;
+  }
+  try {
+    pool_->submit([task] { (*task)(); });
+  } catch (...) {
+    std::lock_guard lock(state_mutex_);
+    --submitted_;
+    idle_cv_.notify_all();
+    throw;
+  }
   return future;
 }
 

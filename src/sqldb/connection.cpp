@@ -1,5 +1,7 @@
 #include "sqldb/connection.h"
 
+#include <cassert>
+
 #include "sqldb/parser.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -74,7 +76,25 @@ PreparedStatement::PreparedStatement(Connection& connection, std::string sql)
   params_.resize(statement_.placeholder_count);
 }
 
+void PreparedStatement::debug_claim_thread() {
+#ifndef NDEBUG
+  // Statements are thread-affine (the AST is bound in place during
+  // execution); the connection mutex no longer serializes them, so a
+  // statement shared across threads is a silent data race. Catch it in
+  // debug builds: the first thread to bind or execute owns the statement.
+  std::thread::id expected{};
+  const std::thread::id self = std::this_thread::get_id();
+  if (!owner_thread_.compare_exchange_strong(expected, self,
+                                             std::memory_order_relaxed) &&
+      expected != self) {
+    assert(!"PreparedStatement used from multiple threads; "
+            "share the Connection, not the statement");
+  }
+#endif
+}
+
 void PreparedStatement::set_value(std::size_t index, Value value) {
+  debug_claim_thread();
   if (index < 1 || index > params_.size()) {
     throw DbError("bind index " + std::to_string(index) + " out of range 1.." +
                   std::to_string(params_.size()));
@@ -98,10 +118,12 @@ void PreparedStatement::clear_parameters() {
 }
 
 ResultSet PreparedStatement::execute_query() {
+  debug_claim_thread();
   return ResultSet(connection_.run_statement(statement_, params_, sql_));
 }
 
 std::size_t PreparedStatement::execute_update() {
+  debug_claim_thread();
   return update_count(connection_.run_statement(statement_, params_, sql_));
 }
 

@@ -16,9 +16,11 @@
 // shared by several threads, as before.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sqldb/ast.h"
@@ -88,10 +90,16 @@ class PreparedStatement {
   }
 
  private:
+  /// Debug-build enforcement of the thread-affinity rule above: the
+  /// first thread to bind or execute becomes the owner; any other thread
+  /// trips an assertion (catches cross-thread sharing without TSan).
+  void debug_claim_thread();
+
   Connection& connection_;
   std::string sql_;
   Statement statement_;
   Params params_;
+  std::atomic<std::thread::id> owner_thread_{};
 };
 
 /// Reflection over the catalog, mirroring java.sql.DatabaseMetaData.

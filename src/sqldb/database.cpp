@@ -99,13 +99,13 @@ ResultSetData Database::execute_parsed(Statement& stmt, const Params& params,
     case StatementKind::kAlterAddColumn: {
       Table& t = table(stmt.alter.table);
       t.add_column(stmt.alter.column);
-      log_statement(sql, params);
+      log_ddl(sql, params);
       return count_result(0);
     }
     case StatementKind::kAlterDropColumn: {
       Table& t = table(stmt.alter.table);
       t.drop_column(stmt.alter.column_name);
-      log_statement(sql, params);
+      log_ddl(sql, params);
       return count_result(0);
     }
     case StatementKind::kCreateIndex:
@@ -500,6 +500,15 @@ void Database::log_statement(std::string_view sql, const Params& params) {
   } else {
     wal_->append(sql, params);
   }
+}
+
+void Database::log_ddl(std::string_view sql, const Params& params) {
+  // Schema changes are not transactional (rollback does not undo them),
+  // so their WAL records bypass the transaction buffer: an ALTER inside a
+  // transaction that later rolls back must still be durable, or the
+  // recovered schema would diverge from the live one.
+  if (!wal_ || replaying_) return;
+  wal_->append(sql, params);
 }
 
 // ------------------------------------------------------------ persistence

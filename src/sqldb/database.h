@@ -102,6 +102,10 @@ class Database {
   void check_foreign_keys_delete(const Table& table, const Row& row);
 
   void log_statement(std::string_view sql, const Params& params);
+  /// WAL-log a schema change immediately, bypassing the transaction
+  /// buffer (DDL is not undone by rollback, so it must not be lost with
+  /// a rolled-back batch).
+  void log_ddl(std::string_view sql, const Params& params);
   void undo_push(UndoRecord record);
   void apply_undo();
 

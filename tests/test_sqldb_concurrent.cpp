@@ -11,8 +11,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "api/database_api.h"
@@ -255,6 +257,86 @@ TEST(SqldbConcurrent, MixedQueryShapesAgainstProfileArchive) {
   auto rs = writer.execute("SELECT COUNT(*) FROM analysis_result");
   rs.next();
   EXPECT_EQ(rs.get_int(1), 20 * 4);
+}
+
+TEST(SqldbConcurrent, ConcurrentWritersGetDistinctIds) {
+  // Regression (review): save_analysis_result and save_row_with_fields
+  // used to run INSERT and SELECT MAX(id) as two separate lock scopes, so
+  // writers on sibling connections could interleave between them and one
+  // request would receive another's id; the same window let two writers
+  // both decide to ALTER the same metadata column in. Both sequences now
+  // run inside a transaction.
+  auto connection = std::make_shared<sqldb::Connection>();
+  api::DatabaseAPI api(connection);
+  profile::Application app;
+  app.name = "ids";
+  api.save_application(app);
+  profile::Experiment experiment;
+  experiment.application_id = app.id;
+  experiment.name = "e";
+  api.save_experiment(experiment);
+  io::synth::TrialSpec spec;
+  spec.nodes = 2;
+  spec.event_count = 3;
+  const std::int64_t trial_id =
+      api.upload_trial(io::synth::generate_trial(spec), experiment.id);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 25;
+  std::vector<std::vector<std::int64_t>> ids(kWriters);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      try {
+        api::DatabaseAPI worker(
+            std::make_shared<sqldb::Connection>(connection->database_ptr()));
+        // Every writer extends the application schema with the same new
+        // column: exactly one ALTER must win, the rest must see it.
+        profile::Application extended;
+        extended.name = "w" + std::to_string(w);
+        extended.fields["shared_note"] = "note" + std::to_string(w);
+        worker.save_application(extended, /*extend_schema=*/true);
+        for (int i = 0; i < kPerWriter; ++i) {
+          ids[static_cast<std::size_t>(w)].push_back(
+              worker.save_analysis_result(trial_id, "r", "test",
+                                          "w" + std::to_string(w)));
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  std::set<std::int64_t> unique;
+  for (const auto& per_writer : ids) {
+    for (std::int64_t id : per_writer) unique.insert(id);
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kWriters) * kPerWriter);
+
+  // Each returned id must address the row its writer stored.
+  std::unordered_map<std::int64_t, std::string> content_of;
+  for (const auto& result : api.list_analysis_results(trial_id)) {
+    content_of[result.id] = result.content;
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    for (std::int64_t id : ids[static_cast<std::size_t>(w)]) {
+      ASSERT_TRUE(content_of.count(id));
+      EXPECT_EQ(content_of[id], "w" + std::to_string(w));
+    }
+  }
+
+  // The shared metadata column exists (once) and every writer's note
+  // landed on its own application row.
+  for (const auto& stored : api.list_applications()) {
+    if (stored.name == "ids") continue;
+    ASSERT_TRUE(stored.fields.count("shared_note"));
+    EXPECT_EQ(stored.fields.at("shared_note"),
+              "note" + stored.name.substr(1));
+  }
 }
 
 TEST(SqldbConcurrent, ForkedSessionsReadInParallel) {
