@@ -12,6 +12,7 @@
 
 #include "sqldb/connection.h"
 #include "sqldb/database.h"
+#include "util/file.h"
 #include "util/timer.h"
 
 using namespace perfdmf::sqldb;
@@ -209,10 +210,58 @@ void report_concurrent_read_scaling() {
       shared_8 / serialized_8, std::thread::hardware_concurrency());
 }
 
+// ------------------------------ durability-mode commit throughput -----
+//
+// Commit cost of a file-backed database under each SyncMode: kAlways
+// fsyncs every WAL write, kOnCommit fsyncs once per transaction commit,
+// kNone leaves flushing to the OS. The table shows what the fsync-per-
+// commit durability guarantee costs on this machine's storage.
+double run_commit_throughput(SyncMode mode, int txns, int rows_per_txn) {
+  perfdmf::util::ScopedTempDir dir;
+  DurabilityOptions opts;
+  opts.sync = mode;
+  Connection conn(dir.path() / "db", opts);
+  conn.execute_update(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b REAL)");
+  conn.checkpoint();
+  auto stmt = conn.prepare("INSERT INTO t (a, b) VALUES (?, ?)");
+  perfdmf::util::WallTimer timer;
+  for (int txn = 0; txn < txns; ++txn) {
+    conn.begin();
+    for (int i = 0; i < rows_per_txn; ++i) {
+      stmt.set_int(1, txn);
+      stmt.set_double(2, static_cast<double>(i));
+      stmt.execute_update();
+    }
+    conn.commit();
+  }
+  return txns / timer.seconds();
+}
+
+void report_durability_modes() {
+  constexpr int kTxns = 100;
+  constexpr int kRowsPerTxn = 10;
+  std::printf("commit throughput by durability mode, %d txns x %d rows\n",
+              kTxns, kRowsPerTxn);
+  std::printf("  %-10s %14s\n", "sync", "commits/s");
+  const struct {
+    const char* name;
+    SyncMode mode;
+  } kModes[] = {{"always", SyncMode::kAlways},
+                {"on_commit", SyncMode::kOnCommit},
+                {"none", SyncMode::kNone}};
+  for (const auto& m : kModes) {
+    std::printf("  %-10s %14.0f\n", m.name,
+                run_commit_throughput(m.mode, kTxns, kRowsPerTxn));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   report_concurrent_read_scaling();
+  report_durability_modes();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -21,6 +21,12 @@ class DatabaseSession : public DataSession {
 
   DatabaseAPI& api() { return api_; }
 
+  /// What opening the archive's files found and did (crash recovery,
+  /// corrupt-log detection). Clean for in-memory archives.
+  const sqldb::RecoveryReport& recovery_report() const {
+    return api_.connection_ptr()->recovery_report();
+  }
+
   /// A lightweight sibling session over the same underlying database:
   /// a fresh Connection sharing this session's Database, carrying the
   /// current application/experiment/trial and filter selections.

@@ -364,12 +364,12 @@ void write_as_tau(const profile::TrialData& trial,
 
 void write_as_gprof(const profile::TrialData& trial,
                     const std::filesystem::path& file) {
-  util::write_file(file, render_gprof_report(trial));
+  util::write_file_atomic(file, render_gprof_report(trial), /*sync=*/false);
 }
 
 void write_as_mpip(const profile::TrialData& trial,
                    const std::filesystem::path& file) {
-  util::write_file(file, render_mpip_report(trial));
+  util::write_file_atomic(file, render_mpip_report(trial), /*sync=*/false);
 }
 
 void write_as_dynaprof(const profile::TrialData& trial,
@@ -380,8 +380,9 @@ void write_as_dynaprof(const profile::TrialData& trial,
     const profile::ThreadId& id = trial.threads()[t];
     const std::string name = "dynaprof." + std::to_string(id.node) + "." +
                              std::to_string(id.thread) + ".txt";
-    util::write_file(directory / name,
-                     render_dynaprof_report(trial, t, metric_name));
+    util::write_file_atomic(directory / name,
+                            render_dynaprof_report(trial, t, metric_name),
+                            /*sync=*/false);
   }
 }
 
@@ -391,7 +392,8 @@ void write_as_hpm(const profile::TrialData& trial,
   for (std::size_t t = 0; t < trial.threads().size(); ++t) {
     const std::string name =
         "hpm_" + std::to_string(trial.threads()[t].node) + ".txt";
-    util::write_file(directory / name, render_hpm_report(trial, t));
+    util::write_file_atomic(directory / name, render_hpm_report(trial, t),
+                            /*sync=*/false);
   }
 }
 
@@ -401,7 +403,8 @@ void write_as_psrun(const profile::TrialData& trial,
   for (std::size_t t = 0; t < trial.threads().size(); ++t) {
     const std::string name =
         "psrun." + std::to_string(trial.threads()[t].node) + ".xml";
-    util::write_file(directory / name, render_psrun_report(trial, t));
+    util::write_file_atomic(directory / name, render_psrun_report(trial, t),
+                            /*sync=*/false);
   }
 }
 

@@ -322,7 +322,10 @@ void write_tau_profiles(const profile::TrialData& trial,
       char filename[64];
       std::snprintf(filename, sizeof filename, "profile.%d.%d.%d", thread.node,
                     thread.context, thread.thread);
-      util::write_file(dir / filename, out);
+      // Atomic (tmp + rename) so a reader scanning the directory never
+      // sees a half-written profile; no fsync — exported profiles are
+      // regeneratable bulk output.
+      util::write_file_atomic(dir / filename, out, /*sync=*/false);
     }
   }
 }

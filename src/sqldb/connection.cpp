@@ -169,6 +169,10 @@ Connection::Connection() : database_(std::make_shared<Database>()) {}
 Connection::Connection(const std::filesystem::path& directory)
     : database_(std::make_shared<Database>(directory)) {}
 
+Connection::Connection(const std::filesystem::path& directory,
+                       const DurabilityOptions& options)
+    : database_(std::make_shared<Database>(directory, options)) {}
+
 Connection::Connection(std::shared_ptr<Database> database)
     : database_(std::move(database)) {
   if (!database_) throw InvalidArgument("Connection over a null database");

@@ -133,8 +133,12 @@ class Connection {
  public:
   /// In-memory database.
   Connection();
-  /// File-backed database at `directory` (created / recovered).
+  /// File-backed database at `directory` (created / recovered). What
+  /// recovery found — corrupt WAL records, a rescued snapshot, replay
+  /// failures — is in recovery_report().
   explicit Connection(const std::filesystem::path& directory);
+  Connection(const std::filesystem::path& directory,
+             const DurabilityOptions& options);
   /// Lightweight connection over an existing (shared) database. All
   /// connections to one Database coordinate through its lock manager,
   /// so read-only statements from different connections run in parallel
@@ -162,6 +166,11 @@ class Connection {
   Database& database() { return *database_; }
   /// The shared database handle, for opening sibling connections.
   const std::shared_ptr<Database>& database_ptr() const { return database_; }
+
+  /// What opening the database's files found (clean for in-memory).
+  const RecoveryReport& recovery_report() const {
+    return database_->recovery_report();
+  }
 
  private:
   friend class PreparedStatement;

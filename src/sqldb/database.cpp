@@ -4,7 +4,9 @@
 
 #include "sqldb/parser.h"
 #include "sqldb/wal.h"
+#include "util/crc32.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/file.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -13,6 +15,8 @@ namespace perfdmf::sqldb {
 
 namespace {
 constexpr const char* kSnapshotFile = "snapshot.pdb";
+constexpr const char* kSnapshotPrev = "snapshot.pdb.prev";
+constexpr const char* kSnapshotTmp = "snapshot.pdb.new";
 constexpr const char* kWalFile = "wal.log";
 
 ResultSetData count_result(std::size_t n) {
@@ -25,23 +29,77 @@ ResultSetData count_result(std::size_t n) {
 
 Database::Database() = default;
 
-Database::Database(const std::filesystem::path& directory) : directory_(directory) {
-  std::filesystem::create_directories(directory);
-  const auto snapshot = directory / kSnapshotFile;
-  if (std::filesystem::exists(snapshot)) load_snapshot(snapshot);
-  wal_ = std::make_unique<Wal>(directory / kWalFile);
-  replaying_ = true;
-  wal_->replay([this](const std::string& sql, const Params& params) {
+Database::Database(const std::filesystem::path& directory)
+    : Database(directory, DurabilityOptions::from_env()) {}
+
+Database::Database(const std::filesystem::path& directory,
+                   const DurabilityOptions& options)
+    : directory_(directory) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  // A leftover temp snapshot means a crash mid-checkpoint before the
+  // rename; it was never installed, so it is dead weight.
+  {
+    std::error_code ec;
+    fs::remove(directory / kSnapshotTmp, ec);
+  }
+
+  // Load the newest snapshot; fall back to the previous one when the
+  // newest is corrupt or missing-with-prev-present (crash between the
+  // two checkpoint renames).
+  std::uint64_t watermark = 0;
+  const fs::path snapshot = directory / kSnapshotFile;
+  const fs::path previous = directory / kSnapshotPrev;
+  if (fs::exists(snapshot)) {
     try {
-      execute(sql, params);
-    } catch (const Error& e) {
-      // A failed replayed statement means the WAL recorded something the
-      // snapshot already contains (or a bug); warn and continue so the
-      // archive stays usable.
-      util::log_warn() << "WAL replay: " << e.what();
+      watermark = load_snapshot(snapshot);
+    } catch (const ParseError& e) {
+      report_.snapshot_error = e.what();
+      clear_catalog();  // a partial load must not leak into the fallback
+      if (!fs::exists(previous)) throw;
+      watermark = load_snapshot(previous);
+      report_.used_previous_snapshot = true;
+      util::log_warn() << "snapshot " << snapshot.string()
+                       << " is corrupt (" << report_.snapshot_error
+                       << "); recovered from " << previous.string();
     }
-  });
+  } else if (fs::exists(previous)) {
+    watermark = load_snapshot(previous);
+    report_.used_previous_snapshot = true;
+    report_.snapshot_error = "newest snapshot missing (crash mid-checkpoint)";
+    util::log_warn() << "snapshot " << snapshot.string()
+                     << " missing; recovered from " << previous.string();
+  }
+
+  wal_ = std::make_unique<Wal>(directory / kWalFile, options.sync);
+  replaying_ = true;
+  const Wal::ReplayInfo info = wal_->replay(
+      [this](const std::string& sql, const Params& params) {
+        try {
+          execute(sql, params);
+        } catch (const Error& e) {
+          // A statement that was durable but no longer executes (schema
+          // drift, a bug): count it and keep going so the archive stays
+          // usable — the caller sees it in the recovery report.
+          ++report_.failed_statements;
+          report_.warnings.push_back(std::string("WAL replay: ") + e.what());
+          util::log_warn() << "WAL replay: " << e.what();
+        }
+      },
+      watermark);
   replaying_ = false;
+  report_.replayed_records = info.applied;
+  if (info.corrupt) {
+    report_.wal_corrupt = true;
+    report_.wal_corruption_offset = info.corruption_offset;
+    report_.discarded_records = info.discarded;
+    report_.wal_error = info.error;
+    util::log_error() << "WAL " << wal_->path().string()
+                      << " corrupt at offset " << info.corruption_offset << " ("
+                      << info.error << "); " << info.discarded
+                      << " later record(s) discarded";
+  }
+  wal_->set_next_seq(std::max(watermark, info.last_seq) + 1);
 }
 
 Database::~Database() {
@@ -70,6 +128,23 @@ ResultSetData Database::execute_parsed(Statement& stmt, const Params& params,
     throw DbError("statement needs " + std::to_string(stmt.placeholder_count) +
                   " parameters, got " + std::to_string(params.size()));
   }
+  // On a file-backed database, an autocommitted statement is a
+  // micro-transaction: if it fails part-way (FK violation on the third
+  // row of a multi-row INSERT, WAL append failure), its in-memory
+  // effects are undone so memory never diverges from the durable state.
+  const bool autocommit = !in_txn_ && wal_ && !replaying_;
+  try {
+    ResultSetData out = dispatch_statement(stmt, params, sql);
+    if (autocommit && !in_txn_) undo_log_.clear();
+    return out;
+  } catch (...) {
+    if (autocommit && !in_txn_) apply_undo();
+    throw;
+  }
+}
+
+ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params,
+                                           std::string_view sql) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
       return execute_select(*this, stmt.select, params);
@@ -445,11 +520,21 @@ void Database::begin() {
 
 void Database::commit() {
   if (!in_txn_) throw DbError("COMMIT without BEGIN");
+  if (wal_ && !replaying_ && !txn_wal_buffer_.empty()) {
+    try {
+      wal_->append_batch(txn_wal_buffer_);
+    } catch (...) {
+      // The batch never became durable: roll the in-memory state back so
+      // it matches what recovery would reconstruct, then surface the IO
+      // failure. The transaction is over either way.
+      in_txn_ = false;
+      txn_wal_buffer_.clear();
+      apply_undo();
+      throw;
+    }
+  }
   in_txn_ = false;
   undo_log_.clear();
-  if (wal_ && !replaying_ && !txn_wal_buffer_.empty()) {
-    wal_->append_batch(txn_wal_buffer_);
-  }
   txn_wal_buffer_.clear();
 }
 
@@ -490,16 +575,27 @@ void Database::apply_undo() {
 }
 
 void Database::undo_push(UndoRecord record) {
-  if (in_txn_) undo_log_.push_back(std::move(record));
+  // Outside a transaction, file-backed databases still collect undo for
+  // the current statement so a failed WAL append can roll it back
+  // (log_statement clears the log once the record is durable).
+  if (in_txn_ || (wal_ && !replaying_)) undo_log_.push_back(std::move(record));
 }
 
 void Database::log_statement(std::string_view sql, const Params& params) {
   if (!wal_ || replaying_) return;
   if (in_txn_) {
     txn_wal_buffer_.emplace_back(std::string(sql), params);
-  } else {
-    wal_->append(sql, params);
+    return;
   }
+  try {
+    wal_->append(sql, params);
+  } catch (...) {
+    // Autocommit statement never reached the log: undo its in-memory
+    // effects (undo_log_ holds exactly this statement's records).
+    apply_undo();
+    throw;
+  }
+  undo_log_.clear();
 }
 
 void Database::log_ddl(std::string_view sql, const Params& params) {
@@ -516,14 +612,49 @@ void Database::log_ddl(std::string_view sql, const Params& params) {
 void Database::checkpoint() {
   if (!wal_) return;
   if (in_txn_) throw DbError("cannot checkpoint inside a transaction");
-  save_snapshot(directory_ / kSnapshotFile);
+  namespace fs = std::filesystem;
+  const fs::path snapshot = directory_ / kSnapshotFile;
+  const fs::path previous = directory_ / kSnapshotPrev;
+  const fs::path tmp = directory_ / kSnapshotTmp;
+
+  // 1. Write the complete new snapshot beside the live one and fsync it:
+  //    a crash from here on can at worst leave a dead temp file.
+  util::failpoint::evaluate("snapshot.write");
+  util::write_file_durable(tmp, render_snapshot(wal_->last_seq()));
+
+  // 2. Rotate the live snapshot to .prev (recovery's fallback), then
+  //    install the new one. Both renames are atomic; the directory fsync
+  //    makes them durable. A crash between the renames leaves no
+  //    snapshot.pdb but a .prev plus the full WAL — fully recoverable.
+  std::error_code ec;
+  util::failpoint::evaluate("snapshot.rotate");
+  if (fs::exists(snapshot)) {
+    fs::rename(snapshot, previous, ec);
+    if (ec) {
+      throw IoError("cannot rotate snapshot to " + previous.string() + ": " +
+                    ec.message());
+    }
+  }
+  util::failpoint::evaluate("snapshot.install");
+  fs::rename(tmp, snapshot, ec);
+  if (ec) {
+    throw IoError("cannot install snapshot " + snapshot.string() + ": " +
+                  ec.message());
+  }
+  util::fsync_dir(directory_);
+
+  // 3. Truncate the WAL (durably — see Wal::reset). A crash before this
+  //    is covered by the snapshot's watermark: replay skips records the
+  //    snapshot already contains.
   wal_->reset();
 }
 
-void Database::save_snapshot(const std::filesystem::path& path) const {
+std::string Database::render_snapshot(std::uint64_t watermark) const {
   // Text format, mirroring the WAL value encoding:
   //   TABLE <name>\n COLS <n>\n per-column lines\n FKS <n>\n ... ROWS <n>\n
-  std::string out = "PERFDB SNAPSHOT 1\n";
+  // sealed by a trailing "SUM <crc32-hex8>" line over everything above.
+  std::string out = "PERFDB SNAPSHOT 2\n";
+  out += "WALSEQ " + std::to_string(watermark) + "\n";
   for (const auto& name : view_order_) {
     // Views serialize as their defining statement, replayed on load.
     const std::string& sql = views_.at(util::to_lower(name));
@@ -552,11 +683,40 @@ void Database::save_snapshot(const std::filesystem::path& path) const {
       for (const auto& value : row) out += encode_value(value);
     });
   }
-  util::write_file(path, out);
+  char sum[32];
+  std::snprintf(sum, sizeof sum, "SUM %08x\n", util::crc32(out));
+  out += sum;
+  return out;
 }
 
-void Database::load_snapshot(const std::filesystem::path& path) {
-  const std::string text = util::read_file(path);
+std::uint64_t Database::load_snapshot(const std::filesystem::path& path) {
+  util::failpoint::evaluate("snapshot.load");
+  const std::string full = util::read_file(path);
+  std::uint64_t watermark = 0;
+
+  // Verify the checksum trailer first: any bit flip in the body is
+  // reported as checksum damage rather than a confusing parse error.
+  // "SUM " + 8 hex digits + "\n" = 13 bytes.
+  std::string text;
+  bool legacy = util::starts_with(full, "PERFDB SNAPSHOT 1\n");
+  if (legacy) {
+    text = full;  // v1 predates the trailer; parse as-is
+  } else {
+    constexpr std::size_t kTrailer = 13;
+    if (full.size() < kTrailer ||
+        full.compare(full.size() - kTrailer, 4, "SUM ") != 0 ||
+        full.back() != '\n') {
+      throw ParseError("snapshot missing checksum trailer");
+    }
+    const std::string_view body(full.data(), full.size() - kTrailer);
+    char expect[32];
+    std::snprintf(expect, sizeof expect, "SUM %08x\n", util::crc32(body));
+    if (full.compare(full.size() - kTrailer, kTrailer, expect) != 0) {
+      throw ParseError("snapshot checksum mismatch: " + path.string());
+    }
+    text.assign(body);
+  }
+
   std::size_t pos = 0;
   auto next_line = [&]() -> std::string {
     const std::size_t nl = text.find('\n', pos);
@@ -565,8 +725,18 @@ void Database::load_snapshot(const std::filesystem::path& path) {
     pos = nl + 1;
     return line;
   };
-  if (next_line() != "PERFDB SNAPSHOT 1") {
-    throw ParseError("unrecognized snapshot header");
+  if (legacy) {
+    next_line();  // header already validated
+  } else {
+    if (next_line() != "PERFDB SNAPSHOT 2") {
+      throw ParseError("unrecognized snapshot header");
+    }
+    const std::string seq_line = next_line();
+    if (!util::starts_with(seq_line, "WALSEQ ")) {
+      throw ParseError("expected WALSEQ in snapshot");
+    }
+    watermark = static_cast<std::uint64_t>(
+        util::parse_int_or_throw(seq_line.substr(7), "snapshot walseq"));
   }
   while (pos < text.size()) {
     std::string header = next_line();
@@ -645,6 +815,15 @@ void Database::load_snapshot(const std::filesystem::path& path) {
     tables_.emplace(util::to_lower(schema.name()), std::move(t));
     table_order_.push_back(schema.name());
   }
+  return watermark;
+}
+
+void Database::clear_catalog() {
+  tables_.clear();
+  table_order_.clear();
+  views_.clear();
+  view_order_.clear();
 }
 
 }  // namespace perfdmf::sqldb
+

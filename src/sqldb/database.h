@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sqldb/ast.h"
+#include "sqldb/durability.h"
 #include "sqldb/executor.h"
 #include "sqldb/lock_manager.h"
 #include "sqldb/table.h"
@@ -32,8 +33,13 @@ class Database {
   /// In-memory database (no durability).
   Database();
   /// File-backed: `directory` holds snapshot + WAL. Created if missing;
-  /// existing state is recovered (snapshot, then WAL replay).
+  /// existing state is recovered (newest snapshot — falling back to the
+  /// previous one when the newest is corrupt — then WAL replay above the
+  /// snapshot's watermark). What recovery found is in recovery_report().
+  /// Sync policy defaults to DurabilityOptions::from_env().
   explicit Database(const std::filesystem::path& directory);
+  Database(const std::filesystem::path& directory,
+           const DurabilityOptions& options);
   ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -67,9 +73,16 @@ class Database {
   bool in_transaction() const { return in_txn_; }
 
   /// Flush a snapshot and truncate the WAL (file-backed databases only).
+  /// Atomic: the snapshot is written to a temp file, fsynced, and renamed
+  /// over the old one (which is kept as snapshot.pdb.prev); a crash at
+  /// any point leaves a recoverable store.
   void checkpoint();
 
   bool is_persistent() const { return wal_ != nullptr; }
+
+  /// What opening this database's files found and did. Empty (clean)
+  /// for in-memory databases. Immutable after construction.
+  const RecoveryReport& recovery_report() const { return report_; }
 
   /// Reader-writer lock coordinating every Connection over this database.
   /// The Database itself never locks (recursive execution — view
@@ -89,6 +102,8 @@ class Database {
 
   ResultSetData execute_parsed(Statement& stmt, const Params& params,
                                std::string_view sql);
+  ResultSetData dispatch_statement(Statement& stmt, const Params& params,
+                                   std::string_view sql);
   std::size_t run_insert(InsertStatement& stmt, const Params& params);
   std::size_t run_update(UpdateStatement& stmt, const Params& params);
   std::size_t run_delete(DeleteStatement& stmt, const Params& params);
@@ -109,8 +124,15 @@ class Database {
   void undo_push(UndoRecord record);
   void apply_undo();
 
-  void save_snapshot(const std::filesystem::path& path) const;
-  void load_snapshot(const std::filesystem::path& path);
+  /// Serialize the full store. `watermark` is the highest WAL sequence
+  /// number the snapshot subsumes; recovery skips replaying records at
+  /// or below it. A trailing "SUM <crc32>" line seals the content.
+  std::string render_snapshot(std::uint64_t watermark) const;
+  /// Load a snapshot; returns its watermark. Throws ParseError on a bad
+  /// checksum or frame; the catalog may be partially populated on throw
+  /// (the constructor clears it before falling back).
+  std::uint64_t load_snapshot(const std::filesystem::path& path);
+  void clear_catalog();
 
   std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lower name
   std::vector<std::string> table_order_;                  // original names
@@ -124,6 +146,7 @@ class Database {
   std::unique_ptr<Wal> wal_;
   std::filesystem::path directory_;
   bool replaying_ = false;  // suppress WAL writes during recovery
+  RecoveryReport report_;
 
   LockManager locks_;
 };

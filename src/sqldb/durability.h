@@ -1,0 +1,60 @@
+// Durability policy and crash-recovery reporting for the sqldb engine.
+//
+// SyncMode trades commit latency against the window of statements an OS
+// crash can lose (a process crash alone loses nothing the kernel already
+// accepted). RecoveryReport is filled by Database when it opens a
+// file-backed store and tells the caller exactly what recovery did —
+// instead of burying a corrupt log or a rescued snapshot in the warn log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfdmf::sqldb {
+
+enum class SyncMode {
+  kAlways,    // fsync the WAL after every append (single statements too)
+  kOnCommit,  // fsync only on transaction commit batches (default)
+  kNone,      // never fsync (bulk loads; OS crash may lose the tail)
+};
+
+struct DurabilityOptions {
+  SyncMode sync = SyncMode::kOnCommit;
+
+  /// Defaults overridden by PERFDMF_SYNC=always|on_commit|none.
+  static DurabilityOptions from_env();
+};
+
+/// What opening a file-backed Database found and did. clean() is the
+/// normal case: newest snapshot loaded, WAL replayed to its tail.
+struct RecoveryReport {
+  /// Newest snapshot was missing or corrupt and snapshot.pdb.prev was
+  /// loaded instead (snapshot_error says why).
+  bool used_previous_snapshot = false;
+  std::string snapshot_error;
+
+  /// WAL records re-executed on top of the snapshot.
+  std::size_t replayed_records = 0;
+
+  /// Mid-log corruption: a record before the tail failed its CRC /
+  /// sequence check. Replay stopped at wal_corruption_offset and
+  /// discarded_records structurally-whole records after it were NOT
+  /// applied. (A torn tail — crash mid-append — is expected, discarded
+  /// silently, and does not set this.)
+  bool wal_corrupt = false;
+  std::uint64_t wal_corruption_offset = 0;
+  std::size_t discarded_records = 0;
+  std::string wal_error;
+
+  /// Replayed records whose statement failed to execute (each is also
+  /// described in `warnings`).
+  std::size_t failed_statements = 0;
+  std::vector<std::string> warnings;
+
+  bool clean() const {
+    return !used_previous_snapshot && !wal_corrupt && failed_statements == 0;
+  }
+};
+
+}  // namespace perfdmf::sqldb

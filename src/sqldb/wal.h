@@ -2,17 +2,41 @@
 //
 // The WAL is logical: each committed DML/DDL statement is appended with
 // its bound parameters, and recovery re-executes them on top of the last
-// snapshot. Record framing is length-prefixed so SQL text and string
-// parameters may contain any bytes, including newlines. A torn tail
-// (crash mid-append) is detected and discarded.
+// snapshot. Every record carries a monotonic sequence number and a CRC32
+// over its payload:
+//
+//   R <seq> <crc32-hex8> <payload-len>\n<payload>
+//
+// where <payload> holds length-prefixed statement frames
+// "S <sql-len>\n<sql>\nP <count>\n" + encoded params, terminated by "E\n",
+// so SQL text and string parameters may contain any bytes, including
+// newlines. An autocommitted statement is one frame; a transaction commit
+// is a batch record "B <count>\n" + frames + "E\n" — one record, one CRC,
+// one sequence number, so a torn commit write is discarded wholly and a
+// transaction is never half-replayed.
+//
+// Recovery distinguishes two failure shapes:
+//  - torn tail: the final record is incomplete (header has no newline, or
+//    the payload extends past EOF). That is the expected residue of a
+//    crash mid-append; it is discarded silently.
+//  - mid-log corruption: a record is fully present but fails its CRC,
+//    sequence, or framing check. Replay stops there and reports the
+//    offset plus how many structurally-whole records after it were
+//    discarded — committed data was damaged, and the caller must know.
+//
+// Writes go through a POSIX fd so short writes are detected byte-exactly
+// and fsync policy (SyncMode) is enforced. Failpoint sites: "wal.append"
+// (single-statement records), "wal.commit" (commit batches), "wal.sync",
+// "wal.reset".
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "sqldb/durability.h"
 #include "sqldb/expr_eval.h"
 #include "sqldb/value.h"
 
@@ -25,31 +49,75 @@ Value decode_value(const std::string& text, std::size_t& pos);
 
 class Wal {
  public:
-  explicit Wal(std::filesystem::path path);
+  explicit Wal(std::filesystem::path path, SyncMode sync = SyncMode::kOnCommit);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
 
-  /// Append one statement record (flushes to the OS).
+  /// Append one statement record. Synced only under SyncMode::kAlways
+  /// (an autocommitted single statement).
   void append(std::string_view sql, const Params& params);
 
-  /// Append many records with a single write + flush — the commit path
-  /// for transactions, which makes batched bulk loads one flush instead
-  /// of one per row.
+  /// Append a whole transaction as ONE batch record with a single write —
+  /// the commit path, which makes batched bulk loads one write (and at
+  /// most one fsync) instead of one per row, and makes the commit atomic
+  /// on disk (see header comment). Synced under kAlways/kOnCommit.
   void append_batch(const std::vector<std::pair<std::string, Params>>& records);
 
-  /// Replay every intact record in order. Torn tails are ignored.
-  void replay(const std::function<void(const std::string& sql,
-                                       const Params& params)>& apply) const;
+  /// What replay() found. A clean log has corrupt == false; a torn tail
+  /// alone is normal and reported only through tail_torn.
+  struct ReplayInfo {
+    std::size_t applied = 0;            // statements handed to apply()
+    std::size_t skipped = 0;            // records at or below min_seq
+    std::uint64_t last_seq = 0;         // highest sequence seen intact
+    bool tail_torn = false;             // incomplete final record discarded
+    bool corrupt = false;               // mid-log damage (see header comment)
+    std::uint64_t corruption_offset = 0;
+    std::size_t discarded = 0;          // whole records after the damage
+    std::string error;                  // what the damage was
+  };
 
-  /// Truncate after a checkpoint.
+  /// Replay every intact record in order, skipping records with
+  /// seq <= min_seq (already folded into the snapshot being replayed
+  /// onto). Never throws for file damage — the damage is described in
+  /// the returned ReplayInfo; exceptions from apply() propagate.
+  ReplayInfo replay(const std::function<void(const std::string& sql,
+                                             const Params& params)>& apply,
+                    std::uint64_t min_seq = 0) const;
+
+  /// Truncate after a checkpoint — durably: the truncated file and its
+  /// directory are fsynced, so a crash immediately afterwards cannot
+  /// resurrect pre-checkpoint records on top of the new snapshot.
+  /// Sequence numbering continues (it never restarts within a store).
   void reset();
+
+  /// Highest sequence number assigned so far (0 before any append).
+  std::uint64_t last_seq();
+
+  /// Recovery learned the true high-water mark (snapshot watermark vs
+  /// replayed tail); continue numbering from above it.
+  void set_next_seq(std::uint64_t next);
+
+  void set_sync_mode(SyncMode mode) { sync_ = mode; }
+  SyncMode sync_mode() const { return sync_; }
 
   const std::filesystem::path& path() const { return path_; }
 
  private:
-  std::string encode_record(std::string_view sql, const Params& params) const;
-  std::ofstream& stream();
+  std::string encode_record(std::uint64_t seq, std::string_view sql,
+                            const Params& params) const;
+  void ensure_open();
+  /// Scan existing records to find the last assigned sequence number
+  /// (standalone Wal use; Database sets it explicitly after replay).
+  void recover_next_seq();
+  void write_all(const std::string& buffer, const char* site);
+  void sync_now();
 
   std::filesystem::path path_;
-  std::ofstream out_;  // kept open across appends; reopened after reset()
+  int fd_ = -1;
+  SyncMode sync_;
+  std::uint64_t next_seq_ = 1;
+  bool seq_known_ = false;
 };
 
 }  // namespace perfdmf::sqldb

@@ -1,0 +1,125 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace perfdmf::util::failpoint {
+
+namespace {
+
+struct Spec {
+  FailAction action;
+  int countdown;  // fires when a hit decrements this to zero
+  int arg;
+};
+
+std::mutex g_mutex;
+std::map<std::string, Spec>& registry() {
+  static std::map<std::string, Spec> map;
+  return map;
+}
+// Fast path: sites on hot paths (every WAL append) pay one relaxed load
+// when nothing is armed.
+std::atomic<int> g_armed{0};
+std::once_flag g_env_once;
+
+FailAction parse_action(const std::string& word) {
+  if (word == "error") return FailAction::kError;
+  if (word == "short" || word == "shortwrite") return FailAction::kShortWrite;
+  if (word == "abort") return FailAction::kAbort;
+  if (word == "delay") return FailAction::kDelay;
+  throw InvalidArgument("unknown failpoint action: " + word);
+}
+
+void load_from_env() {
+  const char* env = std::getenv("PERFDMF_FAILPOINTS");
+  if (!env || !*env) return;
+  for (const auto& entry : split(env, ';')) {
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("PERFDMF_FAILPOINTS entry missing '=': " + entry);
+    }
+    const std::string name = entry.substr(0, eq);
+    const auto fields = split(entry.substr(eq + 1), ':');
+    if (fields.empty() || fields[0].empty()) {
+      throw InvalidArgument("PERFDMF_FAILPOINTS entry missing action: " + entry);
+    }
+    const FailAction action = parse_action(fields[0]);
+    const int countdown =
+        fields.size() > 1
+            ? static_cast<int>(parse_int_or_throw(fields[1], "failpoint countdown"))
+            : 1;
+    const int arg =
+        fields.size() > 2
+            ? static_cast<int>(parse_int_or_throw(fields[2], "failpoint arg"))
+            : 0;
+    enable(name, action, countdown, arg);
+  }
+}
+
+}  // namespace
+
+void enable(const std::string& name, FailAction action, int countdown, int arg) {
+  if (countdown < 1) throw InvalidArgument("failpoint countdown must be >= 1");
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto [it, inserted] = registry().insert_or_assign(name, Spec{action, countdown, arg});
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (registry().erase(name) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void clear_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.fetch_sub(static_cast<int>(registry().size()),
+                    std::memory_order_relaxed);
+  registry().clear();
+}
+
+std::optional<FailpointHit> hit(const char* name) {
+  std::call_once(g_env_once, load_from_env);
+  if (g_armed.load(std::memory_order_relaxed) == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(name);
+  if (it == registry().end()) return std::nullopt;
+  if (--it->second.countdown > 0) return std::nullopt;
+  FailpointHit fired{it->second.action, it->second.arg};
+  registry().erase(it);  // one-shot
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+  return fired;
+}
+
+std::optional<FailpointHit> evaluate(const char* name) {
+  auto fired = hit(name);
+  if (!fired) return std::nullopt;
+  switch (fired->action) {
+    case FailAction::kError:
+      throw IoError(std::string("injected failure at failpoint ") + name);
+    case FailAction::kAbort:
+      ::_exit(kCrashExitCode);  // simulated crash: no destructors, no flush
+    case FailAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired->arg));
+      return std::nullopt;
+    case FailAction::kShortWrite:
+      return fired;  // the IO site applies the partial write, then dies
+  }
+  return std::nullopt;
+}
+
+}  // namespace perfdmf::util::failpoint

@@ -1,0 +1,62 @@
+// Failpoints: named fault-injection sites for crash-safety testing.
+//
+// Production code marks the spots where durability can go wrong —
+// WAL appends, snapshot renames, fsyncs — with a named site, e.g.
+// `failpoint::evaluate("wal.commit")`. Tests (or the PERFDMF_FAILPOINTS
+// environment variable) arm a site with an action and a countdown; the
+// Nth evaluation fires it. When no failpoint is armed the check is one
+// relaxed atomic load, so sites are free to sit on hot paths.
+//
+// Actions:
+//   kError      throw IoError before the operation (clean IO failure)
+//   kShortWrite write only the first `arg` bytes, then _exit — a torn
+//               write followed by a process crash (IO sites only)
+//   kAbort      _exit immediately (crash before the operation)
+//   kDelay      sleep `arg` milliseconds, then proceed (race widening)
+//
+// A fired failpoint disarms itself (one-shot); re-arm for repetition.
+// Site names follow `<component>.<operation>`, e.g. "wal.append",
+// "snapshot.install", "util.write_file".
+//
+// Environment syntax (sites separated by ';'):
+//   PERFDMF_FAILPOINTS="wal.commit=short:3:17;snapshot.install=abort"
+//   each entry: <name>=<error|short|abort|delay>[:<countdown>[:<arg>]]
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace perfdmf::util {
+
+enum class FailAction { kError, kShortWrite, kAbort, kDelay };
+
+struct FailpointHit {
+  FailAction action;
+  int arg;  // kShortWrite: bytes to keep; kDelay: milliseconds
+};
+
+namespace failpoint {
+
+/// Exit status used by kAbort/kShortWrite so a crash harness can tell
+/// an injected crash from a genuine one.
+constexpr int kCrashExitCode = 87;
+
+/// Arm `name`: fires on the `countdown`-th evaluation (1 = next).
+void enable(const std::string& name, FailAction action, int countdown = 1,
+            int arg = 0);
+void disable(const std::string& name);
+/// Disarm every failpoint (test teardown).
+void clear_all();
+
+/// Raw check-and-consume: returns the hit if `name` fires now. Does not
+/// act on it. Most call sites want evaluate() instead.
+std::optional<FailpointHit> hit(const char* name);
+
+/// Evaluate `name` and act: kError throws IoError, kAbort calls _exit,
+/// kDelay sleeps then returns nullopt. kShortWrite is returned for the
+/// IO site to apply (write `arg` bytes, then _exit). Returns nullopt
+/// when nothing fires.
+std::optional<FailpointHit> evaluate(const char* name);
+
+}  // namespace failpoint
+}  // namespace perfdmf::util

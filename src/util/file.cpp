@@ -1,13 +1,81 @@
 #include "util/file.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <random>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace perfdmf::util {
+
+namespace {
+
+/// RAII fd so error paths can't leak descriptors.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Write all of `content` to `fd`, retrying partial writes; throws
+/// IoError (with errno) when the kernel refuses bytes. The failpoint
+/// lets tests inject a torn write followed by a process crash.
+void write_fd_all(int fd, std::string_view content,
+                  const std::filesystem::path& path, const char* site) {
+  if (auto fp = failpoint::evaluate(site)) {
+    // Injected torn write: persist a prefix, then die like a crash.
+    const auto keep = std::min(content.size(), static_cast<std::size_t>(
+                                                   std::max(fp->arg, 0)));
+    std::size_t done = 0;
+    while (done < keep) {
+      const ::ssize_t n = ::write(fd, content.data() + done, keep - done);
+      if (n <= 0) break;
+      done += static_cast<std::size_t>(n);
+    }
+    ::_exit(failpoint::kCrashExitCode);
+  }
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ::ssize_t n = ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write failed: " + path.string() + ": " +
+                    std::strerror(errno));
+    }
+    if (n == 0) {
+      throw IoError("short write: " + path.string());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_fd(int fd, const std::filesystem::path& path) {
+  if (::fsync(fd) != 0) {
+    throw IoError("fsync failed: " + path.string() + ": " + std::strerror(errno));
+  }
+}
+
+void write_file_fd(const std::filesystem::path& path, std::string_view content,
+                   bool sync) {
+  Fd out;
+  out.fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (out.fd < 0) {
+    throw IoError("cannot open file for writing: " + path.string() + ": " +
+                  std::strerror(errno));
+  }
+  write_fd_all(out.fd, content, path, "util.write_file");
+  if (sync) fsync_fd(out.fd, path);
+}
+
+}  // namespace
 
 std::string read_file(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
@@ -19,10 +87,35 @@ std::string read_file(const std::filesystem::path& path) {
 }
 
 void write_file(const std::filesystem::path& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot open file for writing: " + path.string());
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) throw IoError("write failed: " + path.string());
+  write_file_fd(path, content, /*sync=*/false);
+}
+
+void write_file_durable(const std::filesystem::path& path,
+                        std::string_view content) {
+  write_file_fd(path, content, /*sync=*/true);
+}
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content, bool sync) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  write_file_fd(tmp, content, sync);
+  failpoint::evaluate("util.rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw IoError("rename " + tmp.string() + " -> " + path.string() +
+                  " failed: " + ec.message());
+  }
+  if (sync) fsync_dir(path.parent_path());
+}
+
+void fsync_dir(const std::filesystem::path& dir) {
+  const std::filesystem::path target = dir.empty() ? "." : dir;
+  Fd d;
+  d.fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (d.fd < 0) return;   // e.g. permissions; rename durability is best effort
+  ::fsync(d.fd);          // some filesystems reject directory fsync: ignore
 }
 
 void append_file(const std::filesystem::path& path, std::string_view content) {

@@ -10,8 +10,28 @@ namespace perfdmf::util {
 /// Read an entire file into a string. Throws IoError on failure.
 std::string read_file(const std::filesystem::path& path);
 
-/// Write (truncate) a file from a string. Throws IoError on failure.
+/// Write (truncate) a file from a string. Uses fd-based IO and verifies
+/// every byte reached the OS — a short write throws IoError instead of
+/// silently succeeding. Failpoint site: "util.write_file".
 void write_file(const std::filesystem::path& path, std::string_view content);
+
+/// write_file + fsync: the data is on stable storage when this returns
+/// (the containing directory entry is NOT synced; see write_file_atomic).
+void write_file_durable(const std::filesystem::path& path,
+                        std::string_view content);
+
+/// Crash-safe replacement write: write `path`.tmp, optionally fsync it,
+/// rename over `path`, and fsync the parent directory. Readers see either
+/// the old content or the complete new content, never a torn file.
+/// `sync` = false skips the fsyncs (atomicity without durability — for
+/// bulk regeneratable output). Failpoint sites: "util.write_file" (the
+/// temp write) and "util.rename".
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content, bool sync = true);
+
+/// fsync a directory so a rename/create/unlink inside it is durable.
+/// Best effort: filesystems that reject directory fsync are ignored.
+void fsync_dir(const std::filesystem::path& dir);
 
 /// Append to a file, creating it if necessary. Throws IoError on failure.
 void append_file(const std::filesystem::path& path, std::string_view content);

@@ -1,10 +1,14 @@
 // Persistence tests: WAL encoding, replay, snapshot, crash recovery.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "sqldb/connection.h"
 #include "sqldb/wal.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/file.h"
+#include "util/rng.h"
 
 using namespace perfdmf::sqldb;
 namespace u = perfdmf::util;
@@ -52,15 +56,129 @@ TEST(Wal, AppendAndReplay) {
   EXPECT_EQ(seen[1].second[1], Value());
 }
 
+TEST(Wal, BatchIsOneRecordAndTornBatchIsDiscardedWholly) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "wal.log";
+  {
+    Wal wal(path);
+    wal.append("CREATE TABLE t (x INTEGER)", {});
+    wal.append_batch({{"INSERT INTO t VALUES (?)", {Value(std::int64_t{1})}},
+                      {"INSERT INTO t VALUES (?)", {Value(std::int64_t{2})}},
+                      {"INSERT INTO t VALUES (?)", {Value(std::int64_t{3})}}});
+    EXPECT_EQ(wal.last_seq(), 2u);  // the whole commit is one record
+  }
+  {
+    Wal wal(path);
+    std::size_t applied = 0;
+    auto info = wal.replay([&](const std::string&, const Params&) { ++applied; });
+    EXPECT_EQ(applied, 4u);  // but every statement replays
+    EXPECT_FALSE(info.corrupt);
+  }
+  // Cut the commit record partway: even though the first INSERT's frame
+  // bytes are fully on disk, the transaction must vanish as a unit.
+  const std::string content = u::read_file(path);
+  u::write_file(path, content.substr(0, content.size() - 12));
+  Wal wal(path);
+  std::vector<std::string> seen;
+  auto info = wal.replay(
+      [&](const std::string& sql, const Params&) { seen.push_back(sql); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "CREATE TABLE t (x INTEGER)");
+  EXPECT_TRUE(info.tail_torn);
+  EXPECT_FALSE(info.corrupt);
+}
+
 TEST(Wal, TornTailIsDiscarded) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "wal.log";
+  {
+    Wal wal(path);
+    wal.append("SELECT 1", {});
+    wal.append("SELECT 2", {});
+  }
+  // Simulate a crash mid-append: cut the last record in half.
+  const std::string content = u::read_file(path);
+  u::write_file(path, content.substr(0, content.size() - 10));
+
+  Wal wal(path);
+  std::size_t replayed = 0;
+  auto info = wal.replay([&](const std::string&, const Params&) { ++replayed; });
+  EXPECT_EQ(replayed, 1u);
+  EXPECT_TRUE(info.tail_torn);
+  EXPECT_FALSE(info.corrupt);  // a torn tail is expected, not corruption
+}
+
+TEST(Wal, MidLogCorruptionIsReportedWithOffsetAndDiscardCount) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "wal.log";
+  {
+    Wal wal(path);
+    for (int i = 0; i < 5; ++i) {
+      wal.append("INSERT INTO t VALUES (?)", {Value(std::int64_t{i})});
+    }
+  }
+  // Flip a payload byte inside the second record.
+  std::string content = u::read_file(path);
+  const std::size_t second = content.find("\nR ", 1) + 1;
+  const std::size_t third = content.find("\nR ", second) + 1;
+  content[second + (third - second) / 2] ^= 0x40;
+  u::write_file(path, content);
+
+  Wal wal(path);
+  std::size_t replayed = 0;
+  auto info = wal.replay([&](const std::string&, const Params&) { ++replayed; });
+  EXPECT_EQ(replayed, 1u);  // only the record before the damage
+  ASSERT_TRUE(info.corrupt);
+  EXPECT_EQ(info.corruption_offset, second);
+  EXPECT_EQ(info.discarded, 3u);  // records 3..5 were intact but unreachable
+  EXPECT_FALSE(info.error.empty());
+}
+
+TEST(Wal, SequenceBreakIsCorruption) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "wal.log";
+  {
+    Wal wal(path);
+    for (int i = 0; i < 3; ++i) wal.append("SELECT 1", {});
+  }
+  // Delete the middle record wholesale: every byte left is a valid
+  // record, but the sequence numbers no longer chain.
+  std::string content = u::read_file(path);
+  const std::size_t second = content.find("\nR ", 1) + 1;
+  const std::size_t third = content.find("\nR ", second) + 1;
+  u::write_file(path, content.substr(0, second) + content.substr(third));
+
+  Wal wal(path);
+  std::size_t replayed = 0;
+  auto info = wal.replay([&](const std::string&, const Params&) { ++replayed; });
+  EXPECT_EQ(replayed, 1u);
+  EXPECT_TRUE(info.corrupt);
+  EXPECT_EQ(info.discarded, 1u);
+}
+
+TEST(Wal, SequenceNumbersContinueAcrossReset) {
   u::ScopedTempDir dir;
   Wal wal(dir.path() / "wal.log");
   wal.append("SELECT 1", {});
-  // Simulate a crash mid-append.
-  u::append_file(dir.path() / "wal.log", "S 999\nincomplete...");
+  wal.append("SELECT 2", {});
+  EXPECT_EQ(wal.last_seq(), 2u);
+  wal.reset();
+  wal.append("SELECT 3", {});
+  EXPECT_EQ(wal.last_seq(), 3u);
+  auto info = wal.replay([](const std::string&, const Params&) {});
+  EXPECT_EQ(info.last_seq, 3u);
+}
+
+TEST(Wal, ReplaySkipsRecordsAtOrBelowMinSeq) {
+  u::ScopedTempDir dir;
+  Wal wal(dir.path() / "wal.log");
+  for (int i = 0; i < 4; ++i) wal.append("SELECT 1", {});
   std::size_t replayed = 0;
-  wal.replay([&](const std::string&, const Params&) { ++replayed; });
-  EXPECT_EQ(replayed, 1u);
+  auto info =
+      wal.replay([&](const std::string&, const Params&) { ++replayed; }, 2);
+  EXPECT_EQ(replayed, 2u);  // records 3 and 4
+  EXPECT_EQ(info.skipped, 2u);
+  EXPECT_EQ(info.last_seq, 4u);
 }
 
 TEST(Wal, ResetTruncates) {
@@ -251,7 +369,7 @@ TEST(Persistence, AlterTableSurvivesWalReplayAndSnapshot) {
   }
 }
 
-TEST(Persistence, CorruptedSnapshotIsRejected) {
+TEST(Persistence, CorruptedSnapshotWithoutFallbackIsRejected) {
   u::ScopedTempDir dir;
   const auto db_dir = dir.path() / "db";
   {
@@ -259,15 +377,17 @@ TEST(Persistence, CorruptedSnapshotIsRejected) {
     conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY)");
     conn.checkpoint();
   }
-  // Damage the snapshot header.
+  // Damage the snapshot header and remove the fallback copy the
+  // destructor's checkpoint rotated into place.
   const auto snapshot = db_dir / "snapshot.pdb";
   std::string content = u::read_file(snapshot);
   content[0] = 'X';
   u::write_file(snapshot, content);
+  std::filesystem::remove(db_dir / "snapshot.pdb.prev");
   EXPECT_THROW(Connection bad(db_dir), perfdmf::ParseError);
 }
 
-TEST(Persistence, TruncatedSnapshotIsRejected) {
+TEST(Persistence, TruncatedSnapshotWithoutFallbackIsRejected) {
   u::ScopedTempDir dir;
   const auto db_dir = dir.path() / "db";
   {
@@ -279,7 +399,244 @@ TEST(Persistence, TruncatedSnapshotIsRejected) {
   const auto snapshot = db_dir / "snapshot.pdb";
   const std::string content = u::read_file(snapshot);
   u::write_file(snapshot, content.substr(0, content.size() / 2));
+  std::filesystem::remove(db_dir / "snapshot.pdb.prev");
   EXPECT_THROW(Connection bad(db_dir), perfdmf::ParseError);
+}
+
+TEST(Persistence, CorruptSnapshotFallsBackToPreviousPlusWal) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.execute_update("INSERT INTO t (x) VALUES (1)");
+    conn.checkpoint();  // snapshot A
+    conn.execute_update("INSERT INTO t (x) VALUES (2)");
+    // Second checkpoint, but the WAL truncation "crashes": the new
+    // snapshot is installed (A rotates to .prev) and the WAL keeps
+    // every record.
+    perfdmf::util::failpoint::enable("wal.reset", perfdmf::util::FailAction::kError);
+    EXPECT_THROW(conn.checkpoint(), perfdmf::IoError);
+    conn.execute_update("INSERT INTO t (x) VALUES (3)");
+    // Re-arm so the destructor's checkpoint also leaves the WAL intact
+    // (failpoints are one-shot).
+    perfdmf::util::failpoint::enable("wal.reset", perfdmf::util::FailAction::kError);
+  }
+  // Now corrupt the newest snapshot as if its write had been torn.
+  const auto snapshot = db_dir / "snapshot.pdb";
+  std::string content = u::read_file(snapshot);
+  content[content.size() / 2] ^= 0x40;
+  u::write_file(snapshot, content);
+
+  Connection conn(db_dir);
+  const auto& report = conn.recovery_report();
+  EXPECT_TRUE(report.used_previous_snapshot);
+  EXPECT_FALSE(report.clean());
+  auto rs = conn.execute("SELECT COUNT(*) FROM t");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 3);  // nothing lost: previous snapshot + full WAL
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial encoding: values whose bytes mimic the framing itself.
+
+TEST(ValueEncoding, AdversarialTextRoundTrips) {
+  const std::vector<std::string> nasty = {
+      "line1\nline2\nline3",
+      "E\n",                       // looks like a payload terminator
+      "S 12\nfake header\n",       // looks like a statement frame
+      "R 3 deadbeef 10\n",         // looks like a WAL record header
+      std::string("nul\0inside", 10),
+      std::string(3, '\0'),
+      "trailing newline\n",
+      "",
+  };
+  for (const std::string& s : nasty) {
+    const Value v(s);
+    const std::string encoded = encode_value(v);
+    std::size_t pos = 0;
+    const Value decoded = decode_value(encoded, pos);
+    EXPECT_EQ(decoded.as_text(), s);
+    EXPECT_EQ(pos, encoded.size());
+  }
+}
+
+TEST(ValueEncoding, SeventeenDigitDoublesSurviveExactly) {
+  for (const double d : {0.12345678901234567, 1e308, -1e-308, 2.2250738585072014e-308,
+                         9007199254740993.0, -0.0, 3.141592653589793}) {
+    const Value v(d);
+    std::size_t pos = 0;
+    const Value decoded = decode_value(encode_value(v), pos);
+    // Bit-exact, not just approximately equal: %.17g is lossless.
+    const double back = decoded.as_real();
+    EXPECT_EQ(std::memcmp(&d, &back, sizeof(double)), 0) << d;
+  }
+}
+
+TEST(ValueEncoding, HostileLengthFieldsRejected) {
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_value("T -5 x\n", pos), perfdmf::ParseError);
+  pos = 0;
+  EXPECT_THROW(decode_value("T 99999999999999999999 x\n", pos), perfdmf::ParseError);
+  pos = 0;
+  EXPECT_THROW(decode_value("T 4\n", pos), perfdmf::ParseError);  // missing bytes
+}
+
+TEST(Wal, AdversarialSqlAndParamsRoundTripThroughLog) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "wal.log";
+  const std::string sql = "INSERT INTO t (a, b) VALUES (?, ?)\n-- E\n-- S 3";
+  const Params params = {Value(std::string("x\nE\nR 1 00000000 5\ny", 20)),
+                         Value(0.12345678901234567)};
+  {
+    Wal wal(path);
+    wal.append(sql, params);
+    wal.append("SELECT 1", {});
+  }
+  Wal wal(path);
+  std::vector<std::pair<std::string, Params>> seen;
+  auto info = wal.replay([&](const std::string& s, const Params& p) {
+    seen.emplace_back(s, p);
+  });
+  EXPECT_FALSE(info.corrupt);
+  EXPECT_FALSE(info.tail_torn);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, sql);
+  ASSERT_EQ(seen[0].second.size(), 2u);
+  EXPECT_EQ(seen[0].second[0], params[0]);
+  EXPECT_EQ(seen[0].second[1], params[1]);
+}
+
+// Fuzz property: no matter where a WAL is truncated or which byte is
+// flipped, replay never throws and the applied records are a strict
+// prefix of the original statement stream.
+TEST(Wal, RandomDamageNeverCrashesReplayAndAppliesAPrefix) {
+  u::ScopedTempDir dir;
+  const auto path = dir.path() / "wal.log";
+  std::vector<std::string> original;
+  {
+    Wal wal(path);
+    for (int i = 0; i < 10; ++i) {
+      std::string sql = "INSERT INTO t VALUES (" + std::to_string(i) + ")";
+      wal.append(sql, {Value(std::string("p\n") + std::to_string(i)),
+                       Value(static_cast<std::int64_t>(i))});
+      original.push_back(std::move(sql));
+    }
+  }
+  const std::string pristine = u::read_file(path);
+  ASSERT_FALSE(pristine.empty());
+
+  u::Rng rng(20260807);
+  const auto damaged_path = dir.path() / "damaged.log";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string content = pristine;
+    switch (rng.next_below(3)) {
+      case 0:  // truncate at a random byte
+        content.resize(rng.next_below(content.size() + 1));
+        break;
+      case 1:  // flip a random byte
+        content[rng.next_below(content.size())] ^=
+            static_cast<char>(1 + rng.next_below(255));
+        break;
+      default:  // splice garbage into the middle
+        content.insert(rng.next_below(content.size()),
+                       std::string(1 + rng.next_below(8), 'Z'));
+        break;
+    }
+    u::write_file(damaged_path, content);
+
+    Wal wal(damaged_path);
+    std::vector<std::string> seen;
+    Wal::ReplayInfo info;
+    ASSERT_NO_THROW(info = wal.replay([&](const std::string& sql, const Params&) {
+      seen.push_back(sql);
+    })) << "iteration " << iter;
+    ASSERT_LE(seen.size(), original.size()) << "iteration " << iter;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      ASSERT_EQ(seen[i], original[i])
+          << "iteration " << iter << ": applied records are not a prefix";
+    }
+    if (seen.size() < original.size() && !info.tail_torn && !info.corrupt) {
+      // The only loss that can go unreported is truncation exactly at a
+      // record boundary — indistinguishable from a shorter, complete log.
+      // Anything else (byte flips, spliced garbage, mid-record cuts)
+      // must surface as a torn tail or corruption.
+      EXPECT_EQ(pristine.compare(0, content.size(), content), 0)
+          << "iteration " << iter << ": records lost silently";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Open-time replay failures must be observable, not just logged.
+
+TEST(Persistence, ReplayFailuresAreCountedInRecoveryReport) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  std::filesystem::create_directories(db_dir);
+  {
+    // Hand-build a WAL whose middle statement cannot execute: the table
+    // it touches never existed. No snapshot, so replay starts from zero.
+    Wal wal(db_dir / "wal.log");
+    wal.append("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)", {});
+    wal.append("INSERT INTO missing (x) VALUES (1)", {});
+    wal.append("INSERT INTO t (x) VALUES (7)", {});
+  }
+  Connection conn(db_dir);
+  const auto& report = conn.recovery_report();
+  EXPECT_EQ(report.failed_statements, 1u);
+  EXPECT_FALSE(report.clean());
+  ASSERT_FALSE(report.warnings.empty());
+  // The statements around the failure still applied.
+  auto rs = conn.execute("SELECT x FROM t");
+  ASSERT_TRUE(rs.next());
+  EXPECT_EQ(rs.get_int(1), 7);
+}
+
+TEST(Persistence, CleanOpenReportsClean) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  }
+  Connection conn(db_dir);
+  EXPECT_TRUE(conn.recovery_report().clean());
+  EXPECT_EQ(conn.recovery_report().failed_statements, 0u);
+  EXPECT_FALSE(conn.recovery_report().wal_corrupt);
+}
+
+TEST(Persistence, MidLogCorruptionSurfacesThroughDatabaseOpen) {
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.checkpoint();
+    for (int i = 0; i < 4; ++i) {
+      conn.execute_update("INSERT INTO t (x) VALUES (" + std::to_string(i) + ")");
+    }
+    // Keep the WAL: make the destructor's checkpoint fail before truncation.
+    u::failpoint::enable("snapshot.write", u::FailAction::kError);
+  }
+  u::failpoint::clear_all();
+  // Corrupt the second INSERT record.
+  const auto wal_path = db_dir / "wal.log";
+  std::string content = u::read_file(wal_path);
+  const std::size_t second = content.find("\nR ", 1) + 1;
+  const std::size_t third = content.find("\nR ", second) + 1;
+  content[second + (third - second) / 2] ^= 0x01;
+  u::write_file(wal_path, content);
+
+  Connection conn(db_dir);
+  const auto& report = conn.recovery_report();
+  EXPECT_TRUE(report.wal_corrupt);
+  EXPECT_EQ(report.wal_corruption_offset, second);
+  EXPECT_EQ(report.discarded_records, 2u);
+  EXPECT_FALSE(report.clean());
+  auto rs = conn.execute("SELECT COUNT(*) FROM t");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 1);  // only the record before the damage
 }
 
 TEST(Persistence, IndexesRebuiltAfterReload) {
