@@ -4,8 +4,9 @@
 #
 # Usage:
 #   scripts/check.sh            # all three configurations, full suite
-#   scripts/check.sh quick      # sanitizers run only the -L concurrency
-#                               # tests (the thread-heavy suites)
+#   scripts/check.sh quick      # sanitizers run only the thread-heavy
+#                               # (-L concurrency) and executor-parity
+#                               # (-L parity) suites
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,9 +25,14 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "${extra[@]}"
 }
 
+# ASan/UBSan additionally runs the executor parity harness (optimized
+# hash-join/group-by/Top-K paths vs forced fallbacks); the TSan sweep
+# covers the shared plan cache through the -L concurrency suites.
 SAN_FILTER=""
+ASAN_FILTER=""
 if [ "$QUICK" = "quick" ]; then
   SAN_FILTER="concurrency"
+  ASAN_FILTER="concurrency|parity"
 fi
 
 echo "=== plain build ==="
@@ -39,6 +45,6 @@ echo "=== ThreadSanitizer ==="
 run_suite build-tsan "$SAN_FILTER" crash -DPERFDMF_SANITIZE=thread
 
 echo "=== AddressSanitizer + UBSan ==="
-run_suite build-asan "$SAN_FILTER" "" -DPERFDMF_SANITIZE=address,undefined
+run_suite build-asan "$ASAN_FILTER" "" -DPERFDMF_SANITIZE=address,undefined
 
 echo "all checks passed"

@@ -67,6 +67,7 @@ enum class StatementKind {
   kCreateIndex,
   kInsert,
   kSelect,
+  kExplain,  // EXPLAIN SELECT ...: runs the select, returns the plan
   kUpdate,
   kDelete,
   kBegin,
@@ -105,8 +106,10 @@ struct SelectStatement {
   std::vector<ExprPtr> group_by;
   ExprPtr having;
   std::vector<OrderItem> order_by;
-  std::optional<std::int64_t> limit;
-  std::optional<std::int64_t> offset;
+  /// LIMIT/OFFSET accept an integer literal (possibly negative — rejected
+  /// at execution time) or a '?' placeholder; null means absent.
+  ExprPtr limit;
+  ExprPtr offset;
 };
 
 struct InsertStatement {

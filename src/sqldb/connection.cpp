@@ -219,13 +219,127 @@ ResultSetData Connection::run_statement(Statement& stmt, const Params& params,
 }
 
 ResultSet Connection::execute(std::string_view sql, const Params& params) {
-  Statement stmt = parse_statement(sql);  // parsing needs no lock
-  return ResultSet(run_statement(stmt, params, sql));
+  return ResultSet(run_cached(sql, params));
 }
 
 std::size_t Connection::execute_update(std::string_view sql, const Params& params) {
-  Statement stmt = parse_statement(sql);
-  return update_count(run_statement(stmt, params, sql));
+  return update_count(run_cached(sql, params));
+}
+
+ResultSetData Connection::run_cached(std::string_view sql, const Params& params) {
+  PlanLease lease = lease_plan(sql);
+  ResultSetData result;
+  try {
+    result = run_statement(*lease.statement, params, sql);
+  } catch (...) {
+    release_plan(lease);
+    throw;
+  }
+  const bool is_explain = lease.statement->kind == StatementKind::kExplain;
+  const bool hit = lease.from_cache;
+  release_plan(lease);
+  if (is_explain) {
+    // EXPLAIN reports the cache outcome for its own SQL text: the first
+    // run misses, a repeat hits, and DDL in between invalidates.
+    result.rows.push_back(
+        {Value(std::string("plan-cache: ") + (hit ? "hit" : "miss"))});
+  }
+  return result;
+}
+
+Connection::PlanLease Connection::lease_plan(std::string_view sql) {
+  PlanLease lease;
+  lease.key.assign(sql);
+  const std::uint64_t epoch = database_->schema_epoch();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(lease.key);
+    if (it != cache_.end()) {
+      CacheEntry& entry = it->second;
+      if (entry.in_use) {
+        // The same SQL text is executing on another thread and the AST
+        // binds in place; bypass the cache with a private parse.
+        ++cache_stats_.misses;
+      } else if (entry.schema_epoch != epoch) {
+        // DDL since this plan was parsed: drop it and re-parse.
+        ++cache_stats_.invalidations;
+        ++cache_stats_.misses;
+        lru_.erase(entry.lru);
+        cache_.erase(it);
+        lease.cache_on_release = true;
+      } else {
+        ++cache_stats_.hits;
+        entry.in_use = true;
+        lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
+        lease.statement = entry.statement.get();
+        lease.from_cache = true;
+        return lease;
+      }
+    } else {
+      ++cache_stats_.misses;
+      lease.cache_on_release = cache_capacity_ > 0;
+    }
+  }
+  lease.owned = std::make_unique<Statement>(parse_statement(sql));  // no lock held
+  lease.statement = lease.owned.get();
+  return lease;
+}
+
+void Connection::release_plan(PlanLease& lease) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (lease.from_cache) {
+    auto it = cache_.find(lease.key);
+    if (it != cache_.end()) it->second.in_use = false;
+    return;
+  }
+  if (!lease.cache_on_release || cache_capacity_ == 0) return;
+  const StatementKind kind = lease.statement->kind;
+  if (kind == StatementKind::kBegin || kind == StatementKind::kCommit ||
+      kind == StatementKind::kRollback) {
+    return;  // transaction control: nothing to gain from caching
+  }
+  if (cache_.count(lease.key) > 0) return;  // another thread cached it first
+  lru_.push_front(lease.key);
+  CacheEntry entry;
+  entry.statement = std::move(lease.owned);
+  // Re-read the epoch so a DDL statement's own plan is stamped with the
+  // epoch it produced (it would otherwise self-invalidate immediately).
+  entry.schema_epoch = database_->schema_epoch();
+  entry.lru = lru_.begin();
+  cache_.emplace(std::move(lease.key), std::move(entry));
+  evict_to_capacity_locked();
+}
+
+void Connection::evict_to_capacity_locked() {
+  while (cache_.size() > cache_capacity_) {
+    // Evict from the cold end, skipping entries leased by running
+    // statements (their ASTs are in use; dropping them would free a
+    // statement mid-execution).
+    bool evicted = false;
+    for (auto it = lru_.end(); it != lru_.begin();) {
+      --it;
+      auto entry = cache_.find(*it);
+      if (entry != cache_.end() && !entry->second.in_use) {
+        cache_.erase(entry);
+        lru_.erase(it);
+        ++cache_stats_.evictions;
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // everything leased; temporarily over capacity
+  }
+}
+
+PlanCacheStats Connection::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_stats_;
+}
+
+void Connection::set_plan_cache_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_capacity_ = capacity;
+  evict_to_capacity_locked();
 }
 
 void Connection::begin() {

@@ -17,10 +17,14 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sqldb/ast.h"
@@ -63,6 +67,14 @@ class ResultSet {
 };
 
 class Connection;
+
+/// Counters for a Connection's statement/plan cache.
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;  // entries dropped on schema-epoch change
+  std::uint64_t evictions = 0;      // entries dropped by LRU capacity
+};
 
 /// A pre-parsed statement with '?' parameter binding (1-based setters).
 /// A PreparedStatement belongs to the thread using it (its AST is bound
@@ -145,9 +157,16 @@ class Connection {
   /// while writes serialize.
   explicit Connection(std::shared_ptr<Database> database);
 
-  /// Execute SQL directly; use for DDL and one-off queries.
+  /// Execute SQL directly. Parsed statements are cached on this
+  /// connection keyed by the SQL text (LRU), so repeated shapes —
+  /// DatabaseAPI's per-trial INSERT/SELECT loops — skip re-parsing. The
+  /// cache is invalidated by DDL through the database's schema epoch.
   ResultSet execute(std::string_view sql, const Params& params = {});
   std::size_t execute_update(std::string_view sql, const Params& params = {});
+
+  /// Plan-cache observability and sizing. Capacity 0 disables caching.
+  PlanCacheStats plan_cache_stats() const;
+  void set_plan_cache_capacity(std::size_t capacity);
 
   PreparedStatement prepare(std::string sql) {
     return PreparedStatement(*this, std::move(sql));
@@ -179,7 +198,38 @@ class Connection {
   ResultSetData run_statement(Statement& stmt, const Params& params,
                               std::string_view sql);
 
+  // ----- statement/plan cache -----------------------------------------
+  // A cached AST is bound in place during execution, so an entry is
+  // leased exclusively (in_use) while a statement runs; a second thread
+  // executing the same SQL text concurrently falls back to a fresh
+  // parse. Entries carry the schema epoch they were parsed under and are
+  // dropped when DDL has bumped it since.
+  struct CacheEntry {
+    std::unique_ptr<Statement> statement;
+    std::uint64_t schema_epoch = 0;
+    bool in_use = false;
+    std::list<std::string>::iterator lru;  // position in lru_
+  };
+  struct PlanLease {
+    Statement* statement = nullptr;
+    std::unique_ptr<Statement> owned;  // set when not served from cache
+    std::string key;
+    bool from_cache = false;
+    bool cache_on_release = false;
+  };
+
+  ResultSetData run_cached(std::string_view sql, const Params& params);
+  PlanLease lease_plan(std::string_view sql);
+  void release_plan(PlanLease& lease);
+  void evict_to_capacity_locked();
+
   std::shared_ptr<Database> database_;
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::size_t cache_capacity_ = 64;
+  PlanCacheStats cache_stats_;
 };
 
 }  // namespace perfdmf::sqldb

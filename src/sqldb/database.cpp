@@ -148,6 +148,8 @@ ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params
   switch (stmt.kind) {
     case StatementKind::kSelect:
       return execute_select(*this, stmt.select, params);
+    case StatementKind::kExplain:
+      return execute_explain(*this, stmt.select, params);
     case StatementKind::kInsert: {
       std::size_t n = run_insert(stmt.insert, params);
       log_statement(sql, params);
@@ -165,34 +167,41 @@ ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params
     }
     case StatementKind::kCreateTable:
       run_create_table(stmt.create_table);
+      note_schema_change();
       log_statement(sql, params);
       return count_result(0);
     case StatementKind::kDropTable:
       run_drop_table(stmt.drop_table);
+      note_schema_change();
       log_statement(sql, params);
       return count_result(0);
     case StatementKind::kAlterAddColumn: {
       Table& t = table(stmt.alter.table);
       t.add_column(stmt.alter.column);
+      note_schema_change();
       log_ddl(sql, params);
       return count_result(0);
     }
     case StatementKind::kAlterDropColumn: {
       Table& t = table(stmt.alter.table);
       t.drop_column(stmt.alter.column_name);
+      note_schema_change();
       log_ddl(sql, params);
       return count_result(0);
     }
     case StatementKind::kCreateIndex:
       run_create_index(stmt.create_index);
+      note_schema_change();
       log_statement(sql, params);
       return count_result(0);
     case StatementKind::kCreateView:
       run_create_view(stmt.create_view);
+      note_schema_change();
       log_statement(sql, params);
       return count_result(0);
     case StatementKind::kDropView:
       run_drop_view(stmt.drop_view);
+      note_schema_change();
       log_statement(sql, params);
       return count_result(0);
     case StatementKind::kBegin:

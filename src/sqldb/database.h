@@ -11,6 +11,8 @@
 // PerfExplorer back end).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -90,8 +92,22 @@ class Database {
   /// appropriate lock around execute()/begin()/commit()/checkpoint().
   LockManager& locks() { return locks_; }
 
+  /// Monotonic counter bumped by every DDL statement (CREATE/DROP
+  /// TABLE/VIEW/INDEX, ALTER). Connections key their plan caches on it:
+  /// a cached statement parsed under an older epoch is re-parsed, so DDL
+  /// invalidates every connection's cache without coordination.
+  std::uint64_t schema_epoch() const {
+    return schema_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Executor strategy switches (see ExecutorTuning). Not synchronized:
+  /// toggle only while no query is in flight (tests/benches).
+  ExecutorTuning executor_tuning() const { return tuning_; }
+  void set_executor_tuning(const ExecutorTuning& tuning) { tuning_ = tuning; }
+
  private:
-  friend ResultSetData execute_select(Database&, SelectStatement&, const Params&);
+  friend ResultSetData execute_select(Database&, SelectStatement&, const Params&,
+                                      ExplainInfo*);
 
   struct UndoRecord {
     enum class Kind { kInsert, kUpdate, kDelete } kind;
@@ -147,6 +163,12 @@ class Database {
   std::filesystem::path directory_;
   bool replaying_ = false;  // suppress WAL writes during recovery
   RecoveryReport report_;
+
+  void note_schema_change() {
+    schema_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::atomic<std::uint64_t> schema_epoch_{0};
+  ExecutorTuning tuning_;
 
   LockManager locks_;
 };

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "sqldb/database.h"
 #include "util/error.h"
@@ -89,41 +92,126 @@ void split_conjuncts(Expr& e, std::vector<Expr*>& out) {
   out.push_back(&e);
 }
 
+/// The access path chosen for one table: how candidate rows are fetched.
+/// Candidates are a superset of the qualifying rows except for
+/// kUniqueIndexEq/kIndexEq/kIndexRange over the selecting predicate, and
+/// every caller re-evaluates its predicate(s) per candidate regardless.
+struct AccessPath {
+  enum class Kind { kScan, kIndexEq, kUniqueIndexEq, kIndexRange };
+  Kind kind = Kind::kScan;
+  std::size_t column = 0;
+  Value eq_value;                 // kIndexEq / kUniqueIndexEq
+  std::optional<Value> lo, hi;    // kIndexRange
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+};
+
+/// Pick the best index-served predicate: unique-index equality (pins at
+/// most one row) over non-unique equality over a range. Strict bounds
+/// stay strict so the index fetches exactly the qualifying keys.
+AccessPath choose_access_path(const Table& table,
+                              const std::vector<IndexPredicate>& predicates) {
+  AccessPath path;
+  for (const auto& p : predicates) {
+    if (p.op == "=" && table.has_unique_index(p.column)) {
+      path.kind = AccessPath::Kind::kUniqueIndexEq;
+      path.column = p.column;
+      path.eq_value = p.value;
+      return path;
+    }
+  }
+  for (const auto& p : predicates) {
+    if (p.op == "=" && table.has_index(p.column)) {
+      path.kind = AccessPath::Kind::kIndexEq;
+      path.column = p.column;
+      path.eq_value = p.value;
+      return path;
+    }
+  }
+  for (const auto& p : predicates) {
+    if (!table.has_index(p.column)) continue;
+    std::optional<Value> lo, hi;
+    bool lo_inclusive = true;
+    bool hi_inclusive = true;
+    for (const auto& q : predicates) {
+      if (q.column != p.column) continue;
+      if (q.op == ">" || q.op == ">=") {
+        const bool inclusive = (q.op == ">=");
+        const int c = lo ? q.value.compare(*lo) : 1;
+        if (!lo || c > 0 || (c == 0 && lo_inclusive && !inclusive)) {
+          lo = q.value;
+          lo_inclusive = inclusive;
+        }
+      } else if (q.op == "<" || q.op == "<=") {
+        const bool inclusive = (q.op == "<=");
+        const int c = hi ? q.value.compare(*hi) : -1;
+        if (!hi || c < 0 || (c == 0 && hi_inclusive && !inclusive)) {
+          hi = q.value;
+          hi_inclusive = inclusive;
+        }
+      }
+    }
+    if (lo || hi) {
+      path.kind = AccessPath::Kind::kIndexRange;
+      path.column = p.column;
+      path.lo = std::move(lo);
+      path.hi = std::move(hi);
+      path.lo_inclusive = lo_inclusive;
+      path.hi_inclusive = hi_inclusive;
+      return path;
+    }
+  }
+  return path;  // scan
+}
+
+std::vector<RowId> fetch_access_path(const Table& table, const AccessPath& path) {
+  switch (path.kind) {
+    case AccessPath::Kind::kUniqueIndexEq:
+    case AccessPath::Kind::kIndexEq:
+      if (auto hits = table.index_equal(path.column, path.eq_value)) return *hits;
+      break;
+    case AccessPath::Kind::kIndexRange:
+      if (auto hits = table.index_range(path.column, path.lo, path.hi,
+                                        path.lo_inclusive, path.hi_inclusive)) {
+        return *hits;
+      }
+      break;
+    case AccessPath::Kind::kScan:
+      break;
+  }
+  std::vector<RowId> all;
+  all.reserve(table.live_row_count());
+  table.scan([&](RowId id, const Row&) { all.push_back(id); });
+  return all;
+}
+
+std::string describe_access_path(const Table& table, const AccessPath& path) {
+  auto column_name = [&](std::size_t c) {
+    return table.schema().columns()[c].name;
+  };
+  switch (path.kind) {
+    case AccessPath::Kind::kUniqueIndexEq:
+      return "unique-index-eq(" + column_name(path.column) + ")";
+    case AccessPath::Kind::kIndexEq:
+      return "index-eq(" + column_name(path.column) + ")";
+    case AccessPath::Kind::kIndexRange:
+      return "index-range(" + column_name(path.column) + ")";
+    case AccessPath::Kind::kScan:
+      break;
+  }
+  return "scan";
+}
+
 }  // namespace
 
 std::vector<RowId> collect_candidates(const Table& table, const Expr* bound_where,
                                       const Params& params) {
-  std::vector<RowId> all;
+  std::vector<IndexPredicate> predicates;
   if (bound_where != nullptr) {
-    std::vector<IndexPredicate> predicates;
     collect_index_predicates(*bound_where, params, table.schema().columns().size(),
                              predicates);
-    // Prefer an equality on an indexed column; else try to assemble a range.
-    for (const auto& p : predicates) {
-      if (p.op == "=" && table.has_index(p.column)) {
-        if (auto hits = table.index_equal(p.column, p.value)) return *hits;
-      }
-    }
-    // Range: combine lo/hi bounds on the same indexed column.
-    for (const auto& p : predicates) {
-      if (!table.has_index(p.column)) continue;
-      std::optional<Value> lo;
-      std::optional<Value> hi;
-      for (const auto& q : predicates) {
-        if (q.column != p.column) continue;
-        if (q.op == ">" || q.op == ">=") {
-          if (!lo || q.value > *lo) lo = q.value;
-        } else if (q.op == "<" || q.op == "<=") {
-          if (!hi || q.value < *hi) hi = q.value;
-        }
-      }
-      if (lo || hi) {
-        if (auto hits = table.index_range(p.column, lo, hi)) return *hits;
-      }
-    }
   }
-  table.scan([&](RowId id, const Row&) { all.push_back(id); });
-  return all;
+  return fetch_access_path(table, choose_access_path(table, predicates));
 }
 
 namespace {
@@ -201,6 +289,82 @@ class AggregateRewrite {
   std::vector<Expr*> nodes_;
 };
 
+std::size_t row_hash(const Row& row) {
+  std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const Value& v : row) {
+    h ^= v.hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool rows_equal(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+struct RowHasher {
+  std::size_t operator()(const Row& r) const { return row_hash(r); }
+};
+struct RowEqual {
+  bool operator()(const Row& a, const Row& b) const { return rows_equal(a, b); }
+};
+
+/// Open-addressing hash of group keys. Entries (key + representative row
+/// + inline accumulators) live in a vector in first-seen order, which is
+/// also the output order; the slot array holds entry indexes (+1, 0 means
+/// empty) probed linearly, so rehashing only moves 4-byte slots.
+struct GroupEntry {
+  Row key;
+  std::size_t hash = 0;
+  const Row* rep = nullptr;  // first member (bare column refs, HAVING)
+  std::vector<Accumulator> accumulators;
+};
+
+class GroupHashTable {
+ public:
+  GroupHashTable() : slots_(64, 0), mask_(63) {}
+
+  /// Find the entry for `key`, inserting a new one (with accumulators
+  /// from `make_entry`) when absent.
+  template <typename MakeEntry>
+  GroupEntry& find_or_insert(Row&& key, MakeEntry&& make_entry) {
+    if ((entries_.size() + 1) * 4 >= slots_.size() * 3) grow();  // ~0.75 load
+    const std::size_t h = row_hash(key);
+    std::size_t i = h & mask_;
+    for (;;) {
+      const std::uint32_t s = slots_[i];
+      if (s == 0) {
+        entries_.push_back(make_entry(std::move(key), h));
+        slots_[i] = static_cast<std::uint32_t>(entries_.size());
+        return entries_.back();
+      }
+      GroupEntry& e = entries_[s - 1];
+      if (e.hash == h && rows_equal(e.key, key)) return e;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::vector<GroupEntry>& entries() { return entries_; }
+
+ private:
+  void grow() {
+    slots_.assign(slots_.size() * 2, 0);
+    mask_ = slots_.size() - 1;
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      std::size_t i = entries_[e].hash & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = static_cast<std::uint32_t>(e + 1);
+    }
+  }
+
+  std::vector<std::uint32_t> slots_;  // entry index + 1; 0 = empty
+  std::size_t mask_;
+  std::vector<GroupEntry> entries_;   // insertion (= output) order
+};
+
 struct WorkingSet {
   std::vector<BoundColumn> layout;
   std::vector<Row> rows;
@@ -244,9 +408,11 @@ Table& resolve_table(Database& db, const std::string& name, WorkingSet& ws) {
 
 /// FROM + JOIN + WHERE: produce the working rows and the column layout.
 WorkingSet build_working_set(Database& db, SelectStatement& stmt,
-                             const Params& params) {
+                             const Params& params, ExplainInfo* explain) {
+  const ExecutorTuning tuning = db.executor_tuning();
   WorkingSet ws;
   if (!stmt.from) {
+    if (explain) explain->add("from: none");
     ws.rows.emplace_back();  // one empty row: SELECT 1+1
     if (stmt.where) {
       bind_expr(*stmt.where, ws.layout);
@@ -289,31 +455,23 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     }
   }
 
-  std::vector<RowId> candidates;
-  if (base_where != nullptr || pushed.empty()) {
-    candidates = collect_candidates(base, base_where, params);
+  // Index selection over everything known about the base table (the whole
+  // WHERE, or the pushed conjuncts — all of them are ANDed).
+  std::vector<IndexPredicate> predicates;
+  if (base_where != nullptr) {
+    collect_index_predicates(*base_where, params,
+                             base.schema().columns().size(), predicates);
   } else {
-    // Index selection over the first pushed conjunct that an index serves.
-    bool used_index = false;
     for (const Expr* conjunct : pushed) {
-      std::vector<IndexPredicate> predicates;
       collect_index_predicates(*conjunct, params,
                                base.schema().columns().size(), predicates);
-      for (const auto& p : predicates) {
-        if (p.op == "=" && base.has_index(p.column)) {
-          if (auto hits = base.index_equal(p.column, p.value)) {
-            candidates = *hits;
-            used_index = true;
-          }
-          break;
-        }
-      }
-      if (used_index) break;
-    }
-    if (!used_index) {
-      base.scan([&](RowId id, const Row&) { candidates.push_back(id); });
     }
   }
+  const AccessPath path = choose_access_path(base, predicates);
+  if (explain) {
+    explain->add("from " + base_alias + ": " + describe_access_path(base, path));
+  }
+  const std::vector<RowId> candidates = fetch_access_path(base, path);
 
   ws.rows.reserve(candidates.size());
   for (RowId id : candidates) {
@@ -329,8 +487,12 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     if (keep) ws.rows.push_back(row);
   }
 
-  // Joins: nested loop, with index lookup when ON is equality between an
-  // existing column and a column of the joined table that has an index.
+  // Joins. An equi-join conjunct (existing_col = right_col) in the ON
+  // clause selects a build/probe hash join built on the smaller side;
+  // without one (or with hash joins disabled) the join falls back to an
+  // index-nested-loop when the right side has an index on its key, and a
+  // plain nested loop otherwise. NULL keys never hash-match (SQL '='),
+  // and the non-equi remainder of the ON clause is evaluated per pair.
   for (auto& join : stmt.joins) {
     Table& right = resolve_table(db, join.table.table, ws);
     const std::string right_alias = util::to_lower(join.table.alias);
@@ -340,50 +502,151 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     }
     bind_expr(*join.on, new_layout);
 
-    // Detect "left_col = right_col" to drive an index lookup.
+    // Find one equi-join conjunct across the boundary; the rest of the ON
+    // conjunction becomes a residual filter.
+    std::vector<Expr*> on_conjuncts;
+    split_conjuncts(*join.on, on_conjuncts);
     std::size_t left_key = static_cast<std::size_t>(-1);
     std::size_t right_key = static_cast<std::size_t>(-1);
-    const Expr& on = *join.on;
-    if (on.kind == ExprKind::kBinary && on.op == "=" &&
-        on.children[0]->kind == ExprKind::kColumnRef &&
-        on.children[1]->kind == ExprKind::kColumnRef) {
-      std::size_t a = on.children[0]->resolved_index;
-      std::size_t b = on.children[1]->resolved_index;
+    const Expr* equi = nullptr;
+    for (const Expr* c : on_conjuncts) {
+      if (c->kind != ExprKind::kBinary || c->op != "=" ||
+          c->children[0]->kind != ExprKind::kColumnRef ||
+          c->children[1]->kind != ExprKind::kColumnRef) {
+        continue;
+      }
+      const std::size_t a = c->children[0]->resolved_index;
+      const std::size_t b = c->children[1]->resolved_index;
       if (a < ws.layout.size() && b >= ws.layout.size()) {
         left_key = a;
         right_key = b - ws.layout.size();
-      } else if (b < ws.layout.size() && a >= ws.layout.size()) {
+        equi = c;
+        break;
+      }
+      if (b < ws.layout.size() && a >= ws.layout.size()) {
         left_key = b;
         right_key = a - ws.layout.size();
+        equi = c;
+        break;
       }
     }
-    const bool use_index =
-        right_key != static_cast<std::size_t>(-1) && right.has_index(right_key);
+    std::vector<const Expr*> residual;
+    for (const Expr* c : on_conjuncts) {
+      if (c != equi) residual.push_back(c);
+    }
+    auto passes_residual = [&](const Row& combined) {
+      for (const Expr* c : residual) {
+        if (!is_truthy(eval_expr(*c, combined, params))) return false;
+      }
+      return true;
+    };
 
-    std::vector<Row> joined;
     const std::size_t right_width = right.schema().columns().size();
-    for (const auto& left_row : ws.rows) {
-      bool matched = false;
-      auto try_pair = [&](const Row& right_row) {
-        Row combined = left_row;
-        combined.insert(combined.end(), right_row.begin(), right_row.end());
-        if (is_truthy(eval_expr(on, combined, params))) {
-          joined.push_back(std::move(combined));
-          matched = true;
+    std::vector<Row> joined;
+
+    if (equi != nullptr && tuning.hash_join) {
+      const bool build_left = ws.rows.size() < right.live_row_count();
+      if (explain) {
+        explain->add("join " + right_alias + ": hash build=" +
+                     (build_left ? std::string("left") : std::string("right")));
+      }
+      if (build_left) {
+        // Build on the (smaller) left side, stream the right side through
+        // it once. Matches are buffered per left row so the output keeps
+        // the nested-loop's left-major order (and LEFT OUTER padding
+        // still sees per-left-row match state).
+        std::unordered_map<Value, std::vector<std::size_t>, ValueHash> table;
+        table.reserve(ws.rows.size());
+        for (std::size_t i = 0; i < ws.rows.size(); ++i) {
+          const Value& key = ws.rows[i][left_key];
+          if (!key.is_null()) table[key].push_back(i);
         }
-      };
-      if (use_index) {
-        auto hits = right.index_equal(right_key, left_row[left_key]);
-        for (RowId id : *hits) {
-          if (right.is_live(id)) try_pair(right.row(id));
+        std::vector<std::vector<Row>> matches(ws.rows.size());
+        right.scan([&](RowId, const Row& right_row) {
+          const Value& key = right_row[right_key];
+          if (key.is_null()) return;
+          auto it = table.find(key);
+          if (it == table.end()) return;
+          for (std::size_t i : it->second) {
+            Row combined = ws.rows[i];
+            combined.insert(combined.end(), right_row.begin(), right_row.end());
+            if (passes_residual(combined)) matches[i].push_back(std::move(combined));
+          }
+        });
+        for (std::size_t i = 0; i < ws.rows.size(); ++i) {
+          if (matches[i].empty()) {
+            if (join.left_outer) {
+              Row combined = ws.rows[i];
+              combined.resize(combined.size() + right_width);  // NULL padding
+              joined.push_back(std::move(combined));
+            }
+            continue;
+          }
+          for (auto& row : matches[i]) joined.push_back(std::move(row));
         }
       } else {
-        right.scan([&](RowId, const Row& right_row) { try_pair(right_row); });
+        // Build on the right side, probe with each left row in order.
+        std::unordered_map<Value, std::vector<const Row*>, ValueHash> table;
+        table.reserve(right.live_row_count());
+        right.scan([&](RowId, const Row& right_row) {
+          const Value& key = right_row[right_key];
+          if (!key.is_null()) table[key].push_back(&right_row);
+        });
+        for (const auto& left_row : ws.rows) {
+          bool matched = false;
+          const Value& key = left_row[left_key];
+          if (!key.is_null()) {
+            auto it = table.find(key);
+            if (it != table.end()) {
+              for (const Row* right_row : it->second) {
+                Row combined = left_row;
+                combined.insert(combined.end(), right_row->begin(),
+                                right_row->end());
+                if (passes_residual(combined)) {
+                  joined.push_back(std::move(combined));
+                  matched = true;
+                }
+              }
+            }
+          }
+          if (!matched && join.left_outer) {
+            Row combined = left_row;
+            combined.resize(combined.size() + right_width);
+            joined.push_back(std::move(combined));
+          }
+        }
       }
-      if (!matched && join.left_outer) {
-        Row combined = left_row;
-        combined.resize(combined.size() + right_width);  // NULL padding
-        joined.push_back(std::move(combined));
+    } else {
+      const bool use_index =
+          right_key != static_cast<std::size_t>(-1) && right.has_index(right_key);
+      if (explain) {
+        explain->add("join " + right_alias + ": " +
+                     (use_index ? "index-nested-loop" : "nested-loop"));
+      }
+      const Expr& on = *join.on;
+      for (const auto& left_row : ws.rows) {
+        bool matched = false;
+        auto try_pair = [&](const Row& right_row) {
+          Row combined = left_row;
+          combined.insert(combined.end(), right_row.begin(), right_row.end());
+          if (is_truthy(eval_expr(on, combined, params))) {
+            joined.push_back(std::move(combined));
+            matched = true;
+          }
+        };
+        if (use_index) {
+          auto hits = right.index_equal(right_key, left_row[left_key]);
+          for (RowId id : *hits) {
+            if (right.is_live(id)) try_pair(right.row(id));
+          }
+        } else {
+          right.scan([&](RowId, const Row& right_row) { try_pair(right_row); });
+        }
+        if (!matched && join.left_outer) {
+          Row combined = left_row;
+          combined.resize(combined.size() + right_width);  // NULL padding
+          joined.push_back(std::move(combined));
+        }
       }
     }
     ws.rows = std::move(joined);
@@ -423,11 +686,32 @@ std::string default_column_name(const Expr* expr, std::size_t position) {
   return "col" + std::to_string(position);
 }
 
+/// Evaluate a LIMIT/OFFSET operand (integer literal or placeholder).
+std::size_t eval_limit_operand(const Expr& e, const Params& params,
+                               const char* clause) {
+  static const Row kNoRow;
+  const Value v = eval_expr(e, kNoRow, params);
+  if (v.type() != ValueType::kInt || v.as_int() < 0) {
+    throw DbError(std::string(clause) + " must be a non-negative integer, got " +
+                  (v.is_null() ? std::string("NULL") : v.to_string()));
+  }
+  return static_cast<std::size_t>(v.as_int());
+}
+
 }  // namespace
 
 ResultSetData execute_select(Database& db, SelectStatement& stmt,
-                             const Params& params) {
-  WorkingSet ws = build_working_set(db, stmt, params);
+                             const Params& params, ExplainInfo* explain) {
+  const ExecutorTuning tuning = db.executor_tuning();
+
+  // Evaluate LIMIT/OFFSET up front: negative (or non-integer) operands are
+  // errors, and a known bound enables the Top-K path below.
+  std::optional<std::size_t> limit_count;
+  std::optional<std::size_t> offset_count;
+  if (stmt.limit) limit_count = eval_limit_operand(*stmt.limit, params, "LIMIT");
+  if (stmt.offset) offset_count = eval_limit_operand(*stmt.offset, params, "OFFSET");
+
+  WorkingSet ws = build_working_set(db, stmt, params, explain);
 
   // Expand '*' items into one column ref per working column.
   std::vector<const Expr*> output_exprs;  // parallel to output columns
@@ -465,12 +749,55 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
   const bool aggregated = !aggregate_nodes.empty() || !stmt.group_by.empty();
 
   // Pre-compute ORDER BY keys alongside each output row so sorting works
-  // uniformly for plain and aggregated queries.
+  // uniformly for plain and aggregated queries. `seq` is the production
+  // order; using it as the final tie-break makes both the full sort and
+  // the Top-K heap reproduce std::stable_sort's ordering.
   struct OutputRow {
     Row values;
     Row sort_keys;
+    std::size_t seq = 0;
   };
   std::vector<OutputRow> output;
+
+  auto output_less = [&](const OutputRow& a, const OutputRow& b) {
+    for (std::size_t k = 0; k < stmt.order_by.size(); ++k) {
+      int c = a.sort_keys[k].compare(b.sort_keys[k]);
+      if (stmt.order_by[k].descending) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return a.seq < b.seq;
+  };
+
+  // ORDER BY + LIMIT runs as a bounded Top-K heap: only the best
+  // limit+offset rows are retained, so a top-10 query over 1M rows never
+  // materializes the full sort.
+  const bool use_topk =
+      tuning.top_k && !stmt.order_by.empty() && limit_count.has_value();
+  const std::size_t keep =
+      use_topk ? *limit_count + offset_count.value_or(0) : 0;
+
+  std::unordered_set<Row, RowHasher, RowEqual> distinct_seen;
+  std::size_t next_seq = 0;
+  auto emit = [&](OutputRow&& out) {
+    if (stmt.distinct && !distinct_seen.insert(out.values).second) return;
+    out.seq = next_seq++;
+    if (!use_topk) {
+      output.push_back(std::move(out));
+      return;
+    }
+    if (keep == 0) return;  // LIMIT 0
+    if (output.size() < keep) {
+      output.push_back(std::move(out));
+      std::push_heap(output.begin(), output.end(), output_less);
+      return;
+    }
+    // Heap front is the worst retained row; replace it when beaten.
+    if (output_less(out, output.front())) {
+      std::pop_heap(output.begin(), output.end(), output_less);
+      output.back() = std::move(out);
+      std::push_heap(output.begin(), output.end(), output_less);
+    }
+  };
 
   auto order_key_for = [&](const Row& working_row, const Row& produced,
                            const OrderItem& item) -> Value {
@@ -501,107 +828,162 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
   };
 
   if (!aggregated) {
-    output.reserve(ws.rows.size());
+    if (!use_topk) output.reserve(ws.rows.size());
     for (const auto& row : ws.rows) {
       OutputRow out;
       out.values.reserve(output_exprs.size());
       for (const Expr* e : output_exprs) {
         out.values.push_back(eval_expr(*e, row, params));
       }
+      out.sort_keys.reserve(stmt.order_by.size());
       for (const auto& item : stmt.order_by) {
         out.sort_keys.push_back(order_key_for(row, out.values, item));
       }
-      output.push_back(std::move(out));
+      emit(std::move(out));
     }
   } else {
     for (auto& g : stmt.group_by) bind_expr(*g, ws.layout);
-    // Group rows by the GROUP BY key (empty key -> single group).
-    std::map<Row, std::vector<const Row*>> groups;
-    for (const auto& row : ws.rows) {
+
+    auto make_accumulators = [&]() {
+      std::vector<Accumulator> accumulators(aggregate_nodes.size());
+      for (std::size_t a = 0; a < aggregate_nodes.size(); ++a) {
+        accumulators[a].node = aggregate_nodes[a];
+      }
+      return accumulators;
+    };
+    auto accumulate = [&](std::vector<Accumulator>& accumulators, const Row& row) {
+      for (std::size_t a = 0; a < aggregate_nodes.size(); ++a) {
+        Expr* node = aggregate_nodes[a];
+        if (node->children.size() == 1 &&
+            node->children[0]->kind == ExprKind::kStar) {
+          ++accumulators[a].count;
+          accumulators[a].any = true;
+        } else {
+          accumulators[a].add(eval_expr(*node->children[0], row, params));
+        }
+      }
+    };
+    auto group_key = [&](const Row& row) {
       Row key;
       key.reserve(stmt.group_by.size());
       for (const auto& g : stmt.group_by) {
         key.push_back(eval_expr(*g, row, params));
       }
-      groups[key].push_back(&row);
-    }
-    if (groups.empty() && stmt.group_by.empty()) {
-      groups[Row{}] = {};  // aggregate over zero rows: one output row
-    }
-    for (auto& [key, members] : groups) {
-      // Accumulate every aggregate node over the group's rows.
-      std::vector<Accumulator> accumulators(aggregate_nodes.size());
-      for (std::size_t a = 0; a < aggregate_nodes.size(); ++a) {
-        accumulators[a].node = aggregate_nodes[a];
-      }
-      for (const Row* row : members) {
-        for (std::size_t a = 0; a < aggregate_nodes.size(); ++a) {
-          Expr* node = aggregate_nodes[a];
-          if (node->children.size() == 1 &&
-              node->children[0]->kind == ExprKind::kStar) {
-            ++accumulators[a].count;
-            accumulators[a].any = true;
-          } else {
-            accumulators[a].add(eval_expr(*node->children[0], *row, params));
-          }
-        }
-      }
+      return key;
+    };
+    // HAVING + projection for one finished group; the representative row
+    // serves bare column references.
+    auto finish_group = [&](const Row* rep, const std::vector<Accumulator>& accumulators) {
       std::vector<Value> aggregate_values;
       aggregate_values.reserve(accumulators.size());
       for (const auto& acc : accumulators) aggregate_values.push_back(acc.result());
 
-      // Representative row for bare column references (first member).
       static const Row kEmptyRow;
-      const Row& rep = members.empty() ? kEmptyRow : *members.front();
+      const Row& rep_row = rep != nullptr ? *rep : kEmptyRow;
 
       AggregateRewrite rewrite(aggregate_nodes, aggregate_values);
-      if (stmt.having &&
-          !is_truthy(eval_expr(*stmt.having, rep, params))) {
-        continue;
+      if (stmt.having && !is_truthy(eval_expr(*stmt.having, rep_row, params))) {
+        return;
       }
       OutputRow out;
       out.values.reserve(output_exprs.size());
       for (const Expr* e : output_exprs) {
-        out.values.push_back(eval_expr(*e, rep, params));
+        out.values.push_back(eval_expr(*e, rep_row, params));
       }
+      out.sort_keys.reserve(stmt.order_by.size());
       for (const auto& item : stmt.order_by) {
-        out.sort_keys.push_back(order_key_for(rep, out.values, item));
+        out.sort_keys.push_back(order_key_for(rep_row, out.values, item));
       }
-      output.push_back(std::move(out));
-    }
-  }
+      emit(std::move(out));
+    };
 
-  if (stmt.distinct) {
-    std::set<Row> seen;
-    std::vector<OutputRow> kept;
-    for (auto& row : output) {
-      if (seen.insert(row.values).second) kept.push_back(std::move(row));
+    if (tuning.hash_group_by) {
+      // Single pass: group keys hash into an open-addressing table whose
+      // entries carry the accumulators inline. Groups come out in
+      // first-seen order.
+      GroupHashTable groups;
+      for (const auto& row : ws.rows) {
+        GroupEntry& entry = groups.find_or_insert(
+            group_key(row), [&](Row&& key, std::size_t hash) {
+              GroupEntry e;
+              e.key = std::move(key);
+              e.hash = hash;
+              e.rep = &row;
+              e.accumulators = make_accumulators();
+              return e;
+            });
+        accumulate(entry.accumulators, row);
+      }
+      if (groups.entries().empty() && stmt.group_by.empty()) {
+        // Aggregate over zero rows: one output row.
+        GroupEntry e;
+        e.accumulators = make_accumulators();
+        groups.entries().push_back(std::move(e));
+      }
+      if (explain) {
+        explain->add("group-by: hash groups=" +
+                     std::to_string(groups.entries().size()));
+      }
+      for (const auto& entry : groups.entries()) {
+        finish_group(entry.rep, entry.accumulators);
+      }
+    } else {
+      // Fallback: ordered map of group keys (two passes, key-sorted
+      // output), kept for parity testing.
+      std::map<Row, std::vector<const Row*>> groups;
+      for (const auto& row : ws.rows) {
+        groups[group_key(row)].push_back(&row);
+      }
+      if (groups.empty() && stmt.group_by.empty()) {
+        groups[Row{}] = {};  // aggregate over zero rows: one output row
+      }
+      if (explain) {
+        explain->add("group-by: ordered groups=" + std::to_string(groups.size()));
+      }
+      for (auto& [key, members] : groups) {
+        std::vector<Accumulator> accumulators = make_accumulators();
+        for (const Row* row : members) accumulate(accumulators, *row);
+        finish_group(members.empty() ? nullptr : members.front(), accumulators);
+      }
     }
-    output = std::move(kept);
   }
 
   if (!stmt.order_by.empty()) {
-    std::stable_sort(output.begin(), output.end(),
-                     [&](const OutputRow& a, const OutputRow& b) {
-                       for (std::size_t k = 0; k < stmt.order_by.size(); ++k) {
-                         int c = a.sort_keys[k].compare(b.sort_keys[k]);
-                         if (stmt.order_by[k].descending) c = -c;
-                         if (c != 0) return c < 0;
-                       }
-                       return false;
-                     });
+    if (use_topk) {
+      std::sort_heap(output.begin(), output.end(), output_less);
+      if (explain) {
+        explain->add("order-by: top-k(" + std::to_string(keep) + ")");
+      }
+    } else {
+      // `seq` tie-break makes the plain sort stable.
+      std::sort(output.begin(), output.end(), output_less);
+      if (explain) explain->add("order-by: sort");
+    }
   }
 
   std::size_t begin = 0;
   std::size_t end = output.size();
-  if (stmt.offset) begin = std::min<std::size_t>(end, static_cast<std::size_t>(*stmt.offset));
-  if (stmt.limit) end = std::min(end, begin + static_cast<std::size_t>(*stmt.limit));
+  if (offset_count) begin = std::min(end, *offset_count);
+  if (limit_count) end = std::min(end, begin + *limit_count);
 
   result.rows.reserve(end - begin);
   for (std::size_t i = begin; i < end; ++i) {
     result.rows.push_back(std::move(output[i].values));
   }
   return result;
+}
+
+ResultSetData execute_explain(Database& db, SelectStatement& stmt,
+                              const Params& params) {
+  ExplainInfo info;
+  execute_select(db, stmt, params, &info);
+  ResultSetData out;
+  out.column_names = {"plan"};
+  out.rows.reserve(info.lines.size());
+  for (auto& line : info.lines) {
+    out.rows.push_back({Value(std::move(line))});
+  }
+  return out;
 }
 
 }  // namespace perfdmf::sqldb

@@ -1,10 +1,12 @@
 // Statement execution against a Database catalog.
 //
-// SELECT pipeline: FROM/JOIN (nested-loop with index acceleration on
-// equality join keys) -> WHERE (index-accelerated candidate selection on
-// the base table) -> GROUP BY / aggregates -> HAVING -> projection ->
-// DISTINCT -> ORDER BY -> LIMIT/OFFSET. Results are materialized; the
-// profile workloads PerfDMF runs are read-mostly and bounded by row
+// SELECT pipeline: FROM/JOIN (hash join on equi-join conjuncts, with
+// index-nested-loop and nested-loop fallbacks) -> WHERE (index-accelerated
+// candidate selection on the base table) -> GROUP BY / aggregates (open-
+// addressing hash of group keys with inline accumulators) -> HAVING ->
+// projection -> DISTINCT -> ORDER BY (bounded Top-K heap when a LIMIT is
+// present, full sort otherwise) -> LIMIT/OFFSET. Results are materialized;
+// the profile workloads PerfDMF runs are read-mostly and bounded by row
 // construction, not pipelining.
 #pragma once
 
@@ -24,17 +26,46 @@ struct ResultSetData {
   std::vector<Row> rows;
 };
 
+/// Runtime switches for the executor's optimized paths. Tests and benches
+/// disable them to force the fallback strategies (nested-loop join,
+/// ordered-map grouping, full sort) and compare results / timings; normal
+/// operation leaves everything on. Not synchronized: toggle only while no
+/// query is in flight.
+struct ExecutorTuning {
+  bool hash_join = true;
+  bool hash_group_by = true;
+  bool top_k = true;
+};
+
+/// Plan description collected while executing under EXPLAIN: one line per
+/// decision (base-table access path, join strategy per join, grouping
+/// strategy, ORDER BY strategy). The Connection layer appends a
+/// plan-cache line for EXPLAIN statements it serves.
+struct ExplainInfo {
+  std::vector<std::string> lines;
+  void add(std::string line) { lines.push_back(std::move(line)); }
+};
+
 /// Execute a SELECT. `params` supplies '?' bindings. The statement is
 /// mutated in place (column binding, temporary aggregate rewriting) but
 /// is restored to a reusable state, so prepared statements can re-execute
-/// it with different parameters.
+/// it with different parameters. When `explain` is non-null the chosen
+/// strategies are recorded into it.
 ResultSetData execute_select(Database& db, SelectStatement& stmt,
-                             const Params& params);
+                             const Params& params,
+                             ExplainInfo* explain = nullptr);
+
+/// EXPLAIN SELECT: run the select (so group/strategy decisions reflect the
+/// actual data) and return the plan lines as a one-column result.
+ResultSetData execute_explain(Database& db, SelectStatement& stmt,
+                              const Params& params);
 
 /// Candidate RowIds for a WHERE clause over a single table, using an
 /// index when the (already bound) predicate pins an indexed column with
 /// '=', '<', '<=', '>', '>=' or BETWEEN against a literal/placeholder.
-/// The caller must still evaluate the full predicate per candidate.
+/// Unique-index equality is preferred over non-unique equality, which is
+/// preferred over ranges; strict bounds are served exclusively. The
+/// caller must still evaluate the full predicate per candidate.
 std::vector<RowId> collect_candidates(const Table& table, const Expr* bound_where,
                                       const Params& params);
 

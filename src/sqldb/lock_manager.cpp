@@ -5,6 +5,7 @@ namespace perfdmf::sqldb {
 StatementClass classify_statement(const Statement& stmt) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
+    case StatementKind::kExplain:
       return StatementClass::kRead;
     case StatementKind::kBegin:
       return StatementClass::kTxnBegin;

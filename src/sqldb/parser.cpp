@@ -93,6 +93,10 @@ class Parser {
     if (accept_keyword("SELECT")) {
       stmt.kind = StatementKind::kSelect;
       stmt.select = parse_select_body();
+    } else if (accept_keyword("EXPLAIN")) {
+      expect_keyword("SELECT");
+      stmt.kind = StatementKind::kExplain;
+      stmt.select = parse_select_body();
     } else if (accept_keyword("INSERT")) {
       stmt.kind = StatementKind::kInsert;
       stmt.insert = parse_insert();
@@ -448,16 +452,31 @@ class Parser {
       }
     }
     if (accept_keyword("LIMIT")) {
-      if (cur().type != TokenType::kInteger) fail("LIMIT expects an integer");
-      out.limit = cur().int_value;
-      advance();
+      out.limit = parse_limit_value("LIMIT");
       if (accept_keyword("OFFSET")) {
-        if (cur().type != TokenType::kInteger) fail("OFFSET expects an integer");
-        out.offset = cur().int_value;
-        advance();
+        out.offset = parse_limit_value("OFFSET");
       }
     }
     return out;
+  }
+
+  /// LIMIT/OFFSET operand: an integer literal (sign included, so that a
+  /// negative value reaches the executor and is rejected there with a
+  /// proper DbError) or a '?' placeholder.
+  ExprPtr parse_limit_value(const std::string& clause) {
+    if (accept_op("?")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kPlaceholder;
+      node->placeholder_index = placeholder_count_++;
+      return node;
+    }
+    const bool negative = accept_op("-");
+    if (cur().type != TokenType::kInteger) {
+      fail(clause + " expects an integer or '?'");
+    }
+    std::int64_t v = cur().int_value;
+    advance();
+    return make_literal(Value(negative ? -v : v));
   }
 
   // ----- expressions (precedence climbing) --------------------------------

@@ -109,6 +109,11 @@ bool Table::has_index(std::size_t column_index) const {
   return indexes_.count(column_index) > 0;
 }
 
+bool Table::has_unique_index(std::size_t column_index) const {
+  auto it = indexes_.find(column_index);
+  return it != indexes_.end() && it->second.unique;
+}
+
 std::optional<std::vector<RowId>> Table::index_equal(std::size_t column_index,
                                                      const Value& key) const {
   auto it = indexes_.find(column_index);
@@ -121,12 +126,28 @@ std::optional<std::vector<RowId>> Table::index_equal(std::size_t column_index,
 
 std::optional<std::vector<RowId>> Table::index_range(
     std::size_t column_index, const std::optional<Value>& lo,
-    const std::optional<Value>& hi) const {
+    const std::optional<Value>& hi, bool lo_inclusive,
+    bool hi_inclusive) const {
   auto it = indexes_.find(column_index);
   if (it == indexes_.end()) return std::nullopt;
   const auto& entries = it->second.entries;
-  auto begin = lo ? entries.lower_bound(*lo) : entries.begin();
-  auto end = hi ? entries.upper_bound(*hi) : entries.end();
+  // Exclusive bounds flip lower_bound/upper_bound so a strict inequality
+  // fetches exactly the qualifying keys instead of over-fetching the
+  // boundary key's rows.
+  auto begin = lo ? (lo_inclusive ? entries.lower_bound(*lo)
+                                  : entries.upper_bound(*lo))
+                  : entries.begin();
+  auto end = hi ? (hi_inclusive ? entries.upper_bound(*hi)
+                                : entries.lower_bound(*hi))
+                : entries.end();
+  if (lo && hi) {
+    // Contradictory bounds (lo above hi) would put `begin` past `end`;
+    // the iteration below must not run in that case.
+    const int c = lo->compare(*hi);
+    if (c > 0 || (c == 0 && !(lo_inclusive && hi_inclusive))) {
+      return std::vector<RowId>{};
+    }
+  }
   std::vector<RowId> out;
   for (auto e = begin; e != end; ++e) {
     if (e->first.is_null()) continue;  // NULLs never match range predicates

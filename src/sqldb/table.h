@@ -53,16 +53,21 @@ class Table {
   /// Create an ordered secondary index over one column. Idempotent.
   void create_index(std::size_t column_index, bool unique);
   bool has_index(std::size_t column_index) const;
+  bool has_unique_index(std::size_t column_index) const;
 
   /// RowIds whose column equals `key` (via an index when present, else
   /// nullopt so the caller falls back to a scan).
   std::optional<std::vector<RowId>> index_equal(std::size_t column_index,
                                                 const Value& key) const;
 
-  /// RowIds with lo <= column <= hi (either bound may be absent).
+  /// RowIds inside [lo, hi] (either bound may be absent; a bound is
+  /// excluded from the range when its *_inclusive flag is false, so strict
+  /// inequalities fetch exactly the qualifying keys).
   std::optional<std::vector<RowId>> index_range(std::size_t column_index,
                                                 const std::optional<Value>& lo,
-                                                const std::optional<Value>& hi) const;
+                                                const std::optional<Value>& hi,
+                                                bool lo_inclusive = true,
+                                                bool hi_inclusive = true) const;
 
   /// Next value the auto-increment primary key would take (for reflection).
   std::int64_t next_auto_increment() const { return next_auto_; }

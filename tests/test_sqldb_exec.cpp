@@ -722,4 +722,211 @@ TEST_F(ExecTest, ViewListedInMetadata) {
   EXPECT_EQ(views[0], "v");
 }
 
+// ------------------------------------------------- planner & plan cache
+
+/// EXPLAIN output flattened to one newline-joined string for assertions.
+std::string explain(Connection& conn, const std::string& sql) {
+  auto rs = conn.execute("EXPLAIN " + sql);
+  std::string out;
+  while (rs.next()) {
+    out += rs.get_string(1);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST_F(ExecTest, StrictIndexRangeBoundsMatchUnindexedAnswer) {
+  // k is indexed, u holds the same values unindexed; every range shape
+  // must produce the same rows through both access paths. Keys are
+  // duplicated so boundary over-fetch would be visible as extra rows.
+  conn.execute_update("CREATE TABLE pts (k INTEGER, u INTEGER)");
+  auto ins = conn.prepare("INSERT INTO pts (k, u) VALUES (?, ?)");
+  for (int i = 0; i < 10; ++i) {
+    for (int dup = 0; dup < 2; ++dup) {
+      ins.set_int(1, i);
+      ins.set_int(2, i);
+      ins.execute_update();
+    }
+  }
+  conn.execute_update("CREATE INDEX pts_k ON pts (k)");
+
+  const char* shapes[] = {
+      "%s > 5",          "%s >= 5",          "%s < 5",
+      "%s <= 5",         "%s > 2 AND %s < 7", "%s >= 2 AND %s < 7",
+      "%s BETWEEN 3 AND 6", "%s BETWEEN 3 AND 6 AND %s > 3",
+      "%s BETWEEN 3 AND 6 AND %s < 6", "%s > 7 AND %s < 3",
+  };
+  for (const char* shape : shapes) {
+    auto fill = [&](const std::string& column) {
+      std::string sql = shape;
+      std::size_t at;
+      while ((at = sql.find("%s")) != std::string::npos) {
+        sql.replace(at, 2, column);
+      }
+      return sql;
+    };
+    auto indexed = conn.execute("SELECT COUNT(*), SUM(k) FROM pts WHERE " +
+                                fill("k"));
+    auto plain = conn.execute("SELECT COUNT(*), SUM(u) FROM pts WHERE " +
+                              fill("u"));
+    indexed.next();
+    plain.next();
+    EXPECT_EQ(indexed.get_int(1), plain.get_int(1)) << shape;
+    EXPECT_EQ(indexed.get(2).is_null(), plain.get(2).is_null()) << shape;
+    if (!indexed.get(2).is_null()) {
+      EXPECT_EQ(indexed.get_int(2), plain.get_int(2)) << shape;
+    }
+  }
+  // The strict shapes actually go through the index.
+  std::string plan = explain(conn, "SELECT k FROM pts WHERE k > 5");
+  EXPECT_NE(plan.find("index-range(k)"), std::string::npos) << plan;
+}
+
+TEST_F(ExecTest, NegativeLimitOffsetRejected) {
+  EXPECT_THROW(conn.execute("SELECT name FROM emp ORDER BY name LIMIT -1"),
+               DbError);
+  EXPECT_THROW(
+      conn.execute("SELECT name FROM emp ORDER BY name LIMIT 2 OFFSET -3"),
+      DbError);
+
+  auto stmt = conn.prepare("SELECT name FROM emp ORDER BY name LIMIT ?");
+  stmt.set_int(1, -5);
+  EXPECT_THROW(stmt.execute_query(), DbError);
+  stmt.set_int(1, 2);
+  auto rs = stmt.execute_query();
+  EXPECT_EQ(rs.row_count(), 2u);
+
+  auto offs = conn.prepare("SELECT name FROM emp ORDER BY name LIMIT 2 OFFSET ?");
+  offs.set_int(1, -1);
+  EXPECT_THROW(offs.execute_query(), DbError);
+
+  auto typed = conn.prepare("SELECT name FROM emp LIMIT ?");
+  typed.set_string(1, "ten");
+  EXPECT_THROW(typed.execute_query(), DbError);
+}
+
+TEST_F(ExecTest, LimitZeroAndLimitOffsetStillWork) {
+  auto rs = conn.execute("SELECT name FROM emp ORDER BY salary DESC LIMIT 0");
+  EXPECT_EQ(rs.row_count(), 0u);
+  auto rs2 =
+      conn.execute("SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs2.row_count(), 2u);
+  rs2.next();
+  EXPECT_EQ(rs2.get_string(1), "cyd");  // 100, [90, 80], 70, 60
+  rs2.next();
+  EXPECT_EQ(rs2.get_string(1), "bob");
+}
+
+TEST_F(ExecTest, UniqueIndexEqualityPreferredOverFirstIndexedEquality) {
+  conn.execute_update("CREATE TABLE files (id INTEGER, node INTEGER, name TEXT)");
+  conn.execute_update("CREATE INDEX files_node ON files (node)");
+  conn.execute_update("CREATE UNIQUE INDEX files_id ON files (id)");
+  conn.execute_update(
+      "INSERT INTO files (id, node, name) VALUES"
+      " (1, 1, 'a'), (2, 1, 'b'), (3, 1, 'c'), (4, 2, 'd')");
+  // Both equalities are indexed and `node = 1` comes first in the WHERE
+  // conjunction, but the unique index pins at most one row.
+  std::string plan =
+      explain(conn, "SELECT name FROM files WHERE node = 1 AND id = 3");
+  EXPECT_NE(plan.find("unique-index-eq(id)"), std::string::npos) << plan;
+  auto rs = conn.execute("SELECT name FROM files WHERE node = 1 AND id = 3");
+  ASSERT_EQ(rs.row_count(), 1u);
+  rs.next();
+  EXPECT_EQ(rs.get_string(1), "c");
+}
+
+TEST_F(ExecTest, ExplainReportsAccessPathJoinAndOrderStrategies) {
+  std::string plan = explain(
+      conn, "SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept = d.id");
+  EXPECT_NE(plan.find("from e: scan"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("join d: hash build="), std::string::npos) << plan;
+
+  plan = explain(conn, "SELECT name FROM emp WHERE id = 3");
+  EXPECT_NE(plan.find("unique-index-eq(id)"), std::string::npos) << plan;
+
+  plan = explain(conn, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2");
+  EXPECT_NE(plan.find("order-by: top-k(2)"), std::string::npos) << plan;
+
+  plan = explain(conn, "SELECT name FROM emp ORDER BY salary");
+  EXPECT_NE(plan.find("order-by: sort"), std::string::npos) << plan;
+
+  plan = explain(conn, "SELECT dept, COUNT(*) FROM emp GROUP BY dept");
+  EXPECT_NE(plan.find("group-by: hash groups=3"), std::string::npos) << plan;
+
+  // Forcing the fallbacks changes the reported strategies.
+  ExecutorTuning off;
+  off.hash_join = off.hash_group_by = off.top_k = false;
+  conn.database().set_executor_tuning(off);
+  plan = explain(conn,
+                 "SELECT e.name, dept, COUNT(*) cnt FROM emp e"
+                 " JOIN dept d ON e.dept = d.id"
+                 " GROUP BY e.name, dept ORDER BY cnt LIMIT 2");
+  EXPECT_NE(plan.find("join d: index-nested-loop"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("group-by: ordered"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("order-by: sort"), std::string::npos) << plan;
+  conn.database().set_executor_tuning(ExecutorTuning{});
+
+  // Without an index on the join key and hash joins off: nested loop.
+  conn.execute_update("CREATE TABLE tags (emp_name TEXT, tag TEXT)");
+  conn.execute_update("INSERT INTO tags VALUES ('ada', 'lead')");
+  conn.database().set_executor_tuning(off);
+  plan = explain(
+      conn, "SELECT tag FROM emp e JOIN tags t ON e.name = t.emp_name");
+  EXPECT_NE(plan.find("join t: nested-loop"), std::string::npos) << plan;
+  conn.database().set_executor_tuning(ExecutorTuning{});
+}
+
+TEST_F(ExecTest, ExplainPlanCacheHitMissAndDdlInvalidation) {
+  auto cache_line = [&](const std::string& sql) {
+    auto rs = conn.execute(sql);
+    std::string last;
+    while (rs.next()) last = rs.get_string(1);
+    return last;
+  };
+  const std::string q = "EXPLAIN SELECT name FROM emp WHERE dept = 1";
+  EXPECT_EQ(cache_line(q), "plan-cache: miss");
+  EXPECT_EQ(cache_line(q), "plan-cache: hit");
+
+  // DDL bumps the schema epoch, invalidating every cached plan — and the
+  // replan now picks up the new index.
+  conn.execute_update("CREATE INDEX emp_dept ON emp (dept)");
+  EXPECT_EQ(cache_line(q), "plan-cache: miss");
+  std::string plan = explain(conn, "SELECT name FROM emp WHERE dept = 1");
+  EXPECT_NE(plan.find("index-eq(dept)"), std::string::npos) << plan;
+
+  const PlanCacheStats stats = conn.plan_cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.invalidations, 1u);
+}
+
+TEST_F(ExecTest, PlanCacheCountsHitsAndHonorsCapacity) {
+  const PlanCacheStats before = conn.plan_cache_stats();
+  conn.execute("SELECT COUNT(*) FROM emp");
+  conn.execute("SELECT COUNT(*) FROM emp");
+  conn.execute("SELECT COUNT(*) FROM emp");
+  const PlanCacheStats after = conn.plan_cache_stats();
+  EXPECT_EQ(after.hits, before.hits + 2);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  // Identical results through the cached plan.
+  auto rs = conn.execute("SELECT COUNT(*) FROM emp");
+  rs.next();
+  EXPECT_EQ(rs.get_int(1), 5);
+
+  // Capacity 0 disables caching entirely.
+  conn.set_plan_cache_capacity(0);
+  const PlanCacheStats empty_before = conn.plan_cache_stats();
+  conn.execute("SELECT COUNT(*) FROM emp");
+  conn.execute("SELECT COUNT(*) FROM emp");
+  const PlanCacheStats empty_after = conn.plan_cache_stats();
+  EXPECT_EQ(empty_after.hits, empty_before.hits);
+
+  // A tiny capacity evicts cold entries instead of growing unbounded.
+  conn.set_plan_cache_capacity(2);
+  conn.execute("SELECT 1");
+  conn.execute("SELECT 2");
+  conn.execute("SELECT 3");
+  conn.execute("SELECT 4");
+  EXPECT_GE(conn.plan_cache_stats().evictions, 2u);
+}
+
 }  // namespace

@@ -1,0 +1,206 @@
+// Executor parity harness: every PerfExplorer-shaped query runs through
+// the optimized paths (hash join, hash GROUP BY, Top-K LIMIT) and through
+// the forced fallbacks (nested-loop / index-nested-loop joins, ordered-map
+// grouping, full sort), and the results must be identical — including
+// NULL join keys (NULL must never hash-match NULL) and duplicate-key
+// joins. Queries without a total ORDER BY are compared as sorted
+// multisets, since row order is not contractual there.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sqldb/connection.h"
+
+using namespace perfdmf::sqldb;
+
+namespace {
+
+std::vector<std::vector<std::string>> materialize(ResultSet& rs) {
+  std::vector<std::vector<std::string>> out;
+  while (rs.next()) {
+    std::vector<std::string> row;
+    row.reserve(rs.column_count());
+    for (std::size_t c = 1; c <= rs.column_count(); ++c) {
+      row.push_back(rs.is_null(c) ? std::string("<null>") : rs.get(c).to_string());
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+class ParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // PerfDMF-shaped tables: events joined against per-location profiles.
+    conn.execute_update(
+        "CREATE TABLE event (id INTEGER PRIMARY KEY, name TEXT NOT NULL)");
+    conn.execute_update(
+        "CREATE TABLE ilp (id INTEGER PRIMARY KEY, event INTEGER,"
+        " node INTEGER, excl REAL, incl REAL)");
+    {
+      auto ins = conn.prepare("INSERT INTO event (id, name) VALUES (?, ?)");
+      for (int i = 1; i <= 10; ++i) {
+        ins.set_int(1, i);
+        ins.set_string(2, "ev" + std::to_string(i % 4));  // duplicate names
+        ins.execute_update();
+      }
+    }
+    {
+      auto ins = conn.prepare(
+          "INSERT INTO ilp (event, node, excl, incl) VALUES (?, ?, ?, ?)");
+      for (int i = 0; i < 60; ++i) {
+        if (i % 12 == 0) {
+          ins.set_null(1);  // NULL join keys
+        } else {
+          ins.set_int(1, 1 + i % 10);
+        }
+        ins.set_int(2, i % 5);
+        ins.set_double(3, static_cast<double>(i * 37 % 100) / 100.0);
+        ins.set_double(4, static_cast<double>(i * 37 % 100) / 50.0);
+        ins.execute_update();
+      }
+    }
+    conn.execute_update("CREATE INDEX ilp_excl ON ilp (excl)");
+
+    // Unindexed pair with NULLs and duplicate keys on both sides: the
+    // fallback here is a pure nested loop.
+    conn.execute_update("CREATE TABLE t1 (k INTEGER, v INTEGER)");
+    conn.execute_update("CREATE TABLE t2 (k INTEGER, w INTEGER)");
+    conn.execute_update(
+        "INSERT INTO t1 (k, v) VALUES (NULL, 0), (1, 1), (1, 2), (2, 3),"
+        " (2, 4), (2, 5), (3, 6), (4, 7), (NULL, 8), (5, 9), (5, 10), (6, 11)");
+    conn.execute_update(
+        "INSERT INTO t2 (k, w) VALUES (NULL, 0), (1, 10), (1, 20), (2, 30),"
+        " (3, 40), (3, 50), (7, 60), (NULL, 70), (5, 80), (5, 90)");
+  }
+
+  /// Run `sql` under the all-optimized config and under each fallback
+  /// combination; all must agree. `totally_ordered` marks queries whose
+  /// ORDER BY determines a unique row order (compared verbatim);
+  /// everything else is compared as a sorted multiset.
+  void expect_parity(const std::string& sql, bool totally_ordered = false) {
+    ExecutorTuning all_off;
+    all_off.hash_join = all_off.hash_group_by = all_off.top_k = false;
+
+    conn.database().set_executor_tuning(all_off);
+    auto baseline_rs = conn.execute(sql);
+    auto baseline = materialize(baseline_rs);
+    const auto baseline_columns = baseline_rs.column_names();
+    if (!totally_ordered) std::sort(baseline.begin(), baseline.end());
+
+    const ExecutorTuning configs[] = {
+        {},                                          // everything on
+        {false, true, true},                         // hash join off
+        {true, false, true},                         // hash group-by off
+        {true, true, false},                         // top-k off
+    };
+    for (const auto& config : configs) {
+      conn.database().set_executor_tuning(config);
+      auto rs = conn.execute(sql);
+      auto rows = materialize(rs);
+      if (!totally_ordered) std::sort(rows.begin(), rows.end());
+      EXPECT_EQ(rs.column_names(), baseline_columns) << sql;
+      EXPECT_EQ(rows, baseline)
+          << sql << "\n(hash_join=" << config.hash_join
+          << " hash_group_by=" << config.hash_group_by
+          << " top_k=" << config.top_k << ")";
+    }
+    conn.database().set_executor_tuning(ExecutorTuning{});
+  }
+
+  Connection conn;
+};
+
+TEST_F(ParityTest, EquiJoinAgainstIndexedKey) {
+  expect_parity("SELECT e.name, p.excl FROM ilp p JOIN event e ON p.event = e.id");
+}
+
+TEST_F(ParityTest, EquiJoinDuplicateAndNullKeysBothSides) {
+  expect_parity("SELECT t1.v, t2.w FROM t1 JOIN t2 ON t1.k = t2.k");
+}
+
+TEST_F(ParityTest, LeftOuterJoinKeepsUnmatchedAndNullKeyRows) {
+  expect_parity("SELECT t1.k, t1.v, t2.w FROM t1 LEFT JOIN t2 ON t1.k = t2.k");
+  expect_parity(
+      "SELECT e.name, p.node FROM ilp p LEFT JOIN event e ON p.event = e.id");
+}
+
+TEST_F(ParityTest, JoinWithResidualOnConjunct) {
+  expect_parity(
+      "SELECT t1.v, t2.w FROM t1 JOIN t2 ON t1.k = t2.k AND t2.w > 25");
+  expect_parity(
+      "SELECT t1.v, t2.w FROM t1 LEFT JOIN t2 ON t1.k = t2.k AND t2.w > 25");
+}
+
+TEST_F(ParityTest, ThreeWayJoin) {
+  expect_parity(
+      "SELECT e.name, p.node, t2.w FROM ilp p"
+      " JOIN event e ON p.event = e.id"
+      " JOIN t2 ON t2.k = p.node");
+}
+
+TEST_F(ParityTest, GroupByWithHavingOverJoin) {
+  expect_parity(
+      "SELECT e.name, COUNT(*) c, AVG(p.excl) FROM ilp p"
+      " JOIN event e ON p.event = e.id"
+      " GROUP BY e.name HAVING COUNT(*) > 2");
+}
+
+TEST_F(ParityTest, GroupByNullKeyGroupsTogether) {
+  expect_parity("SELECT event, SUM(excl), COUNT(*) FROM ilp GROUP BY event");
+}
+
+TEST_F(ParityTest, DistinctPlainAndOrdered) {
+  expect_parity("SELECT DISTINCT node FROM ilp");
+  expect_parity("SELECT DISTINCT node FROM ilp ORDER BY node LIMIT 4",
+                /*totally_ordered=*/true);
+}
+
+TEST_F(ParityTest, OrderByLimitOffsetTotalOrder) {
+  expect_parity("SELECT id, excl FROM ilp ORDER BY excl DESC, id LIMIT 7 OFFSET 3",
+                /*totally_ordered=*/true);
+  expect_parity("SELECT id, excl FROM ilp ORDER BY excl, id DESC LIMIT 1",
+                /*totally_ordered=*/true);
+}
+
+TEST_F(ParityTest, TopKOverJoin) {
+  expect_parity(
+      "SELECT e.name, p.excl, p.id FROM ilp p JOIN event e ON p.event = e.id"
+      " ORDER BY p.excl DESC, p.id LIMIT 5",
+      /*totally_ordered=*/true);
+}
+
+TEST_F(ParityTest, AggregatedTopNHotRoutines) {
+  expect_parity(
+      "SELECT event, SUM(excl) total FROM ilp GROUP BY event"
+      " ORDER BY total DESC, event LIMIT 3",
+      /*totally_ordered=*/true);
+}
+
+TEST_F(ParityTest, ViewBackedFrom) {
+  conn.execute_update(
+      "CREATE VIEW hot AS SELECT event, SUM(excl) total FROM ilp GROUP BY event");
+  expect_parity("SELECT event, total FROM hot ORDER BY total DESC, event LIMIT 3",
+                /*totally_ordered=*/true);
+  expect_parity("SELECT COUNT(*) FROM hot");
+}
+
+TEST_F(ParityTest, StrictRangeOverIndexedColumn) {
+  expect_parity("SELECT id FROM ilp WHERE excl > 0.5 AND excl <= 0.9");
+  expect_parity("SELECT id FROM ilp WHERE excl BETWEEN 0.25 AND 0.75 AND excl > 0.25");
+}
+
+TEST_F(ParityTest, HavingWithOrderByPosition) {
+  expect_parity(
+      "SELECT node, COUNT(*) FROM ilp GROUP BY node"
+      " HAVING COUNT(*) >= 2 ORDER BY 2 DESC, node",
+      /*totally_ordered=*/true);
+}
+
+TEST_F(ParityTest, AggregateOverEmptyInput) {
+  expect_parity("SELECT COUNT(*), SUM(excl) FROM ilp WHERE node = 999");
+}
+
+}  // namespace

@@ -134,8 +134,37 @@ TEST(Parser, SelectFullClauses) {
   ASSERT_TRUE(select.having != nullptr);
   ASSERT_EQ(select.order_by.size(), 2u);
   EXPECT_TRUE(select.order_by[0].descending);
-  EXPECT_EQ(select.limit.value(), 10);
-  EXPECT_EQ(select.offset.value(), 3);
+  ASSERT_TRUE(select.limit != nullptr);
+  ASSERT_EQ(select.limit->kind, ExprKind::kLiteral);
+  EXPECT_EQ(select.limit->literal.as_int(), 10);
+  ASSERT_TRUE(select.offset != nullptr);
+  ASSERT_EQ(select.offset->kind, ExprKind::kLiteral);
+  EXPECT_EQ(select.offset->literal.as_int(), 3);
+}
+
+TEST(Parser, LimitOffsetAcceptPlaceholdersAndSignedLiterals) {
+  auto stmt = parse_statement("SELECT x FROM t ORDER BY x LIMIT ? OFFSET ?");
+  ASSERT_TRUE(stmt.select.limit != nullptr);
+  EXPECT_EQ(stmt.select.limit->kind, ExprKind::kPlaceholder);
+  ASSERT_TRUE(stmt.select.offset != nullptr);
+  EXPECT_EQ(stmt.select.offset->kind, ExprKind::kPlaceholder);
+  EXPECT_EQ(stmt.placeholder_count, 2u);
+
+  // A negative literal parses (rejection happens at execution time with a
+  // proper DbError instead of a parse failure).
+  auto neg = parse_statement("SELECT x FROM t LIMIT -5");
+  ASSERT_TRUE(neg.select.limit != nullptr);
+  EXPECT_EQ(neg.select.limit->literal.as_int(), -5);
+
+  EXPECT_THROW(parse_statement("SELECT x FROM t LIMIT 'ten'"), ParseError);
+}
+
+TEST(Parser, ExplainSelect) {
+  auto stmt = parse_statement("EXPLAIN SELECT x FROM t WHERE x = 1");
+  EXPECT_EQ(stmt.kind, StatementKind::kExplain);
+  ASSERT_TRUE(stmt.select.where != nullptr);
+  // EXPLAIN wraps SELECT only.
+  EXPECT_THROW(parse_statement("EXPLAIN DELETE FROM t"), ParseError);
 }
 
 TEST(Parser, SelectWithoutFrom) {
