@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "sqldb/connection.h"
 #include "util/file.h"
 #include "util/timer.h"
@@ -53,6 +54,7 @@ double time_queries(Connection& conn, const std::string& sql, int repeats) {
 }  // namespace
 
 int main() {
+  bench::BenchJson json("ablation");
   std::printf("ablations over a %d-row profile-shaped table\n\n", kRows);
 
   // ---- A1: secondary index on the query column -------------------------
@@ -74,6 +76,9 @@ int main() {
     std::printf("A1 event-scoped query: indexed %8.3f ms   scan %8.3f ms"
                 "   (%.1fx)\n",
                 with_index, without_index, without_index / with_index);
+    json.set("a1_indexed_ms", with_index);
+    json.set("a1_scan_ms", without_index);
+    json.set("a1_index_speedup", without_index / with_index);
   }
 
   // ---- A2: transaction batching on a durable database ------------------
@@ -114,6 +119,9 @@ int main() {
                 " %8.1f ms   (%.1fx)\n",
                 batch_rows, batched_ms, autocommit_ms,
                 autocommit_ms / batched_ms);
+    json.set("a2_batched_ms", batched_ms);
+    json.set("a2_autocommit_ms", autocommit_ms);
+    json.set("a2_batching_speedup", autocommit_ms / batched_ms);
   }
 
   // ---- A3: predicate push-down through a join ---------------------------
@@ -170,6 +178,9 @@ int main() {
     std::printf("A3 join + selective filter: pushed-down %8.3f ms   post-join"
                 " %8.3f ms   (%.1fx)\n",
                 pushed_ms, unpushed_ms, unpushed_ms / pushed_ms);
+    json.set("a3_pushed_ms", pushed_ms);
+    json.set("a3_postjoin_ms", unpushed_ms);
+    json.set("a3_pushdown_speedup", unpushed_ms / pushed_ms);
   }
 
   // ---- A4: prepared statements vs re-parsing ---------------------------
@@ -206,6 +217,10 @@ int main() {
     std::printf("A4 repeated query: prepared %8.4f ms   re-parsed %8.4f ms"
                 "   (%.1fx)\n",
                 prepared_ms, reparsed_ms, reparsed_ms / prepared_ms);
+    json.set("a4_prepared_ms", prepared_ms);
+    json.set("a4_reparsed_ms", reparsed_ms);
+    json.set("a4_prepared_speedup", reparsed_ms / prepared_ms);
   }
+  json.write();
   return 0;
 }

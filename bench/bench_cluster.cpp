@@ -12,12 +12,14 @@
 #include "analysis/kmeans.h"
 #include "analysis/pca.h"
 #include "api/database_session.h"
+#include "bench_json.h"
 #include "io/synth.h"
 #include "util/timer.h"
 
 using namespace perfdmf;
 
 int main() {
+  bench::BenchJson json("cluster");
   std::printf("E4: sPPM-style cluster analysis (7 metrics, 24 events, k=3)\n");
   std::printf("%8s %10s %10s %10s %10s %10s %8s %10s %8s\n", "threads",
               "points", "store(s)", "feat(ms)", "kmeans(ms)", "pca(ms)", "ARI",
@@ -83,8 +85,15 @@ int main() {
     session.api().save_analysis_result(trial_id, "kmeans", "clustering",
                                        content);
     (void)reduced;
+
+    const std::string prefix = "t" + std::to_string(threads) + "_";
+    json.set(prefix + "store_s", store_seconds);
+    json.set(prefix + "kmeans_ms", kmeans_ms);
+    json.set(prefix + "pca_ms", pca_ms);
+    json.set(prefix + "kmeans_ari", ari);
   }
   std::printf("\npaper claim: cluster analysis on up to 1024 threads x 7 PAPI"
               " counters; Ahn & Vetter results reproduced (ARI ~ 1)\n");
+  json.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "api/database_session.h"
+#include "bench_json.h"
 #include "io/synth.h"
 #include "profile/derived.h"
 #include "util/timer.h"
@@ -15,6 +16,7 @@
 using namespace perfdmf;
 
 int main() {
+  bench::BenchJson json("derived");
   std::printf("E8: derived-metric save-back (FLOPS = PAPI_FP_OPS / TIME)\n");
   std::printf("%8s %10s %12s %12s %12s\n", "threads", "points", "derive(ms)",
               "save(ms)", "reload(ms)");
@@ -48,6 +50,13 @@ int main() {
     std::printf("%8d %10zu %12.2f %12.2f %12.2f   %s\n", threads,
                 reloaded.interval_point_count(), derive_ms, save_ms, reload_ms,
                 derived_flag ? "[derived flag OK]" : "[FAILED]");
+
+    const std::string prefix = "t" + std::to_string(threads) + "_";
+    json.set(prefix + "derive_ms", derive_ms);
+    json.set(prefix + "save_ms", save_ms);
+    json.set(prefix + "reload_ms", reload_ms);
+    json.set(prefix + "derived_flag_ok", derived_flag ? 1.0 : 0.0);
   }
+  json.write();
   return 0;
 }

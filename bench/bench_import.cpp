@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench_json.h"
 #include "io/detect.h"
 #include "io/dynaprof_format.h"
 #include "io/hpm_format.h"
@@ -20,6 +21,7 @@ using namespace perfdmf;
 using namespace perfdmf::io;
 
 int main() {
+  perfdmf::bench::BenchJson json("import");
   util::ScopedTempDir scratch("perfdmf-bench-import");
   constexpr std::int32_t kNodes = 32;
   constexpr std::size_t kEvents = 24;
@@ -136,8 +138,12 @@ int main() {
     std::printf("%-12s %10zu %10zu %10zu %10zu %12.2f\n", test_case.name, files,
                 trial.events().size(), trial.threads().size(),
                 trial.interval_point_count(), parse_ms);
+    json.set(std::string(test_case.name) + "_parse_ms", parse_ms);
+    json.set(std::string(test_case.name) + "_points",
+             static_cast<double>(trial.interval_point_count()));
   }
   std::printf("\nall six formats parse into the common representation"
               " (paper objective: import/export for leading tools)\n");
+  json.write();
   return 0;
 }

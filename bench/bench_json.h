@@ -1,0 +1,80 @@
+// Machine-readable benchmark output.
+//
+// Every bench_* main collects its headline numbers into a BenchJson and
+// writes BENCH_<name>.json into the working directory on exit:
+//   {"bench":"query","git_sha":"...","timestamp":"...",
+//    "metrics":{"topk_1m_ms":12.3,...}}
+// so successive runs populate a perf trajectory without scraping the
+// human-readable tables off stdout. Metric keys are flat snake_case;
+// values are doubles (milliseconds, rows/s, ratios — the key names the
+// unit).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "util/log.h"
+
+namespace perfdmf::bench {
+
+class BenchJson {
+ public:
+  /// `name` becomes BENCH_<name>.json.
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& metric, double value) { metrics_[metric] = value; }
+
+  /// Best-effort: a failure to write is reported on stderr, never thrown
+  /// (a benchmark that ran to completion should still exit 0).
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::string out = "{\"bench\":\"" + telemetry::json_escape(name_) + "\"";
+    out += ",\"git_sha\":\"" + telemetry::json_escape(git_sha()) + "\"";
+    out += ",\"timestamp\":\"" + util::iso8601_now() + "\"";
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, value] : metrics_) {
+      if (!first) out += ',';
+      first = false;
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.6g", value);
+      out += "\"" + telemetry::json_escape(key) + "\":" + buf;
+    }
+    out += "}}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+ private:
+  /// PERFDMF_GIT_SHA env wins (CI can pin it); otherwise ask git;
+  /// "unknown" when neither works.
+  static std::string git_sha() {
+    if (const char* env = std::getenv("PERFDMF_GIT_SHA"); env && *env) {
+      return env;
+    }
+    std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (pipe == nullptr) return "unknown";
+    char buf[64] = {};
+    std::string sha;
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) sha = buf;
+    ::pclose(pipe);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    return sha.empty() ? "unknown" : sha;
+  }
+
+  std::string name_;
+  std::map<std::string, double> metrics_;  // sorted, stable output
+};
+
+}  // namespace perfdmf::bench

@@ -18,8 +18,10 @@
 #include <string>
 
 #include "api/database_session.h"
+#include "bench_json.h"
 #include "io/synth.h"
 #include "sqldb/connection.h"
+#include "telemetry/metrics.h"
 #include "util/timer.h"
 
 using namespace perfdmf;
@@ -75,7 +77,59 @@ double time_query(sqldb::Connection& conn, const std::string& sql,
   return ms;
 }
 
-void report_query_engine() {
+double time_point_queries(sqldb::Connection& conn, int reps) {
+  const std::string point = "SELECT exclusive FROM profile WHERE id = 500000";
+  util::WallTimer timer;
+  for (int i = 0; i < reps; ++i) {
+    auto rs = conn.execute(point);
+    if (rs.row_count() != 1) std::abort();
+  }
+  return timer.millis();
+}
+
+/// Telemetry overhead on the 1M-row hot paths: the same workload with the
+/// runtime switch on and off. Point queries are the worst case (the
+/// per-statement span/counter cost is amortized over almost no work);
+/// the 1M-row group-by shows the cost disappearing into real work.
+void report_telemetry_overhead(sqldb::Connection& conn,
+                               bench::BenchJson& json) {
+  constexpr int kReps = 20000;
+  const std::string group_by =
+      "SELECT event, COUNT(*), AVG(exclusive) FROM profile GROUP BY event";
+  std::printf("telemetry overhead (runtime switch), same 1M-row tables\n");
+  time_point_queries(conn, 2000);  // warm caches before either side
+
+  telemetry::set_enabled(false);
+  const double point_off = time_point_queries(conn, kReps);
+  util::WallTimer timer;
+  auto rs = conn.execute(group_by);
+  if (rs.row_count() == 0) std::abort();
+  const double group_off = timer.millis();
+
+  telemetry::set_enabled(true);
+  const double point_on = time_point_queries(conn, kReps);
+  timer.reset();
+  rs = conn.execute(group_by);
+  if (rs.row_count() == 0) std::abort();
+  const double group_on = timer.millis();
+
+  const double point_pct = 100.0 * (point_on - point_off) / point_off;
+  const double group_pct = 100.0 * (group_on - group_off) / group_off;
+  std::printf("  %-34s %12.1f %12.1f %+7.2f%%\n",
+              ("point query x" + std::to_string(kReps)).c_str(), point_off,
+              point_on, point_pct);
+  std::printf("  %-34s %12.1f %12.1f %+7.2f%%\n", "group-by over 1M rows",
+              group_off, group_on, group_pct);
+  std::printf("  (columns: off ms, on ms, overhead)\n\n");
+  json.set("telemetry_point_off_ms", point_off);
+  json.set("telemetry_point_on_ms", point_on);
+  json.set("telemetry_point_overhead_pct", point_pct);
+  json.set("telemetry_groupby_off_ms", group_off);
+  json.set("telemetry_groupby_on_ms", group_on);
+  json.set("telemetry_groupby_overhead_pct", group_pct);
+}
+
+void report_query_engine(bench::BenchJson& json) {
   std::printf("query-engine hot paths, %lld profile rows x %d events\n",
               static_cast<long long>(kEngineRows), kEventCount);
   auto conn = make_engine_tables(kEngineRows);
@@ -94,6 +148,8 @@ void report_query_engine() {
   double fast = time_query(*conn, join_indexed, on);
   std::printf("  %-34s %12.1f %12.1f %8.2fx\n",
               "equi-join (vs index-nested-loop)", slow, fast, slow / fast);
+  json.set("hash_join_vs_index_nested_loop_speedup", slow / fast);
+  json.set("hash_join_1m_ms", fast);
 
   // Equi-join, unindexed build side: fallback is the pre-optimization
   // pure nested loop (rows x events pair evaluations).
@@ -103,6 +159,7 @@ void report_query_engine() {
   fast = time_query(*conn, join_heap, on);
   std::printf("  %-34s %12.1f %12.1f %8.2fx\n",
               "equi-join (vs pure nested loop)", slow, fast, slow / fast);
+  json.set("hash_join_vs_nested_loop_speedup", slow / fast);
 
   // Grouped aggregate: hash aggregation vs the ordered-map path.
   const std::string group_by =
@@ -111,6 +168,8 @@ void report_query_engine() {
   fast = time_query(*conn, group_by, on);
   std::printf("  %-34s %12.1f %12.1f %8.2fx\n", "group-by aggregate", slow,
               fast, slow / fast);
+  json.set("hash_group_by_speedup", slow / fast);
+  json.set("hash_group_by_1m_ms", fast);
 
   // Top-10 of 1M: bounded heap vs sorting the full result.
   const std::string top10 =
@@ -119,6 +178,8 @@ void report_query_engine() {
   fast = time_query(*conn, top10, on);
   std::printf("  %-34s %12.1f %12.1f %8.2fx\n", "order-by limit 10 (top-k)",
               slow, fast, slow / fast);
+  json.set("top_k_speedup", slow / fast);
+  json.set("top_k_1m_ms", fast);
 
   // Plan cache: a small repeated statement pays mostly parse cost.
   constexpr int kReps = 20000;
@@ -142,11 +203,15 @@ void report_query_engine() {
                   .c_str(),
               uncached_ms, cached_ms, uncached_ms / cached_ms);
   std::printf("\n");
+  json.set("plan_cache_speedup", uncached_ms / cached_ms);
+
+  report_telemetry_overhead(*conn, json);
 }
 
 }  // namespace
 
 int main() {
+  bench::BenchJson json("query");
   io::synth::TrialSpec spec;
   spec.nodes = 512;
   spec.event_count = 64;
@@ -224,6 +289,14 @@ int main() {
   std::printf("selective node query touched %.1f%% of the rows\n\n",
               100.0 * node_rows.size() / total_rows);
 
-  report_query_engine();
+  json.set("api_full_trial_ms", api_full_ms);
+  json.set("sql_full_trial_ms", sql_full_ms);
+  json.set("api_selective_node_ms", api_node_ms);
+  json.set("api_aggregate_ms", aggregate_ms);
+  json.set("sql_aggregate_ms", sql_aggregate_ms);
+  json.set("api_sql_identical", equivalent ? 1.0 : 0.0);
+
+  report_query_engine(json);
+  json.write();
   return equivalent ? 0 : 1;
 }

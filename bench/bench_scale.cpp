@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "api/database_session.h"
+#include "bench_json.h"
 #include "io/synth.h"
 #include "util/timer.h"
 
@@ -23,6 +24,7 @@ using namespace perfdmf;
 
 int main(int argc, char** argv) {
   const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::BenchJson json("scale");
   std::vector<std::int32_t> sizes{256, 1024, 4096};
   if (!quick) {
     sizes.push_back(8192);
@@ -66,6 +68,12 @@ int main(int argc, char** argv) {
                 static_cast<double>(points) / load_seconds, event_query_ms,
                 aggregate_ms);
     (void)aggregate;
+
+    const std::string prefix = "p" + std::to_string(procs) + "_";
+    json.set(prefix + "load_s", load_seconds);
+    json.set(prefix + "load_rows_per_s",
+             static_cast<double>(points) / load_seconds);
+    json.set(prefix + "aggregate_ms", aggregate_ms);
   }
   std::printf("\npaper claim: 16384 procs x 101 events = ~1.65M points handled"
               " without problems\n");
@@ -113,8 +121,13 @@ int main(int argc, char** argv) {
 
     std::printf("%8zu %12zu %12.2f %14.2f %16.2f\n", n_trials, total_rows,
                 store_seconds, list_ms, query_ms);
+
+    const std::string prefix = "archive" + std::to_string(n_trials) + "_";
+    json.set(prefix + "list_ms", list_ms);
+    json.set(prefix + "one_trial_query_ms", query_ms);
   }
   std::printf("\npaper objective: queries against one trial stay flat as the"
               " archive accumulates experiments\n");
+  json.write();
   return 0;
 }

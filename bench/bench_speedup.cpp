@@ -13,12 +13,14 @@
 #include "analysis/scalability.h"
 #include "analysis/speedup.h"
 #include "api/database_session.h"
+#include "bench_json.h"
 #include "io/synth.h"
 #include "util/timer.h"
 
 using namespace perfdmf;
 
 int main() {
+  bench::BenchJson json("speedup");
   api::DatabaseSession session;
   io::synth::ScalingSpec spec;
 
@@ -28,7 +30,9 @@ int main() {
     session.save_trial(io::synth::generate_scaling_trial(spec, p), "evh1",
                        "strong scaling");
   }
-  std::printf("archived 7 trials (1..64 procs) in %.2f s\n\n", timer.seconds());
+  const double archive_seconds = timer.seconds();
+  std::printf("archived 7 trials (1..64 procs) in %.2f s\n\n", archive_seconds);
+  json.set("archive_7_trials_s", archive_seconds);
 
   timer.reset();
   auto experiments = session.api().list_experiments(1);
@@ -38,6 +42,7 @@ int main() {
 
   std::printf("%s\n", analysis::format_speedup_table(report).c_str());
   std::printf("analysis time: %.3f s\n", analysis_seconds);
+  json.set("speedup_analysis_s", analysis_seconds);
 
   // Also exercise the SQL aggregate path the paper calls out ("requesting
   // standard SQL aggregate operations such as minimum, maximum, mean,
@@ -113,5 +118,7 @@ int main() {
     std::printf("model optimum: ~%.0f processors (beyond this, communication"
                 " dominates)\n", fit.optimal_processors());
   }
+  json.set("comm_model_r_squared", fit.r_squared);
+  json.write();
   return 0;
 }

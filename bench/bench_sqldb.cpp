@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "sqldb/connection.h"
 #include "sqldb/database.h"
 #include "util/file.h"
@@ -179,7 +180,7 @@ double run_read_throughput(const std::shared_ptr<Database>& database,
   return static_cast<double>(threads) * ops_per_thread / elapsed;
 }
 
-void report_concurrent_read_scaling() {
+void report_concurrent_read_scaling(perfdmf::bench::BenchJson& json) {
   constexpr std::int64_t kRows = 50000;
   constexpr int kOpsPerThread = 200;
   auto conn = make_profile_table(kRows);
@@ -208,6 +209,9 @@ void report_concurrent_read_scaling() {
       "  8-thread shared-lock vs single-mutex: %.2fx"
       " (scales with available cores; %u detected)\n\n",
       shared_8 / serialized_8, std::thread::hardware_concurrency());
+  json.set("read_8t_serialized_ops_per_s", serialized_8);
+  json.set("read_8t_shared_ops_per_s", shared_8);
+  json.set("read_8t_shared_speedup", shared_8 / serialized_8);
 }
 
 // ------------------------------ durability-mode commit throughput -----
@@ -238,7 +242,7 @@ double run_commit_throughput(SyncMode mode, int txns, int rows_per_txn) {
   return txns / timer.seconds();
 }
 
-void report_durability_modes() {
+void report_durability_modes(perfdmf::bench::BenchJson& json) {
   constexpr int kTxns = 100;
   constexpr int kRowsPerTxn = 10;
   std::printf("commit throughput by durability mode, %d txns x %d rows\n",
@@ -251,8 +255,9 @@ void report_durability_modes() {
                 {"on_commit", SyncMode::kOnCommit},
                 {"none", SyncMode::kNone}};
   for (const auto& m : kModes) {
-    std::printf("  %-10s %14.0f\n", m.name,
-                run_commit_throughput(m.mode, kTxns, kRowsPerTxn));
+    const double commits = run_commit_throughput(m.mode, kTxns, kRowsPerTxn);
+    std::printf("  %-10s %14.0f\n", m.name, commits);
+    json.set(std::string("commit_") + m.name + "_per_s", commits);
   }
   std::printf("\n");
 }
@@ -260,8 +265,10 @@ void report_durability_modes() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  report_concurrent_read_scaling();
-  report_durability_modes();
+  perfdmf::bench::BenchJson json("sqldb");
+  report_concurrent_read_scaling(json);
+  report_durability_modes(json);
+  json.write();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

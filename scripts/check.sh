@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI-style check: build and run the full test suite three times —
-# plain, under ThreadSanitizer, and under AddressSanitizer+UBSan.
+# CI-style check: build and run the full test suite four times —
+# plain, with telemetry compiled out (-DPERFDMF_TELEMETRY=OFF), under
+# ThreadSanitizer, and under AddressSanitizer+UBSan.
 #
 # Usage:
-#   scripts/check.sh            # all three configurations, full suite
+#   scripts/check.sh            # all four configurations, full suite
 #   scripts/check.sh quick      # sanitizers run only the thread-heavy
-#                               # (-L concurrency) and executor-parity
-#                               # (-L parity) suites
+#                               # (-L concurrency), executor-parity
+#                               # (-L parity), and telemetry
+#                               # (-L observability) suites
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,12 +33,17 @@ run_suite() {
 SAN_FILTER=""
 ASAN_FILTER=""
 if [ "$QUICK" = "quick" ]; then
-  SAN_FILTER="concurrency"
-  ASAN_FILTER="concurrency|parity"
+  SAN_FILTER="concurrency|observability"
+  ASAN_FILTER="concurrency|parity|observability"
 fi
 
 echo "=== plain build ==="
 run_suite build-check "" ""
+
+echo "=== telemetry compiled out ==="
+# The kill switch must keep the whole suite green: system tables exist
+# but serve zeros, and recording compiles to nothing.
+run_suite build-notel "" "" -DPERFDMF_TELEMETRY=OFF
 
 echo "=== ThreadSanitizer ==="
 # The fork-based crash-recovery harness (-L crash) is excluded: fork()

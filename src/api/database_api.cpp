@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "api/schema_bootstrap.h"
+#include "telemetry/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace perfdmf::api {
 
@@ -362,6 +364,8 @@ void DatabaseAPI::delete_trial(std::int64_t trial_id) {
 std::int64_t DatabaseAPI::upload_trial(const profile::TrialData& data,
                                        std::int64_t experiment_id,
                                        bool extend_schema) {
+  util::WallTimer upload_timer;
+  std::uint64_t uploaded_rows = 0;
   profile::Trial trial = data.trial();
   trial.id = profile::kNoId;
   trial.experiment_id = experiment_id;
@@ -471,6 +475,7 @@ std::int64_t DatabaseAPI::upload_trial(const profile::TrialData& data,
         insert_summary("interval_total_summary", s, s.total);
         insert_summary("interval_mean_summary", s, s.mean);
       }
+      uploaded_rows += 2 * summaries.size();
     }
 
     // Atomic location profiles.
@@ -504,12 +509,25 @@ std::int64_t DatabaseAPI::upload_trial(const profile::TrialData& data,
     stmt.execute_update();
     throw;
   }
+
+  uploaded_rows += data.metrics().size() + data.events().size() +
+                   data.atomic_events().size() + data.interval_point_count() +
+                   data.atomic_point_count();
+  auto& registry = telemetry::MetricsRegistry::instance();
+  static auto& uploads = registry.counter("api.trial.uploads");
+  static auto& upload_rows = registry.counter("api.trial.upload_rows");
+  static auto& upload_micros = registry.histogram("api.trial.upload_micros");
+  uploads.add();
+  upload_rows.add(uploaded_rows);
+  upload_micros.record(static_cast<std::uint64_t>(upload_timer.seconds() * 1e6));
   return trial.id;
 }
 
 // -------------------------------------------------------------- full load
 
 profile::TrialData DatabaseAPI::load_trial(std::int64_t trial_id) {
+  util::WallTimer load_timer;
+  std::uint64_t loaded_rows = 0;
   auto stored = get_trial(trial_id);
   if (!stored) throw DbError("no trial with id " + std::to_string(trial_id));
 
@@ -542,13 +560,23 @@ profile::TrialData DatabaseAPI::load_trial(std::int64_t trial_id) {
     const std::size_t thread = data.intern_thread(row.thread);
     data.set_interval_data(event_of.at(row.event_id), thread,
                            metric_of.at(row.metric_id), row.data);
+    ++loaded_rows;
   }
   for (const auto& row : get_atomic_data(trial_id)) {
     const std::size_t thread = data.intern_thread(row.thread);
     data.set_atomic_data(atomic_of.at(row.event_id), thread, row.data);
+    ++loaded_rows;
   }
 
   data.infer_dimensions();
+
+  auto& registry = telemetry::MetricsRegistry::instance();
+  static auto& loads = registry.counter("api.trial.loads");
+  static auto& load_rows = registry.counter("api.trial.load_rows");
+  static auto& load_micros = registry.histogram("api.trial.load_micros");
+  loads.add();
+  load_rows.add(loaded_rows);
+  load_micros.record(static_cast<std::uint64_t>(load_timer.seconds() * 1e6));
   return data;
 }
 

@@ -8,9 +8,19 @@
 #include "analysis/kmeans.h"
 #include "analysis/pca.h"
 #include "analysis/stats.h"
+#include "telemetry/metrics.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace perfdmf::explorer {
+
+namespace {
+telemetry::Gauge& queue_depth_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::MetricsRegistry::instance().gauge("explorer.queue.depth");
+  return g;
+}
+}  // namespace
 
 const char* analysis_kind_name(AnalysisKind kind) {
   switch (kind) {
@@ -51,6 +61,7 @@ AnalysisResponse AnalysisServer::submit(const AnalysisRequest& request) {
     std::lock_guard lock(state_mutex_);
     ++submitted_;
   }
+  queue_depth_gauge().add(1);
   return run_counted(api_, request);
 }
 
@@ -61,6 +72,7 @@ std::future<AnalysisResponse> AnalysisServer::submit_async(
       std::lock_guard lock(state_mutex_);
       ++submitted_;
     }
+    queue_depth_gauge().add(1);
     // Degenerate synchronous mode: fulfill immediately.
     std::promise<AnalysisResponse> promise;
     try {
@@ -91,12 +103,16 @@ std::future<AnalysisResponse> AnalysisServer::submit_async(
     std::lock_guard lock(state_mutex_);
     ++submitted_;
   }
+  queue_depth_gauge().add(1);
   try {
     pool_->submit([task] { (*task)(); });
   } catch (...) {
-    std::lock_guard lock(state_mutex_);
-    --submitted_;
-    idle_cv_.notify_all();
+    {
+      std::lock_guard lock(state_mutex_);
+      --submitted_;
+      idle_cv_.notify_all();
+    }
+    queue_depth_gauge().add(-1);
     throw;
   }
   return future;
@@ -137,18 +153,35 @@ void AnalysisServer::release_worker_api(api::DatabaseAPI* api) {
 
 AnalysisResponse AnalysisServer::run_counted(api::DatabaseAPI& api,
                                              const AnalysisRequest& request) {
+  auto& registry = telemetry::MetricsRegistry::instance();
+  static auto& requests = registry.counter("explorer.requests");
+  static auto& failures = registry.counter("explorer.request_failures");
+  static auto& request_micros = registry.histogram("explorer.request_micros");
+  requests.add();
+  util::WallTimer request_timer;
   // Count completion for failures too; otherwise wait_idle() would hang
   // after a rejected request.
   try {
     AnalysisResponse response = run(api, request);
-    std::lock_guard lock(state_mutex_);
-    ++completed_;
-    idle_cv_.notify_all();
+    {
+      std::lock_guard lock(state_mutex_);
+      ++completed_;
+      idle_cv_.notify_all();
+    }
+    queue_depth_gauge().add(-1);
+    request_micros.record(
+        static_cast<std::uint64_t>(request_timer.seconds() * 1e6));
     return response;
   } catch (...) {
-    std::lock_guard lock(state_mutex_);
-    ++completed_;
-    idle_cv_.notify_all();
+    {
+      std::lock_guard lock(state_mutex_);
+      ++completed_;
+      idle_cv_.notify_all();
+    }
+    queue_depth_gauge().add(-1);
+    failures.add();
+    request_micros.record(
+        static_cast<std::uint64_t>(request_timer.seconds() * 1e6));
     throw;
   }
 }

@@ -7,9 +7,11 @@
 #include "io/psrun_format.h"
 #include "io/tau_format.h"
 #include "io/xml_io.h"
+#include "telemetry/metrics.h"
 #include "util/error.h"
 #include "util/file.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace perfdmf::io {
 
@@ -96,7 +98,17 @@ std::unique_ptr<DataSource> open_source(const std::filesystem::path& path,
 
 profile::TrialData load_profile(const std::filesystem::path& path,
                                 std::optional<ProfileFormat> format) {
-  return open_source(path, format)->load();
+  util::WallTimer import_timer;
+  profile::TrialData data = open_source(path, format)->load();
+
+  auto& registry = telemetry::MetricsRegistry::instance();
+  static auto& trials = registry.counter("io.import.trials");
+  static auto& points = registry.counter("io.import.points");
+  static auto& micros = registry.histogram("io.import.micros");
+  trials.add();
+  points.add(data.interval_point_count() + data.atomic_point_count());
+  micros.record(static_cast<std::uint64_t>(import_timer.seconds() * 1e6));
+  return data;
 }
 
 }  // namespace perfdmf::io

@@ -3,6 +3,9 @@
 #include <cassert>
 
 #include "sqldb/parser.h"
+#include "sqldb/system_tables.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -18,6 +21,26 @@ std::size_t update_count(const ResultSetData& result) {
   }
   return result.rows.size();
 }
+
+/// Process-global plan-cache counters, folded from every Connection's
+/// per-instance PlanCacheStats (which remain for per-connection queries).
+struct PlanCacheMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& invalidations;
+  telemetry::Counter& evictions;
+
+  static PlanCacheMetrics& instance() {
+    auto& registry = telemetry::MetricsRegistry::instance();
+    static PlanCacheMetrics m{
+        registry.counter("sqldb.plan_cache.hits"),
+        registry.counter("sqldb.plan_cache.misses"),
+        registry.counter("sqldb.plan_cache.invalidations"),
+        registry.counter("sqldb.plan_cache.evictions"),
+    };
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -119,19 +142,28 @@ void PreparedStatement::clear_parameters() {
 
 ResultSet PreparedStatement::execute_query() {
   debug_claim_thread();
+  telemetry::Span span(sql_);
   return ResultSet(connection_.run_statement(statement_, params_, sql_));
 }
 
 std::size_t PreparedStatement::execute_update() {
   debug_claim_thread();
+  telemetry::Span span(sql_);
   return update_count(connection_.run_statement(statement_, params_, sql_));
 }
 
 // ------------------------------------------------------ DatabaseMetaData
 
 std::vector<std::string> DatabaseMetaData::get_tables() {
-  StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
-  return connection_.database().table_names();
+  std::vector<std::string> names;
+  {
+    StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
+    names = connection_.database().table_names();
+  }
+  // Virtual system tables are part of the catalog a client sees, even
+  // though they live outside the storage layer.
+  for (auto& name : system_table_names()) names.push_back(std::move(name));
+  return names;
 }
 
 std::vector<std::string> DatabaseMetaData::get_views() {
@@ -141,9 +173,17 @@ std::vector<std::string> DatabaseMetaData::get_views() {
 
 std::vector<DatabaseMetaData::ColumnInfo> DatabaseMetaData::get_columns(
     const std::string& table) {
+  std::vector<ColumnInfo> out;
+  if (is_system_table_name(table)) {
+    const TableSchema& schema = system_table_schema(table);
+    for (const auto& column : schema.columns()) {
+      out.push_back(
+          {column.name, column.type, column.not_null, column.primary_key});
+    }
+    return out;
+  }
   StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
   const Table& t = connection_.database().table(table);
-  std::vector<ColumnInfo> out;
   out.reserve(t.schema().columns().size());
   for (const auto& column : t.schema().columns()) {
     out.push_back({column.name, column.type, column.not_null, column.primary_key});
@@ -153,6 +193,7 @@ std::vector<DatabaseMetaData::ColumnInfo> DatabaseMetaData::get_columns(
 
 std::vector<DatabaseMetaData::ForeignKeyInfo> DatabaseMetaData::get_foreign_keys(
     const std::string& table) {
+  if (is_system_table_name(table)) return {};  // telemetry has no FK edges
   StatementGuard guard(connection_.database().locks(), /*read_only=*/true);
   const Table& t = connection_.database().table(table);
   std::vector<ForeignKeyInfo> out;
@@ -227,6 +268,7 @@ std::size_t Connection::execute_update(std::string_view sql, const Params& param
 }
 
 ResultSetData Connection::run_cached(std::string_view sql, const Params& params) {
+  telemetry::Span span(sql);
   PlanLease lease = lease_plan(sql);
   ResultSetData result;
   try {
@@ -260,15 +302,19 @@ Connection::PlanLease Connection::lease_plan(std::string_view sql) {
         // The same SQL text is executing on another thread and the AST
         // binds in place; bypass the cache with a private parse.
         ++cache_stats_.misses;
+        PlanCacheMetrics::instance().misses.add();
       } else if (entry.schema_epoch != epoch) {
         // DDL since this plan was parsed: drop it and re-parse.
         ++cache_stats_.invalidations;
         ++cache_stats_.misses;
+        PlanCacheMetrics::instance().invalidations.add();
+        PlanCacheMetrics::instance().misses.add();
         lru_.erase(entry.lru);
         cache_.erase(it);
         lease.cache_on_release = true;
       } else {
         ++cache_stats_.hits;
+        PlanCacheMetrics::instance().hits.add();
         entry.in_use = true;
         lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
         lease.statement = entry.statement.get();
@@ -277,10 +323,14 @@ Connection::PlanLease Connection::lease_plan(std::string_view sql) {
       }
     } else {
       ++cache_stats_.misses;
+      PlanCacheMetrics::instance().misses.add();
       lease.cache_on_release = cache_capacity_ > 0;
     }
   }
-  lease.owned = std::make_unique<Statement>(parse_statement(sql));  // no lock held
+  {
+    telemetry::PhaseTimer parse_phase(telemetry::Phase::kParse);
+    lease.owned = std::make_unique<Statement>(parse_statement(sql));  // no lock held
+  }
   lease.statement = lease.owned.get();
   return lease;
 }
@@ -323,6 +373,7 @@ void Connection::evict_to_capacity_locked() {
         cache_.erase(entry);
         lru_.erase(it);
         ++cache_stats_.evictions;
+        PlanCacheMetrics::instance().evictions.add();
         evicted = true;
         break;
       }

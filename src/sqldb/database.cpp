@@ -3,13 +3,17 @@
 #include <sstream>
 
 #include "sqldb/parser.h"
+#include "sqldb/system_tables.h"
 #include "sqldb/wal.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/file.h"
 #include "util/log.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace perfdmf::sqldb {
 
@@ -24,6 +28,15 @@ ResultSetData count_result(std::size_t n) {
   out.column_names = {"rows_affected"};
   out.rows.push_back({Value(static_cast<std::int64_t>(n))});
   return out;
+}
+
+/// System tables are served from the telemetry registry; no statement may
+/// write, shadow, or drop them.
+void reject_system_table(const std::string& name, const char* action) {
+  if (is_system_table_name(name)) {
+    throw DbError(std::string(action) + " not allowed on read-only system table " +
+                  name);
+  }
 }
 }  // namespace
 
@@ -146,8 +159,23 @@ ResultSetData Database::execute_parsed(Statement& stmt, const Params& params,
 ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params,
                                            std::string_view sql) {
   switch (stmt.kind) {
-    case StatementKind::kSelect:
+    case StatementKind::kSelect: {
+      // When the slow-query log is armed, collect the plan so a slow
+      // statement's trace carries its access path.
+      telemetry::Span* span = telemetry::Span::current();
+      if (span != nullptr && span->wants_plan()) {
+        ExplainInfo explain;
+        ResultSetData out = execute_select(*this, stmt.select, params, &explain);
+        std::string plan;
+        for (const auto& line : explain.lines) {
+          if (!plan.empty()) plan += '\n';
+          plan += line;
+        }
+        span->set_plan(std::move(plan));
+        return out;
+      }
       return execute_select(*this, stmt.select, params);
+    }
     case StatementKind::kExplain:
       return execute_explain(*this, stmt.select, params);
     case StatementKind::kInsert: {
@@ -256,6 +284,7 @@ std::vector<std::string> Database::view_names() const { return view_order_; }
 // ------------------------------------------------------------------- DML
 
 std::size_t Database::run_insert(InsertStatement& stmt, const Params& params) {
+  reject_system_table(stmt.table, "INSERT");
   Table& t = table(stmt.table);
   const auto& columns = t.schema().columns();
 
@@ -308,6 +337,7 @@ std::size_t Database::run_insert(InsertStatement& stmt, const Params& params) {
 }
 
 std::size_t Database::run_update(UpdateStatement& stmt, const Params& params) {
+  reject_system_table(stmt.table, "UPDATE");
   Table& t = table(stmt.table);
   std::vector<BoundColumn> layout;
   const std::string alias = util::to_lower(stmt.table);
@@ -340,6 +370,7 @@ std::size_t Database::run_update(UpdateStatement& stmt, const Params& params) {
 }
 
 std::size_t Database::run_delete(DeleteStatement& stmt, const Params& params) {
+  reject_system_table(stmt.table, "DELETE");
   Table& t = table(stmt.table);
   std::vector<BoundColumn> layout;
   const std::string alias = util::to_lower(stmt.table);
@@ -368,6 +399,7 @@ std::size_t Database::run_delete(DeleteStatement& stmt, const Params& params) {
 // ------------------------------------------------------------------- DDL
 
 void Database::run_create_table(const CreateTableStatement& stmt) {
+  reject_system_table(stmt.schema.name(), "CREATE TABLE");
   const std::string key = util::to_lower(stmt.schema.name());
   if (tables_.count(key)) {
     if (stmt.if_not_exists) return;
@@ -429,6 +461,7 @@ void Database::run_create_index(const CreateIndexStatement& stmt) {
 }
 
 void Database::run_create_view(const CreateViewStatement& stmt) {
+  reject_system_table(stmt.name, "CREATE VIEW");
   const std::string key = util::to_lower(stmt.name);
   if (tables_.count(key)) {
     throw DbError("a table named " + stmt.name + " already exists");
@@ -545,6 +578,9 @@ void Database::commit() {
   in_txn_ = false;
   undo_log_.clear();
   txn_wal_buffer_.clear();
+  static auto& commits =
+      telemetry::MetricsRegistry::instance().counter("sqldb.txn.commits");
+  commits.add();
 }
 
 void Database::rollback() {
@@ -552,6 +588,9 @@ void Database::rollback() {
   in_txn_ = false;
   apply_undo();
   txn_wal_buffer_.clear();
+  static auto& rollbacks =
+      telemetry::MetricsRegistry::instance().counter("sqldb.txn.rollbacks");
+  rollbacks.add();
 }
 
 void Database::apply_undo() {
@@ -621,6 +660,7 @@ void Database::log_ddl(std::string_view sql, const Params& params) {
 void Database::checkpoint() {
   if (!wal_) return;
   if (in_txn_) throw DbError("cannot checkpoint inside a transaction");
+  util::WallTimer timer;
   namespace fs = std::filesystem;
   const fs::path snapshot = directory_ / kSnapshotFile;
   const fs::path previous = directory_ / kSnapshotPrev;
@@ -656,6 +696,14 @@ void Database::checkpoint() {
   //    is covered by the snapshot's watermark: replay skips records the
   //    snapshot already contains.
   wal_->reset();
+
+  static auto& checkpoints =
+      telemetry::MetricsRegistry::instance().counter("sqldb.checkpoints");
+  static auto& checkpoint_micros =
+      telemetry::MetricsRegistry::instance().histogram(
+          "sqldb.checkpoint.micros");
+  checkpoints.add();
+  checkpoint_micros.record(static_cast<std::uint64_t>(timer.seconds() * 1e6));
 }
 
 std::string Database::render_snapshot(std::uint64_t watermark) const {

@@ -9,6 +9,8 @@
 #include <unordered_set>
 
 #include "sqldb/database.h"
+#include "sqldb/system_tables.h"
+#include "telemetry/span.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -372,10 +374,15 @@ struct WorkingSet {
   std::vector<std::unique_ptr<Table>> owned_tables;
 };
 
-/// Resolve a FROM/JOIN name: a real table directly, or a view materialized
-/// into a temporary untyped table by executing its stored SELECT. A depth
-/// guard catches self-referential view chains.
+/// Resolve a FROM/JOIN name: a system table snapshotted from the telemetry
+/// registry, a real table directly, or a view materialized into a temporary
+/// untyped table by executing its stored SELECT. A depth guard catches
+/// self-referential view chains.
 Table& resolve_table(Database& db, const std::string& name, WorkingSet& ws) {
+  if (is_system_table_name(name)) {
+    ws.owned_tables.push_back(materialize_system_table(name));
+    return *ws.owned_tables.back();
+  }
   if (!db.has_view(name)) return db.table(name);
 
   thread_local int view_depth = 0;
@@ -437,37 +444,41 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
   // which any conjunct is not truthy cannot satisfy the full conjunction).
   const Expr* base_where = nullptr;
   std::vector<Expr*> pushed;
-  if (stmt.where) {
-    if (stmt.joins.empty()) {
-      bind_expr(*stmt.where, ws.layout);
-      base_where = stmt.where.get();
-    } else {
-      std::vector<Expr*> conjuncts;
-      split_conjuncts(*stmt.where, conjuncts);
-      for (Expr* conjunct : conjuncts) {
-        try {
-          bind_expr(*conjunct, ws.layout);
-          pushed.push_back(conjunct);
-        } catch (const DbError&) {
-          // References a joined table's columns; evaluated post-join.
+  AccessPath path;
+  {
+    telemetry::PhaseTimer plan_phase(telemetry::Phase::kPlan);
+    if (stmt.where) {
+      if (stmt.joins.empty()) {
+        bind_expr(*stmt.where, ws.layout);
+        base_where = stmt.where.get();
+      } else {
+        std::vector<Expr*> conjuncts;
+        split_conjuncts(*stmt.where, conjuncts);
+        for (Expr* conjunct : conjuncts) {
+          try {
+            bind_expr(*conjunct, ws.layout);
+            pushed.push_back(conjunct);
+          } catch (const DbError&) {
+            // References a joined table's columns; evaluated post-join.
+          }
         }
       }
     }
-  }
 
-  // Index selection over everything known about the base table (the whole
-  // WHERE, or the pushed conjuncts — all of them are ANDed).
-  std::vector<IndexPredicate> predicates;
-  if (base_where != nullptr) {
-    collect_index_predicates(*base_where, params,
-                             base.schema().columns().size(), predicates);
-  } else {
-    for (const Expr* conjunct : pushed) {
-      collect_index_predicates(*conjunct, params,
+    // Index selection over everything known about the base table (the whole
+    // WHERE, or the pushed conjuncts — all of them are ANDed).
+    std::vector<IndexPredicate> predicates;
+    if (base_where != nullptr) {
+      collect_index_predicates(*base_where, params,
                                base.schema().columns().size(), predicates);
+    } else {
+      for (const Expr* conjunct : pushed) {
+        collect_index_predicates(*conjunct, params,
+                                 base.schema().columns().size(), predicates);
+      }
     }
+    path = choose_access_path(base, predicates);
   }
-  const AccessPath path = choose_access_path(base, predicates);
   if (explain) {
     explain->add("from " + base_alias + ": " + describe_access_path(base, path));
   }

@@ -19,8 +19,20 @@
 #include <thread>
 
 #include "sqldb/ast.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace perfdmf::sqldb {
+
+namespace detail {
+/// Shared lock-wait histogram for every LockManager in the process
+/// (the registry owns it; the reference is resolved once).
+inline telemetry::Histogram& lock_wait_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::MetricsRegistry::instance().histogram("sqldb.lock.wait_micros");
+  return h;
+}
+}  // namespace detail
 
 /// How a statement interacts with the database lock.
 enum class StatementClass {
@@ -47,15 +59,25 @@ class LockManager {
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
-  void lock_shared() { rw_.lock_shared(); }
+  void lock_shared() {
+    if (rw_.try_lock_shared()) return;  // uncontended: skip wait timing
+    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
+                                     &detail::lock_wait_histogram());
+    rw_.lock_shared();
+  }
   void unlock_shared() { rw_.unlock_shared(); }
-  void lock() { rw_.lock(); }
+  void lock() {
+    if (rw_.try_lock()) return;  // uncontended: skip wait timing
+    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
+                                     &detail::lock_wait_histogram());
+    rw_.lock();
+  }
   void unlock() { rw_.unlock(); }
 
   /// BEGIN: take the exclusive lock and record the owning thread so the
   /// transaction's own statements pass through without re-locking.
   void acquire_transaction() {
-    rw_.lock();
+    lock();
     txn_owner_.store(std::this_thread::get_id(), std::memory_order_release);
   }
 
@@ -93,7 +115,11 @@ class StatementGuard {
   StatementGuard(LockManager& locks, bool read_only) : locks_(locks) {
     if (locks_.owned_by_this_thread()) {
       held_ = Held::kNone;
-    } else if (read_only && locks_.mode() == ConcurrencyMode::kSharedRead) {
+      return;
+    }
+    // Lock-wait timing lives inside the manager's lock paths and only
+    // fires on contention, so the uncontended fast path costs nothing.
+    if (read_only && locks_.mode() == ConcurrencyMode::kSharedRead) {
       locks_.lock_shared();
       held_ = Held::kShared;
     } else {

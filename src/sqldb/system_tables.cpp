@@ -1,0 +1,126 @@
+#include "sqldb/system_tables.h"
+
+#include <cctype>
+
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "util/error.h"
+
+namespace perfdmf::sqldb {
+
+namespace {
+
+std::string upper(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+ColumnDef column(std::string name, ValueType type) {
+  ColumnDef def;
+  def.name = std::move(name);
+  def.type = type;
+  return def;
+}
+
+TableSchema make_metrics_schema() {
+  TableSchema schema{std::string(kMetricsTableName)};
+  schema.add_column(column("name", ValueType::kText));
+  schema.add_column(column("kind", ValueType::kText));
+  schema.add_column(column("value", ValueType::kReal));
+  // Histogram-only fields; NULL for counters and gauges.
+  schema.add_column(column("count", ValueType::kInt));
+  schema.add_column(column("sum", ValueType::kReal));
+  schema.add_column(column("p50", ValueType::kReal));
+  schema.add_column(column("p95", ValueType::kReal));
+  schema.add_column(column("p99", ValueType::kReal));
+  return schema;
+}
+
+TableSchema make_slow_queries_schema() {
+  TableSchema schema{std::string(kSlowQueriesTableName)};
+  schema.add_column(column("id", ValueType::kInt));
+  schema.add_column(column("started_at", ValueType::kText));
+  schema.add_column(column("thread", ValueType::kText));
+  schema.add_column(column("sql", ValueType::kText));
+  schema.add_column(column("plan", ValueType::kText));
+  schema.add_column(column("total_ms", ValueType::kReal));
+  schema.add_column(column("parse_ms", ValueType::kReal));
+  schema.add_column(column("plan_ms", ValueType::kReal));
+  schema.add_column(column("lock_wait_ms", ValueType::kReal));
+  schema.add_column(column("execute_ms", ValueType::kReal));
+  schema.add_column(column("fsync_ms", ValueType::kReal));
+  return schema;
+}
+
+std::unique_ptr<Table> materialize_metrics() {
+  auto table = std::make_unique<Table>(make_metrics_schema());
+  for (const auto& s : telemetry::MetricsRegistry::instance().snapshot()) {
+    const bool histogram = s.kind == telemetry::MetricSample::Kind::kHistogram;
+    Row row;
+    row.reserve(8);
+    row.emplace_back(s.name);
+    row.emplace_back(std::string(telemetry::metric_kind_name(s.kind)));
+    row.emplace_back(s.value);
+    row.push_back(histogram ? Value(s.count) : Value::null());
+    row.push_back(histogram ? Value(s.sum) : Value::null());
+    row.push_back(histogram ? Value(s.p50) : Value::null());
+    row.push_back(histogram ? Value(s.p95) : Value::null());
+    row.push_back(histogram ? Value(s.p99) : Value::null());
+    table->insert(std::move(row));
+  }
+  return table;
+}
+
+std::unique_ptr<Table> materialize_slow_queries() {
+  auto table = std::make_unique<Table>(make_slow_queries_schema());
+  for (const auto& t : telemetry::TraceRing::instance().snapshot()) {
+    Row row;
+    row.reserve(11);
+    row.emplace_back(static_cast<std::int64_t>(t.id));
+    row.emplace_back(t.started_at);
+    row.emplace_back(t.thread);
+    row.emplace_back(t.sql);
+    row.emplace_back(t.plan);
+    row.emplace_back(t.total_ms);
+    using telemetry::Phase;
+    for (const Phase p : {Phase::kParse, Phase::kPlan, Phase::kLockWait,
+                          Phase::kExecute, Phase::kFsync}) {
+      row.emplace_back(t.phase_ms[static_cast<std::size_t>(p)]);
+    }
+    table->insert(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+bool is_system_table_name(std::string_view name) {
+  const std::string u = upper(name);
+  return u == kMetricsTableName || u == kSlowQueriesTableName;
+}
+
+std::vector<std::string> system_table_names() {
+  return {std::string(kMetricsTableName), std::string(kSlowQueriesTableName)};
+}
+
+const TableSchema& system_table_schema(std::string_view name) {
+  static const TableSchema metrics = make_metrics_schema();
+  static const TableSchema slow = make_slow_queries_schema();
+  const std::string u = upper(name);
+  if (u == kMetricsTableName) return metrics;
+  if (u == kSlowQueriesTableName) return slow;
+  throw DbError("not a system table: " + std::string(name));
+}
+
+std::unique_ptr<Table> materialize_system_table(std::string_view name) {
+  const std::string u = upper(name);
+  if (u == kMetricsTableName) return materialize_metrics();
+  if (u == kSlowQueriesTableName) return materialize_slow_queries();
+  throw DbError("not a system table: " + std::string(name));
+}
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,35 @@
+// Virtual system tables serving framework telemetry over SQL.
+//
+// PERFDMF_METRICS and PERFDMF_SLOW_QUERIES are reserved names resolved by
+// the executor (like views) into transient materialized tables built from
+// the telemetry registry / slow-query ring at query time. They never touch
+// storage or the WAL, are visible through DatabaseMetaData like ordinary
+// tables, and cannot be created, dropped, or written.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqldb/table.h"
+
+namespace perfdmf::sqldb {
+
+inline constexpr std::string_view kMetricsTableName = "PERFDMF_METRICS";
+inline constexpr std::string_view kSlowQueriesTableName = "PERFDMF_SLOW_QUERIES";
+
+/// True when `name` is a reserved system-table name (case-insensitive).
+bool is_system_table_name(std::string_view name);
+
+/// Canonical names of every system table, sorted.
+std::vector<std::string> system_table_names();
+
+/// Column layout for reflection. Throws DbError for a non-system name.
+const TableSchema& system_table_schema(std::string_view name);
+
+/// Snapshot the live telemetry state into a transient Table the executor
+/// can scan / filter / aggregate. Throws DbError for a non-system name.
+std::unique_ptr<Table> materialize_system_table(std::string_view name);
+
+}  // namespace perfdmf::sqldb

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/failpoint.h"
@@ -381,6 +383,9 @@ void Wal::write_all(const std::string& buffer, const char* site) {
 }
 
 void Wal::sync_now() {
+  static auto& fsync_micros =
+      telemetry::MetricsRegistry::instance().histogram("sqldb.wal.fsync_micros");
+  telemetry::PhaseTimer fsync_phase(telemetry::Phase::kFsync, &fsync_micros);
   util::failpoint::evaluate("wal.sync");
   if (fd_ >= 0 && ::fsync(fd_) != 0) {
     throw perfdmf::IoError("WAL fsync failed: " + path_.string() + ": " +
@@ -393,6 +398,12 @@ void Wal::append(std::string_view sql, const Params& params) {
   const std::string record = encode_record(next_seq_, sql, params);
   write_all(record, "wal.append");
   ++next_seq_;
+  static auto& appends =
+      telemetry::MetricsRegistry::instance().counter("sqldb.wal.appends");
+  static auto& bytes =
+      telemetry::MetricsRegistry::instance().counter("sqldb.wal.bytes");
+  appends.add();
+  bytes.add(record.size());
   if (sync_ == SyncMode::kAlways) sync_now();
 }
 
@@ -408,8 +419,15 @@ void Wal::append_batch(
     payload += encode_statement_frame(sql, params);
   }
   payload += "E\n";
-  write_all(frame_record(next_seq_, payload), "wal.commit");
+  const std::string record = frame_record(next_seq_, payload);
+  write_all(record, "wal.commit");
   ++next_seq_;
+  static auto& appends =
+      telemetry::MetricsRegistry::instance().counter("sqldb.wal.batch_appends");
+  static auto& bytes =
+      telemetry::MetricsRegistry::instance().counter("sqldb.wal.bytes");
+  appends.add();
+  bytes.add(record.size());
   if (sync_ != SyncMode::kNone) sync_now();
 }
 

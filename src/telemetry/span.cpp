@@ -1,0 +1,254 @@
+#include "telemetry/span.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "util/log.h"
+
+namespace perfdmf::telemetry {
+
+namespace {
+
+thread_local Span* t_current_span = nullptr;
+
+std::atomic<std::int64_t>& threshold_micros_storage() {
+  static std::atomic<std::int64_t> value{[] {
+    const char* env = std::getenv("PERFDMF_SLOW_QUERY_MS");
+    if (env == nullptr || *env == '\0') return std::int64_t{-1};
+    char* end = nullptr;
+    const double ms = std::strtod(env, &end);
+    if (end == env || ms < 0.0) return std::int64_t{-1};
+    return static_cast<std::int64_t>(ms * 1000.0);
+  }()};
+  return value;
+}
+
+Histogram& statement_histogram() {
+  static Histogram& h =
+      MetricsRegistry::instance().histogram("sqldb.statement.total_micros");
+  return h;
+}
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kParse: return "parse";
+    case Phase::kPlan: return "plan";
+    case Phase::kLockWait: return "lock_wait";
+    case Phase::kExecute: return "execute";
+    case Phase::kFsync: return "fsync";
+  }
+  return "?";
+}
+
+double slow_query_threshold_ms() {
+  const std::int64_t us =
+      threshold_micros_storage().load(std::memory_order_relaxed);
+  return us < 0 ? -1.0 : static_cast<double>(us) / 1000.0;
+}
+
+void set_slow_query_threshold_ms(double ms) {
+  threshold_micros_storage().store(
+      ms < 0.0 ? -1 : static_cast<std::int64_t>(ms * 1000.0),
+      std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- TraceRing
+
+TraceRing& TraceRing::instance() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+void TraceRing::push(QueryTrace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace.id = next_id_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+    return;
+  }
+  // Full: overwrite the oldest and rotate it to the back so ring_ stays
+  // in chronological order.
+  ring_.front() = std::move(trace);
+  std::rotate(ring_.begin(), ring_.begin() + 1, ring_.end());
+}
+
+std::vector<QueryTrace> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t TraceRing::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void TraceRing::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, n);
+  if (ring_.size() > capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(ring_.size() - capacity_));
+  }
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+// ------------------------------------------------------------------ Span
+
+Span* Span::current() { return t_current_span; }
+
+Span::Span(std::string_view sql) : sql_(sql) {
+  if (!enabled()) return;
+  active_ = true;
+  threshold_micros_ = threshold_micros_storage().load(std::memory_order_relaxed);
+  slow_armed_ = threshold_micros_ >= 0;
+  start_ = std::chrono::steady_clock::now();
+  if (slow_armed_) wall_start_ = std::chrono::system_clock::now();
+  prev_ = t_current_span;
+  t_current_span = this;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  t_current_span = prev_;
+  const auto total_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  statement_histogram().record(total_us);
+  // Execute is whatever the explicitly timed phases don't account for.
+  std::uint64_t attributed = 0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (i != static_cast<std::size_t>(Phase::kExecute)) {
+      attributed += phase_micros_[i];
+    }
+  }
+  phase_micros_[static_cast<std::size_t>(Phase::kExecute)] =
+      total_us > attributed ? total_us - attributed : 0;
+
+  if (!slow_armed_ ||
+      total_us < static_cast<std::uint64_t>(threshold_micros_)) {
+    return;
+  }
+
+  QueryTrace trace;
+  trace.started_at = [this] {
+    const std::time_t secs = std::chrono::system_clock::to_time_t(wall_start_);
+    const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            wall_start_.time_since_epoch())
+                            .count() %
+                        1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+    return std::string(buf);
+  }();
+  trace.thread = util::current_thread_id();
+  trace.sql = std::string(sql_);
+  trace.plan = std::move(plan_);
+  trace.total_ms = static_cast<double>(total_us) / 1000.0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    trace.phase_ms[i] = static_cast<double>(phase_micros_[i]) / 1000.0;
+  }
+
+  std::string line = "slow query (";
+  line += format_ms(trace.total_ms);
+  line += " ms >= ";
+  line += format_ms(static_cast<double>(threshold_micros_) / 1000.0);
+  line += " ms): ";
+  line.append(sql_.data(), sql_.size());
+  line += " |";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    line += ' ';
+    line += phase_name(static_cast<Phase>(i));
+    line += '=';
+    line += format_ms(trace.phase_ms[i]);
+    line += "ms";
+  }
+  if (!trace.plan.empty()) {
+    std::string flat = trace.plan;
+    std::replace(flat.begin(), flat.end(), '\n', ';');
+    line += " | plan: ";
+    line += flat;
+  }
+  util::log_message(util::LogLevel::kWarn, line);
+
+  TraceRing::instance().push(std::move(trace));
+}
+
+// ------------------------------------------------------------- PhaseTimer
+
+PhaseTimer::PhaseTimer(Phase phase, Histogram* histogram)
+    : phase_(phase), histogram_(histogram), span_(Span::current()) {
+  if (span_ != nullptr && !span_->slow_armed()) span_ = nullptr;
+  if (!enabled()) histogram_ = nullptr;
+  if (span_ != nullptr || histogram_ != nullptr) {
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (span_ == nullptr && histogram_ == nullptr) return;
+  const auto micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  if (span_ != nullptr) span_->add_phase_micros(phase_, micros);
+  if (histogram_ != nullptr) histogram_->record(micros);
+}
+
+// ----------------------------------------------------------- JSON export
+
+std::string traces_to_json() {
+  const auto traces = TraceRing::instance().snapshot();
+  std::string out = "{\"traces\":[";
+  bool first = true;
+  for (const auto& t : traces) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(t.id);
+    out += ",\"started_at\":\"" + json_escape(t.started_at) + '"';
+    out += ",\"thread\":\"" + json_escape(t.thread) + '"';
+    out += ",\"sql\":\"" + json_escape(t.sql) + '"';
+    out += ",\"plan\":\"" + json_escape(t.plan) + '"';
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f", t.total_ms);
+    out += ",\"total_ms\":";
+    out += buf;
+    out += ",\"phases\":{";
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (i != 0) out += ',';
+      out += '"';
+      out += phase_name(static_cast<Phase>(i));
+      out += "\":";
+      std::snprintf(buf, sizeof buf, "%.3f", t.phase_ms[i]);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace perfdmf::telemetry

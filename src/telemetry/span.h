@@ -1,0 +1,141 @@
+// Query-lifecycle spans.
+//
+// Every sqldb statement runs under an RAII Span that accumulates a
+// per-phase time breakdown (parse -> plan -> lock-wait -> execute ->
+// fsync). Instrumentation sites attribute time to the current thread's
+// span through PhaseTimer / add_phase_micros; the execute phase is
+// derived at finish as the unattributed remainder, so the breakdown is
+// disjoint and sums to the total.
+//
+// Statements slower than the configurable threshold (PERFDMF_SLOW_QUERY_MS
+// or set_slow_query_threshold_ms) are copied into a bounded ring buffer —
+// served back as the PERFDMF_SLOW_QUERIES virtual table — and logged
+// through util::log with SQL text, phase breakdown, and the EXPLAIN
+// access path. With the threshold disabled (the default) a span is two
+// clock reads and a histogram record; SQL text is never copied.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace perfdmf::telemetry {
+
+enum class Phase { kParse = 0, kPlan, kLockWait, kExecute, kFsync };
+inline constexpr std::size_t kPhaseCount = 5;
+
+const char* phase_name(Phase phase);
+
+/// One finished slow statement, as stored in the ring buffer and served
+/// by the PERFDMF_SLOW_QUERIES system table.
+struct QueryTrace {
+  std::uint64_t id = 0;        // monotonic per process
+  std::string started_at;      // ISO-8601 UTC
+  std::string thread;          // id of the executing thread
+  std::string sql;
+  std::string plan;            // EXPLAIN access-path lines ('\n'-joined)
+  double total_ms = 0.0;
+  std::array<double, kPhaseCount> phase_ms{};
+};
+
+/// Slow-query threshold in milliseconds; negative means disabled.
+/// Initialized once from PERFDMF_SLOW_QUERY_MS (unset/invalid -> -1).
+double slow_query_threshold_ms();
+void set_slow_query_threshold_ms(double ms);
+
+/// Bounded buffer of the most recent slow-query traces (process-global).
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  static TraceRing& instance();
+
+  void push(QueryTrace trace);
+  /// Retained traces, oldest first.
+  std::vector<QueryTrace> snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+  /// Shrinking drops the oldest traces; capacity 0 is clamped to 1.
+  void set_capacity(std::size_t n);
+  void clear();
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+ private:
+  TraceRing() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<QueryTrace> ring_;   // chronological; rotated on overflow
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t next_id_ = 1;
+};
+
+/// RAII lifecycle span for one statement. Construct with the SQL text
+/// (borrowed — must outlive the span); destruction finishes the span.
+/// At most one span per thread is current; nesting restores the outer
+/// span (views executing inner statements keep attribution sane).
+class Span {
+ public:
+  explicit Span(std::string_view sql);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// The calling thread's innermost live span, or nullptr.
+  static Span* current();
+
+  bool active() const { return active_; }
+  /// True when the slow-query log is armed for this span. Phase
+  /// attribution is only ever consumed by slow traces, so PhaseTimer
+  /// skips its clock reads entirely when this is false.
+  bool slow_armed() const { return active_ && slow_armed_; }
+  /// True when the executor should spend the extra effort of capturing
+  /// EXPLAIN output via set_plan().
+  bool wants_plan() const { return slow_armed(); }
+  void set_plan(std::string plan) { plan_ = std::move(plan); }
+
+  void add_phase_micros(Phase phase, std::uint64_t micros) {
+    phase_micros_[static_cast<std::size_t>(phase)] += micros;
+  }
+
+ private:
+  std::string_view sql_;
+  std::string plan_;
+  std::array<std::uint64_t, kPhaseCount> phase_micros_{};
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::system_clock::time_point wall_start_{};
+  std::int64_t threshold_micros_ = -1;
+  Span* prev_ = nullptr;
+  bool active_ = false;
+  bool slow_armed_ = false;
+};
+
+/// Times one phase from construction to destruction, attributing the
+/// elapsed microseconds to the calling thread's current span (if any)
+/// and to `histogram` (if given). Inert when neither sink applies.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase phase, Histogram* histogram = nullptr);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Phase phase_;
+  Histogram* histogram_;
+  Span* span_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// The slow-query ring as a JSON object string:
+/// {"traces":[{"id":...,"sql":...,"phases":{...}},...]}.
+std::string traces_to_json();
+
+}  // namespace perfdmf::telemetry

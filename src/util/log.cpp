@@ -1,12 +1,26 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
 
 namespace perfdmf::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  const char* env = std::getenv("PERFDMF_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,10 +38,51 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (const char c : name) {
+    lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::string iso8601_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+std::string current_thread_id() {
+  thread_local std::string cached = [] {
+    std::ostringstream os;
+    os << std::this_thread::get_id();
+    return os.str();
+  }();
+  return cached;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::string line = "[perfdmf ";
+  std::string line = iso8601_now();
+  line += " [perfdmf ";
   line += level_name(level);
+  line += " tid:";
+  line += current_thread_id();
   line += "] ";
   line += message;
   line += '\n';

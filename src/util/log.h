@@ -1,9 +1,14 @@
 // Minimal leveled logger. The framework is a library: logging defaults to
-// warnings-only on stderr and is globally adjustable by embedding tools.
+// warnings-only on stderr and is globally adjustable by embedding tools,
+// or at startup via the PERFDMF_LOG_LEVEL environment variable
+// (debug|info|warn|error|off). Each line carries an ISO-8601 UTC
+// timestamp, the thread id, and the level.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace perfdmf::util {
 
@@ -11,6 +16,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parse a level name ("debug", "INFO", ...). nullopt on unknown input.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Current UTC wall-clock time as "YYYY-MM-DDTHH:MM:SS.mmmZ".
+std::string iso8601_now();
+
+/// Printable id of the calling thread (stable for the thread's lifetime).
+std::string current_thread_id();
 
 /// Emit one log line if `level` is enabled. Thread-safe (single write call).
 void log_message(LogLevel level, const std::string& message);

@@ -1,7 +1,11 @@
-// Wall-clock timer used by the benchmark harnesses and examples.
+// Timers. WallTimer is the read-it-yourself stopwatch used by the
+// benchmark harnesses; ScopedTimer is the instrumentation-site RAII
+// variant that delivers its elapsed time to a sink on destruction, so
+// call sites can't mix up units or forget to stop the clock.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace perfdmf::util {
 
@@ -20,6 +24,32 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Monotonic RAII timer: measures from construction to destruction and
+/// calls `sink->record_micros(elapsed_microseconds)` exactly once. Any
+/// type with that member works (telemetry::Histogram does); a null sink
+/// makes the timer inert and skips both clock reads.
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink* sink) : sink_(sink) {
+    if (sink_ != nullptr) start_ = Clock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ == nullptr) return;
+    const auto elapsed = Clock::now() - start_;
+    sink_->record_micros(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Sink* sink_;
+  Clock::time_point start_{};
 };
 
 }  // namespace perfdmf::util

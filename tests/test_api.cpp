@@ -38,7 +38,8 @@ class ApiTest : public ::testing::Test {
 TEST_F(ApiTest, BootstrapCreatesAllTables) {
   EXPECT_TRUE(schema_present(*connection));
   auto tables = connection->get_meta_data().get_tables();
-  EXPECT_EQ(tables.size(), 11u);
+  // 11 schema tables + 2 virtual telemetry system tables.
+  EXPECT_EQ(tables.size(), 13u);
   // Idempotent.
   EXPECT_NO_THROW(bootstrap_schema(*connection));
 }
