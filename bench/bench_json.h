@@ -2,14 +2,23 @@
 //
 // Every bench_* main collects its headline numbers into a BenchJson and
 // writes BENCH_<name>.json into the working directory on exit:
-//   {"bench":"query","git_sha":"...","timestamp":"...",
+//   {"bench":"query","schema_version":2,"git_sha":"...","timestamp":"...",
 //    "metrics":{"topk_1m_ms":12.3,...}}
 // so successive runs populate a perf trajectory without scraping the
 // human-readable tables off stdout. Metric keys are flat snake_case;
 // values are doubles (milliseconds, rows/s, ratios — the key names the
-// unit).
+// unit). Non-finite values (a speedup ratio over a zero denominator)
+// emit as null — %g would print "inf"/"nan", which is not JSON, and a
+// bench must never write a file its consumer (scripts/perfguard) cannot
+// parse.
+//
+// schema_version lets perfguard key its PERF_RUNS loader on the layout;
+// bump it when the shape of this file changes:
+//   1: bench/git_sha/timestamp/metrics (PR 5)
+//   2: + schema_version itself, non-finite metrics as null
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -19,6 +28,8 @@
 #include "util/log.h"
 
 namespace perfdmf::bench {
+
+inline constexpr int kBenchJsonSchemaVersion = 2;
 
 class BenchJson {
  public:
@@ -32,6 +43,7 @@ class BenchJson {
   void write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::string out = "{\"bench\":\"" + telemetry::json_escape(name_) + "\"";
+    out += ",\"schema_version\":" + std::to_string(kBenchJsonSchemaVersion);
     out += ",\"git_sha\":\"" + telemetry::json_escape(git_sha()) + "\"";
     out += ",\"timestamp\":\"" + util::iso8601_now() + "\"";
     out += ",\"metrics\":{";
@@ -39,9 +51,14 @@ class BenchJson {
     for (const auto& [key, value] : metrics_) {
       if (!first) out += ',';
       first = false;
-      char buf[48];
-      std::snprintf(buf, sizeof buf, "%.6g", value);
-      out += "\"" + telemetry::json_escape(key) + "\":" + buf;
+      out += "\"" + telemetry::json_escape(key) + "\":";
+      if (std::isfinite(value)) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        out += buf;
+      } else {
+        out += "null";
+      }
     }
     out += "}}\n";
     std::FILE* f = std::fopen(path.c_str(), "w");

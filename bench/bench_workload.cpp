@@ -1,0 +1,436 @@
+// YCSB-style workload driver: named operation mixes over one shared
+// in-memory database, each parameterized by thread count, scale (row
+// count), zipfian skew, and duration. The eight existing bench binaries
+// measure isolated subsystems; this one measures *scenarios* — skewed
+// point reads, read/write blends, bulk import racing analytic queries,
+// and DDL churn against live readers — the shapes named by the YCSB
+// harnesses in the aefast26 exemplars and by the web-workload evidence
+// in PAPERS.md.
+//
+// Mixes (threads split per mix; keys drawn zipfian-skewed, scattered
+// across the keyspace):
+//   zipfian_read        YCSB-C: 100% point reads
+//   read_mostly         YCSB-B: 95% point reads / 5% point updates
+//   read_write          YCSB-A: 50% point reads / 50% point updates
+//   import_under_query  half the threads bulk-insert in transactions,
+//                       half run range aggregates concurrently
+//   metadata_churn      one thread cycles CREATE/ALTER/DROP TABLE while
+//                       the rest run catalog reflection + point reads
+//                       (every cycle bumps the schema epoch, so this is
+//                       also a plan-cache-invalidation storm)
+//
+// Per-(mix, threads): throughput plus p50/p95/p99 op latency, sourced
+// from a telemetry histogram ("workload.<mix>.op_micros" — the same
+// PR 5 registry the engine itself records into), printed as a table and
+// written to BENCH_workload.json for scripts/perfguard.
+//
+// Determinism: all randomness derives from one seed (PERFDMF_SEED
+// overrides; util::seed_from_env), so a run is replayable. Wall-clock
+// throughput still varies with the machine — that is what perfguard's
+// threshold absorbs.
+//
+// Usage: bench_workload [--quick] [--threads N,N,...] [--scale ROWS]
+//                       [--skew THETA] [--duration-ms MS] [--seed N]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "sqldb/connection.h"
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace perfdmf;
+
+namespace {
+
+struct Options {
+  std::vector<int> thread_counts{4, 8};
+  std::int64_t scale = 200000;
+  double skew = 0.99;
+  int duration_ms = 1000;
+  int repeats = 3;
+  std::uint64_t seed = util::seed_from_env(42);
+};
+
+struct MixResult {
+  std::uint64_t ops = 0;
+  double ops_per_s = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double extra = 0.0;  // mix-specific side metric (import rows/s)
+};
+
+/// Per-thread operation closure; invoked until the deadline. Returned by
+/// a factory *inside* the worker thread so prepared statements keep
+/// their thread affinity.
+using Op = std::function<void()>;
+using OpFactory = std::function<Op(int thread_index)>;
+
+MixResult run_mix(const std::string& mix, int threads, const Options& opt,
+                  const OpFactory& factory) {
+  auto& histogram =
+      telemetry::MetricsRegistry::instance().histogram("workload." + mix +
+                                                       ".op_micros");
+  histogram.reset();
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> per_thread_ops(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Op op = factory(t);
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto begin = std::chrono::steady_clock::now();
+        op();
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        histogram.record(static_cast<std::uint64_t>(micros));
+        ++ops;
+      }
+      per_thread_ops[static_cast<std::size_t>(t)] = ops;
+    });
+  }
+
+  util::WallTimer timer;
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double wall_s = timer.millis() / 1000.0;
+
+  MixResult result;
+  for (std::uint64_t ops : per_thread_ops) result.ops += ops;
+  result.ops_per_s = wall_s > 0 ? static_cast<double>(result.ops) / wall_s : 0;
+  result.p50_us = histogram.percentile(0.50);
+  result.p95_us = histogram.percentile(0.95);
+  result.p99_us = histogram.percentile(0.99);
+  return result;
+}
+
+/// Best-of-N: rerun the measurement and keep the fastest repeat.
+/// Scheduler and allocator noise only ever subtracts throughput, so the
+/// max is the stablest estimator at short durations — a real regression
+/// slows every repeat and still shows.
+MixResult best_of(int repeats, const std::function<MixResult()>& once) {
+  MixResult best = once();
+  for (int i = 1; i < repeats; ++i) {
+    const MixResult r = once();
+    if (r.ops_per_s > best.ops_per_s) best = r;
+  }
+  return best;
+}
+
+/// usertable(id 0..scale-1, field0 REAL, field1 TEXT), loaded in one
+/// transaction with explicit ids so the key range is deterministic.
+std::shared_ptr<sqldb::Database> make_database(const Options& opt) {
+  auto database = std::make_shared<sqldb::Database>();
+  sqldb::Connection conn(database);
+  conn.execute_update(
+      "CREATE TABLE usertable (id INTEGER PRIMARY KEY, field0 REAL,"
+      " field1 TEXT)");
+  auto insert = conn.prepare(
+      "INSERT INTO usertable (id, field0, field1) VALUES (?, ?, ?)");
+  util::Rng rng(opt.seed);
+  conn.begin();
+  for (std::int64_t i = 0; i < opt.scale; ++i) {
+    insert.set_int(1, i);
+    insert.set_double(2, rng.uniform(0.0, 1000.0));
+    insert.set_string(3, "payload_" + std::to_string(i % 1000));
+    insert.execute_update();
+  }
+  conn.commit();
+  return database;
+}
+
+/// YCSB point-op blend: `read_pct`% zipfian point reads, the rest point
+/// updates against the same skewed key distribution.
+OpFactory blend_factory(const std::shared_ptr<sqldb::Database>& database,
+                        const Options& opt, int read_pct,
+                        std::uint64_t mix_salt) {
+  return [database, &opt, read_pct, mix_salt](int t) -> Op {
+    auto conn = std::make_shared<sqldb::Connection>(database);
+    auto read = std::make_shared<sqldb::PreparedStatement>(
+        *conn, "SELECT field0 FROM usertable WHERE id = ?");
+    auto write = std::make_shared<sqldb::PreparedStatement>(
+        *conn, "UPDATE usertable SET field0 = ? WHERE id = ?");
+    auto rng = std::make_shared<util::Rng>(
+        opt.seed * 1000 + mix_salt * 100 + static_cast<std::uint64_t>(t));
+    auto zipf = std::make_shared<util::Zipfian>(
+        static_cast<std::uint64_t>(opt.scale), opt.skew);
+    return [conn, read, write, rng, zipf, read_pct] {
+      const auto key =
+          static_cast<std::int64_t>(zipf->scatter(zipf->next(*rng)));
+      if (rng->next_below(100) < static_cast<std::uint64_t>(read_pct)) {
+        read->set_int(1, key);
+        auto rs = read->execute_query();
+        if (rs.row_count() != 1) std::abort();
+      } else {
+        write->set_double(1, rng->next_double() * 1000.0);
+        write->set_int(2, key);
+        write->execute_update();
+      }
+    };
+  };
+}
+
+/// Bulk import racing analytics: writer threads append `kBatch`-row
+/// transactions to an import table; reader threads run zipfian-anchored
+/// range aggregates over usertable, with every 8th op counting the
+/// growing import table instead (query-sees-import pressure).
+constexpr int kImportBatch = 100;
+
+OpFactory import_factory(const std::shared_ptr<sqldb::Database>& database,
+                         const Options& opt, std::atomic<std::uint64_t>& rows,
+                         int writer_threads) {
+  return [database, &opt, &rows, writer_threads](int t) -> Op {
+    auto conn = std::make_shared<sqldb::Connection>(database);
+    auto rng = std::make_shared<util::Rng>(opt.seed * 7000 +
+                                           static_cast<std::uint64_t>(t));
+    if (t < writer_threads) {
+      auto insert = std::make_shared<sqldb::PreparedStatement>(
+          *conn, "INSERT INTO import_profile (event, value) VALUES (?, ?)");
+      return [conn, insert, rng, &rows] {
+        conn->begin();
+        for (int i = 0; i < kImportBatch; ++i) {
+          insert->set_int(1, static_cast<std::int64_t>(rng->next_below(128)));
+          insert->set_double(2, rng->next_double());
+          insert->execute_update();
+        }
+        conn->commit();
+        rows.fetch_add(kImportBatch, std::memory_order_relaxed);
+      };
+    }
+    auto range = std::make_shared<sqldb::PreparedStatement>(
+        *conn,
+        "SELECT COUNT(*), AVG(field0) FROM usertable"
+        " WHERE id BETWEEN ? AND ?");
+    auto count = std::make_shared<sqldb::PreparedStatement>(
+        *conn, "SELECT COUNT(*) FROM import_profile");
+    auto zipf = std::make_shared<util::Zipfian>(
+        static_cast<std::uint64_t>(opt.scale), opt.skew);
+    auto ticks = std::make_shared<std::uint64_t>(0);
+    return [conn, range, count, rng, zipf, ticks, &opt] {
+      if (++*ticks % 8 == 0) {
+        auto rs = count->execute_query();
+        if (rs.row_count() != 1) std::abort();
+        return;
+      }
+      const auto lo =
+          static_cast<std::int64_t>(zipf->scatter(zipf->next(*rng)));
+      range->set_int(1, lo);
+      range->set_int(2, std::min<std::int64_t>(lo + 999, opt.scale - 1));
+      auto rs = range->execute_query();
+      if (rs.row_count() != 1) std::abort();
+    };
+  };
+}
+
+/// DDL churn against live readers: thread 0 cycles CREATE TABLE →
+/// INSERT → ALTER ADD COLUMN → DROP TABLE (one op per full cycle); the
+/// rest interleave catalog reflection with plan-cached point reads that
+/// the churn keeps invalidating.
+OpFactory churn_factory(const std::shared_ptr<sqldb::Database>& database,
+                        const Options& opt) {
+  return [database, &opt](int t) -> Op {
+    auto conn = std::make_shared<sqldb::Connection>(database);
+    auto rng = std::make_shared<util::Rng>(opt.seed * 9000 +
+                                           static_cast<std::uint64_t>(t));
+    if (t == 0) {
+      const std::string table = "churn_scratch";
+      return [conn, table] {
+        conn->execute_update("CREATE TABLE " + table +
+                             " (id INTEGER PRIMARY KEY, a INTEGER)");
+        conn->execute_update("INSERT INTO " + table + " (a) VALUES (1)");
+        conn->execute_update("ALTER TABLE " + table + " ADD COLUMN b REAL");
+        conn->execute_update("DROP TABLE " + table);
+      };
+    }
+    auto read = std::make_shared<sqldb::PreparedStatement>(
+        *conn, "SELECT field1 FROM usertable WHERE id = ?");
+    auto zipf = std::make_shared<util::Zipfian>(
+        static_cast<std::uint64_t>(opt.scale), opt.skew);
+    return [conn, read, rng, zipf] {
+      if (rng->next_below(4) == 0) {
+        auto meta = conn->get_meta_data();
+        if (meta.get_columns("usertable").size() != 3) std::abort();
+      } else {
+        read->set_int(1,
+                      static_cast<std::int64_t>(zipf->scatter(zipf->next(*rng))));
+        auto rs = read->execute_query();
+        if (rs.row_count() != 1) std::abort();
+      }
+    };
+  };
+}
+
+void emit(bench::BenchJson& json, const std::string& mix, int threads,
+          const MixResult& r) {
+  const std::string prefix = mix + "_t" + std::to_string(threads) + "_";
+  json.set(prefix + "ops_per_s", r.ops_per_s);
+  json.set(prefix + "p50_us", r.p50_us);
+  json.set(prefix + "p95_us", r.p95_us);
+  json.set(prefix + "p99_us", r.p99_us);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      opt.thread_counts = {2, 4};
+      opt.scale = 20000;
+      opt.duration_ms = 300;
+    } else if (arg == "--threads") {
+      opt.thread_counts.clear();
+      const char* spec = next();
+      for (const char* p = spec; *p != '\0';) {
+        char* end = nullptr;
+        const long n = std::strtol(p, &end, 10);
+        if (end == p || n < 1) return false;
+        opt.thread_counts.push_back(static_cast<int>(n));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (opt.thread_counts.empty()) return false;
+    } else if (arg == "--scale") {
+      opt.scale = std::strtoll(next(), nullptr, 10);
+      if (opt.scale < 1000) return false;
+    } else if (arg == "--skew") {
+      opt.skew = std::strtod(next(), nullptr);
+      if (opt.skew <= 0.0 || opt.skew >= 1.0) return false;
+    } else if (arg == "--duration-ms") {
+      opt.duration_ms = static_cast<int>(std::strtol(next(), nullptr, 10));
+      if (opt.duration_ms < 10) return false;
+    } else if (arg == "--repeats") {
+      opt.repeats = static_cast<int>(std::strtol(next(), nullptr, 10));
+      if (opt.repeats < 1 || opt.repeats > 100) return false;
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: bench_workload [--quick] [--threads N,N,...]"
+                 " [--scale ROWS] [--skew THETA] [--duration-ms MS]"
+                 " [--repeats N] [--seed N]\n");
+    return 2;
+  }
+
+  std::printf(
+      "workload mixes: scale=%lld rows, skew theta=%.2f, %d ms per mix"
+      " (best of %d), seed=%llu%s\n\n",
+      static_cast<long long>(opt.scale), opt.skew, opt.duration_ms,
+      opt.repeats, static_cast<unsigned long long>(opt.seed),
+      telemetry::compiled_in() ? ""
+                               : " (telemetry compiled out: latency"
+                                 " percentiles report 0)");
+
+  bench::BenchJson json("workload");
+  json.set("scale_rows", static_cast<double>(opt.scale));
+  json.set("skew_theta", opt.skew);
+  json.set("duration_ms", opt.duration_ms);
+
+  std::printf("  %-22s %7s %10s %12s %9s %9s %9s\n", "mix", "threads", "ops",
+              "ops/s", "p50(us)", "p95(us)", "p99(us)");
+
+  for (int threads : opt.thread_counts) {
+    // Fresh data per thread count so update/import volume from the
+    // previous round cannot skew this one.
+    auto database = make_database(opt);
+    {
+      sqldb::Connection conn(database);
+      conn.execute_update(
+          "CREATE TABLE import_profile (id INTEGER PRIMARY KEY,"
+          " event INTEGER, value REAL)");
+    }
+
+    const struct {
+      const char* name;
+      int read_pct;
+    } blends[] = {{"zipfian_read", 100}, {"read_mostly", 95},
+                  {"read_write", 50}};
+    std::uint64_t salt = 1;
+    for (const auto& blend : blends) {
+      const std::uint64_t mix_salt = salt++;
+      const MixResult r = best_of(opt.repeats, [&] {
+        return run_mix(blend.name, threads, opt,
+                       blend_factory(database, opt, blend.read_pct, mix_salt));
+      });
+      std::printf("  %-22s %7d %10llu %12.0f %9.0f %9.0f %9.0f\n", blend.name,
+                  threads, static_cast<unsigned long long>(r.ops), r.ops_per_s,
+                  r.p50_us, r.p95_us, r.p99_us);
+      emit(json, blend.name, threads, r);
+    }
+
+    {
+      const int writers = threads < 2 ? 1 : threads / 2;
+      const MixResult r = best_of(opt.repeats, [&] {
+        std::atomic<std::uint64_t> imported{0};
+        util::WallTimer timer;
+        MixResult one =
+            run_mix("import_under_query", threads, opt,
+                    import_factory(database, opt, imported, writers));
+        one.extra =
+            static_cast<double>(imported.load()) / (timer.millis() / 1000.0);
+        return one;
+      });
+      const double rows_per_s = r.extra;
+      std::printf("  %-22s %7d %10llu %12.0f %9.0f %9.0f %9.0f"
+                  "   (%.0f rows/s imported)\n",
+                  "import_under_query", threads,
+                  static_cast<unsigned long long>(r.ops), r.ops_per_s, r.p50_us,
+                  r.p95_us, r.p99_us, rows_per_s);
+      emit(json, "import_under_query", threads, r);
+      json.set("import_under_query_t" + std::to_string(threads) +
+                   "_import_rows_per_s",
+               rows_per_s);
+    }
+
+    {
+      const MixResult r = best_of(opt.repeats, [&] {
+        return run_mix("metadata_churn", threads, opt,
+                       churn_factory(database, opt));
+      });
+      std::printf("  %-22s %7d %10llu %12.0f %9.0f %9.0f %9.0f\n",
+                  "metadata_churn", threads,
+                  static_cast<unsigned long long>(r.ops), r.ops_per_s, r.p50_us,
+                  r.p95_us, r.p99_us);
+      emit(json, "metadata_churn", threads, r);
+    }
+  }
+
+  json.write();
+  return 0;
+}

@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
 # CI-style check: build and run the full test suite four times —
 # plain, with telemetry compiled out (-DPERFDMF_TELEMETRY=OFF), under
-# ThreadSanitizer, and under AddressSanitizer+UBSan.
+# ThreadSanitizer, and under AddressSanitizer+UBSan — then run the
+# perfguard stage: the YCSB-style workload driver at quick scale, its
+# BENCH_workload.json loaded into sqldb and gated against the committed
+# baseline in bench/baselines/ (threshold PERFGUARD_THRESHOLD, default
+# 50% — generous on purpose: cross-invocation throughput spread on
+# shared/containerised CPU measures ~35% even best-of-3, so the gate
+# catches halvings, not jitter. Tighten via PERFGUARD_THRESHOLD on
+# quiet dedicated hardware).
 #
 # Usage:
-#   scripts/check.sh            # all four configurations, full suite
+#   scripts/check.sh            # all four configurations + perfguard
 #   scripts/check.sh quick      # sanitizers run only the thread-heavy
 #                               # (-L concurrency), executor-parity
 #                               # (-L parity), and telemetry
 #                               # (-L observability) suites
+#   scripts/check.sh perfguard  # only the perfguard stage
+#   scripts/check.sh perfguard --record-baseline
+#                               # re-record bench/baselines/ from a
+#                               # fresh run on this machine
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-QUICK="${1:-}"
+MODE="${1:-}"
 JOBS="$(nproc)"
 
 run_suite() {
@@ -27,12 +38,37 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "${extra[@]}"
 }
 
+# Quick-scale workload run + gate against the committed baseline. The
+# seed baseline was recorded with --record-baseline on a quiet machine;
+# on very different hardware, re-record it (perfguard fails loudly, not
+# silently, when the machine class changed).
+run_perfguard() {
+  local record="${1:-}"
+  echo "=== perfguard (workload driver + regression gate) ==="
+  cmake -B build-check -S . >/dev/null
+  cmake --build build-check -j "$JOBS" --target bench_workload perfguard
+  (cd build-check && ./bench/bench_workload --quick)
+  if [ "$record" = "--record-baseline" ]; then
+    ./build-check/bench/perfguard --baseline-dir bench/baselines \
+      --record-baseline build-check/BENCH_workload.json
+  else
+    ./build-check/bench/perfguard --baseline-dir bench/baselines \
+      --threshold "${PERFGUARD_THRESHOLD:-50}" \
+      build-check/BENCH_workload.json
+  fi
+}
+
+if [ "$MODE" = "perfguard" ]; then
+  run_perfguard "${2:-}"
+  exit 0
+fi
+
 # ASan/UBSan additionally runs the executor parity harness (optimized
 # hash-join/group-by/Top-K paths vs forced fallbacks); the TSan sweep
 # covers the shared plan cache through the -L concurrency suites.
 SAN_FILTER=""
 ASAN_FILTER=""
-if [ "$QUICK" = "quick" ]; then
+if [ "$MODE" = "quick" ]; then
   SAN_FILTER="concurrency|observability"
   ASAN_FILTER="concurrency|parity|observability"
 fi
@@ -47,11 +83,15 @@ run_suite build-notel "" "" -DPERFDMF_TELEMETRY=OFF
 
 echo "=== ThreadSanitizer ==="
 # The fork-based crash-recovery harness (-L crash) is excluded: fork()
-# does not carry TSan's internal threads into the child. ASan/UBSan and
-# the plain build run it in full.
-run_suite build-tsan "$SAN_FILTER" crash -DPERFDMF_SANITIZE=thread
+# does not carry TSan's internal threads into the child. The zipfian
+# statistics suite (-L workload) is excluded from both sanitizers: its
+# sampling tolerances assume uninstrumented execution; the plain and
+# telemetry-off builds run it in full. ASan/UBSan runs crash in full.
+run_suite build-tsan "$SAN_FILTER" "crash|workload" -DPERFDMF_SANITIZE=thread
 
 echo "=== AddressSanitizer + UBSan ==="
-run_suite build-asan "$ASAN_FILTER" "" -DPERFDMF_SANITIZE=address,undefined
+run_suite build-asan "$ASAN_FILTER" workload -DPERFDMF_SANITIZE=address,undefined
+
+run_perfguard
 
 echo "all checks passed"

@@ -1,0 +1,60 @@
+// Minimal JSON reader for the benchmark/telemetry interchange files.
+//
+// The framework *emits* JSON in several places (bench/bench_json.h,
+// telemetry::metrics_to_json); perfguard is the first consumer, so this
+// adds the matching reader: a small recursive-descent parser over the
+// full JSON grammar (objects, arrays, strings with escapes, numbers,
+// true/false/null). It materializes the whole document — the inputs are
+// BENCH_*.json files of a few hundred bytes, not data planes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfdmf::util::json {
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Typed accessors throw ParseError on a type mismatch (the caller is
+  /// validating an external file; a mismatch is malformed input, not a
+  /// programming error).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  /// Members in document order.
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parse one JSON document; trailing non-whitespace and any syntax error
+/// throw perfdmf::ParseError with a byte offset.
+Value parse(std::string_view text);
+
+}  // namespace perfdmf::util::json

@@ -1,10 +1,13 @@
 // Deterministic random number generation for workload synthesis and the
 // clustering seeders. Benchmarks and property tests need reproducible
-// streams, so everything seeds explicitly — no global entropy.
+// streams, so everything seeds explicitly — no global entropy. The one
+// sanctioned outside input is PERFDMF_SEED (seed_from_env), which lets a
+// failing randomized test or a benchmark run be replayed exactly.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 
 namespace perfdmf::util {
 
@@ -38,6 +41,78 @@ class Rng {
   std::uint64_t state_;
   bool have_spare_ = false;
   double spare_ = 0.0;
+};
+
+/// The process-wide replay override: PERFDMF_SEED (decimal or 0x-hex)
+/// wins over `fallback` when set and parseable. Randomized harnesses
+/// seed through this so any failure report ("seed=N") can be replayed
+/// with PERFDMF_SEED=N without recompiling.
+inline std::uint64_t seed_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("PERFDMF_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(env, &end, 0);  // 0 -> auto base
+  if (end == env || *end != '\0') return fallback;
+  return parsed;
+}
+
+/// Zipfian rank generator over [0, n) with exponent `theta` in (0, 1)
+/// (YCSB's default skew is theta = 0.99): rank r is drawn with
+/// probability proportional to 1 / (r+1)^theta, so rank 0 is the hottest
+/// key. The standard Gray et al. rejection-free algorithm, as used by
+/// YCSB's ZipfianGenerator; the harmonic normalizer is computed once at
+/// construction (O(n), microseconds at benchmark scales).
+///
+/// Ranks cluster at the low end; callers that want hot keys scattered
+/// across the keyspace pass them through scatter() (a splitmix64-style
+/// bijective-ish hash mod n, matching YCSB's "scrambled zipfian").
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta), zeta_n_(zeta(n, theta)) {
+    const double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zeta_n_);
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Next rank in [0, n); 0 is the most popular.
+  std::uint64_t next(Rng& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  /// Spread rank popularity across [0, n) so the hot set is not one
+  /// contiguous key range (splitmix64 finalizer, then mod n).
+  std::uint64_t scatter(std::uint64_t rank) const {
+    std::uint64_t z = rank + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return (z ^ (z >> 31)) % n_;
+  }
+
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
 };
 
 inline double Rng::next_gaussian() {

@@ -493,7 +493,9 @@ std::optional<std::string> run_txn_interleaving(std::uint64_t seed, int conns,
 class TxnInterleavingProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(TxnInterleavingProperty, CommittedDeltasAndIndexesStayConsistent) {
-  const auto seed = static_cast<std::uint64_t>(GetParam());
+  // PERFDMF_SEED replays a reported failure without recompiling (it
+  // overrides every parameterized instance with the same seed).
+  const auto seed = util::seed_from_env(static_cast<std::uint64_t>(GetParam()));
   const int conns = 2 + GetParam() % 7;  // 2..8 connections
   const int txns = 12;
 
@@ -512,7 +514,8 @@ TEST_P(TxnInterleavingProperty, CommittedDeltasAndIndexesStayConsistent) {
   }
   ADD_FAILURE() << "invariant violated (seed=" << seed << " conns=" << conns
                 << " txns_per_thread=" << size
-                << " — minimal reproducer): " << *failure;
+                << " — minimal reproducer; replay with PERFDMF_SEED=" << seed
+                << "): " << *failure;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TxnInterleavingProperty,

@@ -200,7 +200,8 @@ TEST_F(CrashRecovery, RandomKillPointsPreserveCommittedTransactions) {
 #ifdef PERFDMF_TSAN
   GTEST_SKIP() << "fork() is unreliable under TSan";
 #endif
-  constexpr std::uint64_t kSeed = 0xC0FFEE;
+  // PERFDMF_SEED replays a reported failing seed without recompiling.
+  const std::uint64_t kSeed = u::seed_from_env(0xC0FFEE);
   constexpr int kIterations = 220;
 
   u::ScopedTempDir dir;
@@ -223,7 +224,8 @@ TEST_F(CrashRecovery, RandomKillPointsPreserveCommittedTransactions) {
                  << "iteration " << iter << ", kill point " << kill.site
                  << " action " << static_cast<int>(kill.action)
                  << " countdown " << kill.countdown << " arg " << kill.arg
-                 << " (seed 0x" << std::hex << kSeed << std::dec << ")");
+                 << " (seed 0x" << std::hex << kSeed << std::dec
+                 << "; replay with PERFDMF_SEED=" << kSeed << ")");
 
     std::filesystem::remove(report_path);
     const pid_t pid = ::fork();
