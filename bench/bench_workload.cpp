@@ -46,6 +46,7 @@
 #include "bench_json.h"
 #include "sqldb/connection.h"
 #include "telemetry/metrics.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -69,6 +70,12 @@ struct MixResult {
   double p95_us = 0.0;
   double p99_us = 0.0;
   double extra = 0.0;  // mix-specific side metric (import rows/s)
+  // Ops that ended in a typed governance error (counted, not fatal:
+  // under injected timeouts/admission limits these are expected
+  // outcomes, and a bench that aborts can't measure a governed system).
+  std::uint64_t timeouts = 0;    // kTimeout + kCancelled
+  std::uint64_t overloads = 0;   // kOverloaded
+  std::uint64_t errors = 0;      // any other DbError
 };
 
 /// Per-thread operation closure; invoked until the deadline. Returned by
@@ -86,25 +93,40 @@ MixResult run_mix(const std::string& mix, int threads, const Options& opt,
 
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
-  std::vector<std::uint64_t> per_thread_ops(static_cast<std::size_t>(threads));
+  std::vector<MixResult> per_thread(static_cast<std::size_t>(threads));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       Op op = factory(t);
       while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
-      std::uint64_t ops = 0;
+      MixResult local;
       while (!stop.load(std::memory_order_relaxed)) {
         const auto begin = std::chrono::steady_clock::now();
-        op();
+        try {
+          op();
+        } catch (const DbError& e) {
+          switch (e.kind()) {
+            case DbError::Kind::kTimeout:
+            case DbError::Kind::kCancelled:
+              ++local.timeouts;
+              break;
+            case DbError::Kind::kOverloaded:
+              ++local.overloads;
+              break;
+            default:
+              ++local.errors;
+              break;
+          }
+        }
         const auto micros =
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - begin)
                 .count();
         histogram.record(static_cast<std::uint64_t>(micros));
-        ++ops;
+        ++local.ops;
       }
-      per_thread_ops[static_cast<std::size_t>(t)] = ops;
+      per_thread[static_cast<std::size_t>(t)] = local;
     });
   }
 
@@ -116,7 +138,12 @@ MixResult run_mix(const std::string& mix, int threads, const Options& opt,
   const double wall_s = timer.millis() / 1000.0;
 
   MixResult result;
-  for (std::uint64_t ops : per_thread_ops) result.ops += ops;
+  for (const MixResult& local : per_thread) {
+    result.ops += local.ops;
+    result.timeouts += local.timeouts;
+    result.overloads += local.overloads;
+    result.errors += local.errors;
+  }
   result.ops_per_s = wall_s > 0 ? static_cast<double>(result.ops) / wall_s : 0;
   result.p50_us = histogram.percentile(0.50);
   result.p95_us = histogram.percentile(0.95);
@@ -287,6 +314,16 @@ void emit(bench::BenchJson& json, const std::string& mix, int threads,
   json.set(prefix + "p50_us", r.p50_us);
   json.set(prefix + "p95_us", r.p95_us);
   json.set(prefix + "p99_us", r.p99_us);
+  json.set(prefix + "timeouts", static_cast<double>(r.timeouts));
+  json.set(prefix + "overloads", static_cast<double>(r.overloads));
+  json.set(prefix + "errors", static_cast<double>(r.errors));
+  if (r.timeouts + r.overloads + r.errors > 0) {
+    std::printf("  %-22s         governance outcomes: %llu timeout,"
+                " %llu overload, %llu error\n",
+                "", static_cast<unsigned long long>(r.timeouts),
+                static_cast<unsigned long long>(r.overloads),
+                static_cast<unsigned long long>(r.errors));
+  }
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {

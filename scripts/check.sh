@@ -86,11 +86,24 @@ echo "=== ThreadSanitizer ==="
 # does not carry TSan's internal threads into the child. The zipfian
 # statistics suite (-L workload) is excluded from both sanitizers: its
 # sampling tolerances assume uninstrumented execution; the plain and
-# telemetry-off builds run it in full. ASan/UBSan runs crash in full.
-run_suite build-tsan "$SAN_FILTER" "crash|workload" -DPERFDMF_SANITIZE=thread
+# telemetry-off builds run it in full. The governance/chaos suites
+# (-L robustness) assert wall-clock bounds (deadline delivery, queue
+# timeouts) that TSan's timing distortion breaks; they get their own
+# dedicated ASan stage below instead.
+run_suite build-tsan "$SAN_FILTER" "crash|workload|robustness" \
+  -DPERFDMF_SANITIZE=thread
 
 echo "=== AddressSanitizer + UBSan ==="
-run_suite build-asan "$ASAN_FILTER" workload -DPERFDMF_SANITIZE=address,undefined
+run_suite build-asan "$ASAN_FILTER" "workload|robustness" \
+  -DPERFDMF_SANITIZE=address,undefined
+
+echo "=== chaos (robustness suites under ASan, fixed seed) ==="
+# Governance + 220 randomized chaos schedules, memory-checked. The seed
+# is pinned so CI failures reproduce exactly; a failing schedule prints
+# its own "replay with PERFDMF_SEED=..." line. Override PERFDMF_SEED to
+# explore different schedules locally.
+PERFDMF_SEED="${PERFDMF_SEED:-3405691582}" ctest --test-dir build-asan \
+  --output-on-failure -j "$JOBS" -L robustness
 
 run_perfguard
 

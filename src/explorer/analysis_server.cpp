@@ -1,6 +1,7 @@
 #include "explorer/analysis_server.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "analysis/correlation.h"
 #include "analysis/imbalance.h"
@@ -20,6 +21,20 @@ telemetry::Gauge& queue_depth_gauge() {
       telemetry::MetricsRegistry::instance().gauge("explorer.queue.depth");
   return g;
 }
+
+telemetry::Counter& shed_counter() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::instance().counter("explorer.requests_shed");
+  return c;
+}
+
+std::size_t max_pending_from_env() {
+  const char* raw = std::getenv("PERFDMF_ANALYSIS_MAX_PENDING");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  return (end != raw && v > 0) ? static_cast<std::size_t>(v) : 0;
+}
 }  // namespace
 
 const char* analysis_kind_name(AnalysisKind kind) {
@@ -37,6 +52,7 @@ const char* analysis_kind_name(AnalysisKind kind) {
 AnalysisServer::AnalysisServer(std::shared_ptr<sqldb::Connection> connection,
                                std::size_t workers)
     : api_(std::move(connection)) {
+  max_pending_ = max_pending_from_env();
   if (workers > 0) {
     // Per-worker connections over the shared database: requests on
     // different workers read in parallel under the shared-read lock.
@@ -82,6 +98,23 @@ std::future<AnalysisResponse> AnalysisServer::submit_async(
     }
     return promise.get_future();
   }
+  {
+    // Backpressure: shed instead of queueing without bound. The check
+    // and the slot claim (++submitted_) happen under the same lock that
+    // counts completions, so the in-flight count can't race past the
+    // bound.
+    std::lock_guard lock(state_mutex_);
+    if (max_pending_ > 0 && submitted_ - completed_ >= max_pending_) {
+      shed_counter().add();
+      throw DbError("analysis server overloaded: " +
+                        std::to_string(submitted_ - completed_) +
+                        " requests pending (max " +
+                        std::to_string(max_pending_) + ")",
+                    DbError::Kind::kOverloaded);
+    }
+    ++submitted_;
+  }
+  queue_depth_gauge().add(1);
   auto task = std::make_shared<std::packaged_task<AnalysisResponse()>>(
       [this, request] {
         api::DatabaseAPI* worker = acquire_worker_api();
@@ -95,15 +128,10 @@ std::future<AnalysisResponse> AnalysisServer::submit_async(
         }
       });
   auto future = task->get_future();
-  // Count the request before enqueueing (the task may complete before we
-  // could count it afterwards), but roll the count back if the enqueue
-  // itself fails — a submitted_ with no matching completion would wedge
-  // every later wait_idle().
-  {
-    std::lock_guard lock(state_mutex_);
-    ++submitted_;
-  }
-  queue_depth_gauge().add(1);
+  // The request was counted before enqueueing (the task may complete
+  // before we could count it afterwards); roll the count back if the
+  // enqueue itself fails — a submitted_ with no matching completion
+  // would wedge every later wait_idle().
   try {
     pool_->submit([task] { (*task)(); });
   } catch (...) {
@@ -126,6 +154,16 @@ std::vector<api::DatabaseAPI::AnalysisResult> AnalysisServer::browse(
 void AnalysisServer::wait_idle() {
   std::unique_lock lock(state_mutex_);
   idle_cv_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+void AnalysisServer::set_max_pending(std::size_t n) {
+  std::lock_guard lock(state_mutex_);
+  max_pending_ = n;
+}
+
+std::size_t AnalysisServer::max_pending() const {
+  std::lock_guard lock(state_mutex_);
+  return max_pending_;
 }
 
 std::size_t AnalysisServer::submitted_count() const {

@@ -1,6 +1,7 @@
 #include "sqldb/connection.h"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "sqldb/parser.h"
 #include "sqldb/system_tables.h"
@@ -20,6 +21,14 @@ std::size_t update_count(const ResultSetData& result) {
     return static_cast<std::size_t>(result.rows[0][0].as_int());
   }
   return result.rows.size();
+}
+
+/// Non-negative integer from the environment; unset/invalid/negative -> 0.
+std::int64_t env_nonneg(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return 0;
+  const auto parsed = util::parse_int(raw);
+  return (parsed && *parsed > 0) ? *parsed : 0;
 }
 
 /// Process-global plan-cache counters, folded from every Connection's
@@ -205,38 +214,84 @@ std::vector<DatabaseMetaData::ForeignKeyInfo> DatabaseMetaData::get_foreign_keys
 
 // ------------------------------------------------------------ Connection
 
-Connection::Connection() : database_(std::make_shared<Database>()) {}
+Connection::Connection() : database_(std::make_shared<Database>()) {
+  init_governance_from_env();
+}
 
 Connection::Connection(const std::filesystem::path& directory)
-    : database_(std::make_shared<Database>(directory)) {}
+    : database_(std::make_shared<Database>(directory)) {
+  init_governance_from_env();
+}
 
 Connection::Connection(const std::filesystem::path& directory,
                        const DurabilityOptions& options)
-    : database_(std::make_shared<Database>(directory, options)) {}
+    : database_(std::make_shared<Database>(directory, options)) {
+  init_governance_from_env();
+}
 
 Connection::Connection(std::shared_ptr<Database> database)
     : database_(std::move(database)) {
   if (!database_) throw InvalidArgument("Connection over a null database");
+  init_governance_from_env();
+}
+
+void Connection::init_governance_from_env() {
+  statement_timeout_ms_ = env_nonneg("PERFDMF_STMT_TIMEOUT_MS");
+  statement_mem_bytes_ =
+      static_cast<std::uint64_t>(env_nonneg("PERFDMF_STMT_MEM_BYTES"));
+}
+
+StatementContext Connection::make_statement_context() {
+  StatementContext ctx;
+  ctx.deadline = util::Deadline::after_ms(statement_timeout_ms_);
+  ctx.cancel = &cancel_flag_;
+  ctx.mem_soft_bytes = statement_mem_bytes_;
+  // Soft breach degrades to spill-free operators; only a statement whose
+  // state still grows 4x past the budget is killed outright.
+  ctx.mem_hard_bytes = statement_mem_bytes_ == 0 ? 0 : statement_mem_bytes_ * 4;
+  return ctx;
 }
 
 ResultSetData Connection::run_statement(Statement& stmt, const Params& params,
                                         std::string_view sql) {
+  StatementContext ctx = make_statement_context();
+  ScopedStatementContext scope(ctx);
+  try {
+    return run_governed(stmt, params, sql, ctx);
+  } catch (const DbError& e) {
+    telemetry::Span* span = telemetry::Span::current();
+    if (span != nullptr) {
+      if (e.kind() == DbError::Kind::kTimeout) span->set_outcome("timed_out");
+      if (e.kind() == DbError::Kind::kCancelled) span->set_outcome("cancelled");
+    }
+    throw;
+  }
+}
+
+ResultSetData Connection::run_governed(Statement& stmt, const Params& params,
+                                       std::string_view sql,
+                                       StatementContext& ctx) {
   LockManager& locks = database_->locks();
   const StatementClass cls = classify_statement(stmt);
 
   if (locks.owned_by_this_thread()) {
     // Inside this thread's transaction: the exclusive lock is already
-    // held, so every statement passes straight through. COMMIT/ROLLBACK
-    // ends the transaction and releases (even the failure paths inside
-    // Database keep the transaction closed, so release unconditionally).
+    // held (and the unit was admitted at BEGIN), so every statement
+    // passes straight through. COMMIT/ROLLBACK ends the transaction and
+    // releases (even the failure paths inside Database keep the
+    // transaction closed, so release unconditionally). The admission
+    // slot is released under the lock — after it another transaction
+    // could adopt a new slot concurrently.
     if (cls == StatementClass::kTxnEnd) {
       ResultSetData result;
       try {
         result = database_->execute(stmt, params, sql);
       } catch (...) {
+        database_->release_txn_admission();
         locks.release_transaction();
         throw;
       }
+      database_->release_txn_admission();
       locks.release_transaction();
       return result;
     }
@@ -244,18 +299,27 @@ ResultSetData Connection::run_statement(Statement& stmt, const Params& params,
   }
 
   if (cls == StatementClass::kTxnBegin) {
-    locks.acquire_transaction();
+    // Admission strictly precedes the lock (deadlock-freedom ordering);
+    // the slot then spans the whole BEGIN..COMMIT unit.
+    AdmissionSlot slot = database_->governor().admit(&ctx);
+    locks.acquire_transaction(&ctx);
     try {
-      return database_->execute(stmt, params, sql);
+      ResultSetData result = database_->execute(stmt, params, sql);
+      database_->adopt_txn_admission(std::move(slot));
+      return result;
     } catch (...) {
       locks.release_transaction();
-      throw;
+      throw;  // the slot's RAII releases it
     }
   }
 
   // kTxnEnd without an owned transaction still locks exclusively so the
-  // "COMMIT without BEGIN" diagnostic reads transaction state safely.
-  StatementGuard guard(locks, cls == StatementClass::kRead);
+  // "COMMIT without BEGIN" diagnostic reads transaction state safely
+  // (no admission: it only reads state and reports an error).
+  AdmissionSlot slot = cls == StatementClass::kTxnEnd
+                           ? AdmissionSlot{}
+                           : database_->governor().admit(&ctx);
+  StatementGuard guard(locks, cls == StatementClass::kRead, &ctx);
   return database_->execute(stmt, params, sql);
 }
 
@@ -399,9 +463,15 @@ void Connection::begin() {
     database_->begin();  // reports "nested transactions are not supported"
     return;
   }
-  locks.acquire_transaction();
+  // Same unit discipline as the SQL BEGIN path: admit, then lock; the
+  // slot rides on the database until commit()/rollback() releases it.
+  StatementContext ctx = make_statement_context();
+  ScopedStatementContext scope(ctx);
+  AdmissionSlot slot = database_->governor().admit(&ctx);
+  locks.acquire_transaction(&ctx);
   try {
     database_->begin();
+    database_->adopt_txn_admission(std::move(slot));
   } catch (...) {
     locks.release_transaction();
     throw;
@@ -418,9 +488,11 @@ void Connection::commit() {
   try {
     database_->commit();
   } catch (...) {
+    database_->release_txn_admission();
     locks.release_transaction();
     throw;
   }
+  database_->release_txn_admission();
   locks.release_transaction();
 }
 
@@ -434,9 +506,11 @@ void Connection::rollback() {
   try {
     database_->rollback();
   } catch (...) {
+    database_->release_txn_admission();
     locks.release_transaction();
     throw;
   }
+  database_->release_txn_admission();
   locks.release_transaction();
 }
 

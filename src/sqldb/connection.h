@@ -182,6 +182,32 @@ class Connection {
   void rollback();
   void checkpoint();
 
+  // ----- statement governance ------------------------------------------
+  /// Per-statement deadline for everything executed through this
+  /// connection: row loops, lock waits, and admission queueing all
+  /// observe it; expiry raises DbError{kTimeout} with the statement
+  /// rolled back. 0 disables (default; initial value comes from
+  /// PERFDMF_STMT_TIMEOUT_MS).
+  void set_statement_timeout_ms(std::int64_t ms) { statement_timeout_ms_ = ms; }
+  std::int64_t statement_timeout_ms() const { return statement_timeout_ms_; }
+
+  /// Per-statement memory budget in bytes for the executor's hash-join /
+  /// group-by / Top-K state. Crossing it degrades to the fallback
+  /// operators; crossing 4x errors with DbError{kMemBudget}. 0 disables
+  /// (default; initial value comes from PERFDMF_STMT_MEM_BYTES).
+  void set_statement_mem_bytes(std::uint64_t bytes) {
+    statement_mem_bytes_ = bytes;
+  }
+  std::uint64_t statement_mem_bytes() const { return statement_mem_bytes_; }
+
+  /// Cancel the statement this connection is currently executing —
+  /// callable from any thread. The victim observes the flag at its next
+  /// cancellation point and unwinds with DbError{kCancelled}; if no
+  /// statement is in flight, the next one is cancelled promptly instead.
+  void cancel() { cancel_flag_.store(true, std::memory_order_relaxed); }
+  /// Withdraw a cancel() that has not been delivered yet.
+  void clear_cancel() { cancel_flag_.store(false, std::memory_order_relaxed); }
+
   Database& database() { return *database_; }
   /// The shared database handle, for opening sibling connections.
   const std::shared_ptr<Database>& database_ptr() const { return database_; }
@@ -194,9 +220,17 @@ class Connection {
  private:
   friend class PreparedStatement;
 
-  /// Classify, take the right lock, and execute.
+  /// Classify, admit (governor), take the right lock, and execute.
   ResultSetData run_statement(Statement& stmt, const Params& params,
                               std::string_view sql);
+  /// run_statement's body, running under an installed StatementContext.
+  ResultSetData run_governed(Statement& stmt, const Params& params,
+                             std::string_view sql, StatementContext& ctx);
+  /// Fresh context from this connection's timeout/budget/cancel state.
+  StatementContext make_statement_context();
+  /// Seed timeout/budget defaults from PERFDMF_STMT_TIMEOUT_MS and
+  /// PERFDMF_STMT_MEM_BYTES.
+  void init_governance_from_env();
 
   // ----- statement/plan cache -----------------------------------------
   // A cached AST is bound in place during execution, so an entry is
@@ -224,6 +258,10 @@ class Connection {
   void evict_to_capacity_locked();
 
   std::shared_ptr<Database> database_;
+
+  std::int64_t statement_timeout_ms_ = 0;
+  std::uint64_t statement_mem_bytes_ = 0;
+  std::atomic<bool> cancel_flag_{false};
 
   mutable std::mutex cache_mutex_;
   std::unordered_map<std::string, CacheEntry> cache_;

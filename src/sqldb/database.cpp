@@ -1,8 +1,12 @@
 #include "sqldb/database.h"
 
+#include <cerrno>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "sqldb/parser.h"
+#include "sqldb/statement_context.h"
 #include "sqldb/system_tables.h"
 #include "sqldb/wal.h"
 #include "telemetry/metrics.h"
@@ -38,7 +42,105 @@ void reject_system_table(const std::string& name, const char* action) {
                   name);
   }
 }
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ENOSPC retry policy for WAL appends and checkpoint steps: a handful
+/// of short, exponentially spaced retries rides out transient fsync
+/// failures; persistent failure degrades the database instead.
+constexpr int kEnospcRetries = 3;
+constexpr int kEnospcBackoffBaseMs = 1;
+/// Minimum spacing between automatic space-recovery probes.
+constexpr std::int64_t kProbeIntervalMs = 200;
 }  // namespace
+
+template <typename Fn>
+void Database::governed_durable_write(Fn&& fn, const char* what) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fn();
+      return;
+    } catch (const IoError& e) {
+      // Only a full disk is treated as transient-then-degrading; every
+      // other IO failure keeps its PR 2 semantics (statement/txn rolls
+      // back, the error propagates untouched).
+      if (e.sys_errno() != ENOSPC) throw;
+      if (attempt < kEnospcRetries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            kEnospcBackoffBaseMs << attempt));
+        continue;
+      }
+      enter_read_only(std::string(what) + " failed with ENOSPC: " + e.what());
+      throw DbError(std::string(what) +
+                        " failed: disk full; database is now read-only",
+                    DbError::Kind::kReadOnly);
+    }
+  }
+}
+
+void Database::enter_read_only(const std::string& reason) {
+  bool expected = false;
+  if (!read_only_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    return;  // already degraded
+  }
+  {
+    std::lock_guard<std::mutex> lock(read_only_mutex_);
+    read_only_reason_ = reason;
+  }
+  detail::gov_readonly_entered().add();
+  util::log_error() << "entering degraded read-only mode: " << reason;
+}
+
+std::string Database::read_only_reason() const {
+  std::lock_guard<std::mutex> lock(read_only_mutex_);
+  return read_only_reason_;
+}
+
+bool Database::try_exit_read_only() {
+  if (!read_only_.load(std::memory_order_acquire)) return true;
+  try {
+    util::failpoint::evaluate("wal.probe");
+    if (wal_) {
+      // Durably write-and-remove a small block next to the WAL: if this
+      // round-trips, the device has space for appends again.
+      const std::filesystem::path probe = directory_ / "space.probe";
+      util::write_file_durable(probe, std::string(4096, 'p'));
+      std::error_code ec;
+      std::filesystem::remove(probe, ec);
+    }
+  } catch (const std::exception&) {
+    return false;  // still degraded
+  }
+  {
+    std::lock_guard<std::mutex> lock(read_only_mutex_);
+    read_only_reason_.clear();
+  }
+  read_only_.store(false, std::memory_order_release);
+  detail::gov_readonly_exited().add();
+  util::log_info() << "leaving degraded read-only mode: space probe succeeded";
+  return true;
+}
+
+void Database::ensure_writable() {
+  if (!read_only_.load(std::memory_order_acquire) || replaying_) return;
+  // Give recovery a chance without hammering the disk: at most one
+  // probe per kProbeIntervalMs across all rejected writes.
+  const std::int64_t now = steady_now_ms();
+  std::int64_t last = last_probe_ms_.load(std::memory_order_relaxed);
+  if (now - last >= kProbeIntervalMs &&
+      last_probe_ms_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    if (try_exit_read_only()) return;
+  }
+  throw DbError("database is in degraded read-only mode (" +
+                    read_only_reason() + ")",
+                DbError::Kind::kReadOnly);
+}
 
 Database::Database() = default;
 
@@ -141,11 +243,13 @@ ResultSetData Database::execute_parsed(Statement& stmt, const Params& params,
     throw DbError("statement needs " + std::to_string(stmt.placeholder_count) +
                   " parameters, got " + std::to_string(params.size()));
   }
-  // On a file-backed database, an autocommitted statement is a
-  // micro-transaction: if it fails part-way (FK violation on the third
-  // row of a multi-row INSERT, WAL append failure), its in-memory
-  // effects are undone so memory never diverges from the durable state.
-  const bool autocommit = !in_txn_ && wal_ && !replaying_;
+  // An autocommitted statement is a micro-transaction: if it fails
+  // part-way (FK violation on the third row of a multi-row INSERT, WAL
+  // append failure, a deadline or cancel landing inside the row loop),
+  // its in-memory effects are undone — on a file-backed database so
+  // memory never diverges from the durable state, and on an in-memory
+  // one so a killed statement never leaves a partial update behind.
+  const bool autocommit = !in_txn_ && !replaying_;
   try {
     ResultSetData out = dispatch_statement(stmt, params, sql);
     if (autocommit && !in_txn_) undo_log_.clear();
@@ -158,6 +262,15 @@ ResultSetData Database::execute_parsed(Statement& stmt, const Params& params,
 
 ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params,
                                            std::string_view sql) {
+  // Degraded read-only mode: reads always pass; COMMIT/ROLLBACK must
+  // pass so an in-flight transaction can end (its WAL append decides
+  // its fate); everything that mutates fails fast.
+  if (stmt.kind != StatementKind::kSelect &&
+      stmt.kind != StatementKind::kExplain &&
+      stmt.kind != StatementKind::kCommit &&
+      stmt.kind != StatementKind::kRollback) {
+    ensure_writable();
+  }
   switch (stmt.kind) {
     case StatementKind::kSelect: {
       // When the slow-query log is armed, collect the plan so a slow
@@ -299,7 +412,9 @@ std::size_t Database::run_insert(InsertStatement& stmt, const Params& params) {
   }
 
   std::size_t inserted = 0;
+  StatementContext* ctx = StatementContext::current();
   auto insert_values = [&](const Row& values) {
+    if (ctx != nullptr) ctx->poll();
     if (values.size() != positions.size()) {
       throw DbError("INSERT value count mismatch for table " + stmt.table);
     }
@@ -350,7 +465,9 @@ std::size_t Database::run_update(UpdateStatement& stmt, const Params& params) {
   std::vector<RowId> candidates =
       collect_candidates(t, stmt.where ? stmt.where.get() : nullptr, params);
   std::size_t updated = 0;
+  StatementContext* ctx = StatementContext::current();
   for (RowId id : candidates) {
+    if (ctx != nullptr) ctx->poll();
     if (!t.is_live(id)) continue;
     const Row& old_row = t.row(id);
     if (stmt.where && !is_truthy(eval_expr(*stmt.where, old_row, params))) continue;
@@ -382,7 +499,9 @@ std::size_t Database::run_delete(DeleteStatement& stmt, const Params& params) {
   std::vector<RowId> candidates =
       collect_candidates(t, stmt.where ? stmt.where.get() : nullptr, params);
   std::size_t deleted = 0;
+  StatementContext* ctx = StatementContext::current();
   for (RowId id : candidates) {
+    if (ctx != nullptr) ctx->poll();
     if (!t.is_live(id)) continue;
     const Row& row = t.row(id);
     if (stmt.where && !is_truthy(eval_expr(*stmt.where, row, params))) continue;
@@ -564,7 +683,8 @@ void Database::commit() {
   if (!in_txn_) throw DbError("COMMIT without BEGIN");
   if (wal_ && !replaying_ && !txn_wal_buffer_.empty()) {
     try {
-      wal_->append_batch(txn_wal_buffer_);
+      governed_durable_write([&] { wal_->append_batch(txn_wal_buffer_); },
+                             "commit (WAL batch append)");
     } catch (...) {
       // The batch never became durable: roll the in-memory state back so
       // it matches what recovery would reconstruct, then surface the IO
@@ -623,10 +743,12 @@ void Database::apply_undo() {
 }
 
 void Database::undo_push(UndoRecord record) {
-  // Outside a transaction, file-backed databases still collect undo for
-  // the current statement so a failed WAL append can roll it back
-  // (log_statement clears the log once the record is durable).
-  if (in_txn_ || (wal_ && !replaying_)) undo_log_.push_back(std::move(record));
+  // Outside a transaction the undo log still collects the current
+  // statement's changes so a mid-statement failure — a FK violation on
+  // the third row, a failed WAL append, a deadline or cancellation
+  // delivered inside the row loop — rolls the statement back whole.
+  // Replay skips it: recovered statements already succeeded once.
+  if (!replaying_) undo_log_.push_back(std::move(record));
 }
 
 void Database::log_statement(std::string_view sql, const Params& params) {
@@ -636,7 +758,8 @@ void Database::log_statement(std::string_view sql, const Params& params) {
     return;
   }
   try {
-    wal_->append(sql, params);
+    governed_durable_write([&] { wal_->append(sql, params); },
+                           "WAL append");
   } catch (...) {
     // Autocommit statement never reached the log: undo its in-memory
     // effects (undo_log_ holds exactly this statement's records).
@@ -652,7 +775,7 @@ void Database::log_ddl(std::string_view sql, const Params& params) {
   // transaction that later rolls back must still be durable, or the
   // recovered schema would diverge from the live one.
   if (!wal_ || replaying_) return;
-  wal_->append(sql, params);
+  governed_durable_write([&] { wal_->append(sql, params); }, "WAL append (DDL)");
 }
 
 // ------------------------------------------------------------ persistence
@@ -666,36 +789,48 @@ void Database::checkpoint() {
   const fs::path previous = directory_ / kSnapshotPrev;
   const fs::path tmp = directory_ / kSnapshotTmp;
 
-  // 1. Write the complete new snapshot beside the live one and fsync it:
-  //    a crash from here on can at worst leave a dead temp file.
-  util::failpoint::evaluate("snapshot.write");
-  util::write_file_durable(tmp, render_snapshot(wal_->last_seq()));
+  // The whole sequence is governed: a transient ENOSPC retries (each
+  // step is safe to re-run — the temp write starts over, the renames
+  // are idempotent), a persistent one degrades the database to
+  // read-only instead of failing every future checkpoint attempt.
+  governed_durable_write(
+      [&] {
+        // 1. Write the complete new snapshot beside the live one and
+        //    fsync it: a crash from here on can at worst leave a dead
+        //    temp file.
+        util::failpoint::evaluate("snapshot.write");
+        util::write_file_durable(tmp, render_snapshot(wal_->last_seq()));
 
-  // 2. Rotate the live snapshot to .prev (recovery's fallback), then
-  //    install the new one. Both renames are atomic; the directory fsync
-  //    makes them durable. A crash between the renames leaves no
-  //    snapshot.pdb but a .prev plus the full WAL — fully recoverable.
-  std::error_code ec;
-  util::failpoint::evaluate("snapshot.rotate");
-  if (fs::exists(snapshot)) {
-    fs::rename(snapshot, previous, ec);
-    if (ec) {
-      throw IoError("cannot rotate snapshot to " + previous.string() + ": " +
-                    ec.message());
-    }
-  }
-  util::failpoint::evaluate("snapshot.install");
-  fs::rename(tmp, snapshot, ec);
-  if (ec) {
-    throw IoError("cannot install snapshot " + snapshot.string() + ": " +
-                  ec.message());
-  }
-  util::fsync_dir(directory_);
+        // 2. Rotate the live snapshot to .prev (recovery's fallback),
+        //    then install the new one. Both renames are atomic; the
+        //    directory fsync makes them durable. A crash between the
+        //    renames leaves no snapshot.pdb but a .prev plus the full
+        //    WAL — fully recoverable.
+        std::error_code ec;
+        util::failpoint::evaluate("snapshot.rotate");
+        if (fs::exists(snapshot)) {
+          fs::rename(snapshot, previous, ec);
+          if (ec) {
+            throw IoError("cannot rotate snapshot to " + previous.string() +
+                              ": " + ec.message(),
+                          ec.value());
+          }
+        }
+        util::failpoint::evaluate("snapshot.install");
+        fs::rename(tmp, snapshot, ec);
+        if (ec) {
+          throw IoError("cannot install snapshot " + snapshot.string() + ": " +
+                            ec.message(),
+                        ec.value());
+        }
+        util::fsync_dir(directory_);
 
-  // 3. Truncate the WAL (durably — see Wal::reset). A crash before this
-  //    is covered by the snapshot's watermark: replay skips records the
-  //    snapshot already contains.
-  wal_->reset();
+        // 3. Truncate the WAL (durably — see Wal::reset). A crash
+        //    before this is covered by the snapshot's watermark: replay
+        //    skips records the snapshot already contains.
+        wal_->reset();
+      },
+      "checkpoint");
 
   static auto& checkpoints =
       telemetry::MetricsRegistry::instance().counter("sqldb.checkpoints");

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "sqldb/ast.h"
 #include "sqldb/durability.h"
 #include "sqldb/executor.h"
+#include "sqldb/governor.h"
 #include "sqldb/lock_manager.h"
 #include "sqldb/table.h"
 
@@ -105,6 +107,35 @@ class Database {
   ExecutorTuning executor_tuning() const { return tuning_; }
   void set_executor_tuning(const ExecutorTuning& tuning) { tuning_ = tuning; }
 
+  // ----- resource governance -------------------------------------------
+  /// Admission control for top-level statement units. Disabled unless
+  /// configured (PERFDMF_MAX_CONCURRENT_STMTS or governor().configure()).
+  AdmissionGovernor& governor() { return governor_; }
+
+  /// Degraded read-only mode. Entered when WAL appends or checkpoints
+  /// keep failing with ENOSPC after bounded retries: SELECTs continue,
+  /// writes fail fast with DbError{kReadOnly}. Left automatically — a
+  /// rate-limited space probe runs on each rejected write — or
+  /// explicitly via try_exit_read_only().
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+  /// Why the database degraded (empty when healthy).
+  std::string read_only_reason() const;
+  /// Probe for recovered disk space; on success writes are re-enabled.
+  /// Returns the post-probe writability. Callers must hold the
+  /// exclusive lock (or be single-threaded) like any write.
+  bool try_exit_read_only();
+
+  /// The admission slot held by the active transaction's unit. Stored on
+  /// the database (not the Connection) because the lock manager lets the
+  /// owning thread finish a transaction through any connection. Both are
+  /// touched only while holding the exclusive lock.
+  void adopt_txn_admission(AdmissionSlot slot) {
+    txn_admission_ = std::move(slot);
+  }
+  void release_txn_admission() { txn_admission_.release(); }
+
  private:
   friend ResultSetData execute_select(Database&, SelectStatement&, const Params&,
                                       ExplainInfo*);
@@ -131,6 +162,18 @@ class Database {
 
   void check_foreign_keys_insert(const Table& table, const Row& row);
   void check_foreign_keys_delete(const Table& table, const Row& row);
+
+  /// Reject writes while degraded (after attempting a rate-limited
+  /// recovery probe); no-op when healthy or replaying.
+  void ensure_writable();
+  /// Flip into degraded read-only mode (idempotent; logs + counts).
+  void enter_read_only(const std::string& reason);
+  /// Run `fn` (a WAL write or checkpoint step); ENOSPC failures are
+  /// retried with bounded exponential backoff, then degrade the
+  /// database and surface as DbError{kReadOnly}. Other IoErrors pass
+  /// through untouched (crash-harness semantics preserved).
+  template <typename Fn>
+  void governed_durable_write(Fn&& fn, const char* what);
 
   void log_statement(std::string_view sql, const Params& params);
   /// WAL-log a schema change immediately, bypassing the transaction
@@ -171,6 +214,13 @@ class Database {
   ExecutorTuning tuning_;
 
   LockManager locks_;
+
+  AdmissionGovernor governor_{AdmissionGovernor::config_from_env()};
+  AdmissionSlot txn_admission_;
+  std::atomic<bool> read_only_{false};
+  mutable std::mutex read_only_mutex_;  // guards read_only_reason_
+  std::string read_only_reason_;
+  std::atomic<std::int64_t> last_probe_ms_{0};
 };
 
 }  // namespace perfdmf::sqldb

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "sqldb/database.h"
+#include "sqldb/statement_context.h"
 #include "sqldb/system_tables.h"
 #include "telemetry/span.h"
 #include "util/error.h"
@@ -17,6 +18,12 @@
 namespace perfdmf::sqldb {
 
 namespace {
+
+// Flat per-entry estimates for memory-budget accounting. Exact sizes
+// don't matter: the budget exists to bound the growth of operator state,
+// so a conservative flat cost per retained entry/value is enough.
+constexpr std::uint64_t kHashEntryBytes = 64;  // bucket + key + index slot
+constexpr std::uint64_t kValueBytes = 48;      // one stored Value, amortized
 
 // ------------------------------------------------------------ planning
 
@@ -417,6 +424,7 @@ Table& resolve_table(Database& db, const std::string& name, WorkingSet& ws) {
 WorkingSet build_working_set(Database& db, SelectStatement& stmt,
                              const Params& params, ExplainInfo* explain) {
   const ExecutorTuning tuning = db.executor_tuning();
+  StatementContext* ctx = StatementContext::current();
   WorkingSet ws;
   if (!stmt.from) {
     if (explain) explain->add("from: none");
@@ -486,6 +494,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
 
   ws.rows.reserve(candidates.size());
   for (RowId id : candidates) {
+    if (ctx != nullptr) ctx->poll();
     if (!base.is_live(id)) continue;
     const Row& row = base.row(id);
     bool keep = true;
@@ -555,7 +564,14 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     const std::size_t right_width = right.schema().columns().size();
     std::vector<Row> joined;
 
-    if (equi != nullptr && tuning.hash_join) {
+    bool hash_join = equi != nullptr && tuning.hash_join;
+    if (hash_join) {
+      // The build table charges the statement's memory budget as it
+      // grows; a soft breach abandons the hash strategy (the partially
+      // built state is discarded and released) and the join falls
+      // through to the nested-loop path below.
+      ScopedMemCharge mem(ctx);
+      bool degraded = false;
       const bool build_left = ws.rows.size() < right.live_row_count();
       if (explain) {
         explain->add("join " + right_alias + ": hash build=" +
@@ -569,65 +585,92 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
         std::unordered_map<Value, std::vector<std::size_t>, ValueHash> table;
         table.reserve(ws.rows.size());
         for (std::size_t i = 0; i < ws.rows.size(); ++i) {
+          if (ctx != nullptr) ctx->poll();
           const Value& key = ws.rows[i][left_key];
-          if (!key.is_null()) table[key].push_back(i);
+          if (key.is_null()) continue;
+          if (!mem.charge(kHashEntryBytes)) {
+            degraded = true;
+            break;
+          }
+          table[key].push_back(i);
         }
-        std::vector<std::vector<Row>> matches(ws.rows.size());
-        right.scan([&](RowId, const Row& right_row) {
-          const Value& key = right_row[right_key];
-          if (key.is_null()) return;
-          auto it = table.find(key);
-          if (it == table.end()) return;
-          for (std::size_t i : it->second) {
-            Row combined = ws.rows[i];
-            combined.insert(combined.end(), right_row.begin(), right_row.end());
-            if (passes_residual(combined)) matches[i].push_back(std::move(combined));
-          }
-        });
-        for (std::size_t i = 0; i < ws.rows.size(); ++i) {
-          if (matches[i].empty()) {
-            if (join.left_outer) {
+        if (!degraded) {
+          std::vector<std::vector<Row>> matches(ws.rows.size());
+          right.scan([&](RowId, const Row& right_row) {
+            if (ctx != nullptr) ctx->poll();
+            const Value& key = right_row[right_key];
+            if (key.is_null()) return;
+            auto it = table.find(key);
+            if (it == table.end()) return;
+            for (std::size_t i : it->second) {
               Row combined = ws.rows[i];
-              combined.resize(combined.size() + right_width);  // NULL padding
-              joined.push_back(std::move(combined));
+              combined.insert(combined.end(), right_row.begin(), right_row.end());
+              if (passes_residual(combined)) matches[i].push_back(std::move(combined));
             }
-            continue;
+          });
+          for (std::size_t i = 0; i < ws.rows.size(); ++i) {
+            if (ctx != nullptr) ctx->poll();
+            if (matches[i].empty()) {
+              if (join.left_outer) {
+                Row combined = ws.rows[i];
+                combined.resize(combined.size() + right_width);  // NULL padding
+                joined.push_back(std::move(combined));
+              }
+              continue;
+            }
+            for (auto& row : matches[i]) joined.push_back(std::move(row));
           }
-          for (auto& row : matches[i]) joined.push_back(std::move(row));
         }
       } else {
         // Build on the right side, probe with each left row in order.
         std::unordered_map<Value, std::vector<const Row*>, ValueHash> table;
         table.reserve(right.live_row_count());
         right.scan([&](RowId, const Row& right_row) {
+          if (degraded) return;
+          if (ctx != nullptr) ctx->poll();
           const Value& key = right_row[right_key];
-          if (!key.is_null()) table[key].push_back(&right_row);
+          if (key.is_null()) return;
+          if (!mem.charge(kHashEntryBytes)) {
+            degraded = true;
+            return;
+          }
+          table[key].push_back(&right_row);
         });
-        for (const auto& left_row : ws.rows) {
-          bool matched = false;
-          const Value& key = left_row[left_key];
-          if (!key.is_null()) {
-            auto it = table.find(key);
-            if (it != table.end()) {
-              for (const Row* right_row : it->second) {
-                Row combined = left_row;
-                combined.insert(combined.end(), right_row->begin(),
-                                right_row->end());
-                if (passes_residual(combined)) {
-                  joined.push_back(std::move(combined));
-                  matched = true;
+        if (!degraded) {
+          for (const auto& left_row : ws.rows) {
+            if (ctx != nullptr) ctx->poll();
+            bool matched = false;
+            const Value& key = left_row[left_key];
+            if (!key.is_null()) {
+              auto it = table.find(key);
+              if (it != table.end()) {
+                for (const Row* right_row : it->second) {
+                  Row combined = left_row;
+                  combined.insert(combined.end(), right_row->begin(),
+                                  right_row->end());
+                  if (passes_residual(combined)) {
+                    joined.push_back(std::move(combined));
+                    matched = true;
+                  }
                 }
               }
             }
-          }
-          if (!matched && join.left_outer) {
-            Row combined = left_row;
-            combined.resize(combined.size() + right_width);
-            joined.push_back(std::move(combined));
+            if (!matched && join.left_outer) {
+              Row combined = left_row;
+              combined.resize(combined.size() + right_width);
+              joined.push_back(std::move(combined));
+            }
           }
         }
       }
-    } else {
+      if (degraded) {
+        if (ctx != nullptr) ctx->note_mem_degraded();
+        if (explain) explain->add("join " + right_alias + ": mem-degraded");
+        joined.clear();
+        hash_join = false;
+      }
+    }
+    if (!hash_join) {
       const bool use_index =
           right_key != static_cast<std::size_t>(-1) && right.has_index(right_key);
       if (explain) {
@@ -636,6 +679,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
       }
       const Expr& on = *join.on;
       for (const auto& left_row : ws.rows) {
+        if (ctx != nullptr) ctx->poll();
         bool matched = false;
         auto try_pair = [&](const Row& right_row) {
           Row combined = left_row;
@@ -651,7 +695,10 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
             if (right.is_live(id)) try_pair(right.row(id));
           }
         } else {
-          right.scan([&](RowId, const Row& right_row) { try_pair(right_row); });
+          right.scan([&](RowId, const Row& right_row) {
+            if (ctx != nullptr) ctx->poll();
+            try_pair(right_row);
+          });
         }
         if (!matched && join.left_outer) {
           Row combined = left_row;
@@ -669,6 +716,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     std::vector<Row> kept;
     kept.reserve(ws.rows.size());
     for (auto& row : ws.rows) {
+      if (ctx != nullptr) ctx->poll();
       if (is_truthy(eval_expr(*stmt.where, row, params))) {
         kept.push_back(std::move(row));
       }
@@ -679,6 +727,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     std::vector<Row> kept;
     kept.reserve(ws.rows.size());
     for (auto& row : ws.rows) {
+      if (ctx != nullptr) ctx->poll();
       if (is_truthy(eval_expr(*stmt.where, row, params))) {
         kept.push_back(std::move(row));
       }
@@ -714,6 +763,7 @@ std::size_t eval_limit_operand(const Expr& e, const Params& params,
 ResultSetData execute_select(Database& db, SelectStatement& stmt,
                              const Params& params, ExplainInfo* explain) {
   const ExecutorTuning tuning = db.executor_tuning();
+  StatementContext* ctx = StatementContext::current();
 
   // Evaluate LIMIT/OFFSET up front: negative (or non-integer) operands are
   // errors, and a known bound enables the Top-K path below.
@@ -782,10 +832,25 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
   // ORDER BY + LIMIT runs as a bounded Top-K heap: only the best
   // limit+offset rows are retained, so a top-10 query over 1M rows never
   // materializes the full sort.
-  const bool use_topk =
+  bool use_topk =
       tuning.top_k && !stmt.order_by.empty() && limit_count.has_value();
   const std::size_t keep =
       use_topk ? *limit_count + offset_count.value_or(0) : 0;
+
+  // The heap's footprint is known up front (`keep` entries of values +
+  // sort keys), so the budget check happens before any row is emitted;
+  // a breach degrades to the plain full sort.
+  ScopedMemCharge topk_mem(ctx);
+  if (use_topk && keep > 0) {
+    const std::uint64_t estimate =
+        static_cast<std::uint64_t>(keep) *
+        (output_exprs.size() + stmt.order_by.size()) * kValueBytes;
+    if (!topk_mem.charge(estimate)) {
+      use_topk = false;
+      if (ctx != nullptr) ctx->note_mem_degraded();
+      if (explain) explain->add("order-by: top-k mem-degraded");
+    }
+  }
 
   std::unordered_set<Row, RowHasher, RowEqual> distinct_seen;
   std::size_t next_seq = 0;
@@ -841,6 +906,7 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
   if (!aggregated) {
     if (!use_topk) output.reserve(ws.rows.size());
     for (const auto& row : ws.rows) {
+      if (ctx != nullptr) ctx->poll();
       OutputRow out;
       out.values.reserve(output_exprs.size());
       for (const Expr* e : output_exprs) {
@@ -908,14 +974,23 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
       emit(std::move(out));
     };
 
-    if (tuning.hash_group_by) {
+    bool hash_group_by = tuning.hash_group_by;
+    if (hash_group_by) {
       // Single pass: group keys hash into an open-addressing table whose
       // entries carry the accumulators inline. Groups come out in
-      // first-seen order.
+      // first-seen order. Each new group charges the statement's memory
+      // budget; a soft breach discards the table and degrades to the
+      // ordered-map fallback below (which re-reads ws.rows — it is a
+      // two-pass strategy anyway).
+      ScopedMemCharge mem(ctx);
+      bool degraded = false;
       GroupHashTable groups;
       for (const auto& row : ws.rows) {
+        if (ctx != nullptr) ctx->poll();
+        bool inserted = false;
         GroupEntry& entry = groups.find_or_insert(
             group_key(row), [&](Row&& key, std::size_t hash) {
+              inserted = true;
               GroupEntry e;
               e.key = std::move(key);
               e.hash = hash;
@@ -923,26 +998,43 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
               e.accumulators = make_accumulators();
               return e;
             });
+        if (inserted &&
+            !mem.charge(kHashEntryBytes +
+                        (entry.key.size() + entry.accumulators.size()) *
+                            kValueBytes)) {
+          degraded = true;
+          break;
+        }
         accumulate(entry.accumulators, row);
       }
-      if (groups.entries().empty() && stmt.group_by.empty()) {
-        // Aggregate over zero rows: one output row.
-        GroupEntry e;
-        e.accumulators = make_accumulators();
-        groups.entries().push_back(std::move(e));
+      if (degraded) {
+        if (ctx != nullptr) ctx->note_mem_degraded();
+        if (explain) explain->add("group-by: mem-degraded");
+        hash_group_by = false;
+      } else {
+        if (groups.entries().empty() && stmt.group_by.empty()) {
+          // Aggregate over zero rows: one output row.
+          GroupEntry e;
+          e.accumulators = make_accumulators();
+          groups.entries().push_back(std::move(e));
+        }
+        if (explain) {
+          explain->add("group-by: hash groups=" +
+                       std::to_string(groups.entries().size()));
+        }
+        for (const auto& entry : groups.entries()) {
+          if (ctx != nullptr) ctx->poll();
+          finish_group(entry.rep, entry.accumulators);
+        }
       }
-      if (explain) {
-        explain->add("group-by: hash groups=" +
-                     std::to_string(groups.entries().size()));
-      }
-      for (const auto& entry : groups.entries()) {
-        finish_group(entry.rep, entry.accumulators);
-      }
-    } else {
+    }
+    if (!hash_group_by) {
       // Fallback: ordered map of group keys (two passes, key-sorted
-      // output), kept for parity testing.
+      // output), kept for parity testing and as the memory-degraded
+      // strategy.
       std::map<Row, std::vector<const Row*>> groups;
       for (const auto& row : ws.rows) {
+        if (ctx != nullptr) ctx->poll();
         groups[group_key(row)].push_back(&row);
       }
       if (groups.empty() && stmt.group_by.empty()) {
@@ -952,6 +1044,7 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
         explain->add("group-by: ordered groups=" + std::to_string(groups.size()));
       }
       for (auto& [key, members] : groups) {
+        if (ctx != nullptr) ctx->poll();
         std::vector<Accumulator> accumulators = make_accumulators();
         for (const Row* row : members) accumulate(accumulators, *row);
         finish_group(members.empty() ? nullptr : members.front(), accumulators);

@@ -14,11 +14,14 @@
 // to the same database) pass through without re-locking.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <shared_mutex>
 #include <thread>
 
 #include "sqldb/ast.h"
+#include "sqldb/statement_context.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 
@@ -59,25 +62,40 @@ class LockManager {
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
-  void lock_shared() {
+  /// Acquire shared (read) access. With a governed context, the wait is
+  /// bounded: the acquisition loop re-checks the statement's deadline
+  /// and cancel flag every kWaitSlice, so a stalled writer cannot hang
+  /// a reader past its deadline (throws DbError{kTimeout|kCancelled}).
+  void lock_shared(StatementContext* ctx = nullptr) {
     if (rw_.try_lock_shared()) return;  // uncontended: skip wait timing
     telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
                                      &detail::lock_wait_histogram());
-    rw_.lock_shared();
+    if (!governed(ctx)) {
+      rw_.lock_shared();
+      return;
+    }
+    while (!rw_.try_lock_shared_for(wait_slice(ctx))) ctx->check_now();
   }
   void unlock_shared() { rw_.unlock_shared(); }
-  void lock() {
+
+  /// Acquire exclusive access; same bounded-wait contract as
+  /// lock_shared() when a governed context is supplied.
+  void lock(StatementContext* ctx = nullptr) {
     if (rw_.try_lock()) return;  // uncontended: skip wait timing
     telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
                                      &detail::lock_wait_histogram());
-    rw_.lock();
+    if (!governed(ctx)) {
+      rw_.lock();
+      return;
+    }
+    while (!rw_.try_lock_for(wait_slice(ctx))) ctx->check_now();
   }
   void unlock() { rw_.unlock(); }
 
   /// BEGIN: take the exclusive lock and record the owning thread so the
   /// transaction's own statements pass through without re-locking.
-  void acquire_transaction() {
-    lock();
+  void acquire_transaction(StatementContext* ctx = nullptr) {
+    lock(ctx);
     txn_owner_.store(std::this_thread::get_id(), std::memory_order_release);
   }
 
@@ -101,7 +119,23 @@ class LockManager {
   }
 
  private:
-  std::shared_mutex rw_;
+  /// Bounded-wait slice: short enough that cancellation and timeout are
+  /// observed promptly, long enough that the retry loop is cheap.
+  static constexpr std::chrono::milliseconds kWaitSlice{10};
+
+  static bool governed(const StatementContext* ctx) {
+    return ctx != nullptr && (ctx->deadline.armed() || ctx->cancel != nullptr);
+  }
+  static std::chrono::milliseconds wait_slice(const StatementContext* ctx) {
+    const auto slice = ctx->deadline.remaining_or(kWaitSlice);
+    // Never sleep zero (spin) — one final short slice, then check_now()
+    // delivers the timeout.
+    return std::chrono::milliseconds(
+        std::min<std::int64_t>(std::max<std::int64_t>(slice.count(), 1),
+                               kWaitSlice.count()));
+  }
+
+  std::shared_timed_mutex rw_;
   std::atomic<std::thread::id> txn_owner_{};
   std::atomic<ConcurrencyMode> mode_{ConcurrencyMode::kSharedRead};
 };
@@ -112,7 +146,9 @@ class LockManager {
 /// owns the database's transaction lock.
 class StatementGuard {
  public:
-  StatementGuard(LockManager& locks, bool read_only) : locks_(locks) {
+  StatementGuard(LockManager& locks, bool read_only,
+                 StatementContext* ctx = nullptr)
+      : locks_(locks) {
     if (locks_.owned_by_this_thread()) {
       held_ = Held::kNone;
       return;
@@ -120,10 +156,10 @@ class StatementGuard {
     // Lock-wait timing lives inside the manager's lock paths and only
     // fires on contention, so the uncontended fast path costs nothing.
     if (read_only && locks_.mode() == ConcurrencyMode::kSharedRead) {
-      locks_.lock_shared();
+      locks_.lock_shared(ctx);
       held_ = Held::kShared;
     } else {
-      locks_.lock();
+      locks_.lock(ctx);
       held_ = Held::kExclusive;
     }
   }

@@ -1,0 +1,53 @@
+#include "sqldb/statement_context.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace perfdmf::sqldb {
+
+namespace {
+thread_local StatementContext* t_current = nullptr;
+}  // namespace
+
+StatementContext* StatementContext::current() { return t_current; }
+
+void StatementContext::check_now() {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    // Consume the flag: the cancellation applies to this statement; the
+    // connection remains usable for the next one.
+    cancel->store(false, std::memory_order_relaxed);
+    detail::gov_cancellations().add();
+    throw DbError("statement cancelled", DbError::Kind::kCancelled);
+  }
+  if (deadline.expired()) {
+    detail::gov_timeouts().add();
+    throw DbError("statement timeout exceeded", DbError::Kind::kTimeout);
+  }
+}
+
+bool StatementContext::charge(std::uint64_t bytes) {
+  mem_used_ += bytes;
+  if (mem_hard_bytes != 0 && mem_used_ > mem_hard_bytes) {
+    std::ostringstream msg;
+    msg << "statement memory hard cap exceeded (" << mem_used_ << " > "
+        << mem_hard_bytes << " bytes)";
+    throw DbError(msg.str(), DbError::Kind::kMemBudget);
+  }
+  return mem_soft_bytes == 0 || mem_used_ <= mem_soft_bytes;
+}
+
+void StatementContext::note_mem_degraded() {
+  if (mem_degraded_) return;  // count once per statement
+  mem_degraded_ = true;
+  detail::gov_mem_degraded().add();
+}
+
+ScopedStatementContext::ScopedStatementContext(StatementContext& ctx)
+    : prev_(t_current) {
+  t_current = &ctx;
+}
+
+ScopedStatementContext::~ScopedStatementContext() { t_current = prev_; }
+
+}  // namespace perfdmf::sqldb

@@ -1,0 +1,148 @@
+// Per-statement governance context: deadline, cooperative cancellation,
+// and memory budget accounting.
+//
+// A Connection installs one StatementContext (thread-local) around each
+// top-level statement it runs. The executor's row loops call poll() at
+// row granularity — it counts ticks and only touches the clock every
+// kPollStride rows, so the unarmed cost is one thread-local increment.
+// Lock acquisition and admission waits call check_now() between bounded
+// wait slices so a stalled writer cannot hang a cancelled reader.
+//
+// Memory accounting: memory-hungry operators (hash-join build tables,
+// group-by hash tables, Top-K heaps) charge() approximate bytes as they
+// grow. Crossing the soft budget returns false — the operator abandons
+// its hash/heap strategy and degrades to the PR 4 fallback (index
+// nested loop / ordered map / full sort), counted in gov.mem_degraded.
+// Crossing the hard cap (4x the soft budget by default) throws
+// DbError{kMemBudget}: the statement fails cleanly instead of OOM-ing
+// the process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "telemetry/metrics.h"
+#include "util/deadline.h"
+
+namespace perfdmf::sqldb {
+
+namespace detail {
+// Governance counters, shared by the context, the admission governor,
+// and the degraded-mode machinery (registry-owned; resolved once).
+inline telemetry::Counter& gov_timeouts() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::instance().counter("gov.timeouts");
+  return c;
+}
+inline telemetry::Counter& gov_cancellations() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::instance().counter("gov.cancellations");
+  return c;
+}
+inline telemetry::Counter& gov_admission_rejected() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::instance().counter("gov.admission_rejected");
+  return c;
+}
+inline telemetry::Counter& gov_mem_degraded() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::instance().counter("gov.mem_degraded");
+  return c;
+}
+inline telemetry::Counter& gov_readonly_entered() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::instance().counter("gov.readonly_entered");
+  return c;
+}
+inline telemetry::Counter& gov_readonly_exited() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::instance().counter("gov.readonly_exited");
+  return c;
+}
+}  // namespace detail
+
+class StatementContext {
+ public:
+  /// Clock reads happen once per this many poll() ticks.
+  static constexpr std::uint32_t kPollStride = 256;
+
+  util::Deadline deadline;
+  /// Owned by the Connection; set from any thread. Cleared when the
+  /// cancellation is delivered so the connection stays usable.
+  std::atomic<bool>* cancel = nullptr;
+  std::uint64_t mem_soft_bytes = 0;  // 0 = unlimited
+  std::uint64_t mem_hard_bytes = 0;  // 0 = unlimited
+
+  /// The context installed for the statement this thread is currently
+  /// executing, or nullptr outside statement scope (e.g. WAL replay).
+  static StatementContext* current();
+
+  /// Row-batch cancellation point: cheap tick, full check every
+  /// kPollStride calls.
+  void poll() {
+    if (++tick_ % kPollStride == 0) check_now();
+  }
+
+  /// Immediate check: throws DbError{kCancelled} if the cancel flag is
+  /// set (consuming it), DbError{kTimeout} if the deadline has expired.
+  void check_now();
+
+  /// Account `bytes` against the statement budget. Returns false once
+  /// the soft budget is exceeded (caller should degrade to a leaner
+  /// strategy); throws DbError{kMemBudget} past the hard cap.
+  bool charge(std::uint64_t bytes);
+  void release(std::uint64_t bytes) {
+    mem_used_ = bytes < mem_used_ ? mem_used_ - bytes : 0;
+  }
+  std::uint64_t mem_used() const { return mem_used_; }
+
+  /// Record that an operator degraded under memory pressure (counted
+  /// once per statement in gov.mem_degraded; EXPLAIN-visible flag).
+  void note_mem_degraded();
+  bool mem_degraded() const { return mem_degraded_; }
+
+ private:
+  std::uint32_t tick_ = 0;
+  std::uint64_t mem_used_ = 0;
+  bool mem_degraded_ = false;
+};
+
+/// Accounts one operator's approximate footprint against the statement
+/// budget for the operator's lifetime; the running total is released on
+/// destruction (matching when the operator's state is actually freed).
+/// A null context makes every charge succeed.
+class ScopedMemCharge {
+ public:
+  explicit ScopedMemCharge(StatementContext* ctx) : ctx_(ctx) {}
+  ~ScopedMemCharge() {
+    if (ctx_ != nullptr) ctx_->release(charged_);
+  }
+  ScopedMemCharge(const ScopedMemCharge&) = delete;
+  ScopedMemCharge& operator=(const ScopedMemCharge&) = delete;
+
+  /// False once the statement's soft budget is breached (the operator
+  /// should degrade); throws DbError{kMemBudget} past the hard cap.
+  bool charge(std::uint64_t bytes) {
+    charged_ += bytes;
+    return ctx_ == nullptr || ctx_->charge(bytes);
+  }
+
+ private:
+  StatementContext* ctx_;
+  std::uint64_t charged_ = 0;
+};
+
+/// Installs `ctx` as the thread's current statement context for a
+/// statement's execution scope (nesting restores the previous one).
+class ScopedStatementContext {
+ public:
+  explicit ScopedStatementContext(StatementContext& ctx);
+  ~ScopedStatementContext();
+  ScopedStatementContext(const ScopedStatementContext&) = delete;
+  ScopedStatementContext& operator=(const ScopedStatementContext&) = delete;
+
+ private:
+  StatementContext* prev_;
+};
+
+}  // namespace perfdmf::sqldb

@@ -48,6 +48,7 @@ TableSchema make_slow_queries_schema() {
   schema.add_column(column("sql", ValueType::kText));
   schema.add_column(column("plan", ValueType::kText));
   schema.add_column(column("total_ms", ValueType::kReal));
+  schema.add_column(column("outcome", ValueType::kText));
   schema.add_column(column("parse_ms", ValueType::kReal));
   schema.add_column(column("plan_ms", ValueType::kReal));
   schema.add_column(column("lock_wait_ms", ValueType::kReal));
@@ -79,13 +80,14 @@ std::unique_ptr<Table> materialize_slow_queries() {
   auto table = std::make_unique<Table>(make_slow_queries_schema());
   for (const auto& t : telemetry::TraceRing::instance().snapshot()) {
     Row row;
-    row.reserve(11);
+    row.reserve(12);
     row.emplace_back(static_cast<std::int64_t>(t.id));
     row.emplace_back(t.started_at);
     row.emplace_back(t.thread);
     row.emplace_back(t.sql);
     row.emplace_back(t.plan);
     row.emplace_back(t.total_ms);
+    row.emplace_back(t.outcome);
     using telemetry::Phase;
     for (const Phase p : {Phase::kParse, Phase::kPlan, Phase::kLockWait,
                           Phase::kExecute, Phase::kFsync}) {

@@ -322,7 +322,8 @@ void Wal::ensure_open() {
     fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
     if (fd_ < 0) {
       throw perfdmf::IoError("cannot open WAL for append: " + path_.string() +
-                             ": " + std::strerror(errno));
+                                 ": " + std::strerror(errno),
+                             errno);
     }
   }
   if (!seq_known_) recover_next_seq();
@@ -372,7 +373,8 @@ void Wal::write_all(const std::string& buffer, const char* site) {
       // (otherwise the next append would land after mid-log garbage).
       if (start >= 0) ::ftruncate(fd_, start);
       throw perfdmf::IoError("WAL append failed: " + path_.string() + ": " +
-                             std::strerror(saved));
+                                 std::strerror(saved),
+                             saved);
     }
     if (n == 0) {
       if (start >= 0) ::ftruncate(fd_, start);
@@ -388,8 +390,10 @@ void Wal::sync_now() {
   telemetry::PhaseTimer fsync_phase(telemetry::Phase::kFsync, &fsync_micros);
   util::failpoint::evaluate("wal.sync");
   if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    const int saved = errno;
     throw perfdmf::IoError("WAL fsync failed: " + path_.string() + ": " +
-                           std::strerror(errno));
+                               std::strerror(saved),
+                           saved);
   }
 }
 
@@ -500,7 +504,8 @@ void Wal::reset() {
       ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     throw perfdmf::IoError("cannot truncate WAL: " + path_.string() + ": " +
-                           std::strerror(errno));
+                               std::strerror(errno),
+                           errno);
   }
   // Durable truncation: a crash right after a checkpoint must not
   // resurrect pre-checkpoint records on top of the new snapshot.
@@ -508,7 +513,8 @@ void Wal::reset() {
     const int saved = errno;
     ::close(fd);
     throw perfdmf::IoError("WAL truncate fsync failed: " + path_.string() +
-                           ": " + std::strerror(saved));
+                               ": " + std::strerror(saved),
+                           saved);
   }
   ::close(fd);
   util::fsync_dir(path_.parent_path());

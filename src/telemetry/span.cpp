@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 
 #include "util/log.h"
@@ -144,9 +145,16 @@ Span::~Span() {
   phase_micros_[static_cast<std::size_t>(Phase::kExecute)] =
       total_us > attributed ? total_us - attributed : 0;
 
-  if (!slow_armed_ ||
-      total_us < static_cast<std::uint64_t>(threshold_micros_)) {
+  const bool killed = std::strcmp(outcome_, "completed") != 0;
+  if (!killed && (!slow_armed_ ||
+                  total_us < static_cast<std::uint64_t>(threshold_micros_))) {
     return;
+  }
+  if (!slow_armed_) {
+    // Killed with the slow log disarmed: the wall start was never
+    // captured eagerly, so reconstruct it from the measured duration.
+    wall_start_ = std::chrono::system_clock::now() -
+                  std::chrono::microseconds(total_us);
   }
 
   QueryTrace trace;
@@ -168,15 +176,25 @@ Span::~Span() {
   trace.sql = std::string(sql_);
   trace.plan = std::move(plan_);
   trace.total_ms = static_cast<double>(total_us) / 1000.0;
+  trace.outcome = outcome_;
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     trace.phase_ms[i] = static_cast<double>(phase_micros_[i]) / 1000.0;
   }
 
-  std::string line = "slow query (";
-  line += format_ms(trace.total_ms);
-  line += " ms >= ";
-  line += format_ms(static_cast<double>(threshold_micros_) / 1000.0);
-  line += " ms): ";
+  std::string line;
+  if (killed) {
+    line = "query ";
+    line += outcome_;
+    line += " (";
+    line += format_ms(trace.total_ms);
+    line += " ms): ";
+  } else {
+    line = "slow query (";
+    line += format_ms(trace.total_ms);
+    line += " ms >= ";
+    line += format_ms(static_cast<double>(threshold_micros_) / 1000.0);
+    line += " ms): ";
+  }
   line.append(sql_.data(), sql_.size());
   line += " |";
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
@@ -232,6 +250,7 @@ std::string traces_to_json() {
     out += ",\"thread\":\"" + json_escape(t.thread) + '"';
     out += ",\"sql\":\"" + json_escape(t.sql) + '"';
     out += ",\"plan\":\"" + json_escape(t.plan) + '"';
+    out += ",\"outcome\":\"" + json_escape(t.outcome) + '"';
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.3f", t.total_ms);
     out += ",\"total_ms\":";

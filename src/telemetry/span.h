@@ -42,6 +42,7 @@ struct QueryTrace {
   std::string plan;            // EXPLAIN access-path lines ('\n'-joined)
   double total_ms = 0.0;
   std::array<double, kPhaseCount> phase_ms{};
+  std::string outcome = "completed";  // completed | timed_out | cancelled
 };
 
 /// Slow-query threshold in milliseconds; negative means disabled.
@@ -105,7 +106,16 @@ class Span {
     phase_micros_[static_cast<std::size_t>(phase)] += micros;
   }
 
+  /// Statement outcome recorded in the trace: "completed" (default),
+  /// "timed_out", or "cancelled". Must be a string literal (borrowed).
+  /// A killed statement's trace is pushed to the ring even when it
+  /// finished under the slow threshold — a query the governor killed is
+  /// exactly the one an operator wants to see.
+  void set_outcome(const char* outcome) { outcome_ = outcome; }
+  const char* outcome() const { return outcome_; }
+
  private:
+  const char* outcome_ = "completed";
   std::string_view sql_;
   std::string plan_;
   std::array<std::uint64_t, kPhaseCount> phase_micros_{};

@@ -1,0 +1,48 @@
+// A statement deadline: a point on the steady clock after which work
+// should stop. Default-constructed deadlines are unarmed and never
+// expire, so callers can thread one value through unconditionally and
+// only pay a clock read when a timeout was actually requested.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace perfdmf::util {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unarmed: never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now; ms <= 0 yields an unarmed
+  /// deadline (the "no timeout" configuration value).
+  static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.armed_ = true;
+      d.when_ = Clock::now() + std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const { return armed_ && Clock::now() >= when_; }
+  Clock::time_point when() const { return when_; }
+
+  /// Time left before expiry, clamped at zero; an unarmed deadline
+  /// reports `fallback` (caller's own bound, e.g. a queue timeout).
+  std::chrono::milliseconds remaining_or(std::chrono::milliseconds fallback) const {
+    if (!armed_) return fallback;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(when_ - Clock::now());
+    return left.count() < 0 ? std::chrono::milliseconds(0) : left;
+  }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point when_{};
+};
+
+}  // namespace perfdmf::util

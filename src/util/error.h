@@ -22,15 +22,45 @@ class ParseError : public Error {
 };
 
 /// Database engine failures: constraint violations, unknown tables, etc.
+///
+/// The governance layer (statement deadlines, admission control, degraded
+/// read-only mode) tags its errors with a Kind so callers can distinguish
+/// "retry later" (kOverloaded), "the statement was killed" (kTimeout /
+/// kCancelled), "writes are unavailable" (kReadOnly), and "the statement
+/// blew its memory cap" (kMemBudget) from plain semantic errors without
+/// parsing message text.
 class DbError : public Error {
  public:
-  explicit DbError(const std::string& what) : Error("db error: " + what) {}
+  enum class Kind {
+    kGeneric,
+    kTimeout,     // statement deadline expired
+    kCancelled,   // Connection::cancel() observed
+    kOverloaded,  // admission control shed the statement
+    kReadOnly,    // database is in degraded read-only mode
+    kMemBudget,   // per-statement memory hard cap exceeded
+  };
+
+  explicit DbError(const std::string& what, Kind kind = Kind::kGeneric)
+      : Error("db error: " + what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
 };
 
-/// Filesystem / OS-level failures.
+/// Filesystem / OS-level failures. Carries the originating errno when one
+/// is known (0 otherwise) so policy layers can special-case transient
+/// conditions — the degraded-mode machinery keys on ENOSPC.
 class IoError : public Error {
  public:
-  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+  explicit IoError(const std::string& what, int sys_errno = 0)
+      : Error("io error: " + what), sys_errno_(sys_errno) {}
+
+  int sys_errno() const { return sys_errno_; }
+
+ private:
+  int sys_errno_;
 };
 
 /// A caller violated an API precondition.

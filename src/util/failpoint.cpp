@@ -7,20 +7,29 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "util/error.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace perfdmf::util::failpoint {
 
 namespace {
 
+enum class Mode { kOneShot, kEveryN, kProbability };
+
 struct Spec {
   FailAction action;
-  int countdown;  // fires when a hit decrements this to zero
-  int arg;
+  Mode mode = Mode::kOneShot;
+  int countdown = 1;   // kOneShot: fires when a hit decrements this to zero
+  int every_n = 1;     // kEveryN: fires when counter wraps this period
+  int counter = 0;     // kEveryN: evaluations since the last firing
+  double probability = 0.0;  // kProbability
+  std::uint64_t rng = 0;     // kProbability: per-site splitmix64 state
+  int arg = 0;
 };
 
 std::mutex g_mutex;
@@ -32,6 +41,25 @@ std::map<std::string, Spec>& registry() {
 // when nothing is armed.
 std::atomic<int> g_armed{0};
 std::once_flag g_env_once;
+std::uint64_t g_seed = 0;  // guarded by g_mutex
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a: mixes the site name into the global seed so each site draws
+// an independent, order-insensitive coin stream.
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 FailAction parse_action(const std::string& word) {
   if (word == "error") return FailAction::kError;
@@ -41,30 +69,32 @@ FailAction parse_action(const std::string& word) {
   throw InvalidArgument("unknown failpoint action: " + word);
 }
 
+const char* action_name(FailAction action) {
+  switch (action) {
+    case FailAction::kError: return "error";
+    case FailAction::kShortWrite: return "short";
+    case FailAction::kAbort: return "abort";
+    case FailAction::kDelay: return "delay";
+  }
+  return "?";
+}
+
+void arm(const std::string& name, Spec spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (spec.mode == Mode::kProbability) {
+    spec.rng = g_seed ^ hash_name(name);
+  }
+  auto [it, inserted] = registry().insert_or_assign(name, spec);
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
 void load_from_env() {
   const char* env = std::getenv("PERFDMF_FAILPOINTS");
   if (!env || !*env) return;
   for (const auto& entry : split(env, ';')) {
-    if (entry.empty()) continue;
-    const std::size_t eq = entry.find('=');
-    if (eq == std::string::npos) {
-      throw InvalidArgument("PERFDMF_FAILPOINTS entry missing '=': " + entry);
-    }
-    const std::string name = entry.substr(0, eq);
-    const auto fields = split(entry.substr(eq + 1), ':');
-    if (fields.empty() || fields[0].empty()) {
-      throw InvalidArgument("PERFDMF_FAILPOINTS entry missing action: " + entry);
-    }
-    const FailAction action = parse_action(fields[0]);
-    const int countdown =
-        fields.size() > 1
-            ? static_cast<int>(parse_int_or_throw(fields[1], "failpoint countdown"))
-            : 1;
-    const int arg =
-        fields.size() > 2
-            ? static_cast<int>(parse_int_or_throw(fields[2], "failpoint arg"))
-            : 0;
-    enable(name, action, countdown, arg);
+    if (trim(entry).empty()) continue;
+    arm_from_spec(std::string(trim(entry)));
   }
 }
 
@@ -72,10 +102,33 @@ void load_from_env() {
 
 void enable(const std::string& name, FailAction action, int countdown, int arg) {
   if (countdown < 1) throw InvalidArgument("failpoint countdown must be >= 1");
-  std::lock_guard<std::mutex> lock(g_mutex);
-  auto [it, inserted] = registry().insert_or_assign(name, Spec{action, countdown, arg});
-  (void)it;
-  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+  Spec spec;
+  spec.action = action;
+  spec.mode = Mode::kOneShot;
+  spec.countdown = countdown;
+  spec.arg = arg;
+  arm(name, spec);
+}
+
+void enable_every(const std::string& name, FailAction action, int every_n,
+                  int arg) {
+  if (every_n < 1) throw InvalidArgument("failpoint every-N must be >= 1");
+  Spec spec;
+  spec.action = action;
+  spec.mode = Mode::kEveryN;
+  spec.every_n = every_n;
+  spec.arg = arg;
+  arm(name, spec);
+}
+
+void enable_probability(const std::string& name, FailAction action, double p,
+                        int arg) {
+  Spec spec;
+  spec.action = action;
+  spec.mode = Mode::kProbability;
+  spec.probability = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  spec.arg = arg;
+  arm(name, spec);
 }
 
 void disable(const std::string& name) {
@@ -92,17 +145,129 @@ void clear_all() {
   registry().clear();
 }
 
+void set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_seed = seed;
+  // Re-derive streams for already-armed probability sites so that
+  // "set_seed then arm" and "arm then set_seed" replay identically.
+  for (auto& [name, spec] : registry()) {
+    if (spec.mode == Mode::kProbability) spec.rng = seed ^ hash_name(name);
+  }
+}
+
+std::vector<std::string> list_armed() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const auto& [name, spec] : registry()) {
+    std::ostringstream line;
+    line << name << '=' << action_name(spec.action);
+    switch (spec.mode) {
+      case Mode::kOneShot:
+        line << ':' << spec.countdown;
+        break;
+      case Mode::kEveryN:
+        line << ":every=" << spec.every_n;
+        break;
+      case Mode::kProbability:
+        line << ":p=" << spec.probability;
+        break;
+    }
+    line << ":arg=" << spec.arg;
+    out.push_back(line.str());
+  }
+  return out;
+}
+
+bool arm_from_spec(const std::string& entry) {
+  try {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw InvalidArgument("entry missing '='");
+    }
+    const std::string name = entry.substr(0, eq);
+    const auto fields = split(entry.substr(eq + 1), ':');
+    if (fields.empty() || fields[0].empty()) {
+      throw InvalidArgument("entry missing action");
+    }
+    const FailAction action = parse_action(fields[0]);
+    Mode mode = Mode::kOneShot;
+    int countdown = 1;
+    int every_n = 1;
+    double probability = 0.0;
+    int arg = 0;
+    int positional = 0;  // bare ints: first is countdown, second is arg
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string& f = fields[i];
+      if (starts_with(f, "every=")) {
+        mode = Mode::kEveryN;
+        every_n = static_cast<int>(
+            parse_int_or_throw(f.substr(6), "failpoint every-N"));
+        if (every_n < 1) throw InvalidArgument("every-N must be >= 1");
+      } else if (starts_with(f, "p=")) {
+        mode = Mode::kProbability;
+        probability = parse_double_or_throw(f.substr(2), "failpoint probability");
+      } else if (starts_with(f, "arg=")) {
+        arg = static_cast<int>(parse_int_or_throw(f.substr(4), "failpoint arg"));
+      } else if (positional == 0) {
+        countdown =
+            static_cast<int>(parse_int_or_throw(f, "failpoint countdown"));
+        if (countdown < 1) throw InvalidArgument("countdown must be >= 1");
+        ++positional;
+      } else if (positional == 1) {
+        arg = static_cast<int>(parse_int_or_throw(f, "failpoint arg"));
+        ++positional;
+      } else {
+        throw InvalidArgument("too many positional fields");
+      }
+    }
+    switch (mode) {
+      case Mode::kOneShot:
+        enable(name, action, countdown, arg);
+        break;
+      case Mode::kEveryN:
+        enable_every(name, action, every_n, arg);
+        break;
+      case Mode::kProbability:
+        enable_probability(name, action, probability, arg);
+        break;
+    }
+    return true;
+  } catch (const Error& e) {
+    log_warn() << "ignoring malformed PERFDMF_FAILPOINTS entry \"" << entry
+               << "\": " << e.what();
+    return false;
+  }
+}
+
 std::optional<FailpointHit> hit(const char* name) {
   std::call_once(g_env_once, load_from_env);
   if (g_armed.load(std::memory_order_relaxed) == 0) return std::nullopt;
   std::lock_guard<std::mutex> lock(g_mutex);
   auto it = registry().find(name);
   if (it == registry().end()) return std::nullopt;
-  if (--it->second.countdown > 0) return std::nullopt;
-  FailpointHit fired{it->second.action, it->second.arg};
-  registry().erase(it);  // one-shot
-  g_armed.fetch_sub(1, std::memory_order_relaxed);
-  return fired;
+  Spec& spec = it->second;
+  switch (spec.mode) {
+    case Mode::kOneShot: {
+      if (--spec.countdown > 0) return std::nullopt;
+      FailpointHit fired{spec.action, spec.arg};
+      registry().erase(it);  // one-shot
+      g_armed.fetch_sub(1, std::memory_order_relaxed);
+      return fired;
+    }
+    case Mode::kEveryN: {
+      if (++spec.counter < spec.every_n) return std::nullopt;
+      spec.counter = 0;  // stays armed
+      return FailpointHit{spec.action, spec.arg};
+    }
+    case Mode::kProbability: {
+      const double coin =
+          static_cast<double>(splitmix64(spec.rng) >> 11) * 0x1.0p-53;
+      if (coin >= spec.probability) return std::nullopt;
+      return FailpointHit{spec.action, spec.arg};
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<FailpointHit> evaluate(const char* name) {
@@ -110,7 +275,8 @@ std::optional<FailpointHit> evaluate(const char* name) {
   if (!fired) return std::nullopt;
   switch (fired->action) {
     case FailAction::kError:
-      throw IoError(std::string("injected failure at failpoint ") + name);
+      throw IoError(std::string("injected failure at failpoint ") + name,
+                    fired->arg);
     case FailAction::kAbort:
       ::_exit(kCrashExitCode);  // simulated crash: no destructors, no flush
     case FailAction::kDelay:

@@ -3,28 +3,45 @@
 // Production code marks the spots where durability can go wrong —
 // WAL appends, snapshot renames, fsyncs — with a named site, e.g.
 // `failpoint::evaluate("wal.commit")`. Tests (or the PERFDMF_FAILPOINTS
-// environment variable) arm a site with an action and a countdown; the
-// Nth evaluation fires it. When no failpoint is armed the check is one
-// relaxed atomic load, so sites are free to sit on hot paths.
+// environment variable) arm a site with an action and an activation
+// mode. When no failpoint is armed the check is one relaxed atomic
+// load, so sites are free to sit on hot paths.
 //
 // Actions:
-//   kError      throw IoError before the operation (clean IO failure)
+//   kError      throw IoError before the operation (clean IO failure);
+//               `arg` is the errno the injected IoError carries (pass
+//               ENOSPC to simulate a full disk, 0 for a generic fault)
 //   kShortWrite write only the first `arg` bytes, then _exit — a torn
 //               write followed by a process crash (IO sites only)
 //   kAbort      _exit immediately (crash before the operation)
 //   kDelay      sleep `arg` milliseconds, then proceed (race widening)
 //
-// A fired failpoint disarms itself (one-shot); re-arm for repetition.
+// Activation modes:
+//   one-shot    (enable) fires on the countdown-th evaluation, then
+//               disarms itself; re-arm for repetition
+//   every-N     (enable_every) fires on every Nth evaluation and stays
+//               armed — N=1 is a sticky failpoint that fires every time
+//   probability (enable_probability) fires with probability p per
+//               evaluation and stays armed; the coin stream is
+//               deterministic per site given set_seed()
+//
 // Site names follow `<component>.<operation>`, e.g. "wal.append",
 // "snapshot.install", "util.write_file".
 //
 // Environment syntax (sites separated by ';'):
 //   PERFDMF_FAILPOINTS="wal.commit=short:3:17;snapshot.install=abort"
-//   each entry: <name>=<error|short|abort|delay>[:<countdown>[:<arg>]]
+//   PERFDMF_FAILPOINTS="wal.append=error:every=1:arg=28;wal.sync=delay:p=0.2:arg=5"
+//   each entry: <name>=<error|short|abort|delay>[:<field>...]
+//   fields: bare integers are positional (countdown, then arg); the
+//   key=value forms `every=N`, `p=X`, `arg=N` select modes explicitly.
+// Malformed entries are logged at warn level and skipped — a typo in
+// the environment must not take down the process it was meant to test.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace perfdmf::util {
 
@@ -32,7 +49,7 @@ enum class FailAction { kError, kShortWrite, kAbort, kDelay };
 
 struct FailpointHit {
   FailAction action;
-  int arg;  // kShortWrite: bytes to keep; kDelay: milliseconds
+  int arg;  // kError: errno; kShortWrite: bytes to keep; kDelay: milliseconds
 };
 
 namespace failpoint {
@@ -41,21 +58,43 @@ namespace failpoint {
 /// an injected crash from a genuine one.
 constexpr int kCrashExitCode = 87;
 
-/// Arm `name`: fires on the `countdown`-th evaluation (1 = next).
+/// Arm `name` one-shot: fires on the `countdown`-th evaluation (1 = next).
 void enable(const std::string& name, FailAction action, int countdown = 1,
             int arg = 0);
+/// Arm `name` persistently: fires on every `every_n`-th evaluation
+/// (every_n = 1 fires every time — a sticky failpoint).
+void enable_every(const std::string& name, FailAction action, int every_n = 1,
+                  int arg = 0);
+/// Arm `name` persistently: fires with probability `p` (clamped to
+/// [0, 1]) on each evaluation. Deterministic per site for a given seed.
+void enable_probability(const std::string& name, FailAction action, double p,
+                        int arg = 0);
 void disable(const std::string& name);
 /// Disarm every failpoint (test teardown).
 void clear_all();
+
+/// Seed for the probability-mode coin streams (default 0). Each site
+/// derives its own stream from this seed and its name, so schedules
+/// replay exactly under a fixed seed regardless of arming order.
+void set_seed(std::uint64_t seed);
+
+/// Human-readable descriptions of every armed failpoint, sorted by
+/// name: "wal.append=error:every=1:arg=28". For diagnostics and tests.
+std::vector<std::string> list_armed();
+
+/// Parse one PERFDMF_FAILPOINTS-syntax entry ("name=action:...") and arm
+/// it. Returns false (after logging a warning) on malformed input
+/// instead of throwing — exposed so tests can cover the parser.
+bool arm_from_spec(const std::string& entry);
 
 /// Raw check-and-consume: returns the hit if `name` fires now. Does not
 /// act on it. Most call sites want evaluate() instead.
 std::optional<FailpointHit> hit(const char* name);
 
-/// Evaluate `name` and act: kError throws IoError, kAbort calls _exit,
-/// kDelay sleeps then returns nullopt. kShortWrite is returned for the
-/// IO site to apply (write `arg` bytes, then _exit). Returns nullopt
-/// when nothing fires.
+/// Evaluate `name` and act: kError throws IoError (carrying `arg` as
+/// its errno), kAbort calls _exit, kDelay sleeps then returns nullopt.
+/// kShortWrite is returned for the IO site to apply (write `arg` bytes,
+/// then _exit). Returns nullopt when nothing fires.
 std::optional<FailpointHit> evaluate(const char* name);
 
 }  // namespace failpoint

@@ -48,7 +48,8 @@ void write_fd_all(int fd, std::string_view content,
     if (n < 0) {
       if (errno == EINTR) continue;
       throw IoError("write failed: " + path.string() + ": " +
-                    std::strerror(errno));
+                        std::strerror(errno),
+                    errno);
     }
     if (n == 0) {
       throw IoError("short write: " + path.string());
@@ -59,7 +60,8 @@ void write_fd_all(int fd, std::string_view content,
 
 void fsync_fd(int fd, const std::filesystem::path& path) {
   if (::fsync(fd) != 0) {
-    throw IoError("fsync failed: " + path.string() + ": " + std::strerror(errno));
+    throw IoError("fsync failed: " + path.string() + ": " + std::strerror(errno),
+                  errno);
   }
 }
 
@@ -69,7 +71,8 @@ void write_file_fd(const std::filesystem::path& path, std::string_view content,
   out.fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (out.fd < 0) {
     throw IoError("cannot open file for writing: " + path.string() + ": " +
-                  std::strerror(errno));
+                      std::strerror(errno),
+                  errno);
   }
   write_fd_all(out.fd, content, path, "util.write_file");
   if (sync) fsync_fd(out.fd, path);
@@ -105,7 +108,8 @@ void write_file_atomic(const std::filesystem::path& path,
   if (ec) {
     std::filesystem::remove(tmp, ec);
     throw IoError("rename " + tmp.string() + " -> " + path.string() +
-                  " failed: " + ec.message());
+                      " failed: " + ec.message(),
+                  ec.value());
   }
   if (sync) fsync_dir(path.parent_path());
 }

@@ -88,6 +88,10 @@ struct KillPoint {
   perfdmf::util::FailAction action;
   int countdown;
   int arg;
+  // Sticky ENOSPC: the disk "fills" permanently, so the child degrades
+  // to read-only and dies on the first rejected write instead of
+  // crashing at a single evaluation.
+  bool sticky_enospc = false;
 };
 
 /// Pick where and how the child dies. kShortWrite only makes sense at
@@ -95,6 +99,16 @@ struct KillPoint {
 /// crash/error points).
 KillPoint make_kill_point(std::uint64_t seed, int iter) {
   u::Rng rng(seed ^ (0x9e3779b9ULL + static_cast<std::uint64_t>(iter) * 31));
+  if (rng.next_below(6) == 0) {
+    // Degraded-mode kill point: every write to this site fails ENOSPC,
+    // the ENOSPC retry loop exhausts, the database enters read-only,
+    // and the child exits on the resulting DbError. Nothing it never
+    // acknowledged may survive.
+    static constexpr const char* kStickySites[] = {"wal.append", "wal.commit",
+                                                   "snapshot.write"};
+    return {kStickySites[rng.next_below(std::size(kStickySites))],
+            perfdmf::util::FailAction::kError, 1, 28 /* ENOSPC */, true};
+  }
   static constexpr struct {
     const char* site;
     bool fd_backed;
@@ -151,7 +165,11 @@ KillPoint make_kill_point(std::uint64_t seed, int iter) {
   };
 
   const KillPoint kill = make_kill_point(seed, iter);
-  fp::enable(kill.site, kill.action, kill.countdown, kill.arg);
+  if (kill.sticky_enospc) {
+    fp::enable_every(kill.site, kill.action, 1, kill.arg);
+  } else {
+    fp::enable(kill.site, kill.action, kill.countdown, kill.arg);
+  }
 
   try {
     Connection conn(db_dir);
@@ -224,6 +242,7 @@ TEST_F(CrashRecovery, RandomKillPointsPreserveCommittedTransactions) {
                  << "iteration " << iter << ", kill point " << kill.site
                  << " action " << static_cast<int>(kill.action)
                  << " countdown " << kill.countdown << " arg " << kill.arg
+                 << (kill.sticky_enospc ? " sticky-enospc" : "")
                  << " (seed 0x" << std::hex << kSeed << std::dec
                  << "; replay with PERFDMF_SEED=" << kSeed << ")");
 
@@ -418,4 +437,61 @@ TEST_F(CrashRecovery, TornCommitWriteIsInvisibleAfterRestart) {
   auto rs = conn.execute("SELECT COUNT(*) FROM t");
   rs.next();
   EXPECT_EQ(rs.get_int(1), 1);  // the unacknowledged txn vanished whole
+}
+
+// Degraded-mode kill point, directed: the child's disk fills for good,
+// it degrades to read-only (still serving reads), then dies uncleanly.
+// Recovery must hold exactly the writes acknowledged before the fault.
+TEST_F(CrashRecovery, ChildDyingInDegradedModeKeepsCommittedData) {
+#ifdef PERFDMF_TSAN
+  GTEST_SKIP() << "fork() is unreliable under TSan";
+#endif
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    Connection conn(db_dir);
+    conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)");
+    conn.execute_update("INSERT INTO t (x) VALUES (1)");
+    conn.checkpoint();
+  }
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    u::set_log_level(u::LogLevel::kOff);
+    try {
+      Connection conn(db_dir);
+      conn.execute_update("INSERT INTO t (x) VALUES (2)");  // acked pre-fault
+      fp::enable_every("wal.append", perfdmf::util::FailAction::kError, 1,
+                       28 /* ENOSPC */);
+      try {
+        conn.execute_update("INSERT INTO t (x) VALUES (3)");
+        ::_exit(3);  // a write went through on a full disk
+      } catch (const perfdmf::DbError& e) {
+        if (e.kind() != perfdmf::DbError::Kind::kReadOnly) ::_exit(4);
+      }
+      if (!conn.database().read_only()) ::_exit(5);
+      // Degraded means readable: the store still answers, without the
+      // rolled-back row.
+      auto rs = conn.execute("SELECT COUNT(*) FROM t");
+      if (!rs.next() || rs.get_int(1) != 2) ::_exit(6);
+    } catch (const std::exception&) {
+      ::_exit(7);
+    }
+    ::_exit(fp::kCrashExitCode);  // die degraded, no clean close
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), fp::kCrashExitCode)
+      << "child failed a degraded-mode invariant (see exit code)";
+
+  for (int reopen = 0; reopen < 2; ++reopen) {  // and recovery is idempotent
+    Connection conn(db_dir);
+    auto rs = conn.execute("SELECT x FROM t ORDER BY x");
+    ASSERT_EQ(rs.row_count(), 2u) << "reopen " << reopen;
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 1);
+    rs.next();
+    EXPECT_EQ(rs.get_int(1), 2);
+  }
 }
