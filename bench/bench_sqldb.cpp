@@ -6,7 +6,9 @@
 // scans, grouped aggregates, and the event/profile join.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -262,12 +264,116 @@ void report_durability_modes(perfdmf::bench::BenchJson& json) {
   std::printf("\n");
 }
 
+// --------------------------------- WAL group-commit throughput --------
+//
+// Durable (kAlways) commits from N concurrent committer threads against
+// one shared file-backed database. COMMIT runs through the SQL statement
+// path, so each commit defers its fsync into the group-commit queue: one
+// leader fsync covers every committer queued behind it. The 1-thread row
+// is the ungrouped baseline (every commit pays its own fsync).
+double run_group_commit_throughput(unsigned threads, int txns_per_thread,
+                                   int rows_per_txn) {
+  perfdmf::util::ScopedTempDir dir;
+  DurabilityOptions opts;
+  opts.sync = SyncMode::kAlways;
+  Connection root(dir.path() / "db", opts);
+  root.execute_update(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b REAL)");
+  root.checkpoint();
+  const auto database = root.database_ptr();
+
+  std::vector<std::thread> committers;
+  perfdmf::util::WallTimer timer;
+  for (unsigned t = 0; t < threads; ++t) {
+    committers.emplace_back([&database, t, txns_per_thread, rows_per_txn] {
+      Connection conn(database);
+      auto stmt = conn.prepare("INSERT INTO t (a, b) VALUES (?, ?)");
+      for (int txn = 0; txn < txns_per_thread; ++txn) {
+        conn.execute("BEGIN");
+        for (int i = 0; i < rows_per_txn; ++i) {
+          stmt.set_int(1, static_cast<std::int64_t>(t) * 1000 + txn);
+          stmt.set_double(2, static_cast<double>(i));
+          stmt.execute_update();
+        }
+        conn.execute("COMMIT");
+      }
+    });
+  }
+  for (auto& c : committers) c.join();
+  return static_cast<double>(threads) * txns_per_thread / timer.seconds();
+}
+
+void report_group_commit(perfdmf::bench::BenchJson& json) {
+  constexpr int kTxnsPerThread = 50;
+  constexpr int kRowsPerTxn = 5;
+  std::printf(
+      "durable (kAlways) group-commit throughput, %d txns/thread x %d rows\n",
+      kTxnsPerThread, kRowsPerTxn);
+  std::printf("  %-8s %14s\n", "threads", "commits/s");
+  double serial = 0.0;
+  double grouped_8 = 0.0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const double commits =
+        run_group_commit_throughput(threads, kTxnsPerThread, kRowsPerTxn);
+    std::printf("  %-8u %14.0f\n", threads, commits);
+    if (threads == 1u) serial = commits;
+    if (threads == 8u) grouped_8 = commits;
+  }
+  std::printf("  8-thread group commit vs 1-thread: %.2fx\n\n",
+              grouped_8 / serial);
+  json.set("group_commit_1t_per_s", serial);
+  json.set("group_commit_8t_per_s", grouped_8);
+  json.set("group_commit_8t_speedup", grouped_8 / serial);
+}
+
+// ----------------------- snapshot reads under a live writer -----------
+//
+// MVCC's headline property: readers scan their snapshot lock-free while
+// a writer continuously installs versions inside transactions. Reader
+// throughput here collapsing against read_8t_shared_ops_per_s would mean
+// writers block readers again.
+void report_reads_under_writes(perfdmf::bench::BenchJson& json) {
+  constexpr std::int64_t kRows = 50000;
+  constexpr int kOpsPerThread = 200;
+  constexpr unsigned kReaders = 4;
+  auto conn = make_profile_table(kRows);
+  const auto database = conn->database_ptr();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&database, &stop] {
+    Connection w(database);
+    w.execute_update("CREATE TABLE results (id INTEGER PRIMARY KEY, x REAL)");
+    auto stmt = w.prepare("INSERT INTO results (x) VALUES (?)");
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      w.begin();
+      for (int j = 0; j < 50; ++j) {
+        stmt.set_double(1, static_cast<double>(i++));
+        stmt.execute_update();
+      }
+      w.commit();
+    }
+  });
+
+  const double ops =
+      run_read_throughput(database, kReaders, kOpsPerThread);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  std::printf(
+      "snapshot reads under a live writer: %u readers, %.0f op/s "
+      "(writer committing concurrently throughout)\n\n",
+      kReaders, ops);
+  json.set("read_4t_under_writer_ops_per_s", ops);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   perfdmf::bench::BenchJson json("sqldb");
   report_concurrent_read_scaling(json);
+  report_reads_under_writes(json);
   report_durability_modes(json);
+  report_group_commit(json);
   json.write();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -293,6 +293,10 @@ ResultSetData Connection::run_governed(Statement& stmt, const Params& params,
       }
       database_->release_txn_admission();
       locks.release_transaction();
+      // Group commit: await the deferred fsync only after the writer
+      // mutex is released, so other committers can queue behind the
+      // same leader fsync instead of serializing on the lock.
+      database_->await_durability(ctx);
       return result;
     }
     return database_->execute(stmt, params, sql);
@@ -313,14 +317,22 @@ ResultSetData Connection::run_governed(Statement& stmt, const Params& params,
     }
   }
 
-  // kTxnEnd without an owned transaction still locks exclusively so the
-  // "COMMIT without BEGIN" diagnostic reads transaction state safely
-  // (no admission: it only reads state and reports an error).
+  // kTxnEnd without an owned transaction still locks so the "COMMIT
+  // without BEGIN" diagnostic reads transaction state safely (no
+  // admission: it only reads state and reports an error).
   AdmissionSlot slot = cls == StatementClass::kTxnEnd
                            ? AdmissionSlot{}
                            : database_->governor().admit(&ctx);
-  StatementGuard guard(locks, cls == StatementClass::kRead, &ctx);
-  return database_->execute(stmt, params, sql);
+  ResultSetData result;
+  {
+    StatementGuard guard(locks, cls, &ctx);
+    result = database_->execute(stmt, params, sql);
+  }
+  // An autocommitted DML statement under SyncMode::kAlways defers its
+  // fsync; awaiting it after the guard is what lets concurrent
+  // single-statement committers share one group fsync.
+  database_->await_durability(ctx);
+  return result;
 }
 
 ResultSet Connection::execute(std::string_view sql, const Params& params) {
@@ -515,7 +527,9 @@ void Connection::rollback() {
 }
 
 void Connection::checkpoint() {
-  StatementGuard guard(database_->locks(), /*read_only=*/false);
+  // Checkpoint rewrites version chains (vacuum) and frees retired
+  // stamps, so it must drain every snapshot reader, not just writers.
+  StatementGuard guard(database_->locks(), StatementGuard::Level::kExclusive);
   database_->checkpoint();
 }
 

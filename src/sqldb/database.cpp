@@ -56,7 +56,126 @@ constexpr int kEnospcRetries = 3;
 constexpr int kEnospcBackoffBaseMs = 1;
 /// Minimum spacing between automatic space-recovery probes.
 constexpr std::int64_t kProbeIntervalMs = 200;
+
+/// The view pinned by each in-flight statement on this thread, newest
+/// last. A stack (not a single slot) because one thread can interleave
+/// statements over several databases (view expansion runs nested
+/// executes; tests hold two stores open at once).
+struct ViewFrame {
+  const Database* db;
+  ReadView view;
+};
+thread_local std::vector<ViewFrame> t_view_stack;
+
+/// Pins `view` as the thread's statement snapshot for `db` until end of
+/// scope. Nested execution finds it via Database::read_view().
+class ScopedReadView {
+ public:
+  ScopedReadView(const Database* db, ReadView view) {
+    t_view_stack.push_back({db, view});
+  }
+  ~ScopedReadView() { t_view_stack.pop_back(); }
+  ScopedReadView(const ScopedReadView&) = delete;
+  ScopedReadView& operator=(const ScopedReadView&) = delete;
+};
 }  // namespace
+
+// ------------------------------------------------------------ MVCC core
+
+ReadView Database::read_view() const {
+  for (auto it = t_view_stack.rbegin(); it != t_view_stack.rend(); ++it) {
+    if (it->db == this) return it->view;
+  }
+  return ReadView{commit_ts_.load(std::memory_order_acquire), self_token()};
+}
+
+std::uint64_t Database::self_token() const {
+  return writer_thread_.load(std::memory_order_acquire) ==
+                 std::this_thread::get_id()
+             ? writer_token_
+             : 0;
+}
+
+void Database::publish_txn_stamps() {
+  if (txn_stamps_.empty()) return;
+  const std::uint64_t ts = commit_ts_.load(std::memory_order_relaxed) + 1;
+  // Stamps first, counter last: a reader that snapshots the new counter
+  // value is guaranteed to resolve every stamp as committed-at-ts.
+  for (CommitStamp* stamp : txn_stamps_) {
+    stamp->ts.store(ts, std::memory_order_release);
+  }
+  commit_ts_.store(ts, std::memory_order_release);
+  txn_stamps_.clear();
+}
+
+void Database::abort_stamp(CommitStamp* stamp) {
+  stamp->ts.store(kTsAborted, std::memory_order_release);
+  if (stamp->table != nullptr && stamp->live_delta != 0) {
+    stamp->table->adjust_live(-stamp->live_delta);
+  }
+}
+
+void Database::abort_txn_stamps() {
+  for (CommitStamp* stamp : txn_stamps_) abort_stamp(stamp);
+  txn_stamps_.clear();
+}
+
+void Database::clear_writer() {
+  writer_thread_.store(std::thread::id{}, std::memory_order_release);
+  writer_token_ = 0;
+}
+
+class Database::WriteUnit {
+ public:
+  explicit WriteUnit(Database& db) : db_(db) {
+    // Autocommit statements form their own one-statement write unit; a
+    // statement inside a transaction joins the transaction's unit (same
+    // token, so it sees the txn's earlier pending versions) but still
+    // gets its own stamp — a failed statement aborts alone, the way the
+    // old per-statement undo log rolled back exactly one statement.
+    if (!db.in_txn_) {
+      db.writer_token_ = db.next_token_.fetch_add(1, std::memory_order_relaxed);
+      db.writer_thread_.store(std::this_thread::get_id(),
+                              std::memory_order_release);
+    }
+    auto stamp = std::make_unique<CommitStamp>();
+    stamp->token = db.writer_token_;
+    stamp_ = stamp.get();
+    db.stamp_graveyard_.push_back(std::move(stamp));
+    view_ = ReadView{db.commit_ts_.load(std::memory_order_acquire),
+                     db.writer_token_};
+  }
+
+  ~WriteUnit() {
+    if (done_) return;
+    db_.abort_stamp(stamp_);
+    if (!db_.in_txn_) db_.clear_writer();
+  }
+
+  void succeed() {
+    done_ = true;
+    if (db_.in_txn_) {
+      db_.txn_stamps_.push_back(stamp_);
+      return;
+    }
+    const std::uint64_t ts = db_.commit_ts_.load(std::memory_order_relaxed) + 1;
+    stamp_->ts.store(ts, std::memory_order_release);
+    db_.commit_ts_.store(ts, std::memory_order_release);
+    db_.clear_writer();
+  }
+
+  CommitStamp* stamp() { return stamp_; }
+  const ReadView& view() const { return view_; }
+
+  WriteUnit(const WriteUnit&) = delete;
+  WriteUnit& operator=(const WriteUnit&) = delete;
+
+ private:
+  Database& db_;
+  CommitStamp* stamp_ = nullptr;
+  ReadView view_;
+  bool done_ = false;
+};
 
 template <typename Fn>
 void Database::governed_durable_write(Fn&& fn, const char* what) {
@@ -243,21 +362,40 @@ ResultSetData Database::execute_parsed(Statement& stmt, const Params& params,
     throw DbError("statement needs " + std::to_string(stmt.placeholder_count) +
                   " parameters, got " + std::to_string(params.size()));
   }
-  // An autocommitted statement is a micro-transaction: if it fails
-  // part-way (FK violation on the third row of a multi-row INSERT, WAL
-  // append failure, a deadline or cancel landing inside the row loop),
-  // its in-memory effects are undone — on a file-backed database so
-  // memory never diverges from the durable state, and on an in-memory
-  // one so a killed statement never leaves a partial update behind.
-  const bool autocommit = !in_txn_ && !replaying_;
-  try {
-    ResultSetData out = dispatch_statement(stmt, params, sql);
-    if (autocommit && !in_txn_) undo_log_.clear();
-    return out;
-  } catch (...) {
-    if (autocommit && !in_txn_) apply_undo();
-    throw;
+  // DML runs as a write unit: every version it installs carries the
+  // unit's stamp, still pending. If the statement fails part-way (FK
+  // violation on the third row of a multi-row INSERT, WAL append
+  // failure, a deadline or cancel landing inside the row loop) the
+  // stamp is aborted and every version becomes invisible garbage — the
+  // statement rolls back whole, with no undo log, inside or outside a
+  // transaction.
+  switch (stmt.kind) {
+    case StatementKind::kInsert:
+    case StatementKind::kUpdate:
+    case StatementKind::kDelete: {
+      ensure_writable();
+      WriteUnit unit(*this);
+      ScopedReadView scope(this, unit.view());
+      std::size_t n = 0;
+      if (stmt.kind == StatementKind::kInsert) {
+        n = run_insert(stmt.insert, params, unit.stamp(), unit.view());
+      } else if (stmt.kind == StatementKind::kUpdate) {
+        n = run_update(stmt.update, params, unit.stamp(), unit.view());
+      } else {
+        n = run_delete(stmt.del, params, unit.stamp(), unit.view());
+      }
+      log_statement(sql, params);  // throw here aborts the unit's stamp
+      unit.succeed();
+      return count_result(n);
+    }
+    default:
+      break;
   }
+  // Reads and DDL pin the committed snapshot (plus this thread's own
+  // pending versions when it owns the open transaction); nested
+  // execution inherits the outer statement's view via read_view().
+  ScopedReadView scope(this, read_view());
+  return dispatch_statement(stmt, params, sql);
 }
 
 ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params,
@@ -291,21 +429,10 @@ ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params
     }
     case StatementKind::kExplain:
       return execute_explain(*this, stmt.select, params);
-    case StatementKind::kInsert: {
-      std::size_t n = run_insert(stmt.insert, params);
-      log_statement(sql, params);
-      return count_result(n);
-    }
-    case StatementKind::kUpdate: {
-      std::size_t n = run_update(stmt.update, params);
-      log_statement(sql, params);
-      return count_result(n);
-    }
-    case StatementKind::kDelete: {
-      std::size_t n = run_delete(stmt.del, params);
-      log_statement(sql, params);
-      return count_result(n);
-    }
+    case StatementKind::kInsert:
+    case StatementKind::kUpdate:
+    case StatementKind::kDelete:
+      throw DbError("DML dispatched outside a write unit");  // unreachable
     case StatementKind::kCreateTable:
       run_create_table(stmt.create_table);
       note_schema_change();
@@ -396,7 +523,8 @@ std::vector<std::string> Database::view_names() const { return view_order_; }
 
 // ------------------------------------------------------------------- DML
 
-std::size_t Database::run_insert(InsertStatement& stmt, const Params& params) {
+std::size_t Database::run_insert(InsertStatement& stmt, const Params& params,
+                                 CommitStamp* stamp, const ReadView& view) {
   reject_system_table(stmt.table, "INSERT");
   Table& t = table(stmt.table);
   const auto& columns = t.schema().columns();
@@ -426,9 +554,8 @@ std::size_t Database::run_insert(InsertStatement& stmt, const Params& params) {
     for (std::size_t i = 0; i < positions.size(); ++i) {
       row[positions[i]] = values[i];
     }
-    check_foreign_keys_insert(t, row);
-    const RowId id = t.insert(std::move(row));
-    undo_push({UndoRecord::Kind::kInsert, util::to_lower(stmt.table), id, {}});
+    check_foreign_keys_insert(t, row, view);
+    t.insert(std::move(row), stamp, view);
     ++inserted;
   };
 
@@ -451,7 +578,8 @@ std::size_t Database::run_insert(InsertStatement& stmt, const Params& params) {
   return inserted;
 }
 
-std::size_t Database::run_update(UpdateStatement& stmt, const Params& params) {
+std::size_t Database::run_update(UpdateStatement& stmt, const Params& params,
+                                 CommitStamp* stamp, const ReadView& view) {
   reject_system_table(stmt.table, "UPDATE");
   Table& t = table(stmt.table);
   std::vector<BoundColumn> layout;
@@ -462,31 +590,29 @@ std::size_t Database::run_update(UpdateStatement& stmt, const Params& params) {
   if (stmt.where) bind_expr(*stmt.where, layout);
   for (auto& [column, expr] : stmt.assignments) bind_expr(*expr, layout);
 
-  std::vector<RowId> candidates =
-      collect_candidates(t, stmt.where ? stmt.where.get() : nullptr, params);
+  std::vector<RowId> candidates = collect_candidates(
+      t, stmt.where ? stmt.where.get() : nullptr, params, view);
   std::size_t updated = 0;
   StatementContext* ctx = StatementContext::current();
   for (RowId id : candidates) {
     if (ctx != nullptr) ctx->poll();
-    if (!t.is_live(id)) continue;
-    const Row& old_row = t.row(id);
-    if (stmt.where && !is_truthy(eval_expr(*stmt.where, old_row, params))) continue;
-    Row new_row = old_row;
+    const Row* old_row = t.fetch(id, view);
+    if (old_row == nullptr) continue;
+    if (stmt.where && !is_truthy(eval_expr(*stmt.where, *old_row, params))) continue;
+    Row new_row = *old_row;
     for (auto& [column, expr] : stmt.assignments) {
       new_row[t.schema().column_index_or_throw(column)] =
-          eval_expr(*expr, old_row, params);
+          eval_expr(*expr, *old_row, params);
     }
-    check_foreign_keys_insert(t, new_row);  // FK columns may have changed
-    Row saved = old_row;
-    t.update(id, std::move(new_row));
-    undo_push({UndoRecord::Kind::kUpdate, util::to_lower(stmt.table), id,
-               std::move(saved)});
+    check_foreign_keys_insert(t, new_row, view);  // FK columns may have changed
+    t.update(id, std::move(new_row), stamp, view);
     ++updated;
   }
   return updated;
 }
 
-std::size_t Database::run_delete(DeleteStatement& stmt, const Params& params) {
+std::size_t Database::run_delete(DeleteStatement& stmt, const Params& params,
+                                 CommitStamp* stamp, const ReadView& view) {
   reject_system_table(stmt.table, "DELETE");
   Table& t = table(stmt.table);
   std::vector<BoundColumn> layout;
@@ -496,20 +622,17 @@ std::size_t Database::run_delete(DeleteStatement& stmt, const Params& params) {
   }
   if (stmt.where) bind_expr(*stmt.where, layout);
 
-  std::vector<RowId> candidates =
-      collect_candidates(t, stmt.where ? stmt.where.get() : nullptr, params);
+  std::vector<RowId> candidates = collect_candidates(
+      t, stmt.where ? stmt.where.get() : nullptr, params, view);
   std::size_t deleted = 0;
   StatementContext* ctx = StatementContext::current();
   for (RowId id : candidates) {
     if (ctx != nullptr) ctx->poll();
-    if (!t.is_live(id)) continue;
-    const Row& row = t.row(id);
-    if (stmt.where && !is_truthy(eval_expr(*stmt.where, row, params))) continue;
-    check_foreign_keys_delete(t, row);
-    Row saved = row;
-    t.erase(id);
-    undo_push({UndoRecord::Kind::kDelete, util::to_lower(stmt.table), id,
-               std::move(saved)});
+    const Row* row = t.fetch(id, view);
+    if (row == nullptr) continue;
+    if (stmt.where && !is_truthy(eval_expr(*stmt.where, *row, params))) continue;
+    check_foreign_keys_delete(t, *row, view);
+    t.erase(id, stamp, view);
     ++deleted;
   }
   return deleted;
@@ -613,7 +736,8 @@ void Database::run_drop_view(const DropViewStatement& stmt) {
 
 // ---------------------------------------------------------- foreign keys
 
-void Database::check_foreign_keys_insert(const Table& t, const Row& row) {
+void Database::check_foreign_keys_insert(const Table& t, const Row& row,
+                                         const ReadView& view) {
   for (const auto& fk : t.schema().foreign_keys()) {
     const Value& value = row[t.schema().column_index_or_throw(fk.column)];
     if (value.is_null()) continue;
@@ -622,9 +746,18 @@ void Database::check_foreign_keys_insert(const Table& t, const Row& row) {
         parent.schema().column_index_or_throw(fk.parent_column);
     bool found = false;
     if (auto hits = parent.index_equal(parent_column, value)) {
-      found = !hits->empty();
+      // Index entries are append-only and can outlive the versions that
+      // introduced them: resolve each hit against the writer's view and
+      // re-check the key before trusting it.
+      for (RowId id : *hits) {
+        const Row* parent_row = parent.fetch(id, view);
+        if (parent_row != nullptr && (*parent_row)[parent_column] == value) {
+          found = true;
+          break;
+        }
+      }
     } else {
-      parent.scan([&](RowId, const Row& parent_row) {
+      parent.scan(view, [&](RowId, const Row& parent_row) {
         if (parent_row[parent_column] == value) found = true;
       });
     }
@@ -636,7 +769,8 @@ void Database::check_foreign_keys_insert(const Table& t, const Row& row) {
   }
 }
 
-void Database::check_foreign_keys_delete(const Table& t, const Row& row) {
+void Database::check_foreign_keys_delete(const Table& t, const Row& row,
+                                         const ReadView& view) {
   // Restrict semantics: refuse to delete a row other tables still reference.
   for (const auto& [key, child] : tables_) {
     for (const auto& fk : child->schema().foreign_keys()) {
@@ -650,13 +784,19 @@ void Database::check_foreign_keys_delete(const Table& t, const Row& row) {
       bool referenced = false;
       if (auto hits = child->index_equal(child_column, value)) {
         // When the child is the same table as the parent, the row being
-        // deleted may reference itself; that is fine.
+        // deleted may reference itself; that is fine. Stale index hits
+        // are filtered by resolving against the writer's view.
         for (RowId id : *hits) {
-          if (child.get() == &t && t.row(id) == row) continue;
+          const Row* child_row = child->fetch(id, view);
+          if (child_row == nullptr || (*child_row)[child_column] != value) {
+            continue;
+          }
+          if (child.get() == &t && *child_row == row) continue;
           referenced = true;
+          break;
         }
       } else {
-        child->scan([&](RowId, const Row& child_row) {
+        child->scan(view, [&](RowId, const Row& child_row) {
           if (child_row[child_column] == value) referenced = true;
         });
       }
@@ -675,29 +815,46 @@ void Database::check_foreign_keys_delete(const Table& t, const Row& row) {
 void Database::begin() {
   if (in_txn_) throw DbError("nested transactions are not supported");
   in_txn_ = true;
-  undo_log_.clear();
   txn_wal_buffer_.clear();
+  txn_stamps_.clear();
+  // The transaction is one write unit: all of its statements share one
+  // token (so each sees the previous ones' pending versions), and its
+  // thread holds the writer mutex until COMMIT/ROLLBACK.
+  writer_token_ = next_token_.fetch_add(1, std::memory_order_relaxed);
+  writer_thread_.store(std::this_thread::get_id(), std::memory_order_release);
 }
 
 void Database::commit() {
   if (!in_txn_) throw DbError("COMMIT without BEGIN");
   if (wal_ && !replaying_ && !txn_wal_buffer_.empty()) {
+    StatementContext* ctx = StatementContext::current();
+    const bool defer = ctx != nullptr;
     try {
-      governed_durable_write([&] { wal_->append_batch(txn_wal_buffer_); },
-                             "commit (WAL batch append)");
+      std::uint64_t seq = 0;
+      governed_durable_write(
+          [&] { seq = wal_->append_batch(txn_wal_buffer_, defer); },
+          "commit (WAL batch append)");
+      // Group commit: the fsync is deferred until the Connection calls
+      // await_durability() after releasing the writer mutex, so many
+      // committing threads share one leader fsync.
+      if (defer && wal_->sync_mode() != SyncMode::kNone) {
+        ctx->set_pending_durable(seq);
+      }
     } catch (...) {
-      // The batch never became durable: roll the in-memory state back so
-      // it matches what recovery would reconstruct, then surface the IO
-      // failure. The transaction is over either way.
+      // The batch never reached the log: abort every stamp so the
+      // in-memory state matches what recovery would reconstruct, then
+      // surface the IO failure. The transaction is over either way.
       in_txn_ = false;
       txn_wal_buffer_.clear();
-      apply_undo();
+      abort_txn_stamps();
+      clear_writer();
       throw;
     }
   }
   in_txn_ = false;
-  undo_log_.clear();
   txn_wal_buffer_.clear();
+  publish_txn_stamps();
+  clear_writer();
   static auto& commits =
       telemetry::MetricsRegistry::instance().counter("sqldb.txn.commits");
   commits.add();
@@ -706,49 +863,18 @@ void Database::commit() {
 void Database::rollback() {
   if (!in_txn_) throw DbError("ROLLBACK without BEGIN");
   in_txn_ = false;
-  apply_undo();
+  abort_txn_stamps();
   txn_wal_buffer_.clear();
+  clear_writer();
   static auto& rollbacks =
       telemetry::MetricsRegistry::instance().counter("sqldb.txn.rollbacks");
   rollbacks.add();
 }
 
-void Database::apply_undo() {
-  // Undo in reverse order. Rows deleted during the transaction are
-  // re-inserted under fresh RowIds (slots are append-only), so later undo
-  // steps referring to the old id are translated through `remapped`.
-  std::map<std::pair<std::string, RowId>, RowId> remapped;
-  auto resolve = [&](const std::string& table_name, RowId id) {
-    auto it = remapped.find({table_name, id});
-    return it == remapped.end() ? id : it->second;
-  };
-  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
-    Table& t = *tables_.at(it->table);
-    const RowId id = resolve(it->table, it->row_id);
-    switch (it->kind) {
-      case UndoRecord::Kind::kInsert:
-        t.erase(id);
-        break;
-      case UndoRecord::Kind::kUpdate:
-        t.update(id, std::move(it->old_row));
-        break;
-      case UndoRecord::Kind::kDelete: {
-        const RowId new_id = t.insert(std::move(it->old_row));
-        remapped[{it->table, it->row_id}] = new_id;
-        break;
-      }
-    }
-  }
-  undo_log_.clear();
-}
-
-void Database::undo_push(UndoRecord record) {
-  // Outside a transaction the undo log still collects the current
-  // statement's changes so a mid-statement failure — a FK violation on
-  // the third row, a failed WAL append, a deadline or cancellation
-  // delivered inside the row loop — rolls the statement back whole.
-  // Replay skips it: recovered statements already succeeded once.
-  if (!replaying_) undo_log_.push_back(std::move(record));
+void Database::await_durability(StatementContext& ctx) {
+  const std::uint64_t seq = ctx.take_pending_durable();
+  if (seq == 0 || !wal_) return;
+  governed_durable_write([&] { wal_->wait_durable(seq); }, "WAL fsync");
 }
 
 void Database::log_statement(std::string_view sql, const Params& params) {
@@ -757,16 +883,16 @@ void Database::log_statement(std::string_view sql, const Params& params) {
     txn_wal_buffer_.emplace_back(std::string(sql), params);
     return;
   }
-  try {
-    governed_durable_write([&] { wal_->append(sql, params); },
-                           "WAL append");
-  } catch (...) {
-    // Autocommit statement never reached the log: undo its in-memory
-    // effects (undo_log_ holds exactly this statement's records).
-    apply_undo();
-    throw;
+  // A failed append propagates to the WriteUnit, which aborts the
+  // statement's stamp — the in-memory effects vanish with it.
+  StatementContext* ctx = StatementContext::current();
+  const bool defer = ctx != nullptr;
+  std::uint64_t seq = 0;
+  governed_durable_write([&] { seq = wal_->append(sql, params, defer); },
+                         "WAL append");
+  if (defer && wal_->sync_mode() == SyncMode::kAlways) {
+    ctx->set_pending_durable(seq);
   }
-  undo_log_.clear();
 }
 
 void Database::log_ddl(std::string_view sql, const Params& params) {
@@ -781,8 +907,16 @@ void Database::log_ddl(std::string_view sql, const Params& params) {
 // ------------------------------------------------------------ persistence
 
 void Database::checkpoint() {
-  if (!wal_) return;
   if (in_txn_) throw DbError("cannot checkpoint inside a transaction");
+  // MVCC garbage collection rides the checkpoint: the caller holds full
+  // exclusion (writer mutex + drain lock), so no reader holds a snapshot
+  // and no stamp is pending. Every chain collapses to its newest
+  // committed version, dead slots are freed, and — with every stamp
+  // pointer folded into the version caches by vacuum() — the retired
+  // stamps themselves can be released.
+  for (auto& [name, t] : tables_) t->vacuum();
+  stamp_graveyard_.clear();
+  if (!wal_) return;
   util::WallTimer timer;
   namespace fs = std::filesystem;
   const fs::path snapshot = directory_ / kSnapshotFile;

@@ -5,9 +5,12 @@
 //
 // Concurrency: Database is externally synchronized through its
 // LockManager — the Connection layer classifies each statement and takes
-// the lock shared (SELECT) or exclusive (DML/DDL/transactions), so one
-// database may be shared by several connections with read-only queries
-// executing in parallel (the shared-repository deployment of the paper's
+// the drain lock shared (SELECT), the writer mutex (DML/transactions) or
+// both exclusively (DDL/checkpoint) — and internally versioned: every
+// mutation installs MVCC row versions stamped with a CommitStamp, and
+// every statement resolves them against the ReadView it snapshotted at
+// start. Readers therefore run in parallel with the writer without
+// blocking it (the shared-repository deployment of the paper's
 // PerfExplorer back end).
 #pragma once
 
@@ -19,6 +22,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sqldb/ast.h"
@@ -88,6 +92,26 @@ class Database {
   /// for in-memory databases. Immutable after construction.
   const RecoveryReport& recovery_report() const { return report_; }
 
+  // ----- MVCC snapshots -------------------------------------------------
+  /// The snapshot the calling thread should read through: the view its
+  /// current statement pinned at start (nested execution — view
+  /// expansion, INSERT..SELECT — inherits it), else a fresh view of
+  /// everything committed so far, carrying the thread's write-unit token
+  /// when it owns one so a writer sees its own pending versions.
+  ReadView read_view() const;
+
+  /// Newest published commit timestamp (tests and telemetry).
+  std::uint64_t commit_ts() const {
+    return commit_ts_.load(std::memory_order_acquire);
+  }
+
+  /// Group-commit hand-off: if the thread's last statement deferred its
+  /// WAL fsync (see Wal::wait_durable), block until it is durable. Called
+  /// by the Connection AFTER releasing the statement's locks, so many
+  /// committers can queue behind one leader fsync. ENOSPC degrades the
+  /// database to read-only exactly like an inline sync failure.
+  void await_durability(StatementContext& ctx);
+
   /// Reader-writer lock coordinating every Connection over this database.
   /// The Database itself never locks (recursive execution — view
   /// expansion, WAL replay — must not self-deadlock); callers hold the
@@ -140,28 +164,33 @@ class Database {
   friend ResultSetData execute_select(Database&, SelectStatement&, const Params&,
                                       ExplainInfo*);
 
-  struct UndoRecord {
-    enum class Kind { kInsert, kUpdate, kDelete } kind;
-    std::string table;
-    RowId row_id;
-    Row old_row;  // kUpdate / kDelete
-  };
+  /// RAII around one DML statement's writes: owns the CommitStamp every
+  /// version the statement installs is tagged with. succeed() publishes
+  /// it (autocommit) or hands it to the open transaction; destruction
+  /// without succeed() aborts it, making the statement's versions
+  /// invisible garbage — the MVCC replacement for the old undo log.
+  class WriteUnit;
 
   ResultSetData execute_parsed(Statement& stmt, const Params& params,
                                std::string_view sql);
   ResultSetData dispatch_statement(Statement& stmt, const Params& params,
                                    std::string_view sql);
-  std::size_t run_insert(InsertStatement& stmt, const Params& params);
-  std::size_t run_update(UpdateStatement& stmt, const Params& params);
-  std::size_t run_delete(DeleteStatement& stmt, const Params& params);
+  std::size_t run_insert(InsertStatement& stmt, const Params& params,
+                         CommitStamp* stamp, const ReadView& view);
+  std::size_t run_update(UpdateStatement& stmt, const Params& params,
+                         CommitStamp* stamp, const ReadView& view);
+  std::size_t run_delete(DeleteStatement& stmt, const Params& params,
+                         CommitStamp* stamp, const ReadView& view);
   void run_create_table(const CreateTableStatement& stmt);
   void run_drop_table(const DropTableStatement& stmt);
   void run_create_index(const CreateIndexStatement& stmt);
   void run_create_view(const CreateViewStatement& stmt);
   void run_drop_view(const DropViewStatement& stmt);
 
-  void check_foreign_keys_insert(const Table& table, const Row& row);
-  void check_foreign_keys_delete(const Table& table, const Row& row);
+  void check_foreign_keys_insert(const Table& table, const Row& row,
+                                 const ReadView& view);
+  void check_foreign_keys_delete(const Table& table, const Row& row,
+                                 const ReadView& view);
 
   /// Reject writes while degraded (after attempting a rate-limited
   /// recovery probe); no-op when healthy or replaying.
@@ -180,8 +209,17 @@ class Database {
   /// buffer (DDL is not undone by rollback, so it must not be lost with
   /// a rolled-back batch).
   void log_ddl(std::string_view sql, const Params& params);
-  void undo_push(UndoRecord record);
-  void apply_undo();
+
+  /// The calling thread's write-unit token (non-zero only for the thread
+  /// that owns the active write unit or transaction).
+  std::uint64_t self_token() const;
+  /// Stamp every pending txn stamp with one fresh commit timestamp and
+  /// advance the global counter — the atomic commit point.
+  void publish_txn_stamps();
+  void abort_txn_stamps();
+  /// Mark a stamp aborted and revert its optimistic live-count delta.
+  void abort_stamp(CommitStamp* stamp);
+  void clear_writer();
 
   /// Serialize the full store. `watermark` is the highest WAL sequence
   /// number the snapshot subsumes; recovery skips replaying records at
@@ -199,8 +237,20 @@ class Database {
   std::vector<std::string> view_order_;
 
   bool in_txn_ = false;
-  std::vector<UndoRecord> undo_log_;
   std::vector<std::pair<std::string, Params>> txn_wal_buffer_;
+
+  // MVCC state. commit_ts_ is the database-global commit timestamp
+  // counter: readers snapshot it lock-free, and only the single write
+  // unit (serialized by the writer mutex) advances it. Stamps live in
+  // the graveyard until checkpoint GC frees them (vacuum() folds every
+  // resolved stamp into the version caches first, so no dangling
+  // pointers remain).
+  std::atomic<std::uint64_t> commit_ts_{0};
+  std::atomic<std::uint64_t> next_token_{1};
+  std::uint64_t writer_token_ = 0;  // guarded by the writer mutex
+  std::atomic<std::thread::id> writer_thread_{};
+  std::vector<CommitStamp*> txn_stamps_;  // pending, in statement order
+  std::vector<std::unique_ptr<CommitStamp>> stamp_graveyard_;
 
   std::unique_ptr<Wal> wal_;
   std::filesystem::path directory_;

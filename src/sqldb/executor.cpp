@@ -173,7 +173,8 @@ AccessPath choose_access_path(const Table& table,
   return path;  // scan
 }
 
-std::vector<RowId> fetch_access_path(const Table& table, const AccessPath& path) {
+std::vector<RowId> fetch_access_path(const Table& table, const AccessPath& path,
+                                     const ReadView& view) {
   switch (path.kind) {
     case AccessPath::Kind::kUniqueIndexEq:
     case AccessPath::Kind::kIndexEq:
@@ -190,7 +191,7 @@ std::vector<RowId> fetch_access_path(const Table& table, const AccessPath& path)
   }
   std::vector<RowId> all;
   all.reserve(table.live_row_count());
-  table.scan([&](RowId id, const Row&) { all.push_back(id); });
+  table.scan(view, [&](RowId id, const Row&) { all.push_back(id); });
   return all;
 }
 
@@ -214,13 +215,13 @@ std::string describe_access_path(const Table& table, const AccessPath& path) {
 }  // namespace
 
 std::vector<RowId> collect_candidates(const Table& table, const Expr* bound_where,
-                                      const Params& params) {
+                                      const Params& params, const ReadView& view) {
   std::vector<IndexPredicate> predicates;
   if (bound_where != nullptr) {
     collect_index_predicates(*bound_where, params, table.schema().columns().size(),
                              predicates);
   }
-  return fetch_access_path(table, choose_access_path(table, predicates));
+  return fetch_access_path(table, choose_access_path(table, predicates), view);
 }
 
 namespace {
@@ -425,6 +426,10 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
                              const Params& params, ExplainInfo* explain) {
   const ExecutorTuning tuning = db.executor_tuning();
   StatementContext* ctx = StatementContext::current();
+  // The statement's MVCC snapshot: pinned once, used for every row
+  // resolution below, so the whole SELECT sees one consistent state no
+  // matter what commits concurrently.
+  const ReadView view = db.read_view();
   WorkingSet ws;
   if (!stmt.from) {
     if (explain) explain->add("from: none");
@@ -490,21 +495,21 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
   if (explain) {
     explain->add("from " + base_alias + ": " + describe_access_path(base, path));
   }
-  const std::vector<RowId> candidates = fetch_access_path(base, path);
+  const std::vector<RowId> candidates = fetch_access_path(base, path, view);
 
   ws.rows.reserve(candidates.size());
   for (RowId id : candidates) {
     if (ctx != nullptr) ctx->poll();
-    if (!base.is_live(id)) continue;
-    const Row& row = base.row(id);
+    const Row* row = base.fetch(id, view);
+    if (row == nullptr) continue;
     bool keep = true;
     for (const Expr* conjunct : pushed) {
-      if (!is_truthy(eval_expr(*conjunct, row, params))) {
+      if (!is_truthy(eval_expr(*conjunct, *row, params))) {
         keep = false;
         break;
       }
     }
-    if (keep) ws.rows.push_back(row);
+    if (keep) ws.rows.push_back(*row);
   }
 
   // Joins. An equi-join conjunct (existing_col = right_col) in the ON
@@ -596,7 +601,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
         }
         if (!degraded) {
           std::vector<std::vector<Row>> matches(ws.rows.size());
-          right.scan([&](RowId, const Row& right_row) {
+          right.scan(view, [&](RowId, const Row& right_row) {
             if (ctx != nullptr) ctx->poll();
             const Value& key = right_row[right_key];
             if (key.is_null()) return;
@@ -625,7 +630,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
         // Build on the right side, probe with each left row in order.
         std::unordered_map<Value, std::vector<const Row*>, ValueHash> table;
         table.reserve(right.live_row_count());
-        right.scan([&](RowId, const Row& right_row) {
+        right.scan(view, [&](RowId, const Row& right_row) {
           if (degraded) return;
           if (ctx != nullptr) ctx->poll();
           const Value& key = right_row[right_key];
@@ -692,10 +697,12 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
         if (use_index) {
           auto hits = right.index_equal(right_key, left_row[left_key]);
           for (RowId id : *hits) {
-            if (right.is_live(id)) try_pair(right.row(id));
+            if (const Row* right_row = right.fetch(id, view)) {
+              try_pair(*right_row);
+            }
           }
         } else {
-          right.scan([&](RowId, const Row& right_row) {
+          right.scan(view, [&](RowId, const Row& right_row) {
             if (ctx != nullptr) ctx->poll();
             try_pair(right_row);
           });

@@ -65,8 +65,9 @@ ResultSetData execute_explain(Database& db, SelectStatement& stmt,
 /// '=', '<', '<=', '>', '>=' or BETWEEN against a literal/placeholder.
 /// Unique-index equality is preferred over non-unique equality, which is
 /// preferred over ranges; strict bounds are served exclusively. The
-/// caller must still evaluate the full predicate per candidate.
+/// caller must still evaluate the full predicate per candidate, and
+/// resolve each id against `view` (index hits may be stale).
 std::vector<RowId> collect_candidates(const Table& table, const Expr* bound_where,
-                                      const Params& params);
+                                      const Params& params, const ReadView& view);
 
 }  // namespace perfdmf::sqldb

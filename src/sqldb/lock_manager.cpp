@@ -15,6 +15,7 @@ StatementClass classify_statement(const Statement& stmt) {
     case StatementKind::kInsert:
     case StatementKind::kUpdate:
     case StatementKind::kDelete:
+      return StatementClass::kWrite;
     case StatementKind::kCreateTable:
     case StatementKind::kDropTable:
     case StatementKind::kCreateView:
@@ -22,9 +23,10 @@ StatementClass classify_statement(const Statement& stmt) {
     case StatementKind::kAlterAddColumn:
     case StatementKind::kAlterDropColumn:
     case StatementKind::kCreateIndex:
-      return StatementClass::kWrite;
+      // Catalog and in-place row rewrites: must drain snapshot readers.
+      return StatementClass::kDdl;
   }
-  return StatementClass::kWrite;  // unreachable; conservative default
+  return StatementClass::kDdl;  // unreachable; conservative default
 }
 
 }  // namespace perfdmf::sqldb

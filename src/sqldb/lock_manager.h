@@ -1,15 +1,23 @@
-// Reader-writer concurrency for the sqldb engine.
+// Concurrency control for the sqldb engine.
 //
-// One LockManager guards one Database. Statements are classified once
-// (at parse time, from the AST) into read-only and mutating kinds:
-// SELECTs take the lock shared so any number of read-only queries run
-// in parallel, while DML, DDL, and checkpoints take it exclusive. A
-// transaction holds the exclusive lock from BEGIN to COMMIT/ROLLBACK,
-// so other connections observe either the pre-begin or the post-commit
-// state — never a partially applied transaction.
+// One LockManager guards one Database with two locks:
+//
+//  - The writer mutex serializes mutation: DML statements, transactions
+//    (held from BEGIN to COMMIT/ROLLBACK), DDL, and checkpoint. One write
+//    unit runs at a time, which is what lets MVCC stamp commits with a
+//    single global timestamp counter.
+//  - The drain lock is held SHARED by both readers and DML — they coexist,
+//    readers resolving version chains against their snapshot while the
+//    writer installs new versions — and EXCLUSIVE by DDL and checkpoint,
+//    which rewrite rows in place or free versions and therefore must
+//    drain every in-flight reader first.
+//
+// SELECTs take only the drain lock shared: with MVCC they never wait for
+// DML, and DML never waits for them. Lock order is writer mutex before
+// drain lock, always.
 //
 // Transactions are thread-affine: the thread that issues BEGIN owns the
-// exclusive lock and must issue the matching COMMIT/ROLLBACK. While a
+// writer mutex and must issue the matching COMMIT/ROLLBACK. While a
 // thread owns a transaction, all of its statements (on any connection
 // to the same database) pass through without re-locking.
 #pragma once
@@ -17,6 +25,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <shared_mutex>
 #include <thread>
 
@@ -24,6 +33,7 @@
 #include "sqldb/statement_context.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
+#include "util/error.h"
 
 namespace perfdmf::sqldb {
 
@@ -37,23 +47,24 @@ inline telemetry::Histogram& lock_wait_histogram() {
 }
 }  // namespace detail
 
-/// How a statement interacts with the database lock.
+/// How a statement interacts with the database locks.
 enum class StatementClass {
-  kRead,      // SELECT: shared lock for the statement
-  kWrite,     // DML / DDL: exclusive lock for the statement
-  kTxnBegin,  // BEGIN: acquire exclusive, hold across statements
+  kRead,      // SELECT: drain lock shared, snapshot reads
+  kWrite,     // DML: writer mutex + drain lock shared
+  kDdl,       // DDL / checkpoint: writer mutex + drain lock exclusive
+  kTxnBegin,  // BEGIN: writer mutex, held across statements
   kTxnEnd,    // COMMIT / ROLLBACK: release the transaction's lock
 };
 
 StatementClass classify_statement(const Statement& stmt);
 
-/// Lock acquisition policy. kSerialized reproduces the old behaviour
-/// (one global mutex, every statement exclusive); it exists so the
-/// benchmarks can measure the read-scalability win and must only be
-/// switched while no statement is in flight.
+/// Lock acquisition policy. kSerialized reproduces the pre-MVCC behaviour
+/// (every statement, reads included, funnels through the writer mutex); it
+/// exists so the benchmarks can measure the read-scalability win and must
+/// only be switched while no statement is in flight.
 enum class ConcurrencyMode {
-  kSharedRead,  // readers in parallel (default)
-  kSerialized,  // legacy: every statement exclusive
+  kSharedRead,  // snapshot readers in parallel with the writer (default)
+  kSerialized,  // legacy: every statement serialized on the writer mutex
 };
 
 class LockManager {
@@ -62,48 +73,75 @@ class LockManager {
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
-  /// Acquire shared (read) access. With a governed context, the wait is
-  /// bounded: the acquisition loop re-checks the statement's deadline
-  /// and cancel flag every kWaitSlice, so a stalled writer cannot hang
-  /// a reader past its deadline (throws DbError{kTimeout|kCancelled}).
+  /// Reader access: drain lock shared. With a governed context the wait is
+  /// bounded: the acquisition loop re-checks the statement's deadline and
+  /// cancel flag every kWaitSlice, so a stalled DDL drain cannot hang a
+  /// reader past its deadline (throws DbError{kTimeout|kCancelled}).
   void lock_shared(StatementContext* ctx = nullptr) {
-    if (rw_.try_lock_shared()) return;  // uncontended: skip wait timing
+    if (drain_.try_lock_shared()) return;  // uncontended: skip wait timing
     telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
                                      &detail::lock_wait_histogram());
     if (!governed(ctx)) {
-      rw_.lock_shared();
+      drain_.lock_shared();
       return;
     }
-    while (!rw_.try_lock_shared_for(wait_slice(ctx))) ctx->check_now();
+    while (!drain_.try_lock_shared_for(wait_slice(ctx))) ctx->check_now();
   }
-  void unlock_shared() { rw_.unlock_shared(); }
+  void unlock_shared() { drain_.unlock_shared(); }
 
-  /// Acquire exclusive access; same bounded-wait contract as
-  /// lock_shared() when a governed context is supplied.
-  void lock(StatementContext* ctx = nullptr) {
-    if (rw_.try_lock()) return;  // uncontended: skip wait timing
-    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
-                                     &detail::lock_wait_histogram());
-    if (!governed(ctx)) {
-      rw_.lock();
-      return;
+  /// DML / transaction access: writer mutex, then drain lock shared.
+  void lock_writer(StatementContext* ctx = nullptr) {
+    lock_writer_mutex(ctx);
+    // Cannot block: drain-exclusive holders acquire the writer mutex first,
+    // so while we hold it only other shared holders touch the drain lock.
+    drain_.lock_shared();
+  }
+  void unlock_writer() {
+    drain_.unlock_shared();
+    writer_.unlock();
+  }
+
+  /// DDL / checkpoint access: writer mutex, then drain every reader.
+  void lock_exclusive(StatementContext* ctx = nullptr) {
+    lock_writer_mutex(ctx);
+    try {
+      if (drain_.try_lock()) return;
+      telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
+                                       &detail::lock_wait_histogram());
+      if (!governed(ctx)) {
+        drain_.lock();
+        return;
+      }
+      while (!drain_.try_lock_for(wait_slice(ctx))) ctx->check_now();
+    } catch (...) {
+      writer_.unlock();
+      throw;
     }
-    while (!rw_.try_lock_for(wait_slice(ctx))) ctx->check_now();
   }
-  void unlock() { rw_.unlock(); }
+  void unlock_exclusive() {
+    drain_.unlock();
+    writer_.unlock();
+  }
 
-  /// BEGIN: take the exclusive lock and record the owning thread so the
+  /// BEGIN: take the writer lock and record the owning thread so the
   /// transaction's own statements pass through without re-locking.
   void acquire_transaction(StatementContext* ctx = nullptr) {
-    lock(ctx);
+    lock_writer(ctx);
     txn_owner_.store(std::this_thread::get_id(), std::memory_order_release);
   }
 
-  /// COMMIT / ROLLBACK: drop ownership and release. Must run on the
-  /// thread that acquired the transaction.
+  /// COMMIT / ROLLBACK: drop ownership and release. Must run on the thread
+  /// that acquired the transaction — unlocking a mutex another thread owns
+  /// is undefined behaviour, so a mismatch is rejected up front.
   void release_transaction() {
+    if (txn_owner_.load(std::memory_order_acquire) !=
+        std::this_thread::get_id()) {
+      throw DbError(
+          "transaction lock is not owned by this thread: COMMIT/ROLLBACK "
+          "must run on the thread that issued BEGIN");
+    }
     txn_owner_.store(std::thread::id{}, std::memory_order_release);
-    rw_.unlock();
+    unlock_writer();
   }
 
   bool owned_by_this_thread() const {
@@ -126,49 +164,85 @@ class LockManager {
   static bool governed(const StatementContext* ctx) {
     return ctx != nullptr && (ctx->deadline.armed() || ctx->cancel != nullptr);
   }
-  static std::chrono::milliseconds wait_slice(const StatementContext* ctx) {
+  static std::chrono::milliseconds wait_slice(StatementContext* ctx) {
     const auto slice = ctx->deadline.remaining_or(kWaitSlice);
-    // Never sleep zero (spin) — one final short slice, then check_now()
-    // delivers the timeout.
+    // An already-expired deadline must deliver kTimeout immediately, not
+    // after one more minimum-length sleep.
+    if (slice.count() <= 0) ctx->check_now();
     return std::chrono::milliseconds(
         std::min<std::int64_t>(std::max<std::int64_t>(slice.count(), 1),
                                kWaitSlice.count()));
   }
 
-  std::shared_timed_mutex rw_;
+  void lock_writer_mutex(StatementContext* ctx) {
+    if (writer_.try_lock()) return;  // uncontended: skip wait timing
+    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
+                                     &detail::lock_wait_histogram());
+    if (!governed(ctx)) {
+      writer_.lock();
+      return;
+    }
+    while (!writer_.try_lock_for(wait_slice(ctx))) ctx->check_now();
+  }
+
+  std::timed_mutex writer_;
+  std::shared_timed_mutex drain_;
   std::atomic<std::thread::id> txn_owner_{};
   std::atomic<ConcurrencyMode> mode_{ConcurrencyMode::kSharedRead};
 };
 
-/// RAII statement-scope guard. Takes the lock shared for read-only
-/// statements (exclusive when the manager is serialized), exclusive for
-/// mutating ones, and nothing at all when the calling thread already
-/// owns the database's transaction lock.
+/// RAII statement-scope guard. Maps the statement class to a lock level —
+/// SELECT: drain-shared (writer level when serialized), DML: writer,
+/// DDL: exclusive — and takes nothing at all when the calling thread
+/// already owns the database's transaction lock.
 class StatementGuard {
  public:
-  StatementGuard(LockManager& locks, bool read_only,
+  enum class Level { kNone, kShared, kWriter, kExclusive };
+
+  StatementGuard(LockManager& locks, StatementClass cls,
                  StatementContext* ctx = nullptr)
       : locks_(locks) {
-    if (locks_.owned_by_this_thread()) {
-      held_ = Held::kNone;
-      return;
-    }
-    // Lock-wait timing lives inside the manager's lock paths and only
-    // fires on contention, so the uncontended fast path costs nothing.
-    if (read_only && locks_.mode() == ConcurrencyMode::kSharedRead) {
-      locks_.lock_shared(ctx);
-      held_ = Held::kShared;
-    } else {
-      locks_.lock(ctx);
-      held_ = Held::kExclusive;
+    if (locks_.owned_by_this_thread()) return;
+    switch (cls) {
+      case StatementClass::kRead:
+        acquire(locks_.mode() == ConcurrencyMode::kSharedRead
+                    ? Level::kShared
+                    : Level::kWriter,
+                ctx);
+        break;
+      case StatementClass::kDdl:
+        acquire(Level::kExclusive, ctx);
+        break;
+      case StatementClass::kWrite:
+      case StatementClass::kTxnBegin:
+      case StatementClass::kTxnEnd:
+        acquire(Level::kWriter, ctx);
+        break;
     }
   }
 
+  /// Explicit level (checkpoint wants kExclusive without being a DDL AST).
+  StatementGuard(LockManager& locks, Level level,
+                 StatementContext* ctx = nullptr)
+      : locks_(locks) {
+    if (locks_.owned_by_this_thread()) return;
+    acquire(level, ctx);
+  }
+
+  /// Legacy read-only/mutating split (metadata reflection paths).
+  StatementGuard(LockManager& locks, bool read_only,
+                 StatementContext* ctx = nullptr)
+      : StatementGuard(locks,
+                       read_only ? StatementClass::kRead
+                                 : StatementClass::kWrite,
+                       ctx) {}
+
   ~StatementGuard() {
     switch (held_) {
-      case Held::kNone: break;
-      case Held::kShared: locks_.unlock_shared(); break;
-      case Held::kExclusive: locks_.unlock(); break;
+      case Level::kNone: break;
+      case Level::kShared: locks_.unlock_shared(); break;
+      case Level::kWriter: locks_.unlock_writer(); break;
+      case Level::kExclusive: locks_.unlock_exclusive(); break;
     }
   }
 
@@ -176,10 +250,18 @@ class StatementGuard {
   StatementGuard& operator=(const StatementGuard&) = delete;
 
  private:
-  enum class Held { kNone, kShared, kExclusive };
+  void acquire(Level level, StatementContext* ctx) {
+    switch (level) {
+      case Level::kNone: break;
+      case Level::kShared: locks_.lock_shared(ctx); break;
+      case Level::kWriter: locks_.lock_writer(ctx); break;
+      case Level::kExclusive: locks_.lock_exclusive(ctx); break;
+    }
+    held_ = level;
+  }
 
   LockManager& locks_;
-  Held held_ = Held::kNone;
+  Level held_ = Level::kNone;
 };
 
 }  // namespace perfdmf::sqldb

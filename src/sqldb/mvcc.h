@@ -1,0 +1,53 @@
+// Multi-version concurrency control primitives for the sqldb engine.
+//
+// Every row mutation installs a new version stamped with the CommitStamp of
+// the statement (autocommit) or transaction (explicit) that made it. Readers
+// carry a ReadView — the commit timestamp they snapshotted at statement start
+// plus the write-unit token that lets a writer see its own pending versions —
+// and resolve each version chain against it without taking any lock.
+//
+// Stamp lifecycle: a stamp starts at kTsPending; commit publishes the commit
+// timestamp into it (making every version it stamped visible atomically),
+// rollback stores kTsAborted (making them garbage). Version chains cache the
+// resolved timestamp so steady-state visibility checks never chase the stamp.
+// Stamps and superseded versions are reclaimed by GC at checkpoint, which
+// runs under full exclusion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace perfdmf::sqldb {
+
+class Table;
+
+/// Sentinel stamp values. Real commit timestamps start at 1 and stay far
+/// below these.
+inline constexpr std::uint64_t kTsPending = ~std::uint64_t{0};
+inline constexpr std::uint64_t kTsAborted = ~std::uint64_t{0} - 1;
+/// Highest usable view timestamp: "see every committed version".
+inline constexpr std::uint64_t kTsMax = ~std::uint64_t{0} - 2;
+
+/// The commit fate shared by every version a write unit installed.
+/// `table` / `live_delta` track the live-row-count adjustment applied
+/// optimistically at install time so rollback can revert it.
+struct CommitStamp {
+  std::atomic<std::uint64_t> ts{kTsPending};
+  std::uint64_t token = 0;  // write-unit token; pending versions are visible
+                            // only to the view carrying the same token
+  Table* table = nullptr;
+  std::int64_t live_delta = 0;
+};
+
+/// A statement's snapshot: every version committed at or before `ts` is
+/// visible, plus (when `token` is non-zero) the pending versions of the
+/// write unit identified by `token`.
+struct ReadView {
+  std::uint64_t ts = 0;
+  std::uint64_t token = 0;
+
+  /// See all committed versions (bulk load, GC, snapshot render).
+  static ReadView latest() { return ReadView{kTsMax, 0}; }
+};
+
+}  // namespace perfdmf::sqldb

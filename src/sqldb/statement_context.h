@@ -101,10 +101,22 @@ class StatementContext {
   void note_mem_degraded();
   bool mem_degraded() const { return mem_degraded_; }
 
+  /// Group-commit hand-off: when a statement's WAL write deferred its
+  /// fsync, the Database records the WAL sequence number here and the
+  /// Connection awaits durability AFTER releasing the statement's locks —
+  /// that is what lets one leader fsync cover many queued commits.
+  void set_pending_durable(std::uint64_t seq) { pending_durable_seq_ = seq; }
+  std::uint64_t take_pending_durable() {
+    const std::uint64_t seq = pending_durable_seq_;
+    pending_durable_seq_ = 0;
+    return seq;
+  }
+
  private:
   std::uint32_t tick_ = 0;
   std::uint64_t mem_used_ = 0;
   bool mem_degraded_ = false;
+  std::uint64_t pending_durable_seq_ = 0;  // 0 = nothing awaiting fsync
 };
 
 /// Accounts one operator's approximate footprint against the statement

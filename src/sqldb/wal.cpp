@@ -288,7 +288,23 @@ void mark_corrupt(Wal::ReplayInfo& info, const std::string& text,
 // ------------------------------------------------------------------ Wal
 
 Wal::Wal(std::filesystem::path path, SyncMode sync)
-    : path_(std::move(path)), sync_(sync) {}
+    : path_(std::move(path)), sync_(sync) {
+  // Optional leader accumulation window: how long the group-commit leader
+  // waits for more committers to queue up before its single fsync. The
+  // default 0 is usually right — while one fsync is in flight, later
+  // commits pile up on the queue and the next leader covers them all.
+  if (const char* env = std::getenv("PERFDMF_GROUP_COMMIT_MAX_WAIT_US")) {
+    if (*env) {
+      try {
+        group_wait_ = std::chrono::microseconds(std::stoll(env));
+      } catch (const std::exception&) {
+        throw perfdmf::InvalidArgument(
+            "PERFDMF_GROUP_COMMIT_MAX_WAIT_US must be an integer, got " +
+            std::string(env));
+      }
+    }
+  }
+}
 
 Wal::~Wal() {
   if (fd_ >= 0) ::close(fd_);
@@ -397,23 +413,31 @@ void Wal::sync_now() {
   }
 }
 
-void Wal::append(std::string_view sql, const Params& params) {
+std::uint64_t Wal::append(std::string_view sql, const Params& params,
+                          bool defer_sync) {
   ensure_open();
-  const std::string record = encode_record(next_seq_, sql, params);
+  const std::uint64_t seq = next_seq_;
+  const std::string record = encode_record(seq, sql, params);
   write_all(record, "wal.append");
   ++next_seq_;
+  written_seq_.store(seq, std::memory_order_release);
   static auto& appends =
       telemetry::MetricsRegistry::instance().counter("sqldb.wal.appends");
   static auto& bytes =
       telemetry::MetricsRegistry::instance().counter("sqldb.wal.bytes");
   appends.add();
   bytes.add(record.size());
-  if (sync_ == SyncMode::kAlways) sync_now();
+  if (!defer_sync && sync_ == SyncMode::kAlways) {
+    sync_now();
+    advance_durable(seq);
+  }
+  return seq;
 }
 
-void Wal::append_batch(
-    const std::vector<std::pair<std::string, Params>>& records) {
-  if (records.empty()) return;
+std::uint64_t Wal::append_batch(
+    const std::vector<std::pair<std::string, Params>>& records,
+    bool defer_sync) {
+  if (records.empty()) return written_seq_.load(std::memory_order_relaxed);
   ensure_open();
   // The whole transaction is ONE record under one CRC, so a crash partway
   // through the commit write leaves a torn tail that replay discards
@@ -423,16 +447,90 @@ void Wal::append_batch(
     payload += encode_statement_frame(sql, params);
   }
   payload += "E\n";
-  const std::string record = frame_record(next_seq_, payload);
+  const std::uint64_t seq = next_seq_;
+  const std::string record = frame_record(seq, payload);
   write_all(record, "wal.commit");
   ++next_seq_;
+  written_seq_.store(seq, std::memory_order_release);
   static auto& appends =
       telemetry::MetricsRegistry::instance().counter("sqldb.wal.batch_appends");
   static auto& bytes =
       telemetry::MetricsRegistry::instance().counter("sqldb.wal.bytes");
   appends.add();
   bytes.add(record.size());
-  if (sync_ != SyncMode::kNone) sync_now();
+  if (!defer_sync && sync_ != SyncMode::kNone) {
+    sync_now();
+    advance_durable(seq);
+  }
+  return seq;
+}
+
+void Wal::advance_durable(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lk(commit_mutex_);
+  if (durable_seq_.load(std::memory_order_relaxed) < seq) {
+    durable_seq_.store(seq, std::memory_order_release);
+  }
+}
+
+void Wal::wait_durable(std::uint64_t seq) {
+  if (sync_ == SyncMode::kNone) return;
+  static auto& commits = telemetry::MetricsRegistry::instance().counter(
+      "wal.group_commit.commits");
+  static auto& syncs =
+      telemetry::MetricsRegistry::instance().counter("wal.group_commit.syncs");
+  static auto& batch_size = telemetry::MetricsRegistry::instance().histogram(
+      "wal.group_commit.batch_size");
+  commits.add();
+  if (durable_seq_.load(std::memory_order_acquire) >= seq) return;
+  std::unique_lock<std::mutex> lk(commit_mutex_);
+  for (;;) {
+    if (durable_seq_.load(std::memory_order_acquire) >= seq) return;
+    if (!leader_active_) {
+      // Lead a round: snapshot the written high-water mark, fsync once
+      // outside the queue lock, publish, wake everyone covered.
+      leader_active_ = true;
+      if (group_wait_.count() > 0) {
+        // Accumulation window — nobody signals it; it is a bounded sleep
+        // that lets more committers finish their appends first.
+        commit_cv_.wait_for(lk, group_wait_);
+      }
+      const std::uint64_t target = written_seq_.load(std::memory_order_acquire);
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        util::failpoint::evaluate("wal.group_sync");
+        sync_now();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      leader_active_ = false;
+      if (err) {
+        ++fail_round_;
+        last_fail_ = err;
+        commit_cv_.notify_all();
+        std::rethrow_exception(err);
+      }
+      const std::uint64_t prev = durable_seq_.load(std::memory_order_relaxed);
+      if (target > prev) {
+        durable_seq_.store(target, std::memory_order_release);
+        batch_size.record(target - prev);
+      }
+      syncs.add();
+      commit_cv_.notify_all();
+      // Loop re-checks: our record was written before we queued, so the
+      // round we just led always covers seq.
+    } else {
+      const std::uint64_t round = fail_round_;
+      commit_cv_.wait(lk);
+      if (durable_seq_.load(std::memory_order_acquire) >= seq) return;
+      if (fail_round_ != round) {
+        // The round we were queued behind failed; surface its error.
+        // A retry re-enters wait_durable and leads a fresh round.
+        std::rethrow_exception(last_fail_);
+      }
+    }
+  }
 }
 
 Wal::ReplayInfo Wal::replay(
@@ -495,6 +593,16 @@ Wal::ReplayInfo Wal::replay(
 }
 
 void Wal::reset() {
+  {
+    // Checkpoint supersedes the log: wait out any in-flight group-commit
+    // leader (it holds the fd in fsync), then mark everything written as
+    // durable — the snapshot the caller just wrote covers it.
+    std::unique_lock<std::mutex> lk(commit_mutex_);
+    while (leader_active_) commit_cv_.wait(lk);
+    durable_seq_.store(written_seq_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+    commit_cv_.notify_all();
+  }
   util::failpoint::evaluate("wal.reset");
   if (fd_ >= 0) {
     ::close(fd_);

@@ -27,12 +27,24 @@
 // Writes go through a POSIX fd so short writes are detected byte-exactly
 // and fsync policy (SyncMode) is enforced. Failpoint sites: "wal.append"
 // (single-statement records), "wal.commit" (commit batches), "wal.sync",
-// "wal.reset".
+// "wal.group_sync" (the group-commit leader's fsync), "wal.reset".
+//
+// Group commit: appenders may defer the policy fsync (defer_sync = true)
+// and later call wait_durable(seq). The first waiter becomes the leader,
+// snapshots the written high-water mark, fsyncs ONCE outside the queue
+// lock, then publishes the durable mark and wakes every follower whose
+// sequence number it covered — N concurrent commits pay one fsync.
+// A failed leader fsync is rethrown to the leader and to every follower
+// queued behind that round; a later successful round supersedes it.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,15 +66,31 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Append one statement record. Synced only under SyncMode::kAlways
-  /// (an autocommitted single statement).
-  void append(std::string_view sql, const Params& params);
+  /// Append one statement record; returns its sequence number. Synced
+  /// only under SyncMode::kAlways (an autocommitted single statement);
+  /// with defer_sync the caller takes over via wait_durable().
+  std::uint64_t append(std::string_view sql, const Params& params,
+                       bool defer_sync = false);
 
   /// Append a whole transaction as ONE batch record with a single write —
   /// the commit path, which makes batched bulk loads one write (and at
   /// most one fsync) instead of one per row, and makes the commit atomic
-  /// on disk (see header comment). Synced under kAlways/kOnCommit.
-  void append_batch(const std::vector<std::pair<std::string, Params>>& records);
+  /// on disk (see header comment). Returns the record's sequence number.
+  /// Synced under kAlways/kOnCommit unless defer_sync hands the fsync to
+  /// wait_durable().
+  std::uint64_t append_batch(
+      const std::vector<std::pair<std::string, Params>>& records,
+      bool defer_sync = false);
+
+  /// Block until record `seq` is fsynced, joining the group-commit queue
+  /// (see header comment). No-op under SyncMode::kNone. Throws the
+  /// leader's IoError to every commit the failed fsync covered.
+  void wait_durable(std::uint64_t seq);
+
+  /// Highest sequence number known durable (for tests and telemetry).
+  std::uint64_t durable_seq() const {
+    return durable_seq_.load(std::memory_order_acquire);
+  }
 
   /// What replay() found. A clean log has corrupt == false; a torn tail
   /// alone is normal and reported only through tail_torn.
@@ -112,12 +140,27 @@ class Wal {
   void recover_next_seq();
   void write_all(const std::string& buffer, const char* site);
   void sync_now();
+  /// Monotonically raise the durable mark (inline-sync paths).
+  void advance_durable(std::uint64_t seq);
 
   std::filesystem::path path_;
   int fd_ = -1;
   SyncMode sync_;
   std::uint64_t next_seq_ = 1;
   bool seq_known_ = false;
+
+  // Group-commit state. written_seq_ advances after each successful
+  // append (appends are serialized by the engine's writer mutex);
+  // durable_seq_ advances under commit_mutex_ when a leader's fsync or
+  // an inline sync lands.
+  std::atomic<std::uint64_t> written_seq_{0};
+  std::atomic<std::uint64_t> durable_seq_{0};
+  std::mutex commit_mutex_;
+  std::condition_variable commit_cv_;
+  bool leader_active_ = false;
+  std::uint64_t fail_round_ = 0;       // bumped when a leader fsync fails
+  std::exception_ptr last_fail_;       // rethrown to that round's followers
+  std::chrono::microseconds group_wait_{0};  // leader accumulation window
 };
 
 }  // namespace perfdmf::sqldb

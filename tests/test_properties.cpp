@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -407,48 +408,101 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AggregateProperty, ::testing::Values(7, 8, 9));
 
 namespace {
 
-// One randomized run: `conns` threads, each with its own Connection over
-// a shared Database, each executing `txns` transactions of random
-// inserts/updates ending in a commit-or-rollback coin flip. Returns an
-// error description if an invariant broke, nullopt on success. All
-// randomness derives from `seed`, so a failing (seed, conns, txns)
-// triple replays the same workload (though not the same interleaving).
+// One randomized run: `conns` writer threads, each with its own
+// Connection over a shared Database, each executing `txns` transactions
+// of a fixed insert batch (tagged with a txn-unique marker) plus random
+// updates, ending in a commit-or-rollback coin flip — while snapshot
+// reader threads concurrently assert MVCC visibility: a transaction's
+// rows appear all-or-nothing (no dirty reads of a partial batch), and
+// the committed row count only grows. Returns an error description if
+// an invariant broke, nullopt on success. All randomness derives from
+// `seed`, so a failing (seed, conns, txns) triple replays the same
+// workload (though not the same interleaving).
+constexpr int kRowsPerTxn = 3;
+
 std::optional<std::string> run_txn_interleaving(std::uint64_t seed, int conns,
                                                 int txns) {
   auto database = std::make_shared<sqldb::Database>();
   sqldb::Connection setup(database);
   setup.execute_update(
-      "CREATE TABLE acct (id INTEGER PRIMARY KEY, k INTEGER, v REAL)");
+      "CREATE TABLE acct (id INTEGER PRIMARY KEY, k INTEGER, v REAL, "
+      "tag INTEGER)");
   setup.execute_update("CREATE INDEX idx_acct_k ON acct (k)");
 
   std::vector<std::int64_t> committed_inserts(static_cast<std::size_t>(conns));
   std::atomic<int> errors{0};
+  std::atomic<bool> writers_done{false};
+  std::mutex failure_mutex;
+  std::optional<std::string> reader_failure;
+
+  // Snapshot readers: with MVCC they run lock-free against the writers,
+  // and every statement sees a committed-only snapshot — so every tag
+  // group it observes is a fully committed batch of kRowsPerTxn rows.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      try {
+        sqldb::Connection conn(database);
+        auto by_tag =
+            conn.prepare("SELECT tag, COUNT(*) FROM acct GROUP BY tag");
+        std::int64_t last_total = 0;
+        while (!writers_done.load(std::memory_order_acquire)) {
+          auto rs = by_tag.execute_query();
+          std::int64_t total = 0;
+          while (rs.next()) {
+            const std::int64_t per_tag = rs.get_int(2);
+            if (per_tag != kRowsPerTxn) {
+              std::lock_guard<std::mutex> lock(failure_mutex);
+              reader_failure = "dirty read: tag " +
+                               std::to_string(rs.get_int(1)) + " visible with " +
+                               std::to_string(per_tag) + "/" +
+                               std::to_string(kRowsPerTxn) + " rows";
+              return;
+            }
+            total += per_tag;
+          }
+          if (total < last_total) {
+            std::lock_guard<std::mutex> lock(failure_mutex);
+            reader_failure = "committed state shrank: " +
+                             std::to_string(total) + " after " +
+                             std::to_string(last_total);
+            return;
+          }
+          last_total = total;
+        }
+      } catch (...) {
+        ++errors;
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   for (int c = 0; c < conns; ++c) {
     threads.emplace_back([&, c] {
       try {
         sqldb::Connection conn(database);
         util::Rng rng(seed * 1000 + static_cast<std::uint64_t>(c));
-        auto insert = conn.prepare("INSERT INTO acct (k, v) VALUES (?, ?)");
+        auto insert =
+            conn.prepare("INSERT INTO acct (k, v, tag) VALUES (?, ?, ?)");
         auto update = conn.prepare("UPDATE acct SET v = v + 1 WHERE k = ?");
         std::int64_t committed = 0;
         for (int t = 0; t < txns; ++t) {
           conn.begin();
-          std::int64_t inserted = 0;
-          const int ops = 1 + static_cast<int>(rng.next_below(5));
-          for (int op = 0; op < ops; ++op) {
-            if (rng.next_below(3) != 0) {
-              insert.set_int(1, static_cast<std::int64_t>(rng.next_below(10)));
-              insert.set_double(2, rng.uniform(0.0, 10.0));
-              inserted += static_cast<std::int64_t>(insert.execute_update());
-            } else {
-              update.set_int(1, static_cast<std::int64_t>(rng.next_below(10)));
-              update.execute_update();  // row count unchanged
-            }
+          const std::int64_t tag = static_cast<std::int64_t>(c) * 100000 + t;
+          for (int row = 0; row < kRowsPerTxn; ++row) {
+            insert.set_int(1, static_cast<std::int64_t>(rng.next_below(10)));
+            insert.set_double(2, rng.uniform(0.0, 10.0));
+            insert.set_int(3, tag);
+            insert.execute_update();
+          }
+          const int updates = static_cast<int>(rng.next_below(3));
+          for (int op = 0; op < updates; ++op) {
+            update.set_int(1, static_cast<std::int64_t>(rng.next_below(10)));
+            update.execute_update();  // row count unchanged
           }
           if (rng.next_below(2) == 0) {
             conn.commit();
-            committed += inserted;
+            committed += kRowsPerTxn;
           } else {
             conn.rollback();
           }
@@ -460,7 +514,10 @@ std::optional<std::string> run_txn_interleaving(std::uint64_t seed, int conns,
     });
   }
   for (auto& t : threads) t.join();
+  writers_done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
   if (errors.load() != 0) return "a connection thread threw";
+  if (reader_failure) return reader_failure;
 
   std::int64_t expected = 0;
   for (std::int64_t d : committed_inserts) expected += d;

@@ -23,10 +23,12 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sqldb/connection.h"
@@ -116,6 +118,7 @@ KillPoint make_kill_point(std::uint64_t seed, int iter) {
       {"wal.append", true},    {"wal.commit", true},
       {"wal.commit", true},  // weighted: the richest crash window
       {"wal.sync", false},     {"wal.reset", false},
+      {"wal.group_sync", false},  // leader dies before the group fsync
       {"snapshot.write", false}, {"snapshot.rotate", false},
       {"snapshot.install", false}, {"util.write_file", true},
   };
@@ -181,17 +184,21 @@ KillPoint make_kill_point(std::uint64_t seed, int iter) {
         stmt.execute_update();
         report(t.id + 500, 1);
       }
-      conn.begin();
+      // SQL-level transaction control: COMMIT runs through the governed
+      // statement path, which defers the WAL fsync into the group-commit
+      // queue — so the wal.group_sync kill point lands in the real
+      // leader-fsync window, between lock release and acknowledgement.
+      conn.execute("BEGIN");
       for (int i = 0; i < t.rows; ++i) {
         stmt.set_int(1, t.id);
         stmt.set_int(2, i);
         stmt.execute_update();
       }
       if (t.commit) {
-        conn.commit();
+        conn.execute("COMMIT");
         report(t.id, t.rows);
       } else {
-        conn.rollback();
+        conn.execute("ROLLBACK");
       }
       if (t.checkpoint_after) conn.checkpoint();
     }
@@ -437,6 +444,116 @@ TEST_F(CrashRecovery, TornCommitWriteIsInvisibleAfterRestart) {
   auto rs = conn.execute("SELECT COUNT(*) FROM t");
   rs.next();
   EXPECT_EQ(rs.get_int(1), 1);  // the unacknowledged txn vanished whole
+}
+
+// Group commit, directed: several threads commit concurrently under
+// SyncMode::kAlways, so their WAL fsyncs coalesce behind one leader; the
+// child dies at the leader's group-fsync point. Every commit a thread
+// acknowledged (its COMMIT statement returned, i.e. wait_durable saw the
+// record fsynced) must survive recovery in full, and commits caught
+// mid-group may land either way — but never torn.
+TEST_F(CrashRecovery, CrashMidGroupFsyncRecoversEveryAcknowledgedCommit) {
+#ifdef PERFDMF_TSAN
+  GTEST_SKIP() << "fork() is unreliable under TSan";
+#endif
+  u::ScopedTempDir dir;
+  const auto db_dir = dir.path() / "db";
+  {
+    DurabilityOptions opts;
+    opts.sync = SyncMode::kAlways;
+    Connection conn(db_dir, opts);
+    conn.execute_update(
+        "CREATE TABLE log (id INTEGER PRIMARY KEY, txn INTEGER, v INTEGER)");
+    conn.checkpoint();
+  }
+  const auto report_path = dir.path() / "acked.txt";
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    u::set_log_level(u::LogLevel::kOff);
+    // A real accumulation window, so leader rounds genuinely cover
+    // several followers' commits when the crash hits.
+    ::setenv("PERFDMF_GROUP_COMMIT_MAX_WAIT_US", "200", 1);
+    // The third leader round dies between lock release and fsync.
+    fp::enable("wal.group_sync", perfdmf::util::FailAction::kAbort, 3, 0);
+
+    const int report_fd =
+        ::open(report_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (report_fd < 0) ::_exit(70);
+    try {
+      DurabilityOptions opts;
+      opts.sync = SyncMode::kAlways;
+      Connection root(db_dir, opts);
+      const auto database = root.database_ptr();
+      constexpr int kThreads = 4;
+      constexpr int kTxnsPerThread = 12;
+      constexpr int kRowsPerTxn = 3;
+      std::vector<std::thread> committers;
+      for (int t = 0; t < kThreads; ++t) {
+        committers.emplace_back([&database, report_fd, t] {
+          try {
+            Connection conn(database);
+            auto stmt = conn.prepare("INSERT INTO log (txn, v) VALUES (?, ?)");
+            for (int i = 0; i < kTxnsPerThread; ++i) {
+              const std::int64_t tag = t * 100 + i;
+              conn.execute("BEGIN");
+              for (int v = 0; v < kRowsPerTxn; ++v) {
+                stmt.set_int(1, tag);
+                stmt.set_int(2, v);
+                stmt.execute_update();
+              }
+              conn.execute("COMMIT");  // returns only once durable
+              char line[64];
+              const int len =
+                  std::snprintf(line, sizeof line, "%lld %d\n",
+                                static_cast<long long>(tag), kRowsPerTxn);
+              if (::write(report_fd, line, static_cast<std::size_t>(len)) !=
+                  len) {
+                ::_exit(70);
+              }
+            }
+          } catch (const std::exception&) {
+            ::_exit(9);  // a commit failed for a non-crash reason
+          }
+        });
+      }
+      for (auto& c : committers) c.join();
+    } catch (const std::exception&) {
+      ::_exit(8);
+    }
+    ::_exit(0);  // countdown 3 should have killed us long before this
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), fp::kCrashExitCode)
+      << "child did not die at the group-fsync kill point";
+
+  std::map<std::int64_t, int> acked;
+  {
+    std::ifstream in(report_path);
+    std::int64_t tag = 0;
+    int rows = 0;
+    while (in >> tag >> rows) acked[tag] = rows;
+  }
+
+  for (int reopen = 0; reopen < 2; ++reopen) {  // recovery is idempotent
+    Connection conn(db_dir);
+    const auto actual = dump_rows(conn);
+    for (const auto& [tag, rows] : acked) {
+      const auto it = actual.find(tag);
+      ASSERT_NE(it, actual.end())
+          << "acknowledged commit " << tag << " lost (reopen " << reopen << ")";
+      EXPECT_EQ(it->second.size(), static_cast<std::size_t>(rows))
+          << "acknowledged commit " << tag << " incomplete";
+    }
+    // Unacknowledged commits: the crash decides, but atomically.
+    for (const auto& [tag, values] : actual) {
+      EXPECT_TRUE(values.size() == 3u)
+          << "txn " << tag << " is torn: " << values.size() << "/3 rows";
+    }
+  }
 }
 
 // Degraded-mode kill point, directed: the child's disk fills for good,

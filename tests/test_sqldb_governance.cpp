@@ -419,6 +419,78 @@ TEST_F(Governance, AdmissionQueueDrainsInFifoOrder) {
   EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2}));
 }
 
+// ------------------------------------------------ lock-manager guards
+
+TEST_F(Governance, ExpiredDeadlineOnLockWaitDeliversTimeoutPromptly) {
+  // Regression: LockManager::wait_slice used to clamp the remaining
+  // deadline straight into try_lock_for, so a deadline that expired
+  // before (or during) the lock wait produced a zero-length wait that
+  // spun without ever delivering kTimeout. The slice is now floored at
+  // 1 ms and an already-expired deadline throws via check_now() before
+  // sleeping again.
+  auto shared = std::make_shared<Database>();
+  Connection writer(shared);
+  writer.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+
+  writer.begin();  // this thread holds the writer mutex across the test
+  std::optional<DbError::Kind> seen;
+  std::int64_t waited = 0;
+  std::thread blocked([&] {
+    Connection conn(shared);
+    conn.set_statement_timeout_ms(1);  // expired by the time the lock spins
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      conn.execute_update("INSERT INTO t (v) VALUES (1)");
+    } catch (const DbError& e) {
+      seen = e.kind();
+      waited = elapsed_ms(start);
+    }
+  });
+  blocked.join();  // must return without the writer ever committing
+  writer.commit();
+
+  ASSERT_TRUE(seen.has_value()) << "DML outran an open writer transaction";
+  EXPECT_EQ(*seen, DbError::Kind::kTimeout);
+  EXPECT_LT(waited, 2000);
+  // The rejected statement left nothing behind.
+  EXPECT_EQ(scalar(writer, "SELECT COUNT(*) FROM t"), 0);
+}
+
+TEST_F(Governance, ReleasingAForeignTransactionLockIsRejectedTyped) {
+  // Regression: release_transaction() used to unlock unconditionally;
+  // COMMIT/ROLLBACK issued from a thread that never ran BEGIN unlocked a
+  // mutex it did not own — undefined behaviour. The mismatch is now
+  // detected up front and surfaces as a typed DbError, leaving the
+  // owner's transaction intact.
+  auto shared = std::make_shared<Database>();
+  Connection conn(shared);
+  conn.execute_update("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+
+  // No transaction anywhere: releasing is a caller bug, not UB.
+  EXPECT_THROW(shared->locks().release_transaction(), DbError);
+
+  conn.begin();
+  conn.execute_update("INSERT INTO t (v) VALUES (1)");
+  std::optional<std::string> message;
+  std::thread foreign([&] {
+    try {
+      shared->locks().release_transaction();
+    } catch (const DbError& e) {
+      message = e.what();
+    }
+  });
+  foreign.join();
+  ASSERT_TRUE(message.has_value()) << "foreign release was not rejected";
+  EXPECT_NE(message->find("not owned by this thread"), std::string::npos)
+      << *message;
+
+  // The guard rejected the release without touching the lock: the owner
+  // still holds its transaction and can commit it.
+  EXPECT_TRUE(shared->locks().owned_by_this_thread());
+  conn.commit();
+  EXPECT_EQ(scalar(conn, "SELECT COUNT(*) FROM t"), 1);
+}
+
 // -------------------------------------- degraded read-only (ENOSPC)
 
 TEST_F(Governance, StickyEnospcEntersReadOnlyAndManualProbeRecovers) {
