@@ -81,6 +81,13 @@ echo "=== telemetry compiled out ==="
 # but serve zeros, and recording compiles to nothing.
 run_suite build-notel "" "" -DPERFDMF_TELEMETRY=OFF
 
+echo "=== telemetry compiled out: introspection smoke ==="
+# Explicit gate on the introspection surface with the kill switch
+# thrown: EXPLAIN ANALYZE must still report real per-operator stats
+# (its clocks are independent of telemetry) and the live system tables
+# must stay queryable, with the counter-backed columns frozen at zero.
+ctest --test-dir build-notel --output-on-failure -j "$JOBS" -L observability
+
 echo "=== ThreadSanitizer ==="
 # The fork-based crash-recovery harness (-L crash) is excluded: fork()
 # does not carry TSan's internal threads into the child. The zipfian

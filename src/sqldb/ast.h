@@ -177,6 +177,9 @@ struct Statement {
   CreateIndexStatement create_index;
   CreateViewStatement create_view;
   DropViewStatement drop_view;
+  /// EXPLAIN ANALYZE (kind == kExplain only): execute the statement and
+  /// annotate the plan with per-operator runtime stats.
+  bool analyze = false;
   /// Number of '?' placeholders in the statement.
   std::size_t placeholder_count = 0;
 };

@@ -256,6 +256,10 @@ ResultSetData Connection::run_statement(Statement& stmt, const Params& params,
                                         std::string_view sql) {
   StatementContext ctx = make_statement_context();
   ScopedStatementContext scope(ctx);
+  // Listed in PERFDMF_STATEMENTS for the whole governed lifetime
+  // (admission wait included). The guard outlives nothing it points to:
+  // ctx lives until the end of this frame and the slot is cleared first.
+  StatementRegistry::Guard listing(database_->statements(), sql, &ctx);
   try {
     return run_governed(stmt, params, sql, ctx);
   } catch (const DbError& e) {
@@ -346,6 +350,12 @@ std::size_t Connection::execute_update(std::string_view sql, const Params& param
 ResultSetData Connection::run_cached(std::string_view sql, const Params& params) {
   telemetry::Span span(sql);
   PlanLease lease = lease_plan(sql);
+  if (lease.statement->kind == StatementKind::kExplain &&
+      lease.statement->analyze) {
+    // EXPLAIN ANALYZE: attribute every phase (admission, lock wait,
+    // fsync, ...) even when no slow threshold or tracing is armed.
+    span.arm_analyze();
+  }
   ResultSetData result;
   try {
     result = run_statement(*lease.statement, params, sql);

@@ -156,6 +156,7 @@ class Database::WriteUnit {
     done_ = true;
     if (db_.in_txn_) {
       db_.txn_stamps_.push_back(stamp_);
+      db_.txn_intro_.statements.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     const std::uint64_t ts = db_.commit_ts_.load(std::memory_order_relaxed) + 1;
@@ -428,7 +429,7 @@ ResultSetData Database::dispatch_statement(Statement& stmt, const Params& params
       return execute_select(*this, stmt.select, params);
     }
     case StatementKind::kExplain:
-      return execute_explain(*this, stmt.select, params);
+      return execute_explain(*this, stmt.select, params, stmt.analyze);
     case StatementKind::kInsert:
     case StatementKind::kUpdate:
     case StatementKind::kDelete:
@@ -822,6 +823,21 @@ void Database::begin() {
   // thread holds the writer mutex until COMMIT/ROLLBACK.
   writer_token_ = next_token_.fetch_add(1, std::memory_order_relaxed);
   writer_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+
+  txn_intro_.token.store(writer_token_, std::memory_order_relaxed);
+  txn_intro_.read_ts.store(commit_ts_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  txn_intro_.statements.store(0, std::memory_order_relaxed);
+  static auto& versions_installed =
+      telemetry::MetricsRegistry::instance().counter("mvcc.versions_installed");
+  txn_intro_.versions_base.store(versions_installed.value(),
+                                 std::memory_order_relaxed);
+  txn_intro_.started_unix_ms.store(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  txn_intro_.open.store(true, std::memory_order_release);
 }
 
 void Database::commit() {
@@ -845,6 +861,7 @@ void Database::commit() {
       // in-memory state matches what recovery would reconstruct, then
       // surface the IO failure. The transaction is over either way.
       in_txn_ = false;
+      txn_intro_.open.store(false, std::memory_order_release);
       txn_wal_buffer_.clear();
       abort_txn_stamps();
       clear_writer();
@@ -852,6 +869,7 @@ void Database::commit() {
     }
   }
   in_txn_ = false;
+  txn_intro_.open.store(false, std::memory_order_release);
   txn_wal_buffer_.clear();
   publish_txn_stamps();
   clear_writer();
@@ -863,6 +881,7 @@ void Database::commit() {
 void Database::rollback() {
   if (!in_txn_) throw DbError("ROLLBACK without BEGIN");
   in_txn_ = false;
+  txn_intro_.open.store(false, std::memory_order_release);
   abort_txn_stamps();
   txn_wal_buffer_.clear();
   clear_writer();
@@ -914,9 +933,19 @@ void Database::checkpoint() {
   // committed version, dead slots are freed, and — with every stamp
   // pointer folded into the version caches by vacuum() — the retired
   // stamps themselves can be released.
-  for (auto& [name, t] : tables_) t->vacuum();
-  stamp_graveyard_.clear();
-  if (!wal_) return;
+  const auto checkpoint_start = std::chrono::steady_clock::now();
+  {
+    const auto vacuum_start = checkpoint_start;
+    for (auto& [name, t] : tables_) t->vacuum();
+    stamp_graveyard_.clear();
+    telemetry::trace_emit("mvcc.vacuum", "checkpoint", vacuum_start,
+                          std::chrono::steady_clock::now());
+  }
+  if (!wal_) {
+    telemetry::trace_emit("checkpoint", "checkpoint", checkpoint_start,
+                          std::chrono::steady_clock::now());
+    return;
+  }
   util::WallTimer timer;
   namespace fs = std::filesystem;
   const fs::path snapshot = directory_ / kSnapshotFile;
@@ -973,6 +1002,8 @@ void Database::checkpoint() {
           "sqldb.checkpoint.micros");
   checkpoints.add();
   checkpoint_micros.record(static_cast<std::uint64_t>(timer.seconds() * 1e6));
+  telemetry::trace_emit("checkpoint", "checkpoint", checkpoint_start,
+                        std::chrono::steady_clock::now());
 }
 
 std::string Database::render_snapshot(std::uint64_t watermark) const {

@@ -30,6 +30,7 @@
 #include "sqldb/executor.h"
 #include "sqldb/governor.h"
 #include "sqldb/lock_manager.h"
+#include "sqldb/statement_registry.h"
 #include "sqldb/table.h"
 
 namespace perfdmf::sqldb {
@@ -156,9 +157,40 @@ class Database {
   /// owning thread finish a transaction through any connection. Both are
   /// touched only while holding the exclusive lock.
   void adopt_txn_admission(AdmissionSlot slot) {
+    const bool held = slot.held();
     txn_admission_ = std::move(slot);
+    txn_intro_.admission_held.store(held, std::memory_order_relaxed);
   }
-  void release_txn_admission() { txn_admission_.release(); }
+  void release_txn_admission() {
+    txn_admission_.release();
+    txn_intro_.admission_held.store(false, std::memory_order_relaxed);
+  }
+
+  // ----- introspection --------------------------------------------------
+  /// Live registry of currently executing statements (PERFDMF_STATEMENTS).
+  StatementRegistry& statements() { return stmt_registry_; }
+
+  /// The WAL, or nullptr for in-memory databases (PERFDMF_WAL).
+  Wal* wal() { return wal_.get(); }
+
+  /// Lock-free mirror of the open transaction's state, maintained by the
+  /// txn owner (under the writer mutex) and read by the PERFDMF_TRANSACTIONS
+  /// materializer from any thread. The mirror exists precisely so
+  /// introspection never reads the non-atomic txn fields (in_txn_,
+  /// txn_stamps_, ...) the writer mutates.
+  struct TxnIntrospection {
+    std::atomic<bool> open{false};
+    std::atomic<bool> admission_held{false};
+    std::atomic<std::uint64_t> token{0};
+    std::atomic<std::uint64_t> read_ts{0};      // commit_ts at BEGIN
+    std::atomic<std::uint64_t> statements{0};   // DML statements so far
+    // mvcc.versions_installed at BEGIN. The open txn holds the writer
+    // mutex, so the counter's growth since BEGIN is exactly this txn's
+    // installed versions.
+    std::atomic<std::uint64_t> versions_base{0};
+    std::atomic<std::int64_t> started_unix_ms{0};
+  };
+  const TxnIntrospection& txn_introspection() const { return txn_intro_; }
 
  private:
   friend ResultSetData execute_select(Database&, SelectStatement&, const Params&,
@@ -267,6 +299,8 @@ class Database {
 
   AdmissionGovernor governor_{AdmissionGovernor::config_from_env()};
   AdmissionSlot txn_admission_;
+  StatementRegistry stmt_registry_;
+  TxnIntrospection txn_intro_;
   std::atomic<bool> read_only_{false};
   mutable std::mutex read_only_mutex_;  // guards read_only_reason_
   std::string read_only_reason_;

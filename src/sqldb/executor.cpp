@@ -1,6 +1,7 @@
 #include "sqldb/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -24,6 +25,52 @@ namespace {
 // so a conservative flat cost per retained entry/value is enough.
 constexpr std::uint64_t kHashEntryBytes = 64;  // bucket + key + index slot
 constexpr std::uint64_t kValueBytes = 48;      // one stored Value, amortized
+
+/// Collects per-operator runtime stats (EXPLAIN ANALYZE) and emits
+/// operator events onto the trace timeline. Inactive — zero clock reads —
+/// unless the statement runs under EXPLAIN ANALYZE or its span is traced.
+/// Timing uses the steady clock directly so EXPLAIN ANALYZE stays exact
+/// in telemetry-off builds.
+struct OpRecorder {
+  ExplainInfo* explain = nullptr;  // non-null only when collecting op stats
+  bool traced = false;             // current statement span is on the timeline
+
+  static OpRecorder make(ExplainInfo* explain) {
+    OpRecorder rec;
+    rec.explain = explain != nullptr && explain->analyze ? explain : nullptr;
+    const telemetry::Span* span = telemetry::Span::current();
+    rec.traced = span != nullptr && span->trace_armed();
+    return rec;
+  }
+
+  bool active() const { return explain != nullptr || traced; }
+
+  std::chrono::steady_clock::time_point begin() const {
+    return active() ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{};
+  }
+
+  void record(std::string label, std::chrono::steady_clock::time_point start,
+              std::uint64_t rows_in, std::uint64_t rows_out,
+              std::uint64_t entries = 0, std::uint64_t mem_bytes = 0,
+              bool degraded = false) {
+    if (!active()) return;
+    const auto end = std::chrono::steady_clock::now();
+    if (traced) telemetry::trace_emit(label, "operator", start, end);
+    if (explain == nullptr) return;
+    OperatorStats op;
+    op.label = std::move(label);
+    op.rows_in = rows_in;
+    op.rows_out = rows_out;
+    op.micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count());
+    op.entries = entries;
+    op.mem_bytes = mem_bytes;
+    op.degraded = degraded;
+    explain->ops.push_back(std::move(op));
+  }
+};
 
 // ------------------------------------------------------------ planning
 
@@ -388,7 +435,7 @@ struct WorkingSet {
 /// self-referential view chains.
 Table& resolve_table(Database& db, const std::string& name, WorkingSet& ws) {
   if (is_system_table_name(name)) {
-    ws.owned_tables.push_back(materialize_system_table(name));
+    ws.owned_tables.push_back(materialize_system_table(name, &db));
     return *ws.owned_tables.back();
   }
   if (!db.has_view(name)) return db.table(name);
@@ -423,7 +470,8 @@ Table& resolve_table(Database& db, const std::string& name, WorkingSet& ws) {
 
 /// FROM + JOIN + WHERE: produce the working rows and the column layout.
 WorkingSet build_working_set(Database& db, SelectStatement& stmt,
-                             const Params& params, ExplainInfo* explain) {
+                             const Params& params, ExplainInfo* explain,
+                             OpRecorder& rec) {
   const ExecutorTuning tuning = db.executor_tuning();
   StatementContext* ctx = StatementContext::current();
   // The statement's MVCC snapshot: pinned once, used for every row
@@ -495,6 +543,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
   if (explain) {
     explain->add("from " + base_alias + ": " + describe_access_path(base, path));
   }
+  const auto from_start = rec.begin();
   const std::vector<RowId> candidates = fetch_access_path(base, path, view);
 
   ws.rows.reserve(candidates.size());
@@ -511,6 +560,8 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     }
     if (keep) ws.rows.push_back(*row);
   }
+  rec.record("from " + base_alias, from_start, candidates.size(),
+             ws.rows.size());
 
   // Joins. An equi-join conjunct (existing_col = right_col) in the ON
   // clause selects a build/probe hash join built on the smaller side;
@@ -519,6 +570,11 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
   // plain nested loop otherwise. NULL keys never hash-match (SQL '='),
   // and the non-equi remainder of the ON clause is evaluated per pair.
   for (auto& join : stmt.joins) {
+    const auto join_start = rec.begin();
+    const std::uint64_t join_rows_in = ws.rows.size();
+    std::uint64_t join_entries = 0;   // hash-build entries (0 on fallback)
+    std::uint64_t join_mem = 0;       // peak bytes charged by the build
+    bool join_degraded = false;       // hash build abandoned under pressure
     Table& right = resolve_table(db, join.table.table, ws);
     const std::string right_alias = util::to_lower(join.table.alias);
     std::vector<BoundColumn> new_layout = ws.layout;
@@ -599,6 +655,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
           }
           table[key].push_back(i);
         }
+        join_entries = table.size();
         if (!degraded) {
           std::vector<std::vector<Row>> matches(ws.rows.size());
           right.scan(view, [&](RowId, const Row& right_row) {
@@ -641,6 +698,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
           }
           table[key].push_back(&right_row);
         });
+        join_entries = table.size();
         if (!degraded) {
           for (const auto& left_row : ws.rows) {
             if (ctx != nullptr) ctx->poll();
@@ -668,6 +726,8 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
           }
         }
       }
+      join_mem = mem.charged();
+      join_degraded = degraded;
       if (degraded) {
         if (ctx != nullptr) ctx->note_mem_degraded();
         if (explain) explain->add("join " + right_alias + ": mem-degraded");
@@ -716,10 +776,17 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
     }
     ws.rows = std::move(joined);
     ws.layout = std::move(new_layout);
+    rec.record("join " + right_alias, join_start, join_rows_in, ws.rows.size(),
+               join_entries, join_mem, join_degraded);
   }
 
-  if (stmt.where && !stmt.joins.empty()) {
-    bind_expr(*stmt.where, ws.layout);
+  // Full WHERE over the working rows: post-join re-evaluation (pushed
+  // conjuncts were partial), or the full predicate over index candidates
+  // (a superset) in the single-table case.
+  if (stmt.where) {
+    const auto filter_start = rec.begin();
+    const std::uint64_t filter_rows_in = ws.rows.size();
+    if (!stmt.joins.empty()) bind_expr(*stmt.where, ws.layout);
     std::vector<Row> kept;
     kept.reserve(ws.rows.size());
     for (auto& row : ws.rows) {
@@ -729,17 +796,7 @@ WorkingSet build_working_set(Database& db, SelectStatement& stmt,
       }
     }
     ws.rows = std::move(kept);
-  } else if (stmt.where && stmt.joins.empty()) {
-    // Index candidates are a superset; apply the full predicate.
-    std::vector<Row> kept;
-    kept.reserve(ws.rows.size());
-    for (auto& row : ws.rows) {
-      if (ctx != nullptr) ctx->poll();
-      if (is_truthy(eval_expr(*stmt.where, row, params))) {
-        kept.push_back(std::move(row));
-      }
-    }
-    ws.rows = std::move(kept);
+    rec.record("filter", filter_start, filter_rows_in, ws.rows.size());
   }
   return ws;
 }
@@ -779,7 +836,8 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
   if (stmt.limit) limit_count = eval_limit_operand(*stmt.limit, params, "LIMIT");
   if (stmt.offset) offset_count = eval_limit_operand(*stmt.offset, params, "OFFSET");
 
-  WorkingSet ws = build_working_set(db, stmt, params, explain);
+  OpRecorder rec = OpRecorder::make(explain);
+  WorkingSet ws = build_working_set(db, stmt, params, explain, rec);
 
   // Expand '*' items into one column ref per working column.
   std::vector<const Expr*> output_exprs;  // parallel to output columns
@@ -848,12 +906,14 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
   // sort keys), so the budget check happens before any row is emitted;
   // a breach degrades to the plain full sort.
   ScopedMemCharge topk_mem(ctx);
+  bool topk_degraded = false;
   if (use_topk && keep > 0) {
     const std::uint64_t estimate =
         static_cast<std::uint64_t>(keep) *
         (output_exprs.size() + stmt.order_by.size()) * kValueBytes;
     if (!topk_mem.charge(estimate)) {
       use_topk = false;
+      topk_degraded = true;
       if (ctx != nullptr) ctx->note_mem_degraded();
       if (explain) explain->add("order-by: top-k mem-degraded");
     }
@@ -909,6 +969,12 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
     bind_expr(*item.expr, ws.layout);
     return eval_expr(*item.expr, working_row, params);
   };
+
+  const auto produce_start = rec.begin();
+  const std::uint64_t produce_rows_in = ws.rows.size();
+  std::uint64_t group_entries = 0;  // groups materialized (either strategy)
+  std::uint64_t group_mem = 0;      // bytes charged by the hash strategy
+  bool group_degraded = false;      // hash grouping fell back to ordered map
 
   if (!aggregated) {
     if (!use_topk) output.reserve(ws.rows.size());
@@ -1014,6 +1080,8 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
         }
         accumulate(entry.accumulators, row);
       }
+      group_mem = mem.charged();
+      group_degraded = degraded;
       if (degraded) {
         if (ctx != nullptr) ctx->note_mem_degraded();
         if (explain) explain->add("group-by: mem-degraded");
@@ -1029,6 +1097,7 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
           explain->add("group-by: hash groups=" +
                        std::to_string(groups.entries().size()));
         }
+        group_entries = groups.entries().size();
         for (const auto& entry : groups.entries()) {
           if (ctx != nullptr) ctx->poll();
           finish_group(entry.rep, entry.accumulators);
@@ -1050,6 +1119,7 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
       if (explain) {
         explain->add("group-by: ordered groups=" + std::to_string(groups.size()));
       }
+      group_entries = groups.size();
       for (auto& [key, members] : groups) {
         if (ctx != nullptr) ctx->poll();
         std::vector<Accumulator> accumulators = make_accumulators();
@@ -1059,7 +1129,17 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
     }
   }
 
+  if (aggregated) {
+    rec.record("group-by", produce_start, produce_rows_in, next_seq,
+               group_entries, group_mem, group_degraded);
+  } else {
+    rec.record("project", produce_start, produce_rows_in, next_seq);
+  }
+
   if (!stmt.order_by.empty()) {
+    // rows_out < rows_in happens only on the Top-K path, which already
+    // dropped beaten rows at emit time; the sort itself is row-preserving.
+    const auto sort_start = rec.begin();
     if (use_topk) {
       std::sort_heap(output.begin(), output.end(), output_less);
       if (explain) {
@@ -1070,8 +1150,11 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
       std::sort(output.begin(), output.end(), output_less);
       if (explain) explain->add("order-by: sort");
     }
+    rec.record("order-by", sort_start, next_seq, output.size(), 0,
+               topk_mem.charged(), topk_degraded);
   }
 
+  const auto limit_start = rec.begin();
   std::size_t begin = 0;
   std::size_t end = output.size();
   if (offset_count) begin = std::min(end, *offset_count);
@@ -1081,13 +1164,43 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
   for (std::size_t i = begin; i < end; ++i) {
     result.rows.push_back(std::move(output[i].values));
   }
+  if (limit_count || offset_count) {
+    rec.record("limit", limit_start, output.size(), result.rows.size());
+  }
   return result;
 }
 
 ResultSetData execute_explain(Database& db, SelectStatement& stmt,
-                              const Params& params) {
+                              const Params& params, bool analyze) {
   ExplainInfo info;
+  info.analyze = analyze;
   execute_select(db, stmt, params, &info);
+  if (analyze) {
+    for (const auto& op : info.ops) {
+      std::string line = "analyze " + op.label +
+                         ": rows_in=" + std::to_string(op.rows_in) +
+                         " rows_out=" + std::to_string(op.rows_out) +
+                         " time_us=" + std::to_string(op.micros);
+      if (op.entries != 0) line += " entries=" + std::to_string(op.entries);
+      if (op.mem_bytes != 0) {
+        line += " mem_bytes=" + std::to_string(op.mem_bytes);
+      }
+      if (op.degraded) line += " degraded";
+      info.add(std::move(line));
+    }
+    // Pin the annotated plan into the statement's span and force it into
+    // the slow-query ring, so PERFDMF_SLOW_QUERIES keeps the operator
+    // breakdown of every EXPLAIN ANALYZE run.
+    if (telemetry::Span* span = telemetry::Span::current()) {
+      std::string plan;
+      for (const auto& line : info.lines) {
+        if (!plan.empty()) plan += '\n';
+        plan += line;
+      }
+      span->set_plan(std::move(plan));
+      span->force_trace();
+    }
+  }
   ResultSetData out;
   out.column_names = {"plan"};
   out.rows.reserve(info.lines.size());

@@ -10,6 +10,7 @@
 // construction, not pipelining.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,12 +38,32 @@ struct ExecutorTuning {
   bool top_k = true;
 };
 
+/// Per-operator runtime stats collected under EXPLAIN ANALYZE. Operators
+/// form a chain in pipeline order (from -> join* -> filter ->
+/// group-by|project -> order-by -> limit); each operator's rows_in is by
+/// construction the preceding operator's rows_out, and the operator
+/// timing intervals are disjoint, so their micros sum to at most the
+/// statement's total.
+struct OperatorStats {
+  std::string label;            // "from t", "join b", "group-by", ...
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t micros = 0;
+  std::uint64_t entries = 0;    // hash-table entries (join build, group-by)
+  std::uint64_t mem_bytes = 0;  // bytes charged against the memory budget
+  bool degraded = false;        // operator fell back under memory pressure
+};
+
 /// Plan description collected while executing under EXPLAIN: one line per
 /// decision (base-table access path, join strategy per join, grouping
 /// strategy, ORDER BY strategy). The Connection layer appends a
-/// plan-cache line for EXPLAIN statements it serves.
+/// plan-cache line for EXPLAIN statements it serves. With `analyze` set
+/// (EXPLAIN ANALYZE) the executor additionally fills `ops` with runtime
+/// operator stats.
 struct ExplainInfo {
+  bool analyze = false;
   std::vector<std::string> lines;
+  std::vector<OperatorStats> ops;
   void add(std::string line) { lines.push_back(std::move(line)); }
 };
 
@@ -56,9 +77,12 @@ ResultSetData execute_select(Database& db, SelectStatement& stmt,
                              ExplainInfo* explain = nullptr);
 
 /// EXPLAIN SELECT: run the select (so group/strategy decisions reflect the
-/// actual data) and return the plan lines as a one-column result.
+/// actual data) and return the plan lines as a one-column result. With
+/// `analyze` (EXPLAIN ANALYZE) each operator's runtime stats are appended
+/// as additional "analyze <op>: ..." lines and recorded into the active
+/// telemetry span so the slow-query ring gains operator-level detail.
 ResultSetData execute_explain(Database& db, SelectStatement& stmt,
-                              const Params& params);
+                              const Params& params, bool analyze = false);
 
 /// Candidate RowIds for a WHERE clause over a single table, using an
 /// index when the (already bound) predicate pins an indexed column with

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "telemetry/span.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -17,6 +18,13 @@ int env_int(const char* name, int fallback) {
   if (raw == nullptr || *raw == '\0') return fallback;
   const auto parsed = util::parse_int(raw);
   return parsed ? static_cast<int>(*parsed) : fallback;
+}
+
+telemetry::Histogram& admission_wait_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::MetricsRegistry::instance().histogram(
+          "gov.admission.wait_micros");
+  return h;
 }
 
 }  // namespace
@@ -82,6 +90,13 @@ AdmissionSlot AdmissionGovernor::admit(StatementContext* ctx) {
 
   const std::uint64_t ticket = next_ticket_++;
   queue_.push_back(ticket);
+  // Queued: the time from here until admission is governance overhead,
+  // not execution — attribute it to the span's admission phase (and flag
+  // the live-statement view) instead of letting it hide in the execute
+  // remainder.
+  telemetry::PhaseTimer admission_timer(telemetry::Phase::kAdmission,
+                                        &admission_wait_histogram());
+  ScopedPhaseLabel phase_label(ctx, "admission");
   const auto shed_at = Clock::now() + std::chrono::milliseconds(cfg_.queue_timeout_ms);
   auto abandon = [&] {
     queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));

@@ -35,6 +35,19 @@
 #include "telemetry/span.h"
 #include "util/error.h"
 
+// ThreadSanitizer detection: gcc defines __SANITIZE_THREAD__, clang
+// exposes __has_feature(thread_sanitizer).
+#if defined(__SANITIZE_THREAD__)
+#define PERFDMF_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PERFDMF_TSAN 1
+#endif
+#endif
+#ifndef PERFDMF_TSAN
+#define PERFDMF_TSAN 0
+#endif
+
 namespace perfdmf::sqldb {
 
 namespace detail {
@@ -58,6 +71,19 @@ enum class StatementClass {
 
 StatementClass classify_statement(const Statement& stmt);
 
+/// Point-in-time view of one LockManager for the PERFDMF_LOCKS system
+/// table. Read from relaxed atomics — each field is individually exact,
+/// the set is only approximately simultaneous (fine for introspection).
+struct LockStats {
+  int writer_holders = 0;          // 0 or 1
+  int writer_waiters = 0;
+  std::uint64_t writer_wait_micros = 0;   // cumulative, contended waits only
+  int drain_shared_holders = 0;
+  int drain_exclusive_holders = 0;  // 0 or 1
+  int drain_waiters = 0;
+  std::uint64_t drain_wait_micros = 0;
+};
+
 /// Lock acquisition policy. kSerialized reproduces the pre-MVCC behaviour
 /// (every statement, reads included, funnels through the writer mutex); it
 /// exists so the benchmarks can measure the read-scalability win and must
@@ -78,16 +104,25 @@ class LockManager {
   /// cancel flag every kWaitSlice, so a stalled DDL drain cannot hang a
   /// reader past its deadline (throws DbError{kTimeout|kCancelled}).
   void lock_shared(StatementContext* ctx = nullptr) {
-    if (drain_.try_lock_shared()) return;  // uncontended: skip wait timing
-    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
-                                     &detail::lock_wait_histogram());
-    if (!governed(ctx)) {
-      drain_.lock_shared();
+    if (drain_.try_lock_shared()) {  // uncontended: skip wait timing
+      drain_shared_holders_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    while (!drain_.try_lock_shared_for(wait_slice(ctx))) ctx->check_now();
+    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
+                                     &detail::lock_wait_histogram());
+    WaitTracker tracker(drain_waiters_, drain_wait_micros_);
+    ScopedPhaseLabel phase_label(ctx, "lock_wait");
+    if (!governed(ctx)) {
+      drain_.lock_shared();
+    } else {
+      while (!drain_shared_try_slice(wait_slice(ctx))) ctx->check_now();
+    }
+    drain_shared_holders_.fetch_add(1, std::memory_order_relaxed);
   }
-  void unlock_shared() { drain_.unlock_shared(); }
+  void unlock_shared() {
+    drain_shared_holders_.fetch_sub(1, std::memory_order_relaxed);
+    drain_.unlock_shared();
+  }
 
   /// DML / transaction access: writer mutex, then drain lock shared.
   void lock_writer(StatementContext* ctx = nullptr) {
@@ -95,9 +130,12 @@ class LockManager {
     // Cannot block: drain-exclusive holders acquire the writer mutex first,
     // so while we hold it only other shared holders touch the drain lock.
     drain_.lock_shared();
+    drain_shared_holders_.fetch_add(1, std::memory_order_relaxed);
   }
   void unlock_writer() {
+    drain_shared_holders_.fetch_sub(1, std::memory_order_relaxed);
     drain_.unlock_shared();
+    writer_holders_.fetch_sub(1, std::memory_order_relaxed);
     writer_.unlock();
   }
 
@@ -105,21 +143,30 @@ class LockManager {
   void lock_exclusive(StatementContext* ctx = nullptr) {
     lock_writer_mutex(ctx);
     try {
-      if (drain_.try_lock()) return;
-      telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
-                                       &detail::lock_wait_histogram());
-      if (!governed(ctx)) {
-        drain_.lock();
+      if (drain_.try_lock()) {
+        drain_exclusive_holders_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      while (!drain_.try_lock_for(wait_slice(ctx))) ctx->check_now();
+      telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
+                                       &detail::lock_wait_histogram());
+      WaitTracker tracker(drain_waiters_, drain_wait_micros_);
+      ScopedPhaseLabel phase_label(ctx, "lock_wait");
+      if (!governed(ctx)) {
+        drain_.lock();
+      } else {
+        while (!drain_try_slice(wait_slice(ctx))) ctx->check_now();
+      }
+      drain_exclusive_holders_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
+      writer_holders_.fetch_sub(1, std::memory_order_relaxed);
       writer_.unlock();
       throw;
     }
   }
   void unlock_exclusive() {
+    drain_exclusive_holders_.fetch_sub(1, std::memory_order_relaxed);
     drain_.unlock();
+    writer_holders_.fetch_sub(1, std::memory_order_relaxed);
     writer_.unlock();
   }
 
@@ -156,6 +203,23 @@ class LockManager {
     return mode_.load(std::memory_order_relaxed);
   }
 
+  /// Lock-free snapshot for the PERFDMF_LOCKS system table — never
+  /// touches the locks themselves, so introspection cannot block or
+  /// deadlock the paths it observes.
+  LockStats stats() const {
+    LockStats s;
+    s.writer_holders = writer_holders_.load(std::memory_order_relaxed);
+    s.writer_waiters = writer_waiters_.load(std::memory_order_relaxed);
+    s.writer_wait_micros = writer_wait_micros_.load(std::memory_order_relaxed);
+    s.drain_shared_holders =
+        drain_shared_holders_.load(std::memory_order_relaxed);
+    s.drain_exclusive_holders =
+        drain_exclusive_holders_.load(std::memory_order_relaxed);
+    s.drain_waiters = drain_waiters_.load(std::memory_order_relaxed);
+    s.drain_wait_micros = drain_wait_micros_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   /// Bounded-wait slice: short enough that cancellation and timeout are
   /// observed promptly, long enough that the retry loop is cheap.
@@ -163,6 +227,49 @@ class LockManager {
 
   static bool governed(const StatementContext* ctx) {
     return ctx != nullptr && (ctx->deadline.armed() || ctx->cancel != nullptr);
+  }
+
+#if PERFDMF_TSAN
+  /// libtsan (through at least GCC 12) does not intercept the
+  /// pthread *_clocklock calls behind try_lock_for and its shared/rwlock
+  /// siblings, so a timed acquisition succeeds without the sanitizer
+  /// learning the lock is held — erasing the happens-before edge and
+  /// fabricating data races on everything the writer mutex protects.
+  /// Under TSan, spend each wait slice polling the plain (intercepted)
+  /// try_lock instead: same bounded-wait semantics, visible to the tool.
+  template <typename TryFn>
+  static bool poll_slice(TryFn&& try_fn, std::chrono::milliseconds slice) {
+    const auto give_up = std::chrono::steady_clock::now() + slice;
+    for (;;) {
+      if (try_fn()) return true;
+      if (std::chrono::steady_clock::now() >= give_up) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+#endif
+
+  /// One bounded wait slice per lock flavor; non-TSan builds block on
+  /// the real timed acquisition.
+  bool writer_try_slice(std::chrono::milliseconds slice) {
+#if PERFDMF_TSAN
+    return poll_slice([this] { return writer_.try_lock(); }, slice);
+#else
+    return writer_.try_lock_for(slice);
+#endif
+  }
+  bool drain_try_slice(std::chrono::milliseconds slice) {
+#if PERFDMF_TSAN
+    return poll_slice([this] { return drain_.try_lock(); }, slice);
+#else
+    return drain_.try_lock_for(slice);
+#endif
+  }
+  bool drain_shared_try_slice(std::chrono::milliseconds slice) {
+#if PERFDMF_TSAN
+    return poll_slice([this] { return drain_.try_lock_shared(); }, slice);
+#else
+    return drain_.try_lock_shared_for(slice);
+#endif
   }
   static std::chrono::milliseconds wait_slice(StatementContext* ctx) {
     const auto slice = ctx->deadline.remaining_or(kWaitSlice);
@@ -174,21 +281,66 @@ class LockManager {
                                kWaitSlice.count()));
   }
 
+  /// Counts a contended wait for stats(): registered as a waiter for the
+  /// wait's duration, elapsed micros accumulated on exit (throw included,
+  /// so a timed-out waiter doesn't leak a waiter count).
+  class WaitTracker {
+   public:
+    WaitTracker(std::atomic<int>& waiters,
+                std::atomic<std::uint64_t>& wait_micros)
+        : waiters_(waiters),
+          wait_micros_(wait_micros),
+          start_(std::chrono::steady_clock::now()) {
+      waiters_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~WaitTracker() {
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+      wait_micros_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+    WaitTracker(const WaitTracker&) = delete;
+    WaitTracker& operator=(const WaitTracker&) = delete;
+
+   private:
+    std::atomic<int>& waiters_;
+    std::atomic<std::uint64_t>& wait_micros_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
   void lock_writer_mutex(StatementContext* ctx) {
-    if (writer_.try_lock()) return;  // uncontended: skip wait timing
-    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
-                                     &detail::lock_wait_histogram());
-    if (!governed(ctx)) {
-      writer_.lock();
+    if (writer_.try_lock()) {  // uncontended: skip wait timing
+      writer_holders_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    while (!writer_.try_lock_for(wait_slice(ctx))) ctx->check_now();
+    telemetry::PhaseTimer wait_phase(telemetry::Phase::kLockWait,
+                                     &detail::lock_wait_histogram());
+    WaitTracker tracker(writer_waiters_, writer_wait_micros_);
+    ScopedPhaseLabel phase_label(ctx, "lock_wait");
+    if (!governed(ctx)) {
+      writer_.lock();
+    } else {
+      while (!writer_try_slice(wait_slice(ctx))) ctx->check_now();
+    }
+    writer_holders_.fetch_add(1, std::memory_order_relaxed);
   }
 
   std::timed_mutex writer_;
   std::shared_timed_mutex drain_;
   std::atomic<std::thread::id> txn_owner_{};
   std::atomic<ConcurrencyMode> mode_{ConcurrencyMode::kSharedRead};
+
+  // Introspection counters (see stats()).
+  std::atomic<int> writer_holders_{0};
+  std::atomic<int> writer_waiters_{0};
+  std::atomic<std::uint64_t> writer_wait_micros_{0};
+  std::atomic<int> drain_shared_holders_{0};
+  std::atomic<int> drain_exclusive_holders_{0};
+  std::atomic<int> drain_waiters_{0};
+  std::atomic<std::uint64_t> drain_wait_micros_{0};
 };
 
 /// RAII statement-scope guard. Maps the statement class to a lock level —

@@ -94,6 +94,7 @@ class Parser {
       stmt.kind = StatementKind::kSelect;
       stmt.select = parse_select_body();
     } else if (accept_keyword("EXPLAIN")) {
+      stmt.analyze = accept_keyword("ANALYZE");
       expect_keyword("SELECT");
       stmt.kind = StatementKind::kExplain;
       stmt.select = parse_select_body();

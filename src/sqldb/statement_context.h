@@ -73,14 +73,53 @@ class StatementContext {
   std::uint64_t mem_soft_bytes = 0;  // 0 = unlimited
   std::uint64_t mem_hard_bytes = 0;  // 0 = unlimited
 
+  StatementContext() = default;
+  /// Movable so Connection::make_statement_context can return by value.
+  /// The atomics make the default move ill-formed; moving is only legal
+  /// before the context is installed (no concurrent observers yet).
+  StatementContext(StatementContext&& other) noexcept
+      : deadline(other.deadline),
+        cancel(other.cancel),
+        mem_soft_bytes(other.mem_soft_bytes),
+        mem_hard_bytes(other.mem_hard_bytes),
+        tick_(other.tick_),
+        mem_used_(other.mem_used_),
+        mem_degraded_(other.mem_degraded_),
+        pending_durable_seq_(other.pending_durable_seq_),
+        rows_polled_(other.rows_polled_.load(std::memory_order_relaxed)),
+        phase_label_(other.phase_label_.load(std::memory_order_relaxed)) {}
+  StatementContext(const StatementContext&) = delete;
+  StatementContext& operator=(const StatementContext&) = delete;
+
   /// The context installed for the statement this thread is currently
   /// executing, or nullptr outside statement scope (e.g. WAL replay).
   static StatementContext* current();
 
   /// Row-batch cancellation point: cheap tick, full check every
-  /// kPollStride calls.
+  /// kPollStride calls. The tick count doubles as the "rows so far"
+  /// progress figure, published (at stride granularity) for the
+  /// PERFDMF_STATEMENTS live table.
   void poll() {
-    if (++tick_ % kPollStride == 0) check_now();
+    if (++tick_ % kPollStride == 0) {
+      rows_polled_.store(tick_, std::memory_order_relaxed);
+      check_now();
+    }
+  }
+
+  /// Rows processed so far, at kPollStride granularity. Readable from
+  /// any thread while the statement runs (introspection).
+  std::uint64_t rows_polled() const {
+    return rows_polled_.load(std::memory_order_relaxed);
+  }
+
+  /// Coarse current-phase label ("execute" by default; wait sites set
+  /// "admission" / "lock_wait" / "fsync" for their duration). Values are
+  /// string literals, so cross-thread reads are safe.
+  const char* phase_label() const {
+    return phase_label_.load(std::memory_order_relaxed);
+  }
+  void set_phase_label(const char* label) {
+    phase_label_.store(label, std::memory_order_relaxed);
   }
 
   /// Immediate check: throws DbError{kCancelled} if the cancel flag is
@@ -117,6 +156,29 @@ class StatementContext {
   std::uint64_t mem_used_ = 0;
   bool mem_degraded_ = false;
   std::uint64_t pending_durable_seq_ = 0;  // 0 = nothing awaiting fsync
+  std::atomic<std::uint64_t> rows_polled_{0};
+  std::atomic<const char*> phase_label_{"execute"};
+};
+
+/// Sets the context's coarse phase label for a scope (wait sites), then
+/// restores the previous label. Null context is a no-op.
+class ScopedPhaseLabel {
+ public:
+  ScopedPhaseLabel(StatementContext* ctx, const char* label) : ctx_(ctx) {
+    if (ctx_ != nullptr) {
+      prev_ = ctx_->phase_label();
+      ctx_->set_phase_label(label);
+    }
+  }
+  ~ScopedPhaseLabel() {
+    if (ctx_ != nullptr) ctx_->set_phase_label(prev_);
+  }
+  ScopedPhaseLabel(const ScopedPhaseLabel&) = delete;
+  ScopedPhaseLabel& operator=(const ScopedPhaseLabel&) = delete;
+
+ private:
+  StatementContext* ctx_;
+  const char* prev_ = nullptr;
 };
 
 /// Accounts one operator's approximate footprint against the statement
@@ -138,6 +200,9 @@ class ScopedMemCharge {
     charged_ += bytes;
     return ctx_ == nullptr || ctx_->charge(bytes);
   }
+
+  /// Total bytes charged over this operator's lifetime (EXPLAIN ANALYZE).
+  std::uint64_t charged() const { return charged_; }
 
  private:
   StatementContext* ctx_;

@@ -1,10 +1,18 @@
-// Virtual system tables serving framework telemetry over SQL.
+// Virtual system tables serving framework telemetry and live engine
+// state over SQL.
 //
-// PERFDMF_METRICS and PERFDMF_SLOW_QUERIES are reserved names resolved by
-// the executor (like views) into transient materialized tables built from
-// the telemetry registry / slow-query ring at query time. They never touch
-// storage or the WAL, are visible through DatabaseMetaData like ordinary
-// tables, and cannot be created, dropped, or written.
+// PERFDMF_METRICS and PERFDMF_SLOW_QUERIES snapshot the telemetry
+// registry / slow-query ring; PERFDMF_STATEMENTS, PERFDMF_TRANSACTIONS,
+// PERFDMF_LOCKS and PERFDMF_WAL materialize live engine state (active
+// statements, the open transaction, lock holders/waiters, WAL durability
+// position). All are reserved names resolved by the executor (like
+// views) into transient materialized tables built at query time. They
+// never touch storage or the WAL, are visible through DatabaseMetaData
+// like ordinary tables, and cannot be created, dropped, or written.
+//
+// The live tables read only atomics and per-slot try-locks, so querying
+// them never blocks — and never deadlocks — the statements, transactions
+// and WAL activity they report on.
 #pragma once
 
 #include <memory>
@@ -16,8 +24,15 @@
 
 namespace perfdmf::sqldb {
 
+class Database;
+
 inline constexpr std::string_view kMetricsTableName = "PERFDMF_METRICS";
 inline constexpr std::string_view kSlowQueriesTableName = "PERFDMF_SLOW_QUERIES";
+inline constexpr std::string_view kStatementsTableName = "PERFDMF_STATEMENTS";
+inline constexpr std::string_view kTransactionsTableName =
+    "PERFDMF_TRANSACTIONS";
+inline constexpr std::string_view kLocksTableName = "PERFDMF_LOCKS";
+inline constexpr std::string_view kWalTableName = "PERFDMF_WAL";
 
 /// True when `name` is a reserved system-table name (case-insensitive).
 bool is_system_table_name(std::string_view name);
@@ -28,8 +43,11 @@ std::vector<std::string> system_table_names();
 /// Column layout for reflection. Throws DbError for a non-system name.
 const TableSchema& system_table_schema(std::string_view name);
 
-/// Snapshot the live telemetry state into a transient Table the executor
-/// can scan / filter / aggregate. Throws DbError for a non-system name.
-std::unique_ptr<Table> materialize_system_table(std::string_view name);
+/// Snapshot the live telemetry / engine state into a transient Table the
+/// executor can scan / filter / aggregate. The live tables (statements,
+/// transactions, locks, WAL) need the owning database; with `db` null
+/// they materialize empty. Throws DbError for a non-system name.
+std::unique_ptr<Table> materialize_system_table(std::string_view name,
+                                                Database* db = nullptr);
 
 }  // namespace perfdmf::sqldb

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "sqldb/statement_context.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 #include "util/crc32.h"
@@ -405,12 +406,19 @@ void Wal::sync_now() {
       telemetry::MetricsRegistry::instance().histogram("sqldb.wal.fsync_micros");
   telemetry::PhaseTimer fsync_phase(telemetry::Phase::kFsync, &fsync_micros);
   util::failpoint::evaluate("wal.sync");
+  const auto start = std::chrono::steady_clock::now();
   if (fd_ >= 0 && ::fsync(fd_) != 0) {
     const int saved = errno;
     throw perfdmf::IoError("WAL fsync failed: " + path_.string() + ": " +
                                std::strerror(saved),
                            saved);
   }
+  last_fsync_micros_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()),
+      std::memory_order_relaxed);
 }
 
 std::uint64_t Wal::append(std::string_view sql, const Params& params,
@@ -482,6 +490,17 @@ void Wal::wait_durable(std::uint64_t seq) {
       "wal.group_commit.batch_size");
   commits.add();
   if (durable_seq_.load(std::memory_order_acquire) >= seq) return;
+  // Everything from here until the covering round lands is durability
+  // wait, not execution: label the live-statement view and count
+  // ourselves in the group-commit queue depth.
+  struct WaiterGuard {
+    std::atomic<int>& n;
+    explicit WaiterGuard(std::atomic<int>& c) : n(c) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~WaiterGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+  } waiter_guard(commit_waiters_);
+  ScopedPhaseLabel phase_label(StatementContext::current(), "fsync");
   std::unique_lock<std::mutex> lk(commit_mutex_);
   for (;;) {
     if (durable_seq_.load(std::memory_order_acquire) >= seq) return;
@@ -489,9 +508,13 @@ void Wal::wait_durable(std::uint64_t seq) {
       // Lead a round: snapshot the written high-water mark, fsync once
       // outside the queue lock, publish, wake everyone covered.
       leader_active_ = true;
+      const auto round_start = std::chrono::steady_clock::now();
       if (group_wait_.count() > 0) {
         // Accumulation window — nobody signals it; it is a bounded sleep
-        // that lets more committers finish their appends first.
+        // that lets more committers finish their appends first. The
+        // leader's span pays for it as fsync time (sync_now() covers only
+        // the fsync proper).
+        telemetry::PhaseTimer accumulation_wait(telemetry::Phase::kFsync);
         commit_cv_.wait_for(lk, group_wait_);
       }
       const std::uint64_t target = written_seq_.load(std::memory_order_acquire);
@@ -517,12 +540,23 @@ void Wal::wait_durable(std::uint64_t seq) {
         batch_size.record(target - prev);
       }
       syncs.add();
+      telemetry::trace_emit("wal.group_commit.round", "wal", round_start,
+                            std::chrono::steady_clock::now());
       commit_cv_.notify_all();
       // Loop re-checks: our record was written before we queued, so the
       // round we just led always covers seq.
     } else {
+      static auto& follower_wait_micros =
+          telemetry::MetricsRegistry::instance().histogram(
+              "wal.group_commit.follower_wait_micros");
       const std::uint64_t round = fail_round_;
-      commit_cv_.wait(lk);
+      {
+        // A follower's block time is durability cost; without this it
+        // would vanish into the span's execute remainder.
+        telemetry::PhaseTimer follower_wait(telemetry::Phase::kFsync,
+                                            &follower_wait_micros);
+        commit_cv_.wait(lk);
+      }
       if (durable_seq_.load(std::memory_order_acquire) >= seq) return;
       if (fail_round_ != round) {
         // The round we were queued behind failed; surface its error.

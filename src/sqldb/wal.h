@@ -92,6 +92,23 @@ class Wal {
     return durable_seq_.load(std::memory_order_acquire);
   }
 
+  /// Highest sequence number appended so far (written, not necessarily
+  /// durable). written_seq() >= durable_seq() always.
+  std::uint64_t written_seq() const {
+    return written_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Commits currently inside wait_durable() (leader + followers) — the
+  /// group-commit queue depth, readable lock-free for introspection.
+  int commit_queue_depth() const {
+    return commit_waiters_.load(std::memory_order_relaxed);
+  }
+
+  /// Duration of the most recent fsync in microseconds (0 before any).
+  std::uint64_t last_fsync_micros() const {
+    return last_fsync_micros_.load(std::memory_order_relaxed);
+  }
+
   /// What replay() found. A clean log has corrupt == false; a torn tail
   /// alone is normal and reported only through tail_torn.
   struct ReplayInfo {
@@ -155,6 +172,8 @@ class Wal {
   // an inline sync lands.
   std::atomic<std::uint64_t> written_seq_{0};
   std::atomic<std::uint64_t> durable_seq_{0};
+  std::atomic<int> commit_waiters_{0};
+  std::atomic<std::uint64_t> last_fsync_micros_{0};
   std::mutex commit_mutex_;
   std::condition_variable commit_cv_;
   bool leader_active_ = false;

@@ -1,6 +1,7 @@
 #include "telemetry/span.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,12 +39,49 @@ std::string format_ms(double ms) {
   return buf;
 }
 
+/// Timestamps in the trace are relative to the first moment tracing was
+/// looked at, so exported timelines start near zero.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<bool>& trace_enabled_storage() {
+  static std::atomic<bool> value{[] {
+    trace_epoch();  // pin the epoch before any event can be recorded
+    const char* env = std::getenv("PERFDMF_TRACE");
+    if (env == nullptr || *env == '\0') return false;
+    return std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0 &&
+           std::strcmp(env, "off") != 0;
+  }()};
+  return value;
+}
+
+std::uint64_t micros_after_epoch(std::chrono::steady_clock::time_point t) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      t - trace_epoch())
+                      .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+/// Small stable per-thread ordinal for the exported `tid` field (raw
+/// thread ids are unwieldy 64-bit values in the trace viewer).
+std::uint32_t trace_thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
 }  // namespace
 
 const char* phase_name(Phase phase) {
   switch (phase) {
     case Phase::kParse: return "parse";
     case Phase::kPlan: return "plan";
+    case Phase::kAdmission: return "admission";
     case Phase::kLockWait: return "lock_wait";
     case Phase::kExecute: return "execute";
     case Phase::kFsync: return "fsync";
@@ -112,6 +150,84 @@ void TraceRing::clear() {
   ring_.clear();
 }
 
+// ----------------------------------------------------------- TraceBuffer
+
+bool trace_enabled() {
+  return trace_enabled_storage().load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  trace_enabled_storage().store(on, std::memory_order_relaxed);
+}
+
+TraceBuffer& TraceBuffer::instance() {
+  static TraceBuffer* buffer = new TraceBuffer();  // never destroyed
+  return *buffer;
+}
+
+void TraceBuffer::push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_.front() = std::move(event);
+  std::rotate(ring_.begin(), ring_.begin() + 1, ring_.end());
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void TraceBuffer::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, n);
+  if (ring_.size() > capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(ring_.size() - capacity_));
+  }
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+void trace_emit(std::string name, const char* cat,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                std::uint64_t parent) {
+  if (!enabled() || !trace_enabled()) return;
+  if (parent == 0) {
+    Span* span = Span::current();
+    if (span != nullptr && span->trace_armed()) parent = span->span_id();
+  }
+  TraceEvent event;
+  event.parent = parent;
+  event.name = std::move(name);
+  event.cat = cat;
+  event.ts_us = micros_after_epoch(start);
+  event.dur_us = end > start
+                     ? static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::microseconds>(
+                               end - start)
+                               .count())
+                     : 0;
+  event.tid = trace_thread_ordinal();
+  TraceBuffer::instance().push(std::move(event));
+}
+
 // ------------------------------------------------------------------ Span
 
 Span* Span::current() { return t_current_span; }
@@ -121,18 +237,23 @@ Span::Span(std::string_view sql) : sql_(sql) {
   active_ = true;
   threshold_micros_ = threshold_micros_storage().load(std::memory_order_relaxed);
   slow_armed_ = threshold_micros_ >= 0;
+  trace_armed_ = trace_enabled();
   start_ = std::chrono::steady_clock::now();
   if (slow_armed_) wall_start_ = std::chrono::system_clock::now();
   prev_ = t_current_span;
+  if (trace_armed_) {
+    span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    if (prev_ != nullptr && prev_->trace_armed()) parent_id_ = prev_->span_id();
+  }
   t_current_span = this;
 }
 
 Span::~Span() {
   if (!active_) return;
   t_current_span = prev_;
+  const auto end = std::chrono::steady_clock::now();
   const auto total_us = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start_)
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
           .count());
   statement_histogram().record(total_us);
   // Execute is whatever the explicitly timed phases don't account for.
@@ -145,14 +266,27 @@ Span::~Span() {
   phase_micros_[static_cast<std::size_t>(Phase::kExecute)] =
       total_us > attributed ? total_us - attributed : 0;
 
-  const bool killed = std::strcmp(outcome_, "completed") != 0;
-  if (!killed && (!slow_armed_ ||
-                  total_us < static_cast<std::uint64_t>(threshold_micros_))) {
-    return;
+  if (trace_armed_ && trace_enabled()) {
+    TraceEvent event;
+    event.id = span_id_;
+    event.parent = parent_id_;
+    constexpr std::size_t kNameMax = 120;
+    event.name = std::string(sql_.substr(0, kNameMax));
+    if (sql_.size() > kNameMax) event.name += "...";
+    event.cat = "statement";
+    event.ts_us = micros_after_epoch(start_);
+    event.dur_us = total_us;
+    event.tid = trace_thread_ordinal();
+    TraceBuffer::instance().push(std::move(event));
   }
+
+  const bool killed = std::strcmp(outcome_, "completed") != 0;
+  const bool slow = slow_armed_ &&
+                    total_us >= static_cast<std::uint64_t>(threshold_micros_);
+  if (!killed && !slow && !forced_) return;
   if (!slow_armed_) {
-    // Killed with the slow log disarmed: the wall start was never
-    // captured eagerly, so reconstruct it from the measured duration.
+    // Killed (or force-traced) with the slow log disarmed: the wall start
+    // was never captured eagerly, so reconstruct it from the duration.
     wall_start_ = std::chrono::system_clock::now() -
                   std::chrono::microseconds(total_us);
   }
@@ -181,36 +315,41 @@ Span::~Span() {
     trace.phase_ms[i] = static_cast<double>(phase_micros_[i]) / 1000.0;
   }
 
-  std::string line;
-  if (killed) {
-    line = "query ";
-    line += outcome_;
-    line += " (";
-    line += format_ms(trace.total_ms);
-    line += " ms): ";
-  } else {
-    line = "slow query (";
-    line += format_ms(trace.total_ms);
-    line += " ms >= ";
-    line += format_ms(static_cast<double>(threshold_micros_) / 1000.0);
-    line += " ms): ";
+  // Force-traced statements (EXPLAIN ANALYZE) that completed normally and
+  // under the threshold are recorded silently — they are deliberate
+  // instrumentation, not incidents worth a warning line.
+  if (killed || slow) {
+    std::string line;
+    if (killed) {
+      line = "query ";
+      line += outcome_;
+      line += " (";
+      line += format_ms(trace.total_ms);
+      line += " ms): ";
+    } else {
+      line = "slow query (";
+      line += format_ms(trace.total_ms);
+      line += " ms >= ";
+      line += format_ms(static_cast<double>(threshold_micros_) / 1000.0);
+      line += " ms): ";
+    }
+    line.append(sql_.data(), sql_.size());
+    line += " |";
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      line += ' ';
+      line += phase_name(static_cast<Phase>(i));
+      line += '=';
+      line += format_ms(trace.phase_ms[i]);
+      line += "ms";
+    }
+    if (!trace.plan.empty()) {
+      std::string flat = trace.plan;
+      std::replace(flat.begin(), flat.end(), '\n', ';');
+      line += " | plan: ";
+      line += flat;
+    }
+    util::log_message(util::LogLevel::kWarn, line);
   }
-  line.append(sql_.data(), sql_.size());
-  line += " |";
-  for (std::size_t i = 0; i < kPhaseCount; ++i) {
-    line += ' ';
-    line += phase_name(static_cast<Phase>(i));
-    line += '=';
-    line += format_ms(trace.phase_ms[i]);
-    line += "ms";
-  }
-  if (!trace.plan.empty()) {
-    std::string flat = trace.plan;
-    std::replace(flat.begin(), flat.end(), '\n', ';');
-    line += " | plan: ";
-    line += flat;
-  }
-  util::log_message(util::LogLevel::kWarn, line);
 
   TraceRing::instance().push(std::move(trace));
 }
@@ -219,7 +358,7 @@ Span::~Span() {
 
 PhaseTimer::PhaseTimer(Phase phase, Histogram* histogram)
     : phase_(phase), histogram_(histogram), span_(Span::current()) {
-  if (span_ != nullptr && !span_->slow_armed()) span_ = nullptr;
+  if (span_ != nullptr && !span_->armed()) span_ = nullptr;
   if (!enabled()) histogram_ = nullptr;
   if (span_ != nullptr || histogram_ != nullptr) {
     start_ = std::chrono::steady_clock::now();
@@ -228,11 +367,16 @@ PhaseTimer::PhaseTimer(Phase phase, Histogram* histogram)
 
 PhaseTimer::~PhaseTimer() {
   if (span_ == nullptr && histogram_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
   const auto micros = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start_)
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
           .count());
-  if (span_ != nullptr) span_->add_phase_micros(phase_, micros);
+  if (span_ != nullptr) {
+    span_->add_phase_micros(phase_, micros);
+    if (span_->trace_armed()) {
+      trace_emit(phase_name(phase_), "phase", start_, end, span_->span_id());
+    }
+  }
   if (histogram_ != nullptr) histogram_->record(micros);
 }
 
@@ -267,6 +411,27 @@ std::string traces_to_json() {
     out += "}}";
   }
   out += "]}";
+  return out;
+}
+
+std::string traces_to_chrome_json() {
+  const auto events = TraceBuffer::instance().snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(e.name) + '"';
+    out += ",\"cat\":\"" + json_escape(e.cat) + '"';
+    out += ",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(e.ts_us);
+    out += ",\"dur\":" + std::to_string(e.dur_us);
+    out += ",\"pid\":1";
+    out += ",\"tid\":" + std::to_string(e.tid);
+    out += ",\"args\":{\"span_id\":" + std::to_string(e.id);
+    out += ",\"parent_id\":" + std::to_string(e.parent) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
 }
 

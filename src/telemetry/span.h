@@ -1,18 +1,27 @@
-// Query-lifecycle spans.
+// Query-lifecycle spans and the trace timeline.
 //
 // Every sqldb statement runs under an RAII Span that accumulates a
-// per-phase time breakdown (parse -> plan -> lock-wait -> execute ->
-// fsync). Instrumentation sites attribute time to the current thread's
-// span through PhaseTimer / add_phase_micros; the execute phase is
-// derived at finish as the unattributed remainder, so the breakdown is
+// per-phase time breakdown (parse -> plan -> admission -> lock-wait ->
+// execute -> fsync). Instrumentation sites attribute time to the current
+// thread's span through PhaseTimer / add_phase_micros; the execute phase
+// is derived at finish as the unattributed remainder, so the breakdown is
 // disjoint and sums to the total.
 //
 // Statements slower than the configurable threshold (PERFDMF_SLOW_QUERY_MS
 // or set_slow_query_threshold_ms) are copied into a bounded ring buffer —
 // served back as the PERFDMF_SLOW_QUERIES virtual table — and logged
 // through util::log with SQL text, phase breakdown, and the EXPLAIN
-// access path. With the threshold disabled (the default) a span is two
-// clock reads and a histogram record; SQL text is never copied.
+// access path. EXPLAIN ANALYZE forces its annotated trace into the same
+// ring regardless of the threshold (force_trace()). With everything
+// disarmed (the default) a span is two clock reads and a histogram
+// record; SQL text is never copied.
+//
+// Trace timeline: with PERFDMF_TRACE=1 (or set_trace_enabled(true)) every
+// span carries an id and its enclosing span's id, and finished spans,
+// phases, executor operators, WAL group-commit rounds, and checkpoint/GC
+// passes are recorded as complete events in a bounded in-memory
+// TraceBuffer. traces_to_chrome_json() renders the buffer in Chrome
+// trace-event format, loadable in chrome://tracing or Perfetto.
 #pragma once
 
 #include <array>
@@ -27,8 +36,8 @@
 
 namespace perfdmf::telemetry {
 
-enum class Phase { kParse = 0, kPlan, kLockWait, kExecute, kFsync };
-inline constexpr std::size_t kPhaseCount = 5;
+enum class Phase { kParse = 0, kPlan, kAdmission, kLockWait, kExecute, kFsync };
+inline constexpr std::size_t kPhaseCount = 6;
 
 const char* phase_name(Phase phase);
 
@@ -78,6 +87,63 @@ class TraceRing {
   std::uint64_t next_id_ = 1;
 };
 
+// ------------------------------------------------------- trace timeline
+
+/// Runtime trace switch. Initialized once from PERFDMF_TRACE (unset, "0",
+/// "false", "off" -> disabled); flips at runtime via set_trace_enabled.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// One complete ("ph":"X") event on the trace timeline. Timestamps are
+/// microseconds relative to the process trace epoch; `tid` is a small
+/// per-thread ordinal. `id` is non-zero for statement spans; `parent`
+/// links phases/operators to their enclosing statement span.
+struct TraceEvent {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  const char* cat = "";   // static string: statement|phase|operator|wal|checkpoint
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Bounded in-memory buffer of the most recent trace events
+/// (process-global; same rotation policy as TraceRing).
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  static TraceBuffer& instance();
+
+  void push(TraceEvent event);
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+  void set_capacity(std::size_t n);
+  void clear();
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+ private:
+  TraceBuffer() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+};
+
+/// Record one complete event into the trace buffer. No-op unless tracing
+/// is compiled in and enabled. `parent` 0 means "the calling thread's
+/// current traced span, if any" — instrumentation sites (executor
+/// operators, WAL group-commit rounds, checkpoint passes) never need to
+/// thread span ids through explicitly.
+void trace_emit(std::string name, const char* cat,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                std::uint64_t parent = 0);
+
 /// RAII lifecycle span for one statement. Construct with the SQL text
 /// (borrowed — must outlive the span); destruction finishes the span.
 /// At most one span per thread is current; nesting restores the outer
@@ -93,14 +159,28 @@ class Span {
   static Span* current();
 
   bool active() const { return active_; }
-  /// True when the slow-query log is armed for this span. Phase
-  /// attribution is only ever consumed by slow traces, so PhaseTimer
-  /// skips its clock reads entirely when this is false.
+  /// True when the slow-query log is armed for this span.
   bool slow_armed() const { return active_ && slow_armed_; }
+  /// True when phase attribution has a consumer: the slow-query log, an
+  /// EXPLAIN ANALYZE breakdown, or the trace timeline. PhaseTimer skips
+  /// its clock reads entirely when this is false.
+  bool armed() const {
+    return active_ && (slow_armed_ || analyze_armed_ || trace_armed_);
+  }
   /// True when the executor should spend the extra effort of capturing
   /// EXPLAIN output via set_plan().
   bool wants_plan() const { return slow_armed(); }
   void set_plan(std::string plan) { plan_ = std::move(plan); }
+
+  /// EXPLAIN ANALYZE: attribute phases even without a slow threshold.
+  void arm_analyze() { analyze_armed_ = active_; }
+  /// Push this span's trace into the slow-query ring at finish even if it
+  /// completed under the threshold (EXPLAIN ANALYZE recording).
+  void force_trace() { forced_ = active_; }
+
+  /// True when this span records onto the trace timeline.
+  bool trace_armed() const { return active_ && trace_armed_; }
+  std::uint64_t span_id() const { return span_id_; }
 
   void add_phase_micros(Phase phase, std::uint64_t micros) {
     phase_micros_[static_cast<std::size_t>(phase)] += micros;
@@ -122,14 +202,20 @@ class Span {
   std::chrono::steady_clock::time_point start_{};
   std::chrono::system_clock::time_point wall_start_{};
   std::int64_t threshold_micros_ = -1;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
   Span* prev_ = nullptr;
   bool active_ = false;
   bool slow_armed_ = false;
+  bool analyze_armed_ = false;
+  bool trace_armed_ = false;
+  bool forced_ = false;
 };
 
 /// Times one phase from construction to destruction, attributing the
 /// elapsed microseconds to the calling thread's current span (if any)
-/// and to `histogram` (if given). Inert when neither sink applies.
+/// and to `histogram` (if given). Traced spans additionally get a phase
+/// event on the trace timeline. Inert when no sink applies.
 class PhaseTimer {
  public:
   explicit PhaseTimer(Phase phase, Histogram* histogram = nullptr);
@@ -147,5 +233,10 @@ class PhaseTimer {
 /// The slow-query ring as a JSON object string:
 /// {"traces":[{"id":...,"sql":...,"phases":{...}},...]}.
 std::string traces_to_json();
+
+/// The trace buffer in Chrome trace-event format:
+/// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,...},...],
+///  "displayTimeUnit":"ms"}. Loadable in chrome://tracing / Perfetto.
+std::string traces_to_chrome_json();
 
 }  // namespace perfdmf::telemetry

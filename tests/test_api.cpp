@@ -38,8 +38,8 @@ class ApiTest : public ::testing::Test {
 TEST_F(ApiTest, BootstrapCreatesAllTables) {
   EXPECT_TRUE(schema_present(*connection));
   auto tables = connection->get_meta_data().get_tables();
-  // 11 schema tables + 2 virtual telemetry system tables.
-  EXPECT_EQ(tables.size(), 13u);
+  // 11 schema tables + 6 virtual system tables.
+  EXPECT_EQ(tables.size(), 17u);
   // Idempotent.
   EXPECT_NO_THROW(bootstrap_schema(*connection));
 }

@@ -542,10 +542,14 @@ TEST(SqldbConcurrent, DeleteInsertChurnKeepsSlotCountBounded) {
   // Bounded: a small multiple of the live set, not O(rounds * kRows).
   EXPECT_LE(database->table("churn").slot_count(),
             static_cast<std::size_t>(kRows) * 4);
-  EXPECT_GT(perfdmf::telemetry::MetricsRegistry::instance()
-                .counter("mvcc.slots_reused")
-                .value(),
-            reused_before);
+  // Counter deltas only register when telemetry is compiled in; the
+  // slot-count bound above is the real assertion either way.
+  if (perfdmf::telemetry::compiled_in()) {
+    EXPECT_GT(perfdmf::telemetry::MetricsRegistry::instance()
+                  .counter("mvcc.slots_reused")
+                  .value(),
+              reused_before);
+  }
 
   // The MVCC counters surface through the SQL-queryable system table.
   for (const char* name :

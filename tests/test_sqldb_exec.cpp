@@ -418,8 +418,8 @@ TEST_F(ExecTest, ResultSetAccessors) {
 TEST_F(ExecTest, MetaDataReflection) {
   auto meta = conn.get_meta_data();
   auto tables = meta.get_tables();
-  // dept + emp, then the two virtual telemetry system tables.
-  ASSERT_EQ(tables.size(), 4u);
+  // dept + emp, then the six virtual system tables.
+  ASSERT_EQ(tables.size(), 8u);
   EXPECT_EQ(tables[0], "dept");
   auto columns = meta.get_columns("emp");
   ASSERT_EQ(columns.size(), 4u);

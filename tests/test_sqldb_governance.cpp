@@ -43,6 +43,15 @@ std::uint64_t counter_value(const char* name) {
   return perfdmf::telemetry::MetricsRegistry::instance().counter(name).value();
 }
 
+// With -DPERFDMF_TELEMETRY=OFF counters freeze at zero (the kill switch
+// compiles recording to nothing), so delta assertions only hold when
+// telemetry is compiled in. The behavior under test still runs either way.
+void expect_counter_bumped(const char* name, std::uint64_t before) {
+  if (perfdmf::telemetry::compiled_in()) {
+    EXPECT_GT(counter_value(name), before) << name;
+  }
+}
+
 std::int64_t elapsed_ms(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now() - since)
@@ -166,7 +175,7 @@ TEST_F(Governance, CancelFromAnotherThreadUnwindsAndConnectionSurvives) {
   }
   killer.join();
   EXPECT_LT(elapsed_ms(start), 2000);
-  EXPECT_GT(counter_value("gov.cancellations"), cancellations_before);
+  expect_counter_bumped("gov.cancellations", cancellations_before);
 
   // Delivery consumed the flag: the next statement runs normally.
   EXPECT_EQ(scalar(conn, "SELECT COUNT(*) FROM rhs"), 3000);
@@ -199,11 +208,14 @@ TEST_F(Governance, KilledQueryIsTracedWithItsOutcome) {
   conn.set_statement_timeout_ms(0);
 
   // Killed statements reach PERFDMF_SLOW_QUERIES regardless of the slow
-  // threshold, tagged with how they ended.
-  EXPECT_GE(scalar(conn,
-                   "SELECT COUNT(*) FROM PERFDMF_SLOW_QUERIES "
-                   "WHERE outcome = 'timed_out'"),
-            1);
+  // threshold, tagged with how they ended. The ring is empty when the
+  // telemetry kill switch compiles recording out.
+  if (perfdmf::telemetry::compiled_in()) {
+    EXPECT_GE(scalar(conn,
+                     "SELECT COUNT(*) FROM PERFDMF_SLOW_QUERIES "
+                     "WHERE outcome = 'timed_out'"),
+              1);
+  }
 }
 
 // --------------------------------------------------- memory budgets
@@ -240,7 +252,7 @@ TEST_F(Governance, MemBudgetDegradesOperatorsWithIdenticalResults) {
   conn.set_statement_mem_bytes(512);  // far below the hash-table estimates
   const auto budgeted = dump(conn, q);
   EXPECT_EQ(budgeted, unbudgeted);
-  EXPECT_GT(counter_value("gov.mem_degraded"), degraded_before);
+  expect_counter_bumped("gov.mem_degraded", degraded_before);
 
   // The degrade decisions are EXPLAIN-visible.
   const std::string plan = explain(conn, q);
@@ -325,7 +337,7 @@ TEST_F(Governance, AdmissionShedsImmediatelyWhenQueueDisabled) {
 
   ASSERT_TRUE(seen.has_value()) << "statement was admitted past the bound";
   EXPECT_EQ(*seen, DbError::Kind::kOverloaded);
-  EXPECT_GT(counter_value("gov.admission_rejected"), rejected_before);
+  expect_counter_bumped("gov.admission_rejected", rejected_before);
 
   // With the slot free again, the same work is admitted.
   Connection conn(shared);
@@ -517,7 +529,7 @@ TEST_F(Governance, StickyEnospcEntersReadOnlyAndManualProbeRecovers) {
     }
     EXPECT_TRUE(conn.database().read_only());
     EXPECT_FALSE(conn.database().read_only_reason().empty());
-    EXPECT_GT(counter_value("gov.readonly_entered"), entered_before);
+    expect_counter_bumped("gov.readonly_entered", entered_before);
 
     // Reads keep serving — and the failed insert left no partial state.
     EXPECT_EQ(scalar(conn, "SELECT COUNT(*) FROM t"), 1);
@@ -596,7 +608,7 @@ TEST_F(Governance, AutomaticProbeExitsReadOnlyOnceSpaceReturns) {
   std::this_thread::sleep_for(std::chrono::milliseconds(250));
   conn.execute_update("INSERT INTO t (v) VALUES (3)");
   EXPECT_FALSE(conn.database().read_only());
-  EXPECT_GT(counter_value("gov.readonly_exited"), exited_before);
+  expect_counter_bumped("gov.readonly_exited", exited_before);
   EXPECT_EQ(scalar(conn, "SELECT COUNT(*) FROM t"), 1);
 }
 

@@ -231,7 +231,7 @@ TEST_F(SystemTableTest, MetadataReflectsSystemTables) {
   ASSERT_EQ(columns.size(), 8u);
   EXPECT_EQ(columns[0].name, "name");
   const auto slow_columns = meta.get_columns("PERFDMF_SLOW_QUERIES");
-  ASSERT_EQ(slow_columns.size(), 12u);
+  ASSERT_EQ(slow_columns.size(), 13u);
   EXPECT_EQ(slow_columns[3].name, "sql");
   EXPECT_EQ(slow_columns[6].name, "outcome");
 }
